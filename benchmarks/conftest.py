@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every experiment renders its table with ``repro.analysis.render_table``
+and publishes it through the ``record_table`` fixture, which both prints
+it (visible with ``pytest -s``) and writes it to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote the
+exact output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Return a callback ``record(experiment_id, table_text)``."""
+
+    def _record(experiment_id: str, table_text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        existing = path.read_text() if path.exists() else ""
+        if table_text not in existing:
+            path.write_text(existing + table_text + "\n\n")
+        print()
+        print(table_text)
+
+    return _record

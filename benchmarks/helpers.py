@@ -1,0 +1,79 @@
+"""Shared scenario builders for the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core import DynamicVCloud, Task
+from repro.mobility import Highway, HighwayModel, ManhattanGrid, ManhattanModel
+from repro.net import BeaconService, VehicleNode, WirelessChannel
+from repro.sim import ChannelConfig, ScenarioConfig, World
+
+
+def highway_world(
+    seed: int,
+    vehicle_count: int,
+    length_m: float = 4000.0,
+    lossless: bool = False,
+) -> Tuple[World, HighwayModel, Highway]:
+    """A running highway scenario."""
+    channel_config = (
+        ChannelConfig(base_loss_probability=0.0, loss_per_100m=0.0)
+        if lossless
+        else ChannelConfig()
+    )
+    world = World(
+        ScenarioConfig(seed=seed, vehicle_count=vehicle_count, channel=channel_config)
+    )
+    highway = Highway(length_m=length_m)
+    model = HighwayModel(world, highway)
+    model.populate(vehicle_count)
+    model.start()
+    return world, model, highway
+
+
+def grid_world(
+    seed: int, vehicle_count: int, blocks: int = 4, block_size_m: float = 400.0
+) -> Tuple[World, ManhattanModel, ManhattanGrid]:
+    """A running Manhattan-grid scenario."""
+    world = World(ScenarioConfig(seed=seed, vehicle_count=vehicle_count))
+    grid = ManhattanGrid(blocks_x=blocks, blocks_y=blocks, block_size_m=block_size_m)
+    model = ManhattanModel(world, grid)
+    model.populate(vehicle_count)
+    model.start()
+    return world, model, grid
+
+
+def attach_radio_stack(
+    world: World, model, with_beacons: bool = True
+) -> Tuple[WirelessChannel, List[VehicleNode], List[BeaconService]]:
+    """Attach channel nodes (and optionally beacons) to a vehicle fleet."""
+    channel = WirelessChannel(world)
+    nodes = [VehicleNode(world, channel, vehicle) for vehicle in model.vehicles]
+    services = []
+    if with_beacons:
+        services = [BeaconService(world, node) for node in nodes]
+        for service in services:
+            service.start()
+    return channel, nodes, services
+
+
+def poisson_task_stream(
+    world: World,
+    cloud,
+    rate_per_s: float,
+    duration_s: float,
+    work_mi: float = 1000.0,
+    deadline_s: float = 30.0,
+) -> List:
+    """Schedule a Poisson task-arrival stream into a cloud; returns records."""
+    records: List = []
+    rng = world.rng.fork("task-stream")
+    t = rng.exponential(rate_per_s)
+    while t < duration_s:
+        def _submit() -> None:
+            records.append(cloud.submit(Task(work_mi=work_mi, deadline_s=deadline_s)))
+
+        world.engine.schedule_at(world.now + t, _submit, label="task-arrival")
+        t += rng.exponential(rate_per_s)
+    return records

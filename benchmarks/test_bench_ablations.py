@@ -1,0 +1,273 @@
+"""Ablation benches for the framework's own design choices.
+
+DESIGN.md commits each subsystem to specific parameter choices; these
+ablations show the trade-off curve each choice sits on:
+
+* A1 — handover progress threshold: below which completed fraction is a
+  restart cheaper than a checkpoint transfer?
+* A2 — Bloom revocation filter sizing: false-positive rate (extra TA
+  round trips) vs. filter bits.
+* A3 — replay-cache window: stale-rejection of legitimate but delayed
+  messages vs. replay exposure.
+* A4 — election weights: head tenure under resource-only vs.
+  dwell/centrality-aware scoring.
+* A5 — beacon interval: neighbor-table completeness vs. channel load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.attacks import ReplayCache
+from repro.core import (
+    BrokerCandidate,
+    BrokerElection,
+    CheckpointHandoverPolicy,
+    Task,
+    TaskRecord,
+)
+from repro.geometry import Vec2
+from repro.mobility import Highway, HighwayModel, Vehicle, link_lifetime
+from repro.net import BeaconService, VehicleNode, WirelessChannel
+from repro.security import BloomRevocationFilter
+from repro.sim import ScenarioConfig, SeededRng, World
+
+
+# ---------------------------------------------------------------------------
+# A1 — handover progress threshold
+# ---------------------------------------------------------------------------
+
+
+def _handover_outcome(progress: float, threshold: float):
+    record = TaskRecord(task=Task(work_mi=5000), submitted_at=0.0)
+    record.assign("w", 0.0)
+    record.start()
+    record.checkpoint(progress)
+    policy = CheckpointHandoverPolicy(min_progress_to_handover=threshold)
+    outcome = policy.on_worker_departed(record, now=10.0)
+    # Cost of the decision: transfer overhead plus recompute time of the
+    # progress not preserved (on a reference 500-MIPS worker).
+    recompute_s = (progress - outcome.preserved_progress) * 5000 / 500.0
+    return outcome.overhead_s + recompute_s
+
+
+def test_bench_a1_handover_threshold(record_table, benchmark):
+    rows = []
+    for threshold in (0.0, 0.02, 0.1, 0.3):
+        costs = [
+            _handover_outcome(progress, threshold)
+            for progress in (0.01, 0.05, 0.25, 0.75)
+        ]
+        rows.append([threshold] + [round(c, 3) for c in costs])
+    table = render_table(
+        ["threshold", "cost @1% done", "@5%", "@25%", "@75%"],
+        rows,
+        title="A1 — handover threshold: decision cost (s) by completed fraction",
+    )
+    record_table("ablations", table)
+    # For nearly-done tasks the checkpoint is always right; the
+    # threshold only matters for barely-started ones.
+    assert _handover_outcome(0.75, 0.0) < _handover_outcome(0.75, 0.9)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# A2 — Bloom filter sizing
+# ---------------------------------------------------------------------------
+
+
+def _bloom_fp_rate(bits: int, revoked: int = 200, probes: int = 2000) -> float:
+    bloom = BloomRevocationFilter(bits=bits)
+    for index in range(revoked):
+        bloom.add(f"revoked-{index}")
+    false_positives = sum(
+        1 for index in range(probes) if bloom.might_be_revoked(f"clean-{index}").value
+    )
+    return false_positives / probes
+
+
+def test_bench_a2_bloom_sizing(record_table, benchmark):
+    rows = []
+    for bits in (512, 2048, 8192, 32768):
+        rate = _bloom_fp_rate(bits)
+        rows.append([bits, bits // 8, rate])
+    table = render_table(
+        ["bits", "bytes on OBU", "false-positive rate (200 revoked)"],
+        rows,
+        title="A2 — Bloom revocation filter sizing",
+    )
+    record_table("ablations", table)
+    rates = [row[2] for row in rows]
+    assert rates == sorted(rates, reverse=True)  # more bits, fewer FPs
+    assert rates[-1] < 0.01
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# A3 — replay window
+# ---------------------------------------------------------------------------
+
+
+def _replay_window_outcomes(window_s: float, rng: SeededRng):
+    cache = ReplayCache(window_s=window_s)
+    # Legitimate messages arrive with heavy-tailed delay (multi-hop,
+    # contention); replays arrive long after capture.
+    legit_rejected = 0
+    for index in range(500):
+        delay = rng.exponential(1.0 / 3.0)  # mean 3 s delivery delay
+        sent = index * 2.0
+        if not cache.accept(f"legit-{index}", timestamp=sent, now=sent + delay):
+            legit_rejected += 1
+    replay_accepted = 0
+    for index in range(200):
+        sent = index * 2.0
+        # The attacker replays a *fresh-looking* capture 8 s later with a
+        # new nonce view (same nonce -> always caught; the window guards
+        # the stale-timestamp path).
+        if cache.accept(f"legit-{index}", timestamp=sent, now=sent + 8.0):
+            replay_accepted += 1
+    return legit_rejected / 500, replay_accepted / 200
+
+
+def test_bench_a3_replay_window(record_table, benchmark):
+    rng = SeededRng(42, "replay-ablation")
+    rows = []
+    for window in (2.0, 5.0, 15.0, 60.0):
+        legit_loss, replay_ok = _replay_window_outcomes(window, rng.fork(str(window)))
+        rows.append([window, legit_loss, replay_ok])
+    table = render_table(
+        ["window (s)", "legit messages rejected", "8s-stale replays accepted"],
+        rows,
+        title="A3 — replay-cache window trade-off",
+    )
+    record_table("ablations", table)
+    # Tiny windows reject real (slow) traffic; huge windows admit stale
+    # timestamps (nonce dedup still catches literal duplicates).
+    assert rows[0][1] > rows[-1][1]
+    assert rows[0][2] <= rows[-1][2]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# A4 — election weights
+# ---------------------------------------------------------------------------
+
+
+def _head_survival(election: BrokerElection, seed: int) -> float:
+    """Fraction of 2 s steps the elected head stays in coordination range."""
+    world = World(ScenarioConfig(seed=seed))
+    model = HighwayModel(world, Highway(length_m=3000))
+    vehicles = model.populate(20)
+    model.start()
+
+    def candidates():
+        reference = vehicles[0]
+        result = []
+        for vehicle in vehicles:
+            dwell = (
+                600.0
+                if vehicle is reference
+                else min(600.0, link_lifetime(reference, vehicle, 300.0))
+            )
+            result.append(
+                BrokerCandidate(
+                    vehicle_id=vehicle.vehicle_id,
+                    compute_mips=vehicle.equipment.compute_mips,
+                    estimated_dwell_s=dwell,
+                    position=vehicle.position,
+                )
+            )
+        return result
+
+    head_id = election.elect(candidates()).winner_id
+    head = next(v for v in vehicles if v.vehicle_id == head_id)
+    in_range_steps = 0
+    steps = 30
+    for _step in range(steps):
+        world.run_for(2.0)
+        others = [v for v in vehicles if v is not head]
+        reachable = sum(1 for v in others if head.distance_to(v) <= 300.0)
+        if reachable >= len(others) * 0.3:
+            in_range_steps += 1
+    return in_range_steps / steps
+
+
+def test_bench_a4_election_weights(record_table, benchmark):
+    configs = {
+        "resource-only": BrokerElection(1.0, 0.0, 0.0),
+        "dwell-heavy": BrokerElection(0.2, 0.6, 0.2),
+        "balanced (default)": BrokerElection(),
+    }
+    rows = [
+        [label, _head_survival(election, seed=4100)]
+        for label, election in configs.items()
+    ]
+    table = render_table(
+        ["election weights", "head coverage retention (60 s)"],
+        rows,
+        title="A4 — captain election weight ablation",
+    )
+    record_table("ablations", table)
+    by_label = {label: value for label, value in rows}
+    assert by_label["balanced (default)"] >= by_label["resource-only"] - 0.2
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# A5 — beacon interval
+# ---------------------------------------------------------------------------
+
+
+def _beacon_tradeoff(interval_s: float, seed: int):
+    from repro.sim import ChannelConfig
+
+    world = World(
+        ScenarioConfig(
+            seed=seed,
+            channel=ChannelConfig(base_loss_probability=0.1, loss_per_100m=0.0),
+        )
+    )
+    model = HighwayModel(world, Highway(length_m=1500))
+    vehicles = model.populate(20)
+    model.start()
+    channel = WirelessChannel(world)
+    nodes = [VehicleNode(world, channel, vehicle) for vehicle in vehicles]
+    services = [
+        BeaconService(world, node, interval_s=interval_s, timeout_s=interval_s * 3)
+        for node in nodes
+    ]
+    for service in services:
+        service.start()
+    world.run_for(30.0)
+    # Completeness: fraction of true in-range neighbors present in tables.
+    known = 0
+    truth = 0
+    for service, vehicle in zip(services, vehicles):
+        actual = {
+            other.vehicle_id
+            for other in vehicles
+            if other is not vehicle and vehicle.distance_to(other) <= 300.0
+        }
+        truth += len(actual)
+        known += len(actual & set(service.table.ids()))
+    completeness = known / truth if truth else 0.0
+    load = world.metrics.counter("beacon/sent") / 30.0
+    return completeness, load
+
+
+def test_bench_a5_beacon_interval(record_table, benchmark):
+    rows = []
+    for interval in (0.5, 1.0, 3.0):
+        completeness, load = _beacon_tradeoff(interval, seed=4200)
+        rows.append([interval, completeness, load])
+    table = render_table(
+        ["beacon interval (s)", "neighbor-table completeness", "beacons/s on air"],
+        rows,
+        title="A5 — beacon interval: freshness vs channel load",
+    )
+    record_table("ablations", table)
+    loads = [row[2] for row in rows]
+    assert loads == sorted(loads, reverse=True)  # faster beacons, more load
+    assert rows[0][1] >= rows[-1][1] - 0.1  # and at least as complete
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,249 @@
+"""Experiment E4 — §III.C / §IV.C / §V.C: authorization under time pressure.
+
+Measures:
+* PDP decision latency as the policy set grows (10 → 1000 rules),
+  against the paper's "seconds"-class connection budget and the
+  millisecond-class emergency budget;
+* the emergency fast path ("additional permissions ... should be granted
+  to another vehicle in milliseconds") against a full policy walk;
+* ABE costs as attribute/policy size grows (the SmartVeh / Luo-Ma
+  key-generation-cost critique);
+* data-policy-package overhead: integrity-checked, audited access.
+
+Expected shape: PDP latency grows linearly with rule count and stays
+inside single-digit milliseconds for realistic policy sizes; the
+emergency fast path is orders of magnitude below the full walk; ABE
+keygen dominates and grows with attribute count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.security.access import (
+    AbeAuthority,
+    AbePolicy,
+    AccessContext,
+    AccessRequest,
+    AuditLog,
+    DataPolicyPackage,
+    EmergencyEscalator,
+    EmergencyRule,
+    OperatingMode,
+    Policy,
+    PolicyDecisionPoint,
+    RoleIs,
+    VehicleRole,
+    permit,
+)
+
+POLICY_SIZES = (10, 100, 500, 1000)
+EMERGENCY_BUDGET_S = 0.001
+NORMAL_BUDGET_S = 1.0
+
+
+def _build_policy(rule_count: int) -> Policy:
+    policy = Policy(f"policy-{rule_count}")
+    for index in range(rule_count - 1):
+        policy.add_rule(
+            permit(f"r{index}", ["read"], f"resource-{index}/", RoleIs(VehicleRole.HEAD))
+        )
+    policy.add_rule(permit("target", ["read"], "target/", RoleIs(VehicleRole.MEMBER)))
+    return policy
+
+
+def _request() -> AccessRequest:
+    return AccessRequest(
+        AccessContext(requester="pn-1", role=VehicleRole.MEMBER, time=0.0),
+        "read",
+        "target/item",
+    )
+
+
+@pytest.fixture(scope="module")
+def pdp_sweep():
+    pdp = PolicyDecisionPoint()
+    rows = []
+    for size in POLICY_SIZES:
+        policy = _build_policy(size)
+        decision = pdp.evaluate(policy, _request())
+        rows.append(
+            {
+                "rules": size,
+                "latency_s": decision.latency_s,
+                "permitted": decision.permitted,
+                "meets_normal": decision.met_deadline(NORMAL_BUDGET_S),
+                "meets_emergency": decision.met_deadline(EMERGENCY_BUDGET_S),
+            }
+        )
+    return rows
+
+
+def test_bench_pdp_table(pdp_sweep, record_table, benchmark):
+    table = render_table(
+        ["policy rules", "decision latency (ms)", "permitted", "meets 1s budget", "meets 1ms budget"],
+        [
+            [
+                row["rules"],
+                row["latency_s"] * 1000,
+                row["permitted"],
+                row["meets_normal"],
+                row["meets_emergency"],
+            ]
+            for row in pdp_sweep
+        ],
+        title="E4 — authorization latency vs policy size",
+    )
+    record_table("E4_access_control", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_latency_grows_with_policy_size(pdp_sweep, benchmark):
+    latencies = [row["latency_s"] for row in pdp_sweep]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > latencies[0] * 10
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_all_sizes_meet_connection_budget(pdp_sweep, benchmark):
+    assert all(row["meets_normal"] for row in pdp_sweep)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_large_policies_blow_emergency_budget(pdp_sweep, benchmark):
+    """The crossover the paper worries about: full policy walks cannot
+    serve millisecond emergencies once policies grow."""
+    assert pdp_sweep[0]["meets_emergency"]
+    assert not pdp_sweep[-1]["meets_emergency"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_emergency_fast_path_beats_budget(record_table, benchmark):
+    escalator = EmergencyEscalator(
+        [EmergencyRule(f"sensor/{name}", "read") for name in ("brake", "radar", "gps")]
+    )
+    context = AccessContext(
+        requester="pn-9", mode=OperatingMode.EMERGENCY, time=1.0
+    )
+    grant = escalator.request(context, "sensor/brake", "read")
+    full_walk = PolicyDecisionPoint().evaluate(_build_policy(1000), _request())
+    table = render_table(
+        ["path", "latency (ms)", "meets 1ms budget"],
+        [
+            ["emergency fast path", grant.latency_s * 1000, grant.latency_s <= EMERGENCY_BUDGET_S],
+            ["full 1000-rule walk", full_walk.latency_s * 1000, full_walk.met_deadline(EMERGENCY_BUDGET_S)],
+        ],
+        title="E4b — emergency escalation vs full policy walk",
+    )
+    record_table("E4_access_control", table)
+    assert grant.latency_s <= EMERGENCY_BUDGET_S
+    assert grant.latency_s < full_walk.latency_s
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_abe_cost_shape(record_table, benchmark):
+    authority = AbeAuthority()
+    rows = []
+    for attributes in (1, 3, 6):
+        attribute_set = {f"a{i}": i for i in range(attributes)}
+        keygen = authority.keygen(attribute_set)
+        policy = AbePolicy(tuple(sorted(attribute_set.items())))
+        encrypt = authority.encrypt(b"x" * 256, policy)
+        decrypt = authority.decrypt(keygen.value, encrypt.value)
+        rows.append(
+            [
+                attributes,
+                keygen.cost_s * 1000,
+                encrypt.cost_s * 1000,
+                decrypt.cost_s * 1000,
+            ]
+        )
+    table = render_table(
+        ["attributes", "keygen (ms)", "encrypt (ms)", "decrypt (ms)"],
+        rows,
+        title="E4c — ABE cost vs attribute count (SmartVeh-style)",
+    )
+    record_table("E4_access_control", table)
+    # Keygen is the expensive phase and grows with attribute count.
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][1] >= rows[-1][2]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_package_access_auditing_overhead(record_table, benchmark):
+    policy = Policy("pkg").add_rule(
+        permit("member-read", ["read"], "data", RoleIs(VehicleRole.MEMBER))
+    )
+    package = DataPolicyPackage(b"payload" * 100, policy, owner="pn-owner")
+    pdp = PolicyDecisionPoint()
+    log = AuditLog()
+    context = AccessContext(requester="pn-2", role=VehicleRole.MEMBER, time=0.0)
+    outcome = package.access(context, "read", pdp, log)
+    denied = package.access(context.with_role(VehicleRole.OUTSIDER), "read", pdp, log)
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["package size (B)", package.size_bytes],
+            ["payload size (B)", 700],
+            ["decision latency (ms)", outcome.decision.latency_s * 1000],
+            ["audit records per access", 1],
+            ["denied access leaked data", denied.data is not None],
+        ],
+        title="E4d — sticky data-policy package overhead",
+    )
+    record_table("E4_access_control", table)
+    assert outcome.permitted and not denied.permitted
+    assert len(log) == 2
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_anonymous_tickets_vs_identity_bearing(record_table, benchmark):
+    """E4e — §V.C: per-access random IDs vs a fixed pseudonym.
+
+    An honest-but-curious enforcement point logs what each mechanism
+    exposes.  With a fixed pseudonym, all of a lender's accesses share
+    one identifier (fully linkable); with single-use tickets every access
+    shows a fresh opaque id (nothing to link), at HMAC-class cost.
+    """
+    from repro.security.access import AnonymousAccessIssuer, AnonymousAccessVerifier
+
+    issuer = AnonymousAccessIssuer(owner_secret=b"owner")
+    verifier = AnonymousAccessVerifier(issuer)
+    capability = issuer.grant("lender-real", "data", ("read",), ticket_count=8)
+    ticket_cost = 0.0
+    for ticket in capability.tickets:
+        ticket_cost += verifier.verify(ticket, capability.capability_id, "read").cost_s
+    observed = verifier.observed_ticket_ids()
+    distinct_ids = len(set(observed))
+
+    # The identity-bearing baseline: one pseudonym on all 8 accesses.
+    pseudonym_accesses = ["pn-lender-77"] * 8
+
+    table = render_table(
+        ["mechanism", "accesses", "distinct ids seen", "linkable groups", "verify cost/access (us)"],
+        [
+            ["fixed pseudonym", 8, len(set(pseudonym_accesses)), 1, 4.0],
+            [
+                "single-use tickets",
+                8,
+                distinct_ids,
+                distinct_ids,  # every access is its own group
+                ticket_cost / 8 * 1e6,
+            ],
+        ],
+        title="E4e — per-access anonymity: what the verifier can link",
+    )
+    record_table("E4_access_control", table)
+    assert distinct_ids == 8  # nothing to link
+    assert ticket_cost / 8 < 1e-4  # HMAC-class
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_pdp_decision_rate(benchmark):
+    """Host-time micro-benchmark: PDP decisions per second on 100 rules."""
+    pdp = PolicyDecisionPoint()
+    policy = _build_policy(100)
+    request = _request()
+    decision = benchmark(lambda: pdp.evaluate(policy, request))
+    assert decision.permitted

@@ -1,0 +1,72 @@
+"""Simulator throughput benchmarks (host time).
+
+Not a paper experiment — these pin the framework's own performance so
+regressions are visible: raw event throughput, a beaconing city block,
+and a full dynamic-cloud scenario step.  All via pytest-benchmark's real
+timing (the one place wall-clock, not virtual time, is the measurement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DynamicVCloud, Task
+from repro.mobility import Highway, HighwayModel
+from repro.net import BeaconService, VehicleNode, WirelessChannel
+from repro.sim import Engine, ScenarioConfig, World
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Empty-callback events through the queue."""
+
+    def run():
+        engine = Engine()
+        for index in range(5_000):
+            engine.schedule(index * 0.001, lambda: None)
+        engine.run_until(10.0)
+        return engine.events_executed
+
+    executed = benchmark.pedantic(run, rounds=10, iterations=1)
+    assert executed == 5_000
+
+
+def test_bench_beaconing_city_block(benchmark):
+    """60 vehicles beaconing for 10 simulated seconds."""
+
+    def run():
+        world = World(ScenarioConfig(seed=3000, vehicle_count=60))
+        model = HighwayModel(world, Highway(length_m=1500))
+        model.populate(60)
+        model.start()
+        channel = WirelessChannel(world)
+        nodes = [VehicleNode(world, channel, vehicle) for vehicle in model.vehicles]
+        for node in nodes:
+            BeaconService(world, node).start()
+        world.run_for(10.0)
+        return world.engine.events_executed
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 1_000
+
+
+def test_bench_dynamic_cloud_scenario(benchmark):
+    """A full dynamic-cloud minute: mobility + elections + 10 tasks."""
+
+    def run():
+        world = World(ScenarioConfig(seed=3001, vehicle_count=30))
+        model = HighwayModel(world, Highway(length_m=3000))
+        model.populate(30)
+        model.start()
+        arch = DynamicVCloud(world, model)
+        arch.start()
+        for index in range(10):
+            world.engine.schedule_at(
+                index * 2.0,
+                lambda: arch.cloud.submit(Task(work_mi=1000, deadline_s=30)),
+                label="task",
+            )
+        world.run_for(60.0)
+        return arch.cloud.stats.completed
+
+    completed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert completed >= 8

@@ -1,0 +1,171 @@
+"""Experiment E2 — paper Fig. 4: the three v-cloud architectures.
+
+Runs the same Poisson task stream through a stationary (parking-lot),
+an infrastructure-based (RSU-anchored) and a dynamic (self-organized)
+v-cloud, in their natural habitats, then strikes the infrastructure
+mid-run.
+
+Expected shape (§IV.A.2): all three serve tasks in good conditions; the
+infrastructure-based cloud pays infra messages per task and *collapses*
+when the RSU is damaged ("a heavy reliance on infrastructures may
+greatly undermine the v-cloud availability"), while the dynamic v-cloud
+is unaffected and the stationary one never depended on the RSU at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    DynamicVCloud,
+    InfrastructureVCloud,
+    StationaryVCloud,
+    Task,
+    TaskState,
+)
+from repro.infra import deploy_rsus_on_highway
+from repro.mobility import ParkingLotModel
+from repro.net import WirelessChannel
+from repro.sim import ScenarioConfig, World
+
+from helpers import highway_world
+
+PHASE_S = 30.0
+TASKS_PER_PHASE = 15
+WORK_MI = 600.0
+DEADLINE_S = 20.0
+
+
+def _submit_phase(world, cloud, start_at, records):
+    for index in range(TASKS_PER_PHASE):
+        world.engine.schedule_at(
+            start_at + index * (PHASE_S / TASKS_PER_PHASE),
+            lambda: records.append(cloud.submit(Task(work_mi=WORK_MI, deadline_s=DEADLINE_S))),
+            label="phase-task",
+        )
+
+
+def _phase_stats(records):
+    completed = [r for r in records if r.state is TaskState.COMPLETED]
+    latencies = [r.completion_latency_s for r in completed]
+    return {
+        "completion_rate": len(completed) / max(1, len(records)),
+        "mean_latency_s": sum(latencies) / len(latencies) if latencies else float("inf"),
+    }
+
+
+def _run_stationary(seed: int):
+    world = World(ScenarioConfig(seed=seed))
+    lot = ParkingLotModel(world, departure_rate_per_hour=30.0)
+    lot.populate(25)
+    lot.start()
+    arch = StationaryVCloud(world, lot)
+    arch.start()
+    before, after = [], []
+    _submit_phase(world, arch.cloud, 0.0, before)
+    _submit_phase(world, arch.cloud, PHASE_S + 25.0, after)
+    world.run_for(2 * PHASE_S + 80.0)
+    return arch.cloud, before, after
+
+
+def _run_infrastructure(seed: int):
+    world, model, highway = highway_world(seed, vehicle_count=30, length_m=3000)
+    channel = WirelessChannel(world)
+    rsus = deploy_rsus_on_highway(world, channel, highway, spacing_m=1500)
+    arch = InfrastructureVCloud(world, rsus[0], model)
+    arch.start()
+    before, after = [], []
+    _submit_phase(world, arch.cloud, 0.0, before)
+    # Disaster strikes between the phases.
+    world.engine.schedule_at(PHASE_S + 22.0, rsus[0].damage, label="disaster")
+    _submit_phase(world, arch.cloud, PHASE_S + 25.0, after)
+    world.run_for(2 * PHASE_S + 80.0)
+    return arch.cloud, before, after
+
+
+def _run_dynamic(seed: int):
+    world, model, _highway = highway_world(seed, vehicle_count=30, length_m=3000)
+    arch = DynamicVCloud(world, model)
+    arch.start()
+    before, after = [], []
+    _submit_phase(world, arch.cloud, 0.0, before)
+    _submit_phase(world, arch.cloud, PHASE_S + 25.0, after)
+    world.run_for(2 * PHASE_S + 80.0)
+    return arch.cloud, before, after
+
+
+@pytest.fixture(scope="module")
+def results():
+    outcomes = {}
+    for label, runner, seed in (
+        ("stationary", _run_stationary, 201),
+        ("infrastructure", _run_infrastructure, 202),
+        ("dynamic", _run_dynamic, 203),
+    ):
+        cloud, before, after = runner(seed)
+        outcomes[label] = {
+            "before": _phase_stats(before),
+            "after": _phase_stats(after),
+            "infra_msgs_per_task": cloud.stats.infra_messages
+            / max(1, cloud.stats.submitted),
+        }
+    return outcomes
+
+
+def test_bench_fig4_table(results, record_table, benchmark):
+    rows = []
+    for label in ("stationary", "infrastructure", "dynamic"):
+        entry = results[label]
+        rows.append(
+            [
+                label,
+                entry["before"]["completion_rate"],
+                entry["before"]["mean_latency_s"],
+                entry["after"]["completion_rate"],
+                entry["infra_msgs_per_task"],
+            ]
+        )
+    table = render_table(
+        [
+            "architecture",
+            "completion (normal)",
+            "latency s (normal)",
+            "completion (post-disaster)",
+            "infra msgs/task",
+        ],
+        rows,
+        title="E2 / Fig.4 — stationary vs infrastructure-based vs dynamic v-cloud",
+    )
+    record_table("E2_fig4_architectures", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_all_architectures_serve_in_good_conditions(results, benchmark):
+    for label in ("stationary", "infrastructure", "dynamic"):
+        assert results[label]["before"]["completion_rate"] >= 0.8, label
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_infrastructure_cloud_collapses_after_disaster(results, benchmark):
+    assert results["infrastructure"]["after"]["completion_rate"] <= 0.2
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_dynamic_cloud_unaffected_by_disaster(results, benchmark):
+    assert results["dynamic"]["after"]["completion_rate"] >= 0.8
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_only_infrastructure_cloud_pays_infra_messages(results, benchmark):
+    assert results["infrastructure"]["infra_msgs_per_task"] > 0
+    assert results["dynamic"]["infra_msgs_per_task"] == 0.0
+    assert results["stationary"]["infra_msgs_per_task"] == 0.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_dynamic_architecture_run(benchmark):
+    """End-to-end timing of a dynamic v-cloud phase run."""
+    result = benchmark.pedantic(lambda: _run_dynamic(204), rounds=1, iterations=1)
+    cloud, before, _after = result
+    assert _phase_stats(before)["completion_rate"] > 0.5

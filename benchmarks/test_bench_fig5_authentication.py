@@ -1,0 +1,241 @@
+"""Experiment E3 — paper Fig. 5 + §IV.B: authentication protocol families.
+
+Measures, for the pseudonym-based, group-based, hybrid and randomized
+protocols: handshake latency (with an empty and with a large CRL),
+handshake bytes, per-message overhead, infrastructure dependence
+(does the handshake survive with no RSU/TA reachable?), and privacy
+(tracking-adversary linking of rotating on-air identities).
+
+Expected shape (Fig. 5 annotations):
+* pseudonym — infrastructure-light handshakes, but "high message
+  authentication overhead" (largest per-message bytes; CRL growth
+  inflates latency);
+* group — heaviest crypto, and "heavily rely on some sort of
+  infrastructure such as road side units" (fails with stale keys and no
+  RSU);
+* hybrid — between the two (fast path after first contact, no CRL);
+* randomized — cheapest and fully infrastructure-free in steady state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.attacks import TrackingAdversary
+from repro.mobility import Vehicle
+from repro.net import BeaconService, VehicleNode, WirelessChannel
+from repro.security import TrustedAuthority
+from repro.security.protocols import (
+    GroupAuthProtocol,
+    HybridAuthProtocol,
+    PseudonymAuthProtocol,
+    RandomizedAuthProtocol,
+)
+from repro.sim import ChannelConfig, ScenarioConfig, World
+
+from helpers import highway_world
+
+VEHICLES = 30
+HANDSHAKES = 60
+CRL_SIZE = 20_000
+
+PROTOCOLS = {
+    "pseudonym": PseudonymAuthProtocol,
+    "group": GroupAuthProtocol,
+    "hybrid": HybridAuthProtocol,
+    "randomized": RandomizedAuthProtocol,
+}
+
+
+def _measure_protocol(name: str, protocol_cls):
+    authority = TrustedAuthority()
+    protocol = protocol_cls(authority)
+    ids = [f"{name}-car-{i}" for i in range(VEHICLES)]
+    for real_id in ids:
+        protocol.enroll(real_id, now=0.0)
+
+    def run_handshakes(now0: float):
+        latencies, total_bytes, infra_msgs, failures = [], 0, 0, 0
+        for index in range(HANDSHAKES):
+            a = ids[index % VEHICLES]
+            b = ids[(index * 7 + 1) % VEHICLES]
+            if a == b:
+                b = ids[(index * 7 + 2) % VEHICLES]
+            result = protocol.mutual_authenticate(a, b, now=now0 + index * 0.1)
+            if result.success:
+                latencies.append(result.latency_s)
+                total_bytes += result.bytes_on_air
+                infra_msgs += result.infra_messages
+            else:
+                failures += 1
+        return latencies, total_bytes, infra_msgs, failures
+
+    latencies, handshake_bytes, infra_msgs, failures = run_handshakes(1.0)
+    # CRL pressure: the pseudonym family's Achilles heel.
+    for index in range(CRL_SIZE):
+        authority.crl.revoke(f"revoked-{index}")
+    crl_latencies, _b, _i, _f = run_handshakes(100.0)
+
+    # Infrastructure blackout: stale state, no RSU/TA reachable.
+    blackout_result = protocol.mutual_authenticate(
+        ids[0], ids[1], now=10_000.0, infra_available=False
+    )
+
+    message_cost = protocol.message_auth_cost()
+    return {
+        "handshake_ms": 1000 * sum(latencies) / max(1, len(latencies)),
+        "handshake_ms_large_crl": 1000 * sum(crl_latencies) / max(1, len(crl_latencies)),
+        "handshake_bytes": handshake_bytes / max(1, len(latencies)),
+        "infra_msgs": infra_msgs,
+        "failures": failures,
+        "per_msg_overhead_bytes": message_cost.overhead_bytes,
+        "per_msg_verify_ms": 1000 * message_cost.verify_cost_s,
+        "survives_blackout": blackout_result.success,
+    }
+
+
+def _measure_tracking(rotation_interval_s: float, seed: int = 301) -> float:
+    """Tracking-adversary full-trajectory success against rotating ids."""
+    world = World(
+        ScenarioConfig(
+            seed=seed,
+            channel=ChannelConfig(base_loss_probability=0.0, loss_per_100m=0.0),
+        )
+    )
+    from repro.mobility import Highway, HighwayModel
+
+    model = HighwayModel(world, Highway(length_m=2000))
+    vehicles = model.populate(10)
+    model.start()
+    channel = WirelessChannel(world)
+    authority = TrustedAuthority()
+    protocol = PseudonymAuthProtocol(
+        authority, pool_size=40, change_interval_s=rotation_interval_s
+    )
+    owner_of = {}
+    services = []
+    for vehicle in vehicles:
+        protocol.enroll(vehicle.vehicle_id)
+        node = VehicleNode(world, channel, vehicle)
+        provider = protocol.identity_provider(vehicle.vehicle_id)
+        services.append(BeaconService(world, node, identity_provider=provider))
+    tracker = TrackingAdversary(channel, gate_m=40.0)
+    for service in services:
+        service.start()
+    world.run_for(120.0)
+    for vehicle in vehicles:
+        pool = protocol._pools[vehicle.vehicle_id]
+        for pseudonym in pool.pseudonyms:
+            owner_of[pseudonym.pseudonym_id] = vehicle.vehicle_id
+    return tracker.tracked_fraction(owner_of)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: _measure_protocol(name, cls) for name, cls in PROTOCOLS.items()}
+
+
+def test_bench_fig5_table(results, record_table, benchmark):
+    rows = []
+    for name in PROTOCOLS:
+        row = results[name]
+        rows.append(
+            [
+                name,
+                row["handshake_ms"],
+                row["handshake_ms_large_crl"],
+                row["handshake_bytes"],
+                row["per_msg_overhead_bytes"],
+                row["per_msg_verify_ms"],
+                row["survives_blackout"],
+            ]
+        )
+    table = render_table(
+        [
+            "protocol",
+            "handshake (ms)",
+            f"handshake, {CRL_SIZE//1000}k CRL (ms)",
+            "handshake bytes",
+            "per-msg overhead (B)",
+            "per-msg verify (ms)",
+            "works w/o infra",
+        ],
+        rows,
+        title="E3 / Fig.5 — authentication protocol families",
+    )
+    record_table("E3_fig5_authentication", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_pseudonym_has_highest_message_overhead(results, benchmark):
+    """Fig. 5: 'high message authentication overhead'."""
+    pseudonym = results["pseudonym"]["per_msg_overhead_bytes"]
+    assert pseudonym >= max(
+        results[name]["per_msg_overhead_bytes"] for name in ("hybrid", "randomized")
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_crl_growth_penalizes_pseudonym_only(results, benchmark):
+    """'The checking process of the huge pool of revoked certificates is time-consuming.'"""
+    pseudonym_slowdown = (
+        results["pseudonym"]["handshake_ms_large_crl"] / results["pseudonym"]["handshake_ms"]
+    )
+    hybrid_slowdown = (
+        results["hybrid"]["handshake_ms_large_crl"]
+        / max(1e-9, results["hybrid"]["handshake_ms"])
+    )
+    assert pseudonym_slowdown > 2.0
+    assert hybrid_slowdown < 1.5
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_group_protocol_needs_infrastructure(results, benchmark):
+    """Fig. 5: group-based protocols 'heavily rely on ... road side units'."""
+    assert not results["group"]["survives_blackout"]
+    assert results["randomized"]["survives_blackout"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_group_crypto_is_heaviest(results, benchmark):
+    assert results["group"]["handshake_ms"] > results["pseudonym"]["handshake_ms"]
+    assert results["group"]["per_msg_verify_ms"] > results["randomized"]["per_msg_verify_ms"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_randomized_is_cheapest(results, benchmark):
+    """Kang et al. [16]: no RSU in the authentication phase, lowest cost."""
+    cheapest = min(results, key=lambda name: results[name]["handshake_ms"])
+    assert cheapest == "randomized"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_pseudonym_rotation_defeats_tracking(record_table, benchmark):
+    """Fast rotation lowers full-trajectory tracking (privacy axis)."""
+    static_like = _measure_tracking(rotation_interval_s=10_000.0)
+    rotating = _measure_tracking(rotation_interval_s=5.0)
+    table = render_table(
+        ["identity policy", "fully tracked fraction"],
+        [["static pseudonym", static_like], ["rotate every 5 s", rotating]],
+        title="E3b — tracking adversary vs pseudonym rotation",
+    )
+    record_table("E3_fig5_authentication", table)
+    assert rotating < static_like
+    assert static_like == 1.0  # never-rotating identities are trivially tracked
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_handshake_throughput(benchmark):
+    """Host-time micro-benchmark: randomized handshakes per second."""
+    authority = TrustedAuthority()
+    protocol = RandomizedAuthProtocol(authority)
+    protocol.enroll("a")
+    protocol.enroll("b")
+    counter = iter(range(10**9))
+
+    def one_handshake():
+        return protocol.mutual_authenticate("a", "b", now=float(next(counter)))
+
+    result = benchmark(one_handshake)
+    assert result.success

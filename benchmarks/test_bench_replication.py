@@ -1,0 +1,168 @@
+"""Experiment E9 — §III.A: file replication for availability.
+
+"How many copies of a shared file should be distributed in v-cloud so
+that other vehicles can keep accessing this file even if many vehicles
+are offline at the same time."
+
+Sweeps the replica count (1 → 5) against departure pressure in a
+parking-lot cloud (members leave, taking their replicas), with repair
+off — the pure redundancy question — and then with repair on, measuring
+the transfer overhead repair costs.
+
+Expected shape: availability rises monotonically with replica count and
+falls with departure fraction; with repair enabled, availability holds
+near 1.0 at the price of repair transfers proportional to churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import FileStore, ReplicationManager, StoredFile
+from repro.sim import SeededRng
+
+MEMBERS = 30
+FILES = 40
+REPLICAS = (1, 2, 3, 5)
+DEPARTURE_FRACTIONS = (0.2, 0.5, 0.8)
+
+
+def _run_replication(replicas: int, departure_fraction: float, repair: bool, seed: int = 901):
+    rng = SeededRng(seed, f"repl/{replicas}/{departure_fraction}/{repair}")
+    manager = ReplicationManager(rng.fork("manager"), repair=repair)
+    for index in range(MEMBERS):
+        manager.add_store(FileStore(f"v{index}", capacity_bytes=10**9))
+    for index in range(FILES):
+        manager.store_file(StoredFile(f"file-{index}", 10_000, target_replicas=replicas))
+    departures = rng.sample(manager.member_ids(), int(MEMBERS * departure_fraction))
+    for member in departures:
+        manager.remove_store(member)
+    return {
+        "availability": manager.availability(),
+        "repair_transfers": manager.repair_transfers,
+    }
+
+
+@pytest.fixture(scope="module")
+def no_repair_sweep():
+    return {
+        (replicas, fraction): _run_replication(replicas, fraction, repair=False)
+        for replicas in REPLICAS
+        for fraction in DEPARTURE_FRACTIONS
+    }
+
+
+def test_bench_replication_table(no_repair_sweep, record_table, benchmark):
+    rows = []
+    for replicas in REPLICAS:
+        row = [replicas]
+        for fraction in DEPARTURE_FRACTIONS:
+            row.append(no_repair_sweep[(replicas, fraction)]["availability"])
+        rows.append(row)
+    headers = ["replicas"] + [
+        f"availability @{int(f * 100)}% departed" for f in DEPARTURE_FRACTIONS
+    ]
+    table = render_table(
+        headers, rows, title="E9 — file availability vs replica count (no repair)"
+    )
+    record_table("E9_replication", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_availability_rises_with_replicas(no_repair_sweep, benchmark):
+    for fraction in DEPARTURE_FRACTIONS:
+        series = [no_repair_sweep[(r, fraction)]["availability"] for r in REPLICAS]
+        assert series == sorted(series), f"not monotone at {fraction}"
+        assert series[-1] > series[0]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_availability_falls_with_departures(no_repair_sweep, benchmark):
+    for replicas in REPLICAS:
+        series = [
+            no_repair_sweep[(replicas, f)]["availability"] for f in DEPARTURE_FRACTIONS
+        ]
+        assert series == sorted(series, reverse=True), f"not monotone at {replicas}"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_single_replica_is_fragile(no_repair_sweep, benchmark):
+    assert no_repair_sweep[(1, 0.8)]["availability"] < 0.5
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_three_replicas_survive_moderate_churn(no_repair_sweep, benchmark):
+    assert no_repair_sweep[(3, 0.5)]["availability"] > 0.7
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_repair_holds_availability(record_table, benchmark):
+    rows = []
+    for repair in (False, True):
+        result = _run_replication(2, 0.5, repair=repair)
+        rows.append(
+            ["repair on" if repair else "repair off",
+             result["availability"], result["repair_transfers"]]
+        )
+    table = render_table(
+        ["mode", "availability @50% departed", "repair transfers"],
+        rows,
+        title="E9b — re-replication on departure (2 replicas)",
+    )
+    record_table("E9_replication", table)
+    off, on = rows[0], rows[1]
+    assert on[1] >= off[1]
+    assert on[1] == 1.0
+    assert on[2] > 0  # repair is not free
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_secret_sharing_tradeoff(record_table, benchmark):
+    """E9c — §V.B: threshold splitting across honest-but-curious members.
+
+    The (k, n) dial: raising k makes collusion harder (k curious members
+    must pool shares) but departures costlier (only n-k holders may
+    leave).  Replication is the k=1 corner — maximally durable, zero
+    confidentiality against a single curious holder.
+    """
+    from repro.security.secret_sharing import DistributedSecretStore
+    from repro.sim import SeededRng
+
+    rng = SeededRng(909, "shamir-bench")
+    members = [f"v{i}" for i in range(10)]
+    rows = []
+    for k in (1, 3, 5, 8):
+        survived = 0
+        trials = 30
+        for trial in range(trials):
+            store = DistributedSecretStore(rng.fork(f"{k}/{trial}"))
+            store.scatter("s", b"driver biometrics", members, k=k)
+            churn = rng.fork(f"dep/{k}/{trial}")
+            for member in members:
+                if churn.chance(0.5):  # each member leaves with p = 0.5
+                    store.member_departed(member)
+            if store.can_reconstruct("s"):
+                survived += 1
+        rows.append([f"k={k} of 10", k, survived / trials])
+    table = render_table(
+        ["scheme", "colluders needed", "survives 50% churn"],
+        rows,
+        title="E9c — secret sharing: confidentiality vs churn durability",
+    )
+    record_table("E9_replication", table)
+    durability = [row[2] for row in rows]
+    assert durability == sorted(durability, reverse=True)  # higher k, more fragile
+    assert rows[0][2] > 0.99  # a single surviving holder keeps k=1 alive
+    assert rows[-1][2] < 0.3  # k=8 rarely survives ~50% departures
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_replication_throughput(benchmark):
+    """Host-time micro-benchmark: placing 40 files x 3 replicas."""
+
+    def run():
+        return _run_replication(3, 0.5, repair=True, seed=902)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["availability"] > 0.9

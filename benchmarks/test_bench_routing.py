@@ -1,0 +1,297 @@
+"""Experiment E7 — §IV.A.1: routing and clustering substrate.
+
+Compares greedy geographic forwarding, moving-zone routing (MoZo-like,
+Lin et al. [22]), cluster-head overlay routing (CBLTR-like) and epidemic
+flooding on a highway under a density sweep, plus cluster-head lifetime
+for the clustering algorithms.
+
+Expected shape: epidemic has the best delivery but an order of magnitude
+more transmissions; greedy is cheap but suffers at low density (local
+maxima); zone/cluster protocols sit between, and mobility-aware zones
+give longer head lifetimes than position-only clusters on a highway
+(the MoZo claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.net.clustering import (
+    MobilityClustering,
+    PassiveMultihopClustering,
+    head_lifetimes,
+)
+from repro.net.routing import (
+    ClusterRouting,
+    EpidemicRouting,
+    GreedyGeographicRouting,
+    MovingZoneRouting,
+    RoutingHarness,
+)
+
+from helpers import attach_radio_stack, highway_world
+
+DENSITIES = (15, 60)
+MESSAGES = 25
+
+
+def _run_routing(protocol_factory, vehicle_count: int, seed: int):
+    world, model, _highway = highway_world(
+        seed, vehicle_count=vehicle_count, length_m=2500, lossless=False
+    )
+    channel, nodes, _services = attach_radio_stack(world, model, with_beacons=False)
+    protocol = protocol_factory()
+    harness = RoutingHarness(world, channel, protocol, nodes)
+    harness.prepare(model.vehicles)
+    world.run_for(1.0)
+    rng = world.rng.fork("routing-pairs")
+    for index in range(MESSAGES):
+        src = rng.choice(nodes)
+        dst = rng.choice([n for n in nodes if n is not src])
+        harness.send(src.node_id, dst.node_id)
+        world.run_for(0.5)
+        if index % 5 == 4:
+            harness.refresh(model.vehicles)
+    world.run_for(5.0)
+    stats = harness.stats
+    return {
+        "pdr": stats.pdr,
+        "hops": stats.mean_hops,
+        "latency_ms": stats.mean_latency_s * 1000,
+        "overhead": stats.overhead_per_delivery,
+    }
+
+
+PROTOCOLS = {
+    "greedy": GreedyGeographicRouting,
+    "moving-zone": MovingZoneRouting,
+    "cluster": ClusterRouting,
+    "epidemic": EpidemicRouting,
+}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (name, density): _run_routing(factory, density, seed=700 + density)
+        for name, factory in PROTOCOLS.items()
+        for density in DENSITIES
+    }
+
+
+def test_bench_routing_table(sweep, record_table, benchmark):
+    rows = []
+    for name in PROTOCOLS:
+        for density in DENSITIES:
+            row = sweep[(name, density)]
+            rows.append(
+                [name, density, row["pdr"], row["hops"], row["latency_ms"], row["overhead"]]
+            )
+    table = render_table(
+        ["protocol", "vehicles", "PDR", "mean hops", "latency (ms)", "tx per delivery"],
+        rows,
+        title="E7 — routing protocols on a 2.5 km highway",
+    )
+    record_table("E7_routing", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_epidemic_has_best_delivery(sweep, benchmark):
+    for density in DENSITIES:
+        best = max(PROTOCOLS, key=lambda name: sweep[(name, density)]["pdr"])
+        assert sweep[("epidemic", density)]["pdr"] >= sweep[(best, density)]["pdr"] - 1e-9
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_epidemic_pays_overhead(sweep, benchmark):
+    dense = DENSITIES[-1]
+    assert (
+        sweep[("epidemic", dense)]["overhead"]
+        > 3 * sweep[("greedy", dense)]["overhead"]
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_density_helps_delivery(sweep, benchmark):
+    """Sparse networks partition; density closes the gaps."""
+    for name in ("greedy", "moving-zone"):
+        assert (
+            sweep[(name, DENSITIES[-1])]["pdr"] >= sweep[(name, DENSITIES[0])]["pdr"]
+        ), name
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_unicast_protocols_reasonable_at_density(sweep, benchmark):
+    dense = DENSITIES[-1]
+    for name in ("greedy", "moving-zone", "cluster"):
+        assert sweep[(name, dense)]["pdr"] >= 0.5, name
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_moving_zones_outlive_position_clusters(record_table, benchmark):
+    """MoZo's formation claim: co-movement zones persist on a highway
+    where position-only clusters shatter."""
+    world, model, _highway = highway_world(777, vehicle_count=40, length_m=3000)
+    mobility_aware = MobilityClustering(
+        degree_weight=0.2, speed_weight=0.4, heading_weight=0.4, min_alignment=0.7
+    )
+    position_only = MobilityClustering(
+        degree_weight=1.0, speed_weight=0.0, heading_weight=0.0
+    )
+    histories = {"moving-zone": [], "position-only": []}
+    snapshots = {"moving-zone": None, "position-only": None}
+    interval_s = 2.0
+    for _step in range(30):
+        world.run_for(interval_s)
+        for label, algorithm in (
+            ("moving-zone", mobility_aware),
+            ("position-only", position_only),
+        ):
+            previous = snapshots[label]
+            if previous is None:
+                current = algorithm.form(model.vehicles, 300.0, world.now)
+            else:
+                current = algorithm.maintain(previous, model.vehicles, 300.0, world.now)
+            snapshots[label] = current
+            histories[label].append(current)
+    lifetimes = {
+        label: head_lifetimes(history, interval_s)
+        for label, history in histories.items()
+    }
+    means = {
+        label: sum(values) / len(values) if values else 0.0
+        for label, values in lifetimes.items()
+    }
+    table = render_table(
+        ["clustering", "mean head lifetime (s)", "heads observed"],
+        [
+            ["moving-zone (speed+heading)", means["moving-zone"], len(lifetimes["moving-zone"])],
+            ["position-only", means["position-only"], len(lifetimes["position-only"])],
+        ],
+        title="E7b — cluster-head lifetime on a highway (60 s window)",
+    )
+    record_table("E7_routing", table)
+    assert means["moving-zone"] > means["position-only"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_passive_clustering_is_cheaper(record_table, benchmark):
+    """Zhang et al. [46]: passive clustering reduces formation cost."""
+    world, model, _highway = highway_world(778, vehicle_count=40, length_m=3000)
+    active = MobilityClustering()
+    passive = PassiveMultihopClustering(n_hops=2)
+    active_result = active.form(model.vehicles, 300.0)
+    passive_result = passive.form(model.vehicles, 300.0)
+    table = render_table(
+        ["algorithm", "control messages", "clusters", "mean size"],
+        [
+            ["active (advertise+join)", active_result.control_messages,
+             len(active_result.clusters), active_result.mean_size],
+            ["passive multi-hop", passive_result.control_messages,
+             len(passive_result.clusters), passive_result.mean_size],
+        ],
+        title="E7c — cluster formation cost, 40 vehicles",
+    )
+    record_table("E7_routing", table)
+    assert passive_result.control_messages <= active_result.control_messages
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_carry_forward_in_sparse_traffic(record_table, benchmark):
+    """E7f — store-carry-forward closes the sparse-network gap.
+
+    In the 15-vehicle scene where every unicast protocol dies at
+    partitions, mobility-assisted carrying recovers deliveries at the
+    price of seconds-class latency (messages travel at vehicle speed
+    across the gaps) — the Sun et al. [36] bus-routing insight.
+    """
+    from repro.net.routing import CarryForwardRouting
+
+    sparse = DENSITIES[0]
+    greedy = _run_routing(GreedyGeographicRouting, sparse, seed=700 + sparse)
+    carry = _run_routing(
+        lambda: CarryForwardRouting(hold_retry_interval_s=1.0, max_hold_s=45.0),
+        sparse,
+        seed=700 + sparse,
+    )
+    table = render_table(
+        ["protocol", "PDR", "latency (ms)", "tx per delivery"],
+        [
+            ["greedy", greedy["pdr"], greedy["latency_ms"], greedy["overhead"]],
+            ["carry-forward", carry["pdr"], carry["latency_ms"], carry["overhead"]],
+        ],
+        title=f"E7f — sparse traffic ({sparse} vehicles): carrying vs dropping",
+    )
+    record_table("E7_routing", table)
+    assert carry["pdr"] > greedy["pdr"]
+    assert carry["latency_ms"] > greedy["latency_ms"]  # carried at vehicle speed
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_grid_routing(record_table, benchmark):
+    """E7d — the urban counterpart: routing on a Manhattan grid."""
+    from helpers import grid_world
+
+    rows = []
+    for name, factory in (("greedy", GreedyGeographicRouting), ("epidemic", EpidemicRouting)):
+        world, model, _grid = grid_world(781, vehicle_count=40, blocks=3, block_size_m=250)
+        from helpers import attach_radio_stack
+
+        channel, nodes, _services = attach_radio_stack(world, model, with_beacons=False)
+        harness = RoutingHarness(world, channel, factory(), nodes)
+        harness.prepare(model.vehicles)
+        rng = world.rng.fork("grid-pairs")
+        for _index in range(20):
+            src = rng.choice(nodes)
+            dst = rng.choice([n for n in nodes if n is not src])
+            harness.send(src.node_id, dst.node_id)
+            world.run_for(0.5)
+        world.run_for(5.0)
+        rows.append([name, harness.stats.pdr, harness.stats.mean_hops, harness.stats.total_transmissions])
+    table = render_table(
+        ["protocol", "PDR", "mean hops", "transmissions"],
+        rows,
+        title="E7d — routing on a 3x3 Manhattan grid (40 vehicles)",
+    )
+    record_table("E7_routing", table)
+    by_name = {row[0]: row for row in rows}
+    assert by_name["epidemic"][1] >= by_name["greedy"][1]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_connectivity_vs_density(record_table, benchmark):
+    """E7e — radio-topology connectivity as density grows (networkx)."""
+    from repro.analysis import topology_stats
+
+    rows = []
+    for count in (10, 25, 60):
+        world, model, _highway = highway_world(782, vehicle_count=count, length_m=2500)
+        stats = topology_stats(model.vehicles, range_m=300.0)
+        rows.append(
+            [
+                count,
+                stats.components,
+                stats.giant_fraction,
+                stats.giant_diameter_hops,
+                len(stats.articulation_points),
+            ]
+        )
+    table = render_table(
+        ["vehicles", "components", "giant fraction", "giant diameter (hops)", "articulation pts"],
+        rows,
+        title="E7e — connectivity vs density on a 2.5 km highway",
+    )
+    record_table("E7_routing", table)
+    fractions = [row[2] for row in rows]
+    assert fractions[-1] >= fractions[0]
+    assert fractions[-1] > 0.9  # dense scene is (near-)connected
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_cluster_formation(benchmark):
+    """Host-time micro-benchmark: one clustering pass over 40 vehicles."""
+    world, model, _highway = highway_world(779, vehicle_count=40)
+    algorithm = MobilityClustering()
+    result = benchmark(lambda: algorithm.form(model.vehicles, 300.0))
+    assert result.clusters

@@ -1,0 +1,296 @@
+"""Experiment E8 — §III.A: task allocation and handover under churn.
+
+Two sub-experiments on a dynamic v-cloud with member churn:
+
+* **Handover vs. drop** — the paper: "simply dropping unfinished tasks
+  will waste lots of computing resources and cause high network
+  overhead ... a more interesting problem would be how the vehicle hand
+  over the unfinished, encrypted task."  We run the same long-task
+  stream under churn with the drop policy and the checkpoint-handover
+  policy and compare wasted work and completion latency.
+* **Dwell-estimation error** — "If under estimated, the computing
+  resources will be under-utilized.  If over estimated, the vehicle may
+  not be able to finish the task before leaving."  We sweep the dwell
+  estimator's bias under a dwell-aware allocator and measure disruption.
+
+Expected shape: handover wastes (far) less work than dropping; chronic
+over-estimation causes more mid-task departures than under-estimation,
+while under-estimation leaves capacity idle (fewer eligible workers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    CheckpointHandoverPolicy,
+    DropPolicy,
+    DwellAwareAllocator,
+    ResourceOffer,
+    Task,
+    TaskState,
+    VehicularCloud,
+)
+from repro.mobility import DwellEstimator
+from repro.sim import ScenarioConfig, SeededRng, World
+from repro.mobility import StationaryModel
+from repro.geometry import Vec2
+
+TASKS = 20
+WORK_MI = 3000.0  # 30 s on a 100-MIPS worker: long enough to be interrupted
+CHURN_INTERVAL_S = 8.0
+MEMBERS = 10
+
+
+def _run_churn_scenario(policy, seed: int):
+    """A cloud whose members depart on a fixed schedule and are replaced."""
+    world = World(ScenarioConfig(seed=seed))
+    model = StationaryModel(
+        world, positions=[Vec2(i * 40.0, 0) for i in range(MEMBERS * 6)]
+    )
+    vehicles = model.populate(MEMBERS * 6)
+    cloud = VehicularCloud(world, "churn-vc", handover_policy=policy)
+    for vehicle in vehicles[:MEMBERS]:
+        cloud.admit(vehicle, offer=ResourceOffer(vehicle.vehicle_id, 100.0, 10**9, 1e6))
+    rng = world.rng.fork("churn")
+    replacements = iter(vehicles[MEMBERS:])
+
+    def churn():
+        members = [m for m in cloud.membership.member_ids() if m != cloud.head_id]
+        if not members:
+            return
+        victim = rng.choice(members)
+        cloud.member_leave(victim)
+        try:
+            replacement = next(replacements)
+        except StopIteration:
+            return
+        cloud.admit(
+            replacement,
+            offer=ResourceOffer(replacement.vehicle_id, 100.0, 10**9, 1e6),
+        )
+
+    world.engine.call_every(CHURN_INTERVAL_S, churn, label="churn")
+    records = []
+    for index in range(TASKS):
+        world.engine.schedule_at(
+            index * 2.0,
+            lambda: records.append(cloud.submit(Task(work_mi=WORK_MI))),
+            label="task",
+        )
+    world.run_for(TASKS * 2.0 + 300.0)
+    completed = [r for r in records if r.state is TaskState.COMPLETED]
+    latencies = [r.completion_latency_s for r in completed]
+    return {
+        "completion_rate": len(completed) / TASKS,
+        "mean_latency_s": sum(latencies) / len(latencies) if latencies else float("inf"),
+        "wasted_work_mi": cloud.stats.wasted_work_mi,
+        "handovers": cloud.stats.handovers,
+        "drops": cloud.stats.drops,
+    }
+
+
+@pytest.fixture(scope="module")
+def handover_results():
+    return {
+        "drop": _run_churn_scenario(DropPolicy(), seed=801),
+        "checkpoint-handover": _run_churn_scenario(CheckpointHandoverPolicy(), seed=801),
+    }
+
+
+def test_bench_handover_table(handover_results, record_table, benchmark):
+    rows = []
+    for label, row in handover_results.items():
+        rows.append(
+            [
+                label,
+                row["completion_rate"],
+                row["mean_latency_s"],
+                row["wasted_work_mi"],
+                row["handovers"],
+                row["drops"],
+            ]
+        )
+    table = render_table(
+        ["policy", "completion", "mean latency (s)", "wasted work (MI)", "handovers", "drops"],
+        rows,
+        title="E8 — drop vs checkpoint-handover under churn",
+    )
+    record_table("E8_task_handover", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_handover_wastes_less_work(handover_results, benchmark):
+    assert (
+        handover_results["checkpoint-handover"]["wasted_work_mi"]
+        < handover_results["drop"]["wasted_work_mi"]
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_handover_completes_faster(handover_results, benchmark):
+    assert (
+        handover_results["checkpoint-handover"]["mean_latency_s"]
+        <= handover_results["drop"]["mean_latency_s"]
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_both_policies_eventually_complete(handover_results, benchmark):
+    for label, row in handover_results.items():
+        assert row["completion_rate"] >= 0.9, label
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Dwell-estimation bias sweep
+# ---------------------------------------------------------------------------
+
+
+def _run_dwell_bias(bias: float, seed: int = 802):
+    """Dwell-aware allocation with a biased estimator, under real mobility."""
+    from helpers import highway_world
+
+    world, model, _highway = highway_world(seed, vehicle_count=30, length_m=3000)
+    from repro.core import DynamicVCloud
+
+    estimator = DwellEstimator(world.rng.fork("bias"), bias=bias, noise_std_fraction=0.1)
+    arch = DynamicVCloud(world, model, dwell_estimator=estimator)
+    arch.cloud.allocator = DwellAwareAllocator(safety_factor=1.5)
+    arch.start()
+    records = []
+    # Task runtime (~10-15 s) sits between the true dwell of opposing
+    # traffic (~10-20 s of shared range) and twice that, so the safety
+    # gate's verdict flips with the estimator's bias.
+    for index in range(20):
+        world.engine.schedule_at(
+            index * 2.0,
+            lambda: records.append(arch.cloud.submit(Task(work_mi=20_000.0))),
+            label="task",
+        )
+    world.run_for(250.0)
+    completed = [r for r in records if r.state is TaskState.COMPLETED]
+    interruptions = arch.cloud.stats.handovers + arch.cloud.stats.drops
+    return {
+        "completion_rate": len(completed) / max(1, len(records)),
+        "interruptions": interruptions,
+    }
+
+
+@pytest.fixture(scope="module")
+def bias_sweep():
+    return {bias: _run_dwell_bias(bias) for bias in (0.5, 1.0, 2.0)}
+
+
+def test_bench_dwell_bias_table(bias_sweep, record_table, benchmark):
+    table = render_table(
+        ["dwell bias", "completion", "mid-task interruptions"],
+        [
+            [f"x{bias}", row["completion_rate"], row["interruptions"]]
+            for bias, row in sorted(bias_sweep.items())
+        ],
+        title="E8b — dwell-estimation bias vs task disruption",
+    )
+    record_table("E8_task_handover", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_overestimation_causes_more_interruptions(bias_sweep, benchmark):
+    """Over-estimated dwell strands tasks on departing workers."""
+    assert bias_sweep[2.0]["interruptions"] >= bias_sweep[0.5]["interruptions"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_unbiased_estimation_completes_most(bias_sweep, benchmark):
+    assert bias_sweep[1.0]["completion_rate"] >= 0.7
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_dwell_bias_allocation_quality(record_table, benchmark):
+    """E8c — the §III.A claim isolated from churn noise.
+
+    A controlled candidate pool: half "co-movers" (true dwell 300 s) and
+    half "passers-by" (true dwell 12 s).  The task needs 15 s.  The
+    dwell-aware allocator sees estimates scaled by the bias:
+
+    * under-estimation (x0.5) rejects even co-movers -> idle capacity;
+    * over-estimation (x2.0) accepts passers-by -> doomed assignments.
+    """
+    from repro.core import DwellAwareAllocator, WorkerCandidate
+
+    allocator = DwellAwareAllocator(safety_factor=1.5, fallback_to_fastest=False)
+    task = Task(work_mi=15_000)  # 15 s on a 1000-MIPS worker
+    rows = []
+    for bias in (0.5, 1.0, 2.0):
+        doomed = 0
+        idle = 0
+        assigned = 0
+        for trial in range(60):
+            # Alternate which kind tops the candidate list.
+            candidates = [
+                WorkerCandidate(
+                    f"comover-{trial}", free_mips=1000, estimated_dwell_s=300.0 * bias
+                ),
+                WorkerCandidate(
+                    f"passerby-{trial}", free_mips=1200, estimated_dwell_s=12.0 * bias
+                ),
+            ]
+            choice = allocator.choose(task, candidates)
+            if choice is None:
+                idle += 1
+                continue
+            assigned += 1
+            true_dwell = 300.0 if choice.vehicle_id.startswith("comover") else 12.0
+            if true_dwell < task.runtime_on(
+                1000 if choice.vehicle_id.startswith("comover") else 1200
+            ):
+                doomed += 1
+        rows.append([f"x{bias}", assigned, idle, doomed])
+    table = render_table(
+        ["dwell bias", "assigned (of 60)", "left idle", "doomed assignments"],
+        rows,
+        title="E8c — dwell bias: under-utilization vs stranded tasks (controlled)",
+    )
+    record_table("E8_task_handover", table)
+    by_bias = {row[0]: row for row in rows}
+    # Over-estimation strands work on passers-by; under-estimation never does
+    # here but wastes nothing either (the co-mover still passes the gate at
+    # x0.5: 150 s > 22.5 s). Push the under case to show idling:
+    assert by_bias["x2.0"][3] > by_bias["x1.0"][3] == by_bias["x0.5"][3] == 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_underestimation_idles_capacity(record_table, benchmark):
+    """E8c2 — severe under-estimation refuses workers that would finish."""
+    from repro.core import DwellAwareAllocator, WorkerCandidate
+
+    allocator = DwellAwareAllocator(safety_factor=1.5, fallback_to_fastest=False)
+    task = Task(work_mi=15_000)
+    rows = []
+    for bias in (0.05, 0.5, 1.0):
+        candidates = [
+            WorkerCandidate("comover", free_mips=1000, estimated_dwell_s=300.0 * bias)
+        ]
+        choice = allocator.choose(task, candidates)
+        rows.append([f"x{bias}", choice is not None])
+    table = render_table(
+        ["dwell bias", "capable worker accepted"],
+        rows,
+        title="E8c2 — chronic under-estimation refuses capable workers",
+    )
+    record_table("E8_task_handover", table)
+    by_bias = {row[0]: row[1] for row in rows}
+    assert not by_bias["x0.05"]  # 15 s estimate < 22.5 s requirement: idle
+    assert by_bias["x1.0"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_churn_scenario(benchmark):
+    """End-to-end timing of one churn scenario run."""
+    result = benchmark.pedantic(
+        lambda: _run_churn_scenario(CheckpointHandoverPolicy(), seed=803),
+        rounds=1,
+        iterations=1,
+    )
+    assert result["completion_rate"] > 0.5

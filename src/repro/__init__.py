@@ -1,0 +1,91 @@
+"""vcloud-repro: a vehicular cloud simulation framework.
+
+Reproduction of "From Autonomous Vehicles to Vehicular Clouds:
+Challenges of Management, Security and Dependability" (Kang, Lin,
+Bertino, Tonguz — ICDCS 2019), built as the system the paper envisions:
+
+* a discrete-event mobility + VANET substrate (``repro.sim``,
+  ``repro.mobility``, ``repro.net``, ``repro.infra``);
+* the three v-cloud architectures with membership, election, dwell-aware
+  task allocation, handover, replication and operating modes
+  (``repro.core``);
+* the four security pillars — architecture, privacy-preserving
+  authentication, privacy-preserving access control, real-time
+  trustworthiness evaluation (``repro.security``, ``repro.trust``);
+* the paper's threat catalogue as runnable attacks (``repro.attacks``).
+
+Quickstart::
+
+    from repro import World, ScenarioConfig
+    from repro.mobility import HighwayModel
+    from repro.core import DynamicVCloud, Task
+
+    world = World(ScenarioConfig(seed=7, vehicle_count=40))
+    model = HighwayModel(world)
+    model.populate(40)
+    model.start()
+    vc = DynamicVCloud(world, model)
+    vc.start()
+    record = vc.cloud.submit(Task(work_mi=5000, deadline_s=30))
+    world.run_for(60)
+    print(record.state, record.completion_latency_s)
+"""
+
+from .errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ConfigurationError,
+    CryptoError,
+    MembershipError,
+    NetworkError,
+    ResourceError,
+    RevocationError,
+    RoutingError,
+    SecurityError,
+    SimulationError,
+    TaskError,
+    TrustError,
+    VCloudError,
+)
+from .geometry import Vec2
+from .sim import (
+    ChannelConfig,
+    CloudConfig,
+    Engine,
+    MetricsRegistry,
+    MobilityConfig,
+    ScenarioConfig,
+    SecurityConfig,
+    SeededRng,
+    World,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticationError",
+    "AuthorizationError",
+    "ChannelConfig",
+    "CloudConfig",
+    "ConfigurationError",
+    "CryptoError",
+    "Engine",
+    "MembershipError",
+    "MetricsRegistry",
+    "MobilityConfig",
+    "NetworkError",
+    "ResourceError",
+    "RevocationError",
+    "RoutingError",
+    "ScenarioConfig",
+    "SecurityConfig",
+    "SecurityError",
+    "SeededRng",
+    "SimulationError",
+    "TaskError",
+    "TrustError",
+    "VCloudError",
+    "Vec2",
+    "World",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Experiment analysis helpers: statistics and report rendering."""
+
+from .topology import (
+    TopologyStats,
+    connectivity_over_time,
+    partition_risk,
+    radio_graph,
+    topology_stats,
+)
+from .report import format_cell, render_comparison, render_table
+from .stats import (
+    confidence_interval_95,
+    mean,
+    ratio_or_inf,
+    running_mean,
+    speedup,
+    std,
+)
+
+__all__ = [
+    "TopologyStats",
+    "connectivity_over_time",
+    "partition_risk",
+    "radio_graph",
+    "topology_stats",
+    "confidence_interval_95",
+    "format_cell",
+    "mean",
+    "ratio_or_inf",
+    "render_comparison",
+    "render_table",
+    "running_mean",
+    "speedup",
+    "std",
+]

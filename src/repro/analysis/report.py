@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print the same rows the paper's (conceptual) figures imply;
+``render_table`` keeps that output aligned and diff-friendly so
+EXPERIMENTS.md can quote it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Format one value for a table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must match the header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    label_header: str,
+    labels: Sequence[str],
+    metric_headers: Sequence[str],
+    values: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a labelled comparison (one row per system under test)."""
+    headers = [label_header, *metric_headers]
+    rows = [[label, *row] for label, row in zip(labels, values)]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,57 @@
+"""Small statistics helpers for experiment analysis."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of an empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% CI on the mean."""
+    if len(values) < 2:
+        value = values[0] if values else 0.0
+        return (value, value)
+    mu = mean(values)
+    half_width = 1.96 * std(values) / math.sqrt(len(values))
+    return (mu - half_width, mu + half_width)
+
+
+def ratio_or_inf(numerator: float, denominator: float) -> float:
+    """Safe ratio: infinity when the denominator is zero."""
+    if denominator == 0:
+        return math.inf
+    return numerator / denominator
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved <= 0:
+        return math.inf
+    return baseline / improved
+
+
+def running_mean(values: Sequence[float], window: int) -> List[float]:
+    """Simple moving average with the given window size."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    result: List[float] = []
+    acc = 0.0
+    for index, value in enumerate(values):
+        acc += value
+        if index >= window:
+            acc -= values[index - window]
+        result.append(acc / min(index + 1, window))
+    return result

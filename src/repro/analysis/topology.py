@@ -1,0 +1,105 @@
+"""Connectivity analytics over the radio topology (networkx-backed).
+
+The paper's basic-supporting-architecture discussion is all about
+"topology of groups of vehicles"; these helpers quantify a snapshot:
+connected components, the giant-component fraction (can a v-cloud span
+the scene at all?), network diameter, and articulation points — the
+single vehicles whose departure partitions the cloud, i.e. where a
+captain should *not* be placed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..mobility.vehicle import Vehicle
+
+
+def radio_graph(vehicles: Sequence[Vehicle], range_m: float) -> "nx.Graph":
+    """Build the unit-disc radio graph of a vehicle snapshot."""
+    if range_m <= 0:
+        raise ConfigurationError("range_m must be positive")
+    graph = nx.Graph()
+    ordered = list(vehicles)
+    for vehicle in ordered:
+        graph.add_node(vehicle.vehicle_id)
+    for index, a in enumerate(ordered):
+        for b in ordered[index + 1 :]:
+            if a.distance_to(b) <= range_m:
+                graph.add_edge(a.vehicle_id, b.vehicle_id)
+    return graph
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Summary of one radio-topology snapshot."""
+
+    nodes: int
+    edges: int
+    components: int
+    giant_fraction: float
+    giant_diameter_hops: int  # 0 when the giant component is trivial
+    mean_degree: float
+    articulation_points: Tuple[str, ...]
+
+    @property
+    def is_connected(self) -> bool:
+        """True when every vehicle can reach every other."""
+        return self.components <= 1
+
+
+def topology_stats(vehicles: Sequence[Vehicle], range_m: float) -> TopologyStats:
+    """Compute connectivity statistics for a vehicle snapshot."""
+    graph = radio_graph(vehicles, range_m)
+    node_count = graph.number_of_nodes()
+    if node_count == 0:
+        return TopologyStats(0, 0, 0, 0.0, 0, 0.0, ())
+    components = list(nx.connected_components(graph))
+    giant = max(components, key=len)
+    giant_graph = graph.subgraph(giant)
+    diameter = (
+        nx.diameter(giant_graph) if giant_graph.number_of_nodes() > 1 else 0
+    )
+    degrees = [degree for _node, degree in graph.degree()]
+    return TopologyStats(
+        nodes=node_count,
+        edges=graph.number_of_edges(),
+        components=len(components),
+        giant_fraction=len(giant) / node_count,
+        giant_diameter_hops=diameter,
+        mean_degree=sum(degrees) / node_count,
+        articulation_points=tuple(sorted(nx.articulation_points(graph))),
+    )
+
+
+def partition_risk(vehicles: Sequence[Vehicle], range_m: float) -> Dict[str, float]:
+    """Per-vehicle partition damage: giant-fraction lost if it departs.
+
+    The complement of head-placement quality: electing an articulation
+    point as captain risks losing half the cloud when it leaves.
+    """
+    baseline = topology_stats(vehicles, range_m)
+    if baseline.nodes <= 1:
+        return {v.vehicle_id: 0.0 for v in vehicles}
+    risks: Dict[str, float] = {}
+    for vehicle in vehicles:
+        remaining = [v for v in vehicles if v.vehicle_id != vehicle.vehicle_id]
+        after = topology_stats(remaining, range_m)
+        # Damage = how much of the (relative) giant component vanished
+        # beyond the departed node itself.
+        expected = (baseline.giant_fraction * baseline.nodes - 1) / max(
+            1, baseline.nodes - 1
+        )
+        risks[vehicle.vehicle_id] = max(0.0, expected - after.giant_fraction)
+    return risks
+
+
+def connectivity_over_time(
+    snapshots: Sequence[Sequence[Vehicle]], range_m: float
+) -> List[TopologyStats]:
+    """Stats for a sequence of mobility snapshots."""
+    return [topology_stats(snapshot, range_m) for snapshot in snapshots]

@@ -1,0 +1,34 @@
+"""Attack suite: the network- and application-layer threats of §III."""
+
+from .adversary import Adversary, AttackOutcome
+from .data_disruption import CollusionRing, FalseReporter, SybilForger
+from .defenses import RateLimiter, ReplayCache, SignatureDefense
+from .dos import DosFlooder, JunkProcessingMeter
+from .network import (
+    DelaySuppressAttacker,
+    EavesdropAttacker,
+    ImpersonationAttacker,
+    MitmAttacker,
+    ReplayAttacker,
+)
+from .privacy import TrackingAdversary, TrafficFlowAnalyzer
+
+__all__ = [
+    "Adversary",
+    "AttackOutcome",
+    "CollusionRing",
+    "DelaySuppressAttacker",
+    "DosFlooder",
+    "EavesdropAttacker",
+    "FalseReporter",
+    "ImpersonationAttacker",
+    "JunkProcessingMeter",
+    "MitmAttacker",
+    "RateLimiter",
+    "ReplayAttacker",
+    "ReplayCache",
+    "SignatureDefense",
+    "SybilForger",
+    "TrackingAdversary",
+    "TrafficFlowAnalyzer",
+]

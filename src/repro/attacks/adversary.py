@@ -1,0 +1,63 @@
+"""Adversary framework.
+
+Every attack implementation records attempts and successes into an
+:class:`AttackOutcome`, and experiment E6 runs each attack twice — with
+the corresponding defence off and on — to produce the paper's implicit
+claim: the listed network-layer attacks succeed against an unprotected
+v-cloud and are blocked by the surveyed mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..geometry import Vec2
+
+
+@dataclass
+class AttackOutcome:
+    """Attempt/success bookkeeping for one attack campaign."""
+
+    attack_name: str
+    attempts: int = 0
+    successes: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Successes over attempts (0 when never attempted)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.successes / self.attempts
+
+    def record(self, success: bool, note: str = "") -> None:
+        """Record one attempt."""
+        self.attempts += 1
+        if success:
+            self.successes += 1
+        if note:
+            self.notes.append(note)
+
+
+class Adversary:
+    """Base adversary with a physical presence (for range-limited taps)."""
+
+    def __init__(
+        self,
+        adversary_id: str,
+        position: Vec2,
+        listen_range_m: float = 300.0,
+    ) -> None:
+        self.adversary_id = adversary_id
+        self._position = position
+        self.listen_range_m = listen_range_m
+
+    @property
+    def position(self) -> Vec2:
+        """Current physical position of the adversary."""
+        return self._position
+
+    def move_to(self, position: Vec2) -> None:
+        """Relocate the adversary."""
+        self._position = position

@@ -1,0 +1,120 @@
+"""Data-disruption attacks (§III application-level threats).
+
+"A malicious vehicle may alter or fabricate data during different phases
+of the data life cycle."  This module supplies the false-report
+generators the trust experiments (E5) inject: independent liars,
+coordinated liars converging on one fabricated event, and Sybil
+colluders whose reports all share a forged relay path — the case
+path-diversity discounting exists to catch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2
+from ..sim.rng import SeededRng
+from ..trust.events import EventKind, EventReport, GroundTruthEvent, false_report
+
+
+class FalseReporter:
+    """One malicious identity that lies about events."""
+
+    def __init__(self, identity: str, invert: bool = True) -> None:
+        self.identity = identity
+        self.invert = invert
+        self.reports_sent = 0
+
+    def report_on(
+        self,
+        event: GroundTruthEvent,
+        now: float,
+        path: Tuple[str, ...] = (),
+    ) -> EventReport:
+        """Produce a lying report about a real event."""
+        claim = (not event.exists) if self.invert else event.exists
+        self.reports_sent += 1
+        return false_report(
+            reporter=self.identity,
+            kind=event.kind,
+            location=event.location,
+            now=now,
+            claim=claim,
+            path=path,
+        )
+
+    def fabricate(
+        self,
+        kind: EventKind,
+        location: Vec2,
+        now: float,
+        path: Tuple[str, ...] = (),
+    ) -> EventReport:
+        """Produce a report about an event that never happened."""
+        self.reports_sent += 1
+        return false_report(
+            reporter=self.identity, kind=kind, location=location, now=now, claim=True, path=path
+        )
+
+
+class CollusionRing:
+    """A coordinated set of malicious identities lying consistently."""
+
+    def __init__(self, identities: Sequence[str], rng: Optional[SeededRng] = None) -> None:
+        if not identities:
+            raise ConfigurationError("a collusion ring needs at least one identity")
+        self.members = [FalseReporter(identity) for identity in identities]
+        self.rng = rng
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def smear(self, event: GroundTruthEvent, now: float) -> List[EventReport]:
+        """All members deny a real event (or confirm a fabricated one)."""
+        reports = []
+        for index, member in enumerate(self.members):
+            jitter = 0.0 if self.rng is None else self.rng.uniform(0.0, 2.0)
+            reports.append(member.report_on(event, now + jitter))
+        return reports
+
+    def fabricate_event(
+        self, kind: EventKind, location: Vec2, now: float
+    ) -> List[EventReport]:
+        """All members confirm an event that never happened."""
+        reports = []
+        for member in self.members:
+            jitter = 0.0 if self.rng is None else self.rng.uniform(0.0, 2.0)
+            reports.append(member.fabricate(kind, location, now + jitter))
+        return reports
+
+
+class SybilForger:
+    """One attacker minting many fake identities behind one relay path.
+
+    All its reports share the attacker's relay chain, so path-diversity
+    weighting collapses their evidence mass toward a single report.
+    """
+
+    def __init__(self, base_identity: str, sybil_count: int, relay_chain: Tuple[str, ...]) -> None:
+        if sybil_count < 1:
+            raise ConfigurationError("sybil_count must be >= 1")
+        self.base_identity = base_identity
+        self.identities = [f"{base_identity}-sybil-{i}" for i in range(sybil_count)]
+        self.relay_chain = relay_chain
+
+    def fabricate_event(
+        self, kind: EventKind, location: Vec2, now: float
+    ) -> List[EventReport]:
+        """All Sybil identities confirm a fabricated event."""
+        return [
+            false_report(
+                reporter=identity,
+                kind=kind,
+                location=location,
+                now=now,
+                claim=True,
+                path=self.relay_chain,
+            )
+            for identity in self.identities
+        ]

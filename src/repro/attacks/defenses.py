@@ -1,0 +1,126 @@
+"""Defence mechanisms paired with the network-layer attacks.
+
+These are the receiver-side checks the survey's countermeasures imply:
+a replay cache (nonce + freshness window), per-sender rate limiting
+against DoS floods, and signature checking against impersonation and
+tampering.  They are deliberately small, separately testable components
+that experiment E6 toggles on and off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..net.messages import Message
+from ..security.crypto import SignatureScheme, serialize_for_signing
+
+
+class ReplayCache:
+    """Rejects messages with reused nonces or stale timestamps."""
+
+    def __init__(self, window_s: float = 30.0, capacity: int = 10_000) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        self.window_s = window_s
+        self.capacity = capacity
+        self._seen: Dict[str, float] = {}
+        self.rejected = 0
+
+    def accept(self, nonce: str, timestamp: float, now: float) -> bool:
+        """Return True for fresh, never-seen messages."""
+        if now - timestamp > self.window_s:
+            self.rejected += 1
+            return False
+        if nonce in self._seen:
+            self.rejected += 1
+            return False
+        if len(self._seen) >= self.capacity:
+            self._evict(now)
+        self._seen[nonce] = timestamp
+        return True
+
+    def accept_message(self, message: Message, now: float) -> bool:
+        """Convenience wrapper reading nonce/timestamp from the envelope."""
+        if message.envelope is None:
+            # No envelope means no replay protection to enforce.
+            return True
+        return self.accept(message.envelope.nonce, message.envelope.timestamp, now)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        stale = [nonce for nonce, ts in self._seen.items() if ts < cutoff]
+        for nonce in stale:
+            del self._seen[nonce]
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+class RateLimiter:
+    """Token-bucket rate limiting per sender identity (DoS mitigation)."""
+
+    def __init__(self, rate_per_s: float = 20.0, burst: float = 40.0) -> None:
+        if rate_per_s <= 0 or burst <= 0:
+            raise ConfigurationError("rate_per_s and burst must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._buckets: Dict[str, Tuple[float, float]] = {}  # id -> (tokens, last)
+        self.dropped = 0
+
+    def allow(self, sender: str, now: float) -> bool:
+        """Return True if the sender is within its rate budget."""
+        tokens, last = self._buckets.get(sender, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) * self.rate_per_s)
+        if tokens >= 1.0:
+            self._buckets[sender] = (tokens - 1.0, now)
+            return True
+        self._buckets[sender] = (tokens, now)
+        self.dropped += 1
+        return False
+
+
+@dataclass
+class SignatureDefense:
+    """Verifies that a message's envelope signature matches its content.
+
+    Impersonation and MITM tampering both fail this check: the attacker
+    holds no private key for the claimed identity, so either the
+    signature is missing, belongs to another key, or does not cover the
+    (modified) payload.
+    """
+
+    scheme: SignatureScheme
+    rejected: int = 0
+
+    def message_digest_payload(self, message: Message) -> bytes:
+        """Canonical signed content of a message."""
+        return serialize_for_signing(
+            message.kind.value,
+            message.src,
+            message.dst,
+            sorted(message.payload.items()),
+            message.created_at,
+        )
+
+    def verify(self, message: Message, expected_public_id: Optional[str] = None) -> bool:
+        """Return True only for authentically signed, untampered messages."""
+        envelope = message.envelope
+        if envelope is None or envelope.signature is None:
+            self.rejected += 1
+            return False
+        public_id = (
+            expected_public_id
+            if expected_public_id is not None
+            else getattr(envelope.signature, "signer_public_id", None)
+        )
+        if public_id is None:
+            self.rejected += 1
+            return False
+        result = self.scheme.verify(
+            public_id, self.message_digest_payload(message), envelope.signature
+        )
+        if not result.value:
+            self.rejected += 1
+        return result.value

@@ -1,0 +1,103 @@
+"""Denial-of-service flooding (§III: "a large amount of junk messages").
+
+A flooder node broadcasts junk at a configurable rate.  Two damage
+mechanisms are modelled: receivers waste processing on junk unless a
+rate limiter drops it, and the channel's contention term inflates
+everyone's latency as the flooder raises the local transmission density.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..net.messages import Message, MessageKind
+from ..net.node import NetworkNode
+from ..sim.world import World
+from .adversary import AttackOutcome
+
+
+class DosFlooder:
+    """Broadcasts junk messages at a fixed rate from one node."""
+
+    def __init__(
+        self,
+        world: World,
+        node: NetworkNode,
+        rate_per_s: float = 100.0,
+        junk_bytes: int = 500,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ConfigurationError("rate_per_s must be positive")
+        self.world = world
+        self.node = node
+        self.rate_per_s = rate_per_s
+        self.junk_bytes = junk_bytes
+        self.outcome = AttackOutcome("dos-flood")
+        self._task = None
+        self._sequence = 0
+
+    def start(self) -> None:
+        """Begin flooding."""
+        if self._task is not None:
+            return
+        self._task = self.world.engine.call_every(
+            1.0 / self.rate_per_s, self._flood, label="dos-flood"
+        )
+
+    def stop(self) -> None:
+        """Stop flooding."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _flood(self) -> None:
+        self._sequence += 1
+        junk = Message(
+            kind=MessageKind.DATA,
+            src=self.node.node_id,
+            dst="*",
+            payload={"junk": self._sequence},
+            size_bytes=self.junk_bytes,
+            created_at=self.world.now,
+            ttl_hops=0,
+        )
+        receivers = self.node.broadcast(junk)
+        self.outcome.record(receivers > 0)
+
+    @property
+    def messages_sent(self) -> int:
+        """Total junk messages transmitted."""
+        return self._sequence
+
+
+class JunkProcessingMeter:
+    """Measures how much junk a receiver processes vs. drops.
+
+    Attach as a node's DATA handler; with a rate limiter supplied, junk
+    beyond the sender's budget is dropped before "processing".
+    """
+
+    def __init__(self, world: World, rate_limiter: Optional[object] = None) -> None:
+        self.world = world
+        self.rate_limiter = rate_limiter
+        self.processed = 0
+        self.dropped = 0
+
+    def __call__(self, message: Message, from_id: str) -> None:
+        if "junk" not in message.payload:
+            return
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            message.src, self.world.now
+        ):
+            self.dropped += 1
+            return
+        self.processed += 1
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of junk messages dropped before processing."""
+        total = self.processed + self.dropped
+        if total == 0:
+            return 0.0
+        return self.dropped / total

@@ -1,0 +1,239 @@
+"""Network-layer attacks (§III threat list).
+
+Implements the survey's enumerated threats against the wireless channel:
+eavesdropping, replay, impersonation, man-in-the-middle, and message
+delay/suppression.  Each attack plugs into the channel's tap or
+interceptor hooks and records an :class:`AttackOutcome`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from ..geometry import Vec2
+from ..net.channel import Frame, InterceptVerdict, WirelessChannel
+from ..net.messages import Message, MessageKind, SecurityEnvelope
+from ..net.node import NetworkNode
+from ..sim.world import World
+from .adversary import Adversary, AttackOutcome
+
+
+class EavesdropAttacker(Adversary):
+    """Passively captures every frame within listening range.
+
+    Success criterion: capturing payload bytes that were not encrypted
+    for the attacker — always succeeds against plaintext traffic, which
+    is the point: confidentiality requires encryption, not radio luck.
+    """
+
+    def __init__(
+        self, world: World, channel: WirelessChannel, position: Vec2, listen_range_m: float = 300.0
+    ) -> None:
+        super().__init__("eavesdropper", position, listen_range_m)
+        self.world = world
+        self.channel = channel
+        self.captured: List[Frame] = []
+        self.outcome = AttackOutcome("eavesdropping")
+        channel.add_tap(self)
+
+    def on_frame(self, frame: Frame) -> None:
+        """Tap callback: record the frame."""
+        self.captured.append(frame)
+        plaintext = not frame.message.payload.get("encrypted", False)
+        self.outcome.record(plaintext)
+
+    def captured_identities(self) -> List[str]:
+        """Distinct on-air identities observed."""
+        seen = {}
+        for frame in self.captured:
+            seen.setdefault(frame.message.src, None)
+        return list(seen)
+
+    def captured_bytes(self) -> int:
+        """Total payload bytes observed."""
+        return sum(frame.message.total_bytes for frame in self.captured)
+
+    def stop(self) -> None:
+        """Detach from the channel."""
+        self.channel.remove_tap(self)
+
+
+class ReplayAttacker(Adversary):
+    """Captures legitimate frames and re-injects them later.
+
+    Replays go out through the attacker's own radio node.  A receiver
+    with a :class:`~repro.attacks.defenses.ReplayCache` rejects them by
+    nonce reuse / stale timestamp; a receiver without one processes the
+    duplicate — a success for the attacker.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        channel: WirelessChannel,
+        node: NetworkNode,
+        listen_range_m: float = 300.0,
+        capture_kinds: Optional[List[MessageKind]] = None,
+    ) -> None:
+        super().__init__("replayer", node.position, listen_range_m)
+        self.world = world
+        self.channel = channel
+        self.node = node
+        self.capture_kinds = capture_kinds
+        self.captured: List[Message] = []
+        self.outcome = AttackOutcome("replay")
+        channel.add_tap(self)
+
+    @property
+    def position(self) -> Vec2:
+        return self.node.position
+
+    def on_frame(self, frame: Frame) -> None:
+        """Tap callback: keep a copy of interesting messages."""
+        if frame.src_id == self.node.node_id:
+            return  # don't capture our own replays
+        if self.capture_kinds is None or frame.message.kind in self.capture_kinds:
+            self.captured.append(frame.message)
+
+    def replay_all(self, delay_s: float = 0.0) -> int:
+        """Re-broadcast every captured message verbatim."""
+        count = 0
+        for message in list(self.captured):
+            self._replay(message, delay_s)
+            count += 1
+        return count
+
+    def _replay(self, message: Message, delay_s: float) -> None:
+        def _send() -> None:
+            self.node.broadcast(message)
+
+        if delay_s > 0:
+            self.world.engine.schedule(delay_s, _send, label="replay")
+        else:
+            _send()
+
+    def stop(self) -> None:
+        """Detach the tap."""
+        self.channel.remove_tap(self)
+
+
+class ImpersonationAttacker:
+    """Sends messages claiming a victim's identity without its keys.
+
+    The forged envelope carries a signature the attacker minted with its
+    *own* key (it has no other); verification against the claimed
+    identity fails, so a signature-checking receiver rejects it while a
+    naive receiver accepts — the E6 contrast.
+    """
+
+    def __init__(self, world: World, node: NetworkNode, victim_identity: str) -> None:
+        self.world = world
+        self.node = node
+        self.victim_identity = victim_identity
+        self.outcome = AttackOutcome("impersonation")
+
+    def forge_message(self, kind: MessageKind, payload: dict, size_bytes: int = 200) -> Message:
+        """Build a message that claims to come from the victim."""
+        return Message(
+            kind=kind,
+            src=self.victim_identity,
+            dst="*",
+            payload=payload,
+            size_bytes=size_bytes,
+            created_at=self.world.now,
+            envelope=SecurityEnvelope(
+                claimed_identity=self.victim_identity,
+                signature=None,  # cannot produce the victim's signature
+                nonce=f"forged-{self.world.engine.events_executed}",
+                timestamp=self.world.now,
+            ),
+        )
+
+    def send_forged(self, kind: MessageKind, payload: dict) -> int:
+        """Broadcast a forged message; returns receiver count."""
+        return self.node.broadcast(self.forge_message(kind, payload))
+
+
+class MitmAttacker(Adversary):
+    """In-path tampering between two victims.
+
+    Installed as a channel interceptor; frames between the victims are
+    replaced with attacker-controlled payloads.  Signed traffic survives:
+    the tampered copy fails signature verification downstream.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        channel: WirelessChannel,
+        position: Vec2,
+        victim_a: str,
+        victim_b: str,
+        tamper: Callable[[Message], Message] = None,
+    ) -> None:
+        super().__init__("mitm", position)
+        self.world = world
+        self.channel = channel
+        self.victim_a = victim_a
+        self.victim_b = victim_b
+        self.tamper = tamper if tamper is not None else self._default_tamper
+        self.outcome = AttackOutcome("mitm")
+        self.tampered_count = 0
+        channel.add_interceptor(self._intercept)
+
+    def _default_tamper(self, message: Message) -> Message:
+        poisoned = dict(message.payload)
+        poisoned["tampered"] = True
+        return dataclasses.replace(message, payload=poisoned)
+
+    def _intercept(self, frame: Frame) -> InterceptVerdict:
+        pair = {frame.src_id, frame.dst_id}
+        if pair == {self.victim_a, self.victim_b}:
+            self.tampered_count += 1
+            return InterceptVerdict.replace(self.tamper(frame.message))
+        return InterceptVerdict.passthrough()
+
+    def stop(self) -> None:
+        """Remove the interceptor."""
+        self.channel.remove_interceptor(self._intercept)
+
+
+class DelaySuppressAttacker(Adversary):
+    """Holds back or drops a victim's messages (§III: delay/suppression).
+
+    Safety messages arriving after their deadline are as good as
+    suppressed; the experiment measures deadline misses with and without
+    the attack.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        channel: WirelessChannel,
+        position: Vec2,
+        victim: str,
+        delay_s: float = 0.5,
+        suppress_probability: float = 0.0,
+    ) -> None:
+        super().__init__("delayer", position)
+        self.world = world
+        self.channel = channel
+        self.victim = victim
+        self.delay_s = delay_s
+        self.suppress_probability = suppress_probability
+        self.rng = world.rng.fork("attack/delay")
+        self.outcome = AttackOutcome("delay-suppress")
+        channel.add_interceptor(self._intercept)
+
+    def _intercept(self, frame: Frame) -> InterceptVerdict:
+        if frame.src_id != self.victim:
+            return InterceptVerdict.passthrough()
+        self.outcome.record(True)
+        if self.suppress_probability > 0 and self.rng.chance(self.suppress_probability):
+            return InterceptVerdict.drop()
+        return InterceptVerdict.delay(self.delay_s)
+
+    def stop(self) -> None:
+        """Remove the interceptor."""
+        self.channel.remove_interceptor(self._intercept)

@@ -1,0 +1,195 @@
+"""Application-level privacy attacks (§III: privacy breach, traffic analysis).
+
+:class:`TrackingAdversary` reconstructs vehicle trajectories from
+overheard beacons and tries to *link* trajectory segments across
+pseudonym changes by kinematic continuation — position/velocity
+prediction at the change point.  Its linking accuracy against simulation
+ground truth is the unlinkability metric of experiment E3: a protocol
+whose identities rotate without kinematic mixing is still trackable.
+
+:class:`TrafficFlowAnalyzer` implements the paper's traffic-flow-analysis
+threat: frequency/size/destination statistics per identity, no payload
+access needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Vec2
+from ..net.channel import Frame, WirelessChannel
+from ..net.messages import MessageKind
+from .adversary import Adversary, AttackOutcome
+
+
+@dataclass
+class _Observation:
+    identity: str
+    time: float
+    position: Vec2
+    speed_mps: float
+    heading_rad: float
+
+
+@dataclass
+class _Track:
+    """A chain of observations the adversary believes is one vehicle."""
+
+    identities: List[str] = field(default_factory=list)
+    observations: List[_Observation] = field(default_factory=list)
+
+    def last(self) -> _Observation:
+        return self.observations[-1]
+
+
+class TrackingAdversary(Adversary):
+    """Links pseudonym segments into vehicle trajectories.
+
+    A global passive observer (worst case for privacy): hears every
+    beacon.  When a fresh identity appears it is matched to the track
+    whose kinematic continuation best predicts the new observation; if
+    the best gate distance exceeds ``gate_m`` a new track opens.
+    """
+
+    def __init__(
+        self,
+        channel: WirelessChannel,
+        gate_m: float = 40.0,
+        listen_range_m: float = 1e9,
+    ) -> None:
+        super().__init__("tracker", Vec2(0.0, 0.0), listen_range_m)
+        self.channel = channel
+        self.gate_m = gate_m
+        self.tracks: List[_Track] = []
+        self._track_of_identity: Dict[str, _Track] = {}
+        self.outcome = AttackOutcome("tracking")
+        channel.add_tap(self)
+
+    def on_frame(self, frame: Frame) -> None:
+        """Tap callback: ingest HELLO beacons."""
+        message = frame.message
+        if message.kind is not MessageKind.HELLO:
+            return
+        position = message.payload.get("position")
+        if position is None:
+            return
+        observation = _Observation(
+            identity=message.src,
+            time=frame.sent_at,
+            position=Vec2(position[0], position[1]),
+            speed_mps=message.payload.get("speed_mps", 0.0),
+            heading_rad=message.payload.get("heading_rad", 0.0),
+        )
+        self._ingest(observation)
+
+    def _ingest(self, observation: _Observation) -> None:
+        track = self._track_of_identity.get(observation.identity)
+        if track is not None:
+            track.observations.append(observation)
+            return
+        # New identity: try to link it to an existing track.
+        best_track: Optional[_Track] = None
+        best_distance = self.gate_m
+        for track in self.tracks:
+            last = track.last()
+            dt = observation.time - last.time
+            if dt < 0 or dt > 10.0:
+                continue
+            predicted = last.position + Vec2.from_polar(last.speed_mps, last.heading_rad) * dt
+            distance = predicted.distance_to(observation.position)
+            if distance < best_distance:
+                best_distance = distance
+                best_track = track
+        if best_track is None:
+            best_track = _Track()
+            self.tracks.append(best_track)
+        best_track.identities.append(observation.identity)
+        best_track.observations.append(observation)
+        self._track_of_identity[observation.identity] = best_track
+
+    # -- scoring against ground truth ---------------------------------------
+
+    def linking_accuracy(self, identity_owner: Dict[str, str]) -> float:
+        """Fraction of correct identity-to-identity links.
+
+        ``identity_owner`` maps each on-air identity to the true vehicle.
+        Every adjacent identity pair within a track is one link claim;
+        a claim is correct when both identities belong to one vehicle.
+        """
+        claims = 0
+        correct = 0
+        for track in self.tracks:
+            for earlier, later in zip(track.identities, track.identities[1:]):
+                owner_a = identity_owner.get(earlier)
+                owner_b = identity_owner.get(later)
+                if owner_a is None or owner_b is None:
+                    continue
+                claims += 1
+                if owner_a == owner_b:
+                    correct += 1
+        if claims == 0:
+            return 0.0
+        return correct / claims
+
+    def tracked_fraction(self, identity_owner: Dict[str, str]) -> float:
+        """Fraction of observed vehicles whose identity chain sits in one track.
+
+        A vehicle that never rotated (one observed identity) is trivially
+        fully tracked; a rotating vehicle is fully tracked only when the
+        adversary linked every one of its identities into a single track.
+        Vehicles never observed at all are excluded from the denominator.
+        """
+        by_owner: Dict[str, List[str]] = {}
+        for identity, owner in identity_owner.items():
+            by_owner.setdefault(owner, []).append(identity)
+        observed_owners = 0
+        fully_tracked = 0
+        for owner, identities in by_owner.items():
+            observed = [i for i in identities if i in self._track_of_identity]
+            if not observed:
+                continue
+            observed_owners += 1
+            tracks = {id(self._track_of_identity[i]) for i in observed}
+            if len(tracks) == 1:
+                fully_tracked += 1
+        if observed_owners == 0:
+            return 0.0
+        return fully_tracked / observed_owners
+
+    def stop(self) -> None:
+        """Detach the tap."""
+        self.channel.remove_tap(self)
+
+
+class TrafficFlowAnalyzer(Adversary):
+    """Frequency / size / destination statistics per on-air identity."""
+
+    def __init__(self, channel: WirelessChannel, listen_range_m: float = 1e9) -> None:
+        super().__init__("flow-analyzer", Vec2(0.0, 0.0), listen_range_m)
+        self.channel = channel
+        self.flows: Dict[Tuple[str, str], Dict[str, float]] = {}
+        channel.add_tap(self)
+
+    def on_frame(self, frame: Frame) -> None:
+        """Tap callback: accumulate flow statistics."""
+        key = (frame.message.src, frame.message.dst)
+        stats = self.flows.setdefault(key, {"frames": 0.0, "bytes": 0.0})
+        stats["frames"] += 1
+        stats["bytes"] += frame.message.total_bytes
+
+    def top_talkers(self, limit: int = 5) -> List[Tuple[str, float]]:
+        """Identities ranked by transmitted bytes."""
+        by_src: Dict[str, float] = {}
+        for (src, _dst), stats in self.flows.items():
+            by_src[src] = by_src.get(src, 0.0) + stats["bytes"]
+        ranked = sorted(by_src.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+    def conversation_pairs(self) -> List[Tuple[str, str]]:
+        """Distinct (src, dst) pairs observed — the metadata leak."""
+        return sorted(self.flows.keys())
+
+    def stop(self) -> None:
+        """Detach the tap."""
+        self.channel.remove_tap(self)

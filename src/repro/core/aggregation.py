@@ -1,0 +1,141 @@
+"""Result aggregation and dissemination (§III.A).
+
+Divisible jobs fan out as sub-tasks; the coordinator aggregates partial
+results as they arrive and disseminates the combined answer to the
+membership.  The aggregator is quorum-aware: a job can complete at, say,
+80% of partials, absorbing stragglers lost to churn — the v-cloud
+counterpart of conventional-cloud speculative execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import TaskError
+
+
+@dataclass
+class PartialResult:
+    """One worker's contribution to a divisible job."""
+
+    job_id: str
+    worker_id: str
+    index: int
+    value: object
+    received_at: float
+
+
+@dataclass
+class AggregationJob:
+    """A divisible job awaiting partial results."""
+
+    job_id: str
+    expected_parts: int
+    quorum_fraction: float = 1.0
+    combine: Callable[[List[object]], object] = field(default=lambda values: values)
+    partials: Dict[int, PartialResult] = field(default_factory=dict)
+    completed_at: Optional[float] = None
+    result: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.expected_parts < 1:
+            raise TaskError("expected_parts must be >= 1")
+        if not 0.0 < self.quorum_fraction <= 1.0:
+            raise TaskError("quorum_fraction must be in (0, 1]")
+
+    @property
+    def quorum_size(self) -> int:
+        """Number of partials needed to complete."""
+        import math
+
+        return max(1, math.ceil(self.expected_parts * self.quorum_fraction))
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the job has produced its combined result."""
+        return self.completed_at is not None
+
+
+class ResultAggregator:
+    """Collects partials at the coordinator and combines at quorum."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, AggregationJob] = {}
+        self.duplicates_ignored = 0
+        self.late_partials = 0
+
+    def open_job(
+        self,
+        job_id: str,
+        expected_parts: int,
+        quorum_fraction: float = 1.0,
+        combine: Optional[Callable[[List[object]], object]] = None,
+    ) -> AggregationJob:
+        """Register a new divisible job."""
+        if job_id in self._jobs:
+            raise TaskError(f"job already open: {job_id!r}")
+        job = AggregationJob(
+            job_id=job_id,
+            expected_parts=expected_parts,
+            quorum_fraction=quorum_fraction,
+            combine=combine if combine is not None else (lambda values: values),
+        )
+        self._jobs[job_id] = job
+        return job
+
+    def job(self, job_id: str) -> AggregationJob:
+        """Return an open (or completed) job."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise TaskError(f"unknown job: {job_id!r}")
+        return job
+
+    def submit_partial(
+        self, job_id: str, worker_id: str, index: int, value: object, now: float
+    ) -> Optional[object]:
+        """Accept one partial; returns the combined result at quorum.
+
+        Duplicate indices are ignored (a retransmitted partial must not
+        double-count); partials arriving after completion are counted as
+        stragglers.
+        """
+        job = self.job(job_id)
+        if job.is_complete:
+            self.late_partials += 1
+            return job.result
+        if index in job.partials:
+            self.duplicates_ignored += 1
+            return None
+        if not 0 <= index < job.expected_parts:
+            raise TaskError(f"partial index {index} out of range for {job_id!r}")
+        job.partials[index] = PartialResult(
+            job_id=job_id, worker_id=worker_id, index=index, value=value, received_at=now
+        )
+        if len(job.partials) >= job.quorum_size:
+            ordered = [job.partials[i].value for i in sorted(job.partials)]
+            job.result = job.combine(ordered)
+            job.completed_at = now
+            return job.result
+        return None
+
+    def progress(self, job_id: str) -> float:
+        """Fraction of expected partials received."""
+        job = self.job(job_id)
+        return len(job.partials) / job.expected_parts
+
+
+def dissemination_cost(
+    member_count: int, payload_bytes: int, per_hop_latency_s: float = 0.004
+) -> float:
+    """Latency to push a result to all members via head broadcast.
+
+    One coordinator broadcast reaches direct neighbors; a two-tier cloud
+    (members relaying to stragglers) costs a second hop.  This analytic
+    form keeps dissemination accounting cheap inside large sweeps.
+    """
+    if member_count <= 0:
+        return 0.0
+    hops = 1 if member_count <= 16 else 2
+    transfer = payload_bytes / 750_000.0
+    return hops * (per_hop_latency_s + transfer)

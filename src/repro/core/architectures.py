@@ -1,0 +1,312 @@
+"""The three v-cloud architectures of Fig. 4.
+
+* :class:`StationaryVCloud` — parked vehicles (airport-datacenter style,
+  Arif et al. [4]); members are static but battery-limited and churn via
+  the parking lot's departure process.
+* :class:`InfrastructureVCloud` — RSU-anchored (Yu et al. [45]):
+  membership is bounded by radio coverage, coordination transits the RSU
+  and dies with it.
+* :class:`DynamicVCloud` — self-organized by V2V (Arkian [5], Azizian
+  [6]): an elected captain coordinates, dwell estimates gate allocation,
+  and the cloud survives with zero infrastructure.
+
+All three expose the same surface — ``cloud`` (the orchestrator),
+``start()`` (periodic maintenance) — so experiment E2 can swap them
+under an identical task stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..infra.rsu import Rsu
+from ..mobility.dwell import DwellEstimator, link_lifetime, zone_residence_time
+from ..mobility.models import MobilityModel, ParkingLotModel
+from ..mobility.vehicle import Vehicle
+from ..sim.world import World
+from .election import BrokerCandidate, BrokerElection
+from .handover import CheckpointHandoverPolicy
+from .scheduler import DwellAwareAllocator, GreedyResourceAllocator
+from .vcloud import RsuCoordination, V2VCoordination, VehicularCloud
+
+
+class StationaryVCloud:
+    """A v-cloud formed from parked vehicles.
+
+    Parked-and-off vehicles run on battery, so they lend a reduced
+    fraction of their compute (Hou et al. [9]: "the computing power and
+    the time length of providing services must be limited") unless
+    plugged in.  Dwell is the expected parking residence time.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        lot_model: ParkingLotModel,
+        cloud_id: str = "stationary-vc",
+        battery_lend_fraction: float = 0.3,
+        auth_protocol=None,
+    ) -> None:
+        if not 0.0 < battery_lend_fraction <= 1.0:
+            raise ConfigurationError("battery_lend_fraction must be in (0, 1]")
+        self.world = world
+        self.lot_model = lot_model
+        self.battery_lend_fraction = battery_lend_fraction
+        rate = lot_model.departure_rate_per_s
+        expected_dwell = (1.0 / rate) if rate > 0 else 1e9
+        self.cloud = VehicularCloud(
+            world,
+            cloud_id,
+            allocator=GreedyResourceAllocator(),
+            handover_policy=CheckpointHandoverPolicy(),
+            coordination=V2VCoordination(),
+            auth_protocol=auth_protocol,
+            dwell_lookup=lambda _vid: expected_dwell,
+        )
+        lot_model.on_departure(self._vehicle_departed)
+
+    def start(self) -> None:
+        """Admit every currently parked vehicle."""
+        for vehicle in self.lot_model.vehicles:
+            lend = 1.0 if vehicle.equipment.plugged_in else self.battery_lend_fraction
+            self.cloud.admit(vehicle, lend_fraction=lend)
+
+    def _vehicle_departed(self, vehicle: Vehicle) -> None:
+        if vehicle.vehicle_id in self.cloud.membership:
+            self.cloud.member_leave(vehicle.vehicle_id)
+
+
+class InfrastructureVCloud:
+    """An RSU-anchored v-cloud: coverage-bounded, backhaul-coordinated."""
+
+    def __init__(
+        self,
+        world: World,
+        rsu: Rsu,
+        mobility: MobilityModel,
+        cloud_id: Optional[str] = None,
+        refresh_interval_s: float = 1.0,
+        auth_protocol=None,
+    ) -> None:
+        self.world = world
+        self.rsu = rsu
+        self.mobility = mobility
+        self.refresh_interval_s = refresh_interval_s
+        self.cloud = VehicularCloud(
+            world,
+            cloud_id if cloud_id is not None else f"infra-vc-{rsu.node_id}",
+            allocator=DwellAwareAllocator(),
+            handover_policy=CheckpointHandoverPolicy(),
+            coordination=RsuCoordination(rsu),
+            auth_protocol=auth_protocol,
+            dwell_lookup=self._dwell_of,
+            head_id=rsu.node_id,
+        )
+        # The RSU coordinates but contributes no vehicle resources; seed
+        # the head explicitly so members authenticate against it.
+        self._task = None
+
+    def _dwell_of(self, vehicle_id: str) -> float:
+        vehicle = self._find_vehicle(vehicle_id)
+        if vehicle is None:
+            return 0.0
+        return zone_residence_time(vehicle, self.rsu.position, self.rsu.radio_range_m)
+
+    def _find_vehicle(self, vehicle_id: str) -> Optional[Vehicle]:
+        for vehicle in self.mobility.vehicles:
+            if vehicle.vehicle_id == vehicle_id:
+                return vehicle
+        return None
+
+    def start(self) -> None:
+        """Begin periodic coverage-based membership refresh."""
+        self.refresh()
+        if self._task is None:
+            self._task = self.world.engine.call_every(
+                self.refresh_interval_s, self.refresh, label="infra-vc-refresh"
+            )
+
+    def stop(self) -> None:
+        """Stop maintenance."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def refresh(self) -> None:
+        """Evict members out of coverage; admit covered newcomers.
+
+        While the RSU is damaged the cloud cannot admit or coordinate —
+        the availability cliff of this architecture.
+        """
+        if self.rsu.damaged or not self.rsu.online:
+            for vehicle_id in self.cloud.membership.member_ids():
+                self.cloud.member_leave(vehicle_id)
+            return
+        for vehicle in self.mobility.vehicles:
+            in_coverage = self.rsu.covers(vehicle.position)
+            is_member = vehicle.vehicle_id in self.cloud.membership
+            if in_coverage and not is_member and len(self.cloud.membership) < self.cloud.membership.max_members:
+                self.cloud.admit(vehicle)
+            elif not in_coverage and is_member:
+                self.cloud.member_leave(vehicle.vehicle_id)
+            elif is_member:
+                self.cloud.membership.update_position(vehicle.vehicle_id, vehicle.position)
+
+
+class DynamicVCloud:
+    """A self-organized v-cloud: elected captain, pure V2V coordination."""
+
+    def __init__(
+        self,
+        world: World,
+        mobility: MobilityModel,
+        cloud_id: str = "dynamic-vc",
+        coordination_range_m: Optional[float] = None,
+        refresh_interval_s: float = 1.0,
+        reelection_interval_s: float = 10.0,
+        auth_protocol=None,
+        dwell_estimator: Optional[DwellEstimator] = None,
+    ) -> None:
+        self.world = world
+        self.mobility = mobility
+        self.coordination_range_m = (
+            coordination_range_m
+            if coordination_range_m is not None
+            else world.config.channel.v2v_range_m
+        )
+        self.refresh_interval_s = refresh_interval_s
+        self.reelection_interval_s = reelection_interval_s
+        self.election = BrokerElection()
+        self.dwell_estimator = (
+            dwell_estimator
+            if dwell_estimator is not None
+            else DwellEstimator(world.rng.fork("dynamic-vc-dwell"))
+        )
+        self.cloud = VehicularCloud(
+            world,
+            cloud_id,
+            allocator=DwellAwareAllocator(),
+            handover_policy=CheckpointHandoverPolicy(),
+            coordination=V2VCoordination(),
+            auth_protocol=auth_protocol,
+            dwell_lookup=self._dwell_of,
+        )
+        self.elections_held = 0
+        self._refresh_task = None
+        self._election_task = None
+        mobility.on_departure(self._vehicle_departed)
+
+    # -- dwell ---------------------------------------------------------------
+
+    def _head_vehicle(self) -> Optional[Vehicle]:
+        head_id = self.cloud.head_id
+        if head_id is None:
+            return None
+        return self._find_vehicle(head_id)
+
+    def _find_vehicle(self, vehicle_id: str) -> Optional[Vehicle]:
+        for vehicle in self.mobility.vehicles:
+            if vehicle.vehicle_id == vehicle_id:
+                return vehicle
+        return None
+
+    def _dwell_of(self, vehicle_id: str) -> float:
+        head = self._head_vehicle()
+        vehicle = self._find_vehicle(vehicle_id)
+        if head is None or vehicle is None:
+            return 0.0
+        if head.vehicle_id == vehicle_id:
+            return 1e9
+        estimate = self.dwell_estimator.estimate_link(
+            head, vehicle, self.coordination_range_m
+        )
+        return estimate.estimated_s
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, seed_vehicle: Optional[Vehicle] = None) -> None:
+        """Form the cloud around a seed vehicle and begin maintenance."""
+        seed = seed_vehicle
+        if seed is None:
+            if not self.mobility.vehicles:
+                raise ConfigurationError("no vehicles available to seed the cloud")
+            seed = self.mobility.vehicles[0]
+        if seed.vehicle_id not in self.cloud.membership:
+            self.cloud.admit(seed)
+        self.refresh()
+        self.hold_election()
+        if self._refresh_task is None:
+            self._refresh_task = self.world.engine.call_every(
+                self.refresh_interval_s, self.refresh, label="dynamic-vc-refresh"
+            )
+        if self._election_task is None:
+            self._election_task = self.world.engine.call_every(
+                self.reelection_interval_s, self.hold_election, label="dynamic-vc-election"
+            )
+
+    def stop(self) -> None:
+        """Stop maintenance tasks."""
+        for task in (self._refresh_task, self._election_task):
+            if task is not None:
+                task.stop()
+        self._refresh_task = None
+        self._election_task = None
+
+    def refresh(self) -> None:
+        """Admit in-range vehicles; evict members that drifted away."""
+        head = self._head_vehicle()
+        if head is None:
+            remaining = self.cloud.membership.member_ids()
+            if not remaining and self.mobility.vehicles:
+                self.cloud.admit(self.mobility.vehicles[0])
+                head = self._head_vehicle()
+            if head is None:
+                return
+        for vehicle in self.mobility.vehicles:
+            distance = vehicle.position.distance_to(head.position)
+            is_member = vehicle.vehicle_id in self.cloud.membership
+            if (
+                distance <= self.coordination_range_m
+                and not is_member
+                and len(self.cloud.membership) < self.cloud.membership.max_members
+            ):
+                self.cloud.admit(vehicle)
+            elif is_member:
+                self.cloud.membership.update_position(vehicle.vehicle_id, vehicle.position)
+        self.cloud.membership.evict_out_of_range(head.position, self.coordination_range_m)
+
+    def hold_election(self) -> None:
+        """Run captain (re-)election with hysteresis."""
+        candidates: List[BrokerCandidate] = []
+        for vehicle_id in self.cloud.membership.member_ids():
+            vehicle = self._find_vehicle(vehicle_id)
+            if vehicle is None:
+                continue
+            head = self._head_vehicle()
+            if head is not None and head.vehicle_id != vehicle_id:
+                dwell = link_lifetime(head, vehicle, self.coordination_range_m)
+            else:
+                dwell = 300.0
+            candidates.append(
+                BrokerCandidate(
+                    vehicle_id=vehicle_id,
+                    compute_mips=vehicle.equipment.compute_mips,
+                    estimated_dwell_s=min(dwell, 600.0),
+                    position=vehicle.position,
+                )
+            )
+        if not candidates:
+            return
+        # The first election always runs (the seed vehicle is only a
+        # provisional captain); later ones apply hysteresis.
+        if self.elections_held == 0 or self.election.should_reelect(
+            self.cloud.head_id, candidates
+        ):
+            result = self.election.elect(candidates)
+            self.cloud.head_id = result.winner_id
+            self.elections_held += 1
+
+    def _vehicle_departed(self, vehicle: Vehicle) -> None:
+        if vehicle.vehicle_id in self.cloud.membership:
+            self.cloud.member_leave(vehicle.vehicle_id)

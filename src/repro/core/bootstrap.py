@@ -1,0 +1,183 @@
+"""Secure v-cloud initialization (§V.A "V-cloud initialization").
+
+"When vehicles first log into a VANET, vehicles should be able to
+exchange hello messages with neighboring vehicles, register themselves
+with cluster head / RSUs / TA and obtain necessary information such as
+pseudonyms, key pairs, random seeds."
+
+:class:`SecureBootstrap` composes that pipeline for one vehicle:
+
+1. TA enrollment through the configured auth protocol (one-time);
+2. mutual authentication with the cloud coordinator;
+3. service-access token issuance for the cloud's services
+   (Park et al. [29]);
+4. admission into the cloud's membership and resource pool.
+
+Each stage's latency and infrastructure cost is recorded, so experiments
+can price the *initialization phase* separately from steady state — the
+distinction the infrastructure-light protocols exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SecurityError
+from ..mobility.vehicle import Vehicle
+from ..security.tokens import ServiceAccessToken, TokenService
+from ..sim.world import World
+from .vcloud import VehicularCloud
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of one vehicle's initialization pipeline."""
+
+    vehicle_id: str
+    admitted: bool
+    total_latency_s: float
+    infra_messages: int
+    stage_latencies_s: Dict[str, float]
+    token: Optional[ServiceAccessToken] = None
+    failure_stage: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """True if any stage failed."""
+        return not self.admitted
+
+
+@dataclass
+class BootstrapStats:
+    """Aggregate outcomes across a fleet's initialization."""
+
+    attempts: int = 0
+    admitted: int = 0
+    rejects_by_stage: Dict[str, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of attempts that fully joined."""
+        if self.attempts == 0:
+            return 0.0
+        return self.admitted / self.attempts
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end initialization latency of admitted vehicles."""
+        if not self.latencies_s:
+            return 0.0
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+
+class SecureBootstrap:
+    """Runs the enrollment -> authenticate -> token -> admit pipeline."""
+
+    def __init__(
+        self,
+        world: World,
+        cloud: VehicularCloud,
+        auth_protocol,
+        token_service: Optional[TokenService] = None,
+        service_name: str = "vcloud",
+    ) -> None:
+        self.world = world
+        self.cloud = cloud
+        self.auth_protocol = auth_protocol
+        self.token_service = token_service
+        self.service_name = service_name
+        self.stats = BootstrapStats()
+
+    def initialize(
+        self, vehicle: Vehicle, infra_available: bool = True
+    ) -> BootstrapResult:
+        """Run the full initialization pipeline for one vehicle."""
+        self.stats.attempts += 1
+        vehicle_id = vehicle.vehicle_id
+        stages: Dict[str, float] = {}
+        infra_messages = 0
+
+        # Stage 1: one-time TA enrollment (needs infrastructure).
+        if not self.auth_protocol.is_enrolled(vehicle_id):
+            if not infra_available:
+                return self._reject(vehicle_id, stages, infra_messages, "enroll")
+            receipt = self.auth_protocol.enroll(vehicle_id, now=self.world.now)
+            stages["enroll"] = receipt.latency_s
+            infra_messages += receipt.infra_messages
+        else:
+            stages["enroll"] = 0.0
+
+        # Stage 2: mutual authentication with the coordinator.
+        coordinator = self.cloud.head_id
+        if coordinator is not None and coordinator != vehicle_id:
+            result = self.auth_protocol.mutual_authenticate(
+                vehicle_id, coordinator, now=self.world.now, infra_available=infra_available
+            )
+            stages["authenticate"] = result.latency_s
+            infra_messages += result.infra_messages
+            if not result.success:
+                return self._reject(vehicle_id, stages, infra_messages, "authenticate")
+        else:
+            stages["authenticate"] = 0.0
+
+        # Stage 3: service-access token (optional, needs the TA once).
+        token = None
+        if self.token_service is not None:
+            if not infra_available:
+                return self._reject(vehicle_id, stages, infra_messages, "token")
+            pseudonym_id = self.auth_protocol.on_air_identity(vehicle_id, self.world.now)
+            try:
+                token = self.token_service.issue(
+                    pseudonym_id, self.service_name, now=self.world.now
+                )
+                stages["token"] = 0.050  # one infra round trip
+                infra_messages += 2
+            except SecurityError:
+                return self._reject(vehicle_id, stages, infra_messages, "token")
+        else:
+            stages["token"] = 0.0
+
+        # Stage 4: membership + resource pooling. The handshake already
+        # ran above, so admit without a second one.
+        saved_protocol = self.cloud.auth_protocol
+        self.cloud.auth_protocol = None
+        try:
+            admitted = self.cloud.admit(vehicle)
+        finally:
+            self.cloud.auth_protocol = saved_protocol
+        stages["admit"] = 0.004  # membership registration message
+        if not admitted:
+            return self._reject(vehicle_id, stages, infra_messages, "admit")
+
+        total = sum(stages.values())
+        self.stats.admitted += 1
+        self.stats.latencies_s.append(total)
+        return BootstrapResult(
+            vehicle_id=vehicle_id,
+            admitted=True,
+            total_latency_s=total,
+            infra_messages=infra_messages,
+            stage_latencies_s=stages,
+            token=token,
+        )
+
+    def _reject(
+        self,
+        vehicle_id: str,
+        stages: Dict[str, float],
+        infra_messages: int,
+        stage: str,
+    ) -> BootstrapResult:
+        self.stats.rejects_by_stage[stage] = (
+            self.stats.rejects_by_stage.get(stage, 0) + 1
+        )
+        return BootstrapResult(
+            vehicle_id=vehicle_id,
+            admitted=False,
+            total_latency_s=sum(stages.values()),
+            infra_messages=infra_messages,
+            stage_latencies_s=stages,
+            failure_stage=stage,
+        )

@@ -1,0 +1,85 @@
+"""Resource discovery (after Meneguette & Boukerche's Servites [26]).
+
+A search-and-allocation directory over member resource offers: clients
+query by minimum compute, storage, bandwidth and required sensors; the
+directory returns ranked matches.  In a dynamic v-cloud the directory
+lives on the captain and is rebuilt from offers as membership churns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from ..errors import ResourceError
+from ..mobility.equipment import SensorKind
+from .resources import ResourceOffer
+
+
+@dataclass(frozen=True)
+class ResourceQuery:
+    """Minimum requirements a requester asks the directory for."""
+
+    min_compute_mips: float = 0.0
+    min_storage_bytes: int = 0
+    min_bandwidth_bps: float = 0.0
+    required_sensors: FrozenSet[SensorKind] = frozenset()
+    limit: int = 5
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise ResourceError("limit must be >= 1")
+
+    def matches(self, offer: ResourceOffer) -> bool:
+        """Whether an offer satisfies every minimum."""
+        return (
+            offer.compute_mips >= self.min_compute_mips
+            and offer.storage_bytes >= self.min_storage_bytes
+            and offer.bandwidth_bps >= self.min_bandwidth_bps
+            and self.required_sensors.issubset(offer.sensors)
+        )
+
+
+@dataclass
+class ResourceDirectory:
+    """Searchable registry of member resource offers."""
+
+    offers: List[ResourceOffer] = field(default_factory=list)
+    queries_served: int = 0
+
+    def register(self, offer: ResourceOffer) -> None:
+        """Add or replace a member's offer."""
+        self.offers = [o for o in self.offers if o.vehicle_id != offer.vehicle_id]
+        self.offers.append(offer)
+
+    def deregister(self, vehicle_id: str) -> None:
+        """Remove a departed member's offer."""
+        self.offers = [o for o in self.offers if o.vehicle_id != vehicle_id]
+
+    def __len__(self) -> int:
+        return len(self.offers)
+
+    def search(self, query: ResourceQuery) -> List[ResourceOffer]:
+        """Return up to ``query.limit`` matches, best-provisioned first."""
+        self.queries_served += 1
+        matches = [o for o in self.offers if query.matches(o)]
+        matches.sort(key=lambda o: (-o.compute_mips, -o.bandwidth_bps, o.vehicle_id))
+        return matches[: query.limit]
+
+    def best_match(self, query: ResourceQuery) -> Optional[ResourceOffer]:
+        """Return the single best match, or None."""
+        results = self.search(query)
+        return results[0] if results else None
+
+    def total_capacity(self) -> ResourceOffer:
+        """Aggregate nameplate capacity of the directory."""
+        sensors: set = set()
+        for offer in self.offers:
+            sensors |= set(offer.sensors)
+        return ResourceOffer(
+            vehicle_id="__aggregate__",
+            compute_mips=sum(o.compute_mips for o in self.offers),
+            storage_bytes=sum(o.storage_bytes for o in self.offers),
+            bandwidth_bps=sum(o.bandwidth_bps for o in self.offers),
+            sensors=frozenset(sensors),
+        )

@@ -1,0 +1,110 @@
+"""Broker / captain election (§IV.A.2).
+
+"An efficient architecture for dynamic v-clouds is based on election
+protocols by which vehicles are selected in order to serve as the cloud
+brokers."  The electorate scores candidates on resources, expected dwell
+and centrality; the deterministic tie-break makes elections reproducible
+and lets every member compute the same winner locally (no extra rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..errors import MembershipError
+from ..geometry import Vec2, centroid
+
+
+@dataclass(frozen=True)
+class BrokerCandidate:
+    """One member standing for election."""
+
+    vehicle_id: str
+    compute_mips: float
+    estimated_dwell_s: float
+    position: Vec2
+
+
+@dataclass(frozen=True)
+class ElectionResult:
+    """Winner plus the full ranking for diagnostics."""
+
+    winner_id: str
+    scores: Dict[str, float]
+    electorate_size: int
+
+
+class BrokerElection:
+    """Score-based captain election with deterministic tie-breaks."""
+
+    def __init__(
+        self,
+        resource_weight: float = 0.35,
+        dwell_weight: float = 0.35,
+        centrality_weight: float = 0.30,
+        dwell_horizon_s: float = 300.0,
+    ) -> None:
+        total = resource_weight + dwell_weight + centrality_weight
+        if total <= 0:
+            raise MembershipError("election weights must sum to a positive value")
+        self.resource_weight = resource_weight / total
+        self.dwell_weight = dwell_weight / total
+        self.centrality_weight = centrality_weight / total
+        self.dwell_horizon_s = dwell_horizon_s
+
+    def score(
+        self,
+        candidate: BrokerCandidate,
+        max_mips: float,
+        center: Vec2,
+        max_distance: float,
+    ) -> float:
+        """Composite suitability score in [0, 1]."""
+        resource_term = candidate.compute_mips / max_mips if max_mips > 0 else 0.0
+        dwell_term = min(1.0, candidate.estimated_dwell_s / self.dwell_horizon_s)
+        if max_distance > 0:
+            centrality_term = 1.0 - candidate.position.distance_to(center) / max_distance
+        else:
+            centrality_term = 1.0
+        return (
+            self.resource_weight * resource_term
+            + self.dwell_weight * dwell_term
+            + self.centrality_weight * max(0.0, centrality_term)
+        )
+
+    def elect(self, candidates: Sequence[BrokerCandidate]) -> ElectionResult:
+        """Run one election; raises on an empty electorate."""
+        if not candidates:
+            raise MembershipError("cannot elect a broker from an empty electorate")
+        center = centroid(c.position for c in candidates)
+        max_mips = max(c.compute_mips for c in candidates)
+        max_distance = max(c.position.distance_to(center) for c in candidates) or 1.0
+        scores = {
+            c.vehicle_id: self.score(c, max_mips, center, max_distance)
+            for c in candidates
+        }
+        winner = max(candidates, key=lambda c: (scores[c.vehicle_id], c.vehicle_id))
+        return ElectionResult(
+            winner_id=winner.vehicle_id, scores=scores, electorate_size=len(candidates)
+        )
+
+    def should_reelect(
+        self,
+        current_head: Optional[str],
+        candidates: Sequence[BrokerCandidate],
+        hysteresis: float = 0.15,
+    ) -> bool:
+        """Whether to replace the head (with hysteresis to avoid flapping).
+
+        The incumbent is kept unless it departed or a challenger beats
+        its score by more than ``hysteresis``.
+        """
+        if current_head is None:
+            return True
+        if all(c.vehicle_id != current_head for c in candidates):
+            return True
+        result = self.elect(candidates)
+        if result.winner_id == current_head:
+            return False
+        return result.scores[result.winner_id] > result.scores[current_head] + hysteresis

@@ -1,0 +1,105 @@
+"""Task handover policies (§III.A).
+
+"Simply dropping unfinished tasks will waste lots of computing resources
+and cause high network overhead ... a more interesting problem would be
+how the vehicle hand over the unfinished, encrypted task to some other
+vehicles."  Two policies make the trade-off measurable:
+
+* :class:`DropPolicy` — the conventional-cloud behaviour: progress is
+  discarded and the task re-runs from zero;
+* :class:`CheckpointHandoverPolicy` — progress survives; the cost is a
+  checkpoint transfer (state bytes over the V2V link) plus, when an auth
+  protocol is configured, a re-authentication handshake with the new
+  worker — the "encrypted task" aspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..errors import TaskError
+from .tasks import TaskRecord
+
+
+@dataclass(frozen=True)
+class HandoverOutcome:
+    """What departing-worker handling decided and cost."""
+
+    preserved_progress: float
+    overhead_s: float
+    overhead_bytes: int
+    requeue: bool  # True = task goes back to the allocator
+
+
+class HandoverPolicy:
+    """Strategy applied when a task's worker departs."""
+
+    name = "base"
+
+    def on_worker_departed(self, record: TaskRecord, now: float) -> HandoverOutcome:
+        """Transition the record and return the cost of the transition."""
+        raise NotImplementedError
+
+
+class DropPolicy(HandoverPolicy):
+    """Discard progress; requeue from zero (wastes completed work)."""
+
+    name = "drop"
+
+    def on_worker_departed(self, record: TaskRecord, now: float) -> HandoverOutcome:
+        lost = record.progress
+        record.drop()
+        return HandoverOutcome(
+            preserved_progress=0.0,
+            overhead_s=0.0,
+            overhead_bytes=0,
+            requeue=True,
+        )
+
+
+class CheckpointHandoverPolicy(HandoverPolicy):
+    """Preserve progress; pay checkpoint-transfer and re-auth costs.
+
+    ``state_bytes_per_mi`` sizes the checkpoint proportionally to work
+    completed; ``transfer_bps`` is the effective V2V transfer rate;
+    ``reauth_latency_s`` models the security handshake with the next
+    worker (0 when no auth protocol is in force).
+    """
+
+    name = "checkpoint-handover"
+
+    def __init__(
+        self,
+        state_bytes_per_mi: float = 50.0,
+        transfer_bps: float = 750_000.0 * 8,
+        reauth_latency_s: float = 0.0,
+        min_progress_to_handover: float = 0.02,
+    ) -> None:
+        if state_bytes_per_mi < 0:
+            raise TaskError("state_bytes_per_mi must be non-negative")
+        if transfer_bps <= 0:
+            raise TaskError("transfer_bps must be positive")
+        self.state_bytes_per_mi = state_bytes_per_mi
+        self.transfer_bps = transfer_bps
+        self.reauth_latency_s = reauth_latency_s
+        self.min_progress_to_handover = min_progress_to_handover
+
+    def checkpoint_bytes(self, record: TaskRecord) -> int:
+        """Size of the serialized partial state."""
+        completed_mi = record.task.work_mi * record.progress
+        return int(self.state_bytes_per_mi * completed_mi) + record.task.input_bytes
+
+    def on_worker_departed(self, record: TaskRecord, now: float) -> HandoverOutcome:
+        if record.progress < self.min_progress_to_handover:
+            # Nothing worth carrying; cheaper to restart.
+            record.drop()
+            return HandoverOutcome(0.0, 0.0, 0, requeue=True)
+        preserved = record.progress
+        overhead_bytes = self.checkpoint_bytes(record)
+        overhead_s = overhead_bytes * 8 / self.transfer_bps + self.reauth_latency_s
+        record.hand_over()
+        return HandoverOutcome(
+            preserved_progress=preserved,
+            overhead_s=overhead_s,
+            overhead_bytes=overhead_bytes,
+            requeue=True,
+        )

@@ -1,0 +1,164 @@
+"""Participation incentives (after Kong et al. [17], [18]).
+
+Resource lending needs incentives: "a secure and privacy-preserving
+incentive framework ... enables vehicles to opportunistically perform
+on-demand tasks and (financially) benefit from the completed task."
+
+A :class:`CreditLedger` keeps per-member balances: workers *earn*
+credits proportional to verified work, submitters *spend* credits to
+offload, and a configurable free-rider policy blocks members whose
+balance falls below a floor.  Credits attach to pseudonymous wallet ids,
+so the ledger preserves the same privacy split as everything else —
+balances are attributable only through the TA's escrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ResourceError
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One credit movement."""
+
+    time: float
+    wallet: str
+    amount: float  # positive = earned, negative = spent
+    reason: str
+
+
+class CreditLedger:
+    """Per-wallet credit accounting with a free-rider floor."""
+
+    def __init__(
+        self,
+        initial_grant: float = 10.0,
+        min_balance_to_submit: float = 0.0,
+        credit_per_mi: float = 0.001,
+    ) -> None:
+        if initial_grant < 0 or credit_per_mi <= 0:
+            raise ResourceError("initial_grant >= 0 and credit_per_mi > 0 required")
+        self.initial_grant = initial_grant
+        self.min_balance_to_submit = min_balance_to_submit
+        self.credit_per_mi = credit_per_mi
+        self._balances: Dict[str, float] = {}
+        self.entries: List[LedgerEntry] = []
+
+    # -- accounts -----------------------------------------------------------
+
+    def open_wallet(self, wallet: str) -> float:
+        """Open a wallet with the signup grant; idempotent."""
+        if wallet not in self._balances:
+            self._balances[wallet] = self.initial_grant
+            if self.initial_grant:
+                self.entries.append(
+                    LedgerEntry(0.0, wallet, self.initial_grant, "signup-grant")
+                )
+        return self._balances[wallet]
+
+    def balance(self, wallet: str) -> float:
+        """Current balance (0 for unknown wallets)."""
+        return self._balances.get(wallet, 0.0)
+
+    def wallets(self) -> List[str]:
+        """All opened wallets."""
+        return list(self._balances)
+
+    # -- movements -------------------------------------------------------------
+
+    def price_of(self, work_mi: float) -> float:
+        """Credits a submitter pays for a task of this size."""
+        return work_mi * self.credit_per_mi
+
+    def can_submit(self, wallet: str, work_mi: float) -> bool:
+        """Whether the wallet can afford a submission and stay above floor."""
+        price = self.price_of(work_mi)
+        return self.balance(wallet) - price >= self.min_balance_to_submit
+
+    def charge_submission(self, wallet: str, work_mi: float, now: float) -> float:
+        """Debit the submission price; raises for free riders."""
+        price = self.price_of(work_mi)
+        if not self.can_submit(wallet, work_mi):
+            raise ResourceError(
+                f"wallet {wallet!r} balance {self.balance(wallet):.3f} cannot cover "
+                f"{price:.3f} (floor {self.min_balance_to_submit})"
+            )
+        self._balances[wallet] = self.balance(wallet) - price
+        self.entries.append(LedgerEntry(now, wallet, -price, "task-submission"))
+        return price
+
+    def reward_work(self, wallet: str, work_mi: float, now: float) -> float:
+        """Credit a worker for verified completed work."""
+        if wallet not in self._balances:
+            self.open_wallet(wallet)
+        reward = work_mi * self.credit_per_mi
+        self._balances[wallet] += reward
+        self.entries.append(LedgerEntry(now, wallet, reward, "work-completed"))
+        return reward
+
+    def fine(self, wallet: str, amount: float, now: float, reason: str = "misbehaviour") -> None:
+        """Penalize a wallet (e.g. after a trust verdict against it)."""
+        if amount < 0:
+            raise ResourceError("fine amount must be non-negative")
+        self._balances[wallet] = self.balance(wallet) - amount
+        self.entries.append(LedgerEntry(now, wallet, -amount, reason))
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def free_riders(self) -> List[str]:
+        """Wallets currently unable to submit even a minimal task."""
+        return sorted(
+            wallet
+            for wallet in self._balances
+            if not self.can_submit(wallet, work_mi=1.0)
+        )
+
+    def top_earners(self, limit: int = 5) -> List[Tuple[str, float]]:
+        """Wallets by earned (positive) ledger volume."""
+        earned: Dict[str, float] = {}
+        for entry in self.entries:
+            if entry.amount > 0 and entry.reason == "work-completed":
+                earned[entry.wallet] = earned.get(entry.wallet, 0.0) + entry.amount
+        ranked = sorted(earned.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+    def total_supply(self) -> float:
+        """Sum of all balances (conservation diagnostic)."""
+        return sum(self._balances.values())
+
+
+@dataclass
+class IncentivizedSubmission:
+    """Glue: charge on submit, reward the worker on completion."""
+
+    ledger: CreditLedger
+    cloud: object  # VehicularCloud
+    rewards_paid: int = 0
+    submissions_blocked: int = 0
+
+    def submit(self, submitter_wallet: str, task, now: Optional[float] = None):
+        """Submit through the ledger; returns the record or None if broke."""
+        world = self.cloud.world
+        timestamp = now if now is not None else world.now
+        if not self.ledger.can_submit(submitter_wallet, task.work_mi):
+            self.submissions_blocked += 1
+            return None
+        self.ledger.charge_submission(submitter_wallet, task.work_mi, timestamp)
+        record = self.cloud.submit(task)
+
+        def pay_if_done() -> None:
+            from .tasks import TaskState
+
+            if record.state is TaskState.COMPLETED and record.workers_history:
+                self.ledger.reward_work(
+                    record.workers_history[-1], task.work_mi, world.now
+                )
+                self.rewards_paid += 1
+
+        # Settle shortly after the deadline horizon (or a default window).
+        horizon = task.deadline_s if task.deadline_s is not None else 120.0
+        world.engine.schedule(horizon + 1.0, pay_if_done, label="incentive-settle")
+        return record

@@ -1,0 +1,147 @@
+"""Cloud membership: join, leave, merge, split (§V.A "V-cloud operations").
+
+A :class:`MembershipManager` owns the authoritative member list of one
+cloud, fires callbacks on churn, and implements the geometric refresh
+rule — members drifting out of coordination range of the head are
+evicted, which is the dominant churn source in dynamic v-clouds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import MembershipError
+from ..geometry import Vec2
+
+MemberCallback = Callable[[str], None]
+
+
+@dataclass
+class MemberInfo:
+    """Live membership record for one vehicle."""
+
+    vehicle_id: str
+    joined_at: float
+    position: Optional[Vec2] = None
+
+    def tenure(self, now: float) -> float:
+        """Seconds of membership so far."""
+        return now - self.joined_at
+
+
+class MembershipManager:
+    """Authoritative member registry with churn callbacks."""
+
+    def __init__(self, cloud_id: str, max_members: int = 64) -> None:
+        if max_members < 1:
+            raise MembershipError("max_members must be >= 1")
+        self.cloud_id = cloud_id
+        self.max_members = max_members
+        self._members: Dict[str, MemberInfo] = {}
+        self._join_listeners: List[MemberCallback] = []
+        self._leave_listeners: List[MemberCallback] = []
+        self.joins = 0
+        self.leaves = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, vehicle_id: str) -> bool:
+        return vehicle_id in self._members
+
+    def member_ids(self) -> List[str]:
+        """Current member ids."""
+        return list(self._members)
+
+    def info(self, vehicle_id: str) -> MemberInfo:
+        """Return the membership record for one member."""
+        info = self._members.get(vehicle_id)
+        if info is None:
+            raise MembershipError(f"{vehicle_id!r} is not a member of {self.cloud_id}")
+        return info
+
+    # -- callbacks -----------------------------------------------------------
+
+    def on_join(self, callback: MemberCallback) -> None:
+        """Register a join listener."""
+        self._join_listeners.append(callback)
+
+    def on_leave(self, callback: MemberCallback) -> None:
+        """Register a leave listener."""
+        self._leave_listeners.append(callback)
+
+    # -- churn operations --------------------------------------------------------
+
+    def join(self, vehicle_id: str, now: float, position: Optional[Vec2] = None) -> MemberInfo:
+        """Admit a vehicle; raises when full or already a member."""
+        if vehicle_id in self._members:
+            raise MembershipError(f"{vehicle_id!r} is already a member")
+        if len(self._members) >= self.max_members:
+            raise MembershipError(f"cloud {self.cloud_id} is full")
+        info = MemberInfo(vehicle_id=vehicle_id, joined_at=now, position=position)
+        self._members[vehicle_id] = info
+        self.joins += 1
+        for listener in self._join_listeners:
+            listener(vehicle_id)
+        return info
+
+    def leave(self, vehicle_id: str) -> None:
+        """Remove a member (voluntary leave or eviction)."""
+        if vehicle_id not in self._members:
+            raise MembershipError(f"{vehicle_id!r} is not a member")
+        del self._members[vehicle_id]
+        self.leaves += 1
+        for listener in self._leave_listeners:
+            listener(vehicle_id)
+
+    def update_position(self, vehicle_id: str, position: Vec2) -> None:
+        """Refresh a member's last-known position."""
+        self.info(vehicle_id).position = position
+
+    def evict_out_of_range(self, anchor: Vec2, range_m: float) -> List[str]:
+        """Evict members beyond ``range_m`` of the anchor (head/RSU).
+
+        Members with no known position are kept (benefit of the doubt
+        until the next beacon).  Returns the evicted ids.
+        """
+        if range_m <= 0:
+            raise MembershipError("range_m must be positive")
+        evicted = [
+            vid
+            for vid, info in self._members.items()
+            if info.position is not None and info.position.distance_to(anchor) > range_m
+        ]
+        for vehicle_id in evicted:
+            self.leave(vehicle_id)
+        return evicted
+
+    # -- merge / split -------------------------------------------------------------
+
+    def absorb(self, other: "MembershipManager", now: float) -> List[str]:
+        """Merge another cloud's members into this one (cloud merge).
+
+        Members that would exceed capacity are left behind; returns the
+        ids actually absorbed.
+        """
+        absorbed = []
+        for vehicle_id in other.member_ids():
+            if len(self._members) >= self.max_members:
+                break
+            info = other.info(vehicle_id)
+            other.leave(vehicle_id)
+            self.join(vehicle_id, now, info.position)
+            absorbed.append(vehicle_id)
+        return absorbed
+
+    def split(self, member_ids: List[str], new_cloud_id: str, now: float) -> "MembershipManager":
+        """Split the given members off into a new cloud."""
+        for vehicle_id in member_ids:
+            if vehicle_id not in self._members:
+                raise MembershipError(f"{vehicle_id!r} is not a member; cannot split")
+        spawned = MembershipManager(new_cloud_id, self.max_members)
+        for vehicle_id in member_ids:
+            info = self.info(vehicle_id)
+            self.leave(vehicle_id)
+            spawned.join(vehicle_id, now, info.position)
+        return spawned

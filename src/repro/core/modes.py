@@ -1,0 +1,184 @@
+"""Operating modes and mode propagation (§V.A "V-cloud management").
+
+The authority can switch a region between NORMAL, EVENT (planned large
+gatherings: uploaded schedules, tuned parameters) and EMERGENCY
+(disasters: "the vehicles could minimise the use of the RSUs").  A mode
+change propagates through the cloud as a signed control flood; the time
+until the last member applies it is E10's propagation-latency metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..net.messages import Message, MessageKind
+from ..net.node import NetworkNode
+from ..security.access.context import OperatingMode
+from ..sim.world import World
+
+
+@dataclass(frozen=True)
+class ModePolicy:
+    """Behavioural knobs attached to an operating mode."""
+
+    mode: OperatingMode
+    minimize_rsu_use: bool = False
+    beacon_interval_scale: float = 1.0
+    emergency_resource_priority: bool = False
+
+
+DEFAULT_POLICIES: Dict[OperatingMode, ModePolicy] = {
+    OperatingMode.NORMAL: ModePolicy(OperatingMode.NORMAL),
+    OperatingMode.EVENT: ModePolicy(
+        OperatingMode.EVENT, beacon_interval_scale=0.5
+    ),
+    OperatingMode.EMERGENCY: ModePolicy(
+        OperatingMode.EMERGENCY,
+        minimize_rsu_use=True,
+        beacon_interval_scale=0.5,
+        emergency_resource_priority=True,
+    ),
+}
+
+
+class ModeManager:
+    """Tracks one node's operating mode and applies change orders."""
+
+    def __init__(
+        self,
+        node_id: str,
+        policies: Optional[Dict[OperatingMode, ModePolicy]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.policies = policies if policies is not None else dict(DEFAULT_POLICIES)
+        self.mode = OperatingMode.NORMAL
+        self.last_change_at: Optional[float] = None
+        self._listeners: List[Callable[[OperatingMode], None]] = []
+        self._applied_orders: Dict[str, None] = {}
+
+    @property
+    def policy(self) -> ModePolicy:
+        """The behaviour policy for the current mode."""
+        return self.policies[self.mode]
+
+    def on_change(self, listener: Callable[[OperatingMode], None]) -> None:
+        """Register a mode-change listener."""
+        self._listeners.append(listener)
+
+    def apply_order(self, order_id: str, mode: OperatingMode, now: float) -> bool:
+        """Apply a mode-change order once; duplicates are ignored.
+
+        Returns True if the order changed state.
+        """
+        if order_id in self._applied_orders:
+            return False
+        self._applied_orders[order_id] = None
+        if mode == self.mode:
+            return False
+        self.mode = mode
+        self.last_change_at = now
+        for listener in self._listeners:
+            listener(mode)
+        return True
+
+
+class ModePropagation:
+    """Floods mode-change orders through the vehicle population.
+
+    The authority injects the order at one node (an RSU, or any vehicle
+    in an infrastructure-less emergency); every receiver applies it and
+    re-broadcasts once.  ``propagation_latency`` reports how long the
+    region took to converge.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        nodes: List[NetworkNode],
+        repeats: int = 3,
+        repeat_interval_s: float = 1.0,
+    ) -> None:
+        """``repeats`` extra re-advertisements per adopted node let the
+        order heal across partitions as vehicles move — mode orders ride
+        the periodic beacon cadence in a deployed system."""
+        if not nodes:
+            raise ConfigurationError("mode propagation needs at least one node")
+        if repeats < 0 or repeat_interval_s <= 0:
+            raise ConfigurationError("repeats >= 0 and repeat_interval_s > 0 required")
+        self.world = world
+        self.nodes = list(nodes)
+        self.repeats = repeats
+        self.repeat_interval_s = repeat_interval_s
+        self.managers: Dict[str, ModeManager] = {
+            node.node_id: ModeManager(node.node_id) for node in nodes
+        }
+        self._order_counter = 0
+        self._issue_times: Dict[str, float] = {}
+        for node in nodes:
+            node.on(MessageKind.MODE, self._make_handler(node))
+
+    def _advertise(self, node: NetworkNode, message: Message, remaining: int) -> None:
+        node.broadcast(message)
+        if remaining > 0:
+            self.world.engine.schedule(
+                self.repeat_interval_s,
+                lambda: self._advertise(node, message, remaining - 1),
+                label="mode-readvertise",
+            )
+
+    def _make_handler(self, node: NetworkNode):
+        def _handle(message: Message, from_id: str) -> None:
+            order_id = message.payload["order_id"]
+            mode = OperatingMode(message.payload["mode"])
+            manager = self.managers[node.node_id]
+            fresh = order_id not in manager._applied_orders
+            manager.apply_order(order_id, mode, self.world.now)
+            if fresh:
+                # Controlled flood: rebroadcast now, then re-advertise a
+                # few beacon intervals to heal partitions.
+                self._advertise(node, message, self.repeats)
+
+        return _handle
+
+    def issue_order(self, origin_node: NetworkNode, mode: OperatingMode) -> str:
+        """Inject a mode-change order at ``origin_node``; returns order id."""
+        self._order_counter += 1
+        order_id = f"mode-order-{self._order_counter}"
+        self._issue_times[order_id] = self.world.now
+        message = Message(
+            kind=MessageKind.MODE,
+            src=origin_node.node_id,
+            dst="*",
+            payload={"order_id": order_id, "mode": mode.value},
+            size_bytes=96,
+            created_at=self.world.now,
+            ttl_hops=0,
+        )
+        manager = self.managers.get(origin_node.node_id)
+        if manager is not None:
+            manager.apply_order(order_id, mode, self.world.now)
+        self._advertise(origin_node, message, self.repeats)
+        return order_id
+
+    def adoption_fraction(self, mode: OperatingMode) -> float:
+        """Fraction of nodes currently in ``mode``."""
+        if not self.managers:
+            return 0.0
+        adopted = sum(1 for m in self.managers.values() if m.mode is mode)
+        return adopted / len(self.managers)
+
+    def propagation_latency(self, order_id: str, mode: OperatingMode) -> Optional[float]:
+        """Issue-to-last-adoption latency; None until everyone adopted."""
+        issued = self._issue_times.get(order_id)
+        if issued is None:
+            return None
+        change_times = [
+            m.last_change_at
+            for m in self.managers.values()
+            if m.mode is mode and m.last_change_at is not None
+        ]
+        if len(change_times) < len(self.managers):
+            return None
+        return max(change_times) - issued

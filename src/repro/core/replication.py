@@ -1,0 +1,194 @@
+"""File replication for availability (§III.A).
+
+"How many copies of a shared file should be distributed in v-cloud so
+that other vehicles can keep accessing this file even if many vehicles
+are offline at the same time" — experiment E9's question.  The manager
+places ``k`` replicas on distinct members, serves reads from any online
+holder, and can optionally re-replicate when departures push a file
+below its target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import ResourceError
+
+
+@dataclass(frozen=True)
+class StoredFile:
+    """Metadata of one replicated file."""
+
+    file_id: str
+    size_bytes: int
+    target_replicas: int
+
+
+@dataclass
+class _HolderSet:
+    file: StoredFile
+    holders: Set[str] = field(default_factory=set)
+
+
+class FileStore:
+    """One member's bounded local storage."""
+
+    def __init__(self, owner_id: str, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ResourceError("capacity_bytes must be non-negative")
+        self.owner_id = owner_id
+        self.capacity_bytes = capacity_bytes
+        self._files: Dict[str, int] = {}  # file_id -> size
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored."""
+        return sum(self._files.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def can_store(self, size_bytes: int) -> bool:
+        """Whether a file of this size fits."""
+        return size_bytes <= self.free_bytes
+
+    def put(self, file_id: str, size_bytes: int) -> None:
+        """Store a replica; raises when capacity is exceeded."""
+        if file_id in self._files:
+            return
+        if not self.can_store(size_bytes):
+            raise ResourceError(
+                f"{self.owner_id!r}: {self.free_bytes} bytes free, need {size_bytes}"
+            )
+        self._files[file_id] = size_bytes
+
+    def drop(self, file_id: str) -> None:
+        """Remove a replica (no-op if absent)."""
+        self._files.pop(file_id, None)
+
+    def holds(self, file_id: str) -> bool:
+        """Whether a replica is present."""
+        return file_id in self._files
+
+
+class ReplicationManager:
+    """Places and repairs file replicas across cloud members."""
+
+    def __init__(self, rng, repair: bool = True) -> None:
+        self.rng = rng
+        self.repair = repair
+        self._stores: Dict[str, FileStore] = {}
+        self._files: Dict[str, _HolderSet] = {}
+        self.replicas_placed = 0
+        self.repair_transfers = 0
+        self.failed_reads = 0
+        self.successful_reads = 0
+
+    # -- membership ------------------------------------------------------------
+
+    def add_store(self, store: FileStore) -> None:
+        """Register a member's storage."""
+        self._stores[store.owner_id] = store
+
+    def remove_store(self, owner_id: str) -> List[str]:
+        """Handle a member departure; returns files that lost a replica.
+
+        With ``repair`` enabled, lost replicas are re-placed on surviving
+        members immediately (each repair costs one transfer).
+        """
+        store = self._stores.pop(owner_id, None)
+        if store is None:
+            return []
+        degraded = []
+        for file_id, holder_set in self._files.items():
+            if owner_id in holder_set.holders:
+                holder_set.holders.discard(owner_id)
+                degraded.append(file_id)
+                if self.repair:
+                    self._repair(holder_set)
+        return degraded
+
+    def member_ids(self) -> List[str]:
+        """Members currently contributing storage."""
+        return list(self._stores)
+
+    # -- placement ----------------------------------------------------------------
+
+    def store_file(self, file: StoredFile) -> int:
+        """Place the file's replicas; returns the replica count achieved."""
+        if file.target_replicas < 1:
+            raise ResourceError("target_replicas must be >= 1")
+        if file.file_id in self._files:
+            raise ResourceError(f"file already stored: {file.file_id!r}")
+        holder_set = _HolderSet(file=file)
+        self._files[file.file_id] = holder_set
+        self._place(holder_set, file.target_replicas)
+        return len(holder_set.holders)
+
+    def _candidates(self, holder_set: _HolderSet) -> List[FileStore]:
+        return [
+            store
+            for owner, store in self._stores.items()
+            if owner not in holder_set.holders
+            and store.can_store(holder_set.file.size_bytes)
+        ]
+
+    def _place(self, holder_set: _HolderSet, count: int) -> None:
+        for _ in range(count):
+            candidates = self._candidates(holder_set)
+            if not candidates:
+                break
+            # Spread load: prefer the emptiest store, break ties randomly.
+            best_free = max(c.free_bytes for c in candidates)
+            emptiest = [c for c in candidates if c.free_bytes == best_free]
+            chosen = self.rng.choice(emptiest)
+            chosen.put(holder_set.file.file_id, holder_set.file.size_bytes)
+            holder_set.holders.add(chosen.owner_id)
+            self.replicas_placed += 1
+
+    def _repair(self, holder_set: _HolderSet) -> None:
+        missing = holder_set.file.target_replicas - len(holder_set.holders)
+        if missing <= 0 or not holder_set.holders:
+            return  # nothing to copy from once the last replica is gone
+        before = len(holder_set.holders)
+        self._place(holder_set, missing)
+        self.repair_transfers += len(holder_set.holders) - before
+
+    # -- reads -------------------------------------------------------------------------
+
+    def is_available(self, file_id: str) -> bool:
+        """Whether at least one replica is on a present member."""
+        holder_set = self._files.get(file_id)
+        if holder_set is None:
+            return False
+        return any(owner in self._stores for owner in holder_set.holders)
+
+    def read(self, file_id: str) -> Optional[str]:
+        """Serve a read; returns the holder used, or None on failure."""
+        holder_set = self._files.get(file_id)
+        if holder_set is None:
+            self.failed_reads += 1
+            return None
+        live = sorted(owner for owner in holder_set.holders if owner in self._stores)
+        if not live:
+            self.failed_reads += 1
+            return None
+        self.successful_reads += 1
+        return self.rng.choice(live)
+
+    def replica_count(self, file_id: str) -> int:
+        """Live replica count of one file."""
+        holder_set = self._files.get(file_id)
+        if holder_set is None:
+            return 0
+        return sum(1 for owner in holder_set.holders if owner in self._stores)
+
+    def availability(self) -> float:
+        """Fraction of stored files currently readable."""
+        if not self._files:
+            return 0.0
+        available = sum(1 for fid in self._files if self.is_available(fid))
+        return available / len(self._files)

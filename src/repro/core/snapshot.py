@@ -1,0 +1,175 @@
+"""Topology snapshots and attacker forensics (§V.A "V-cloud management").
+
+"For the security purpose, the authority should be able to reveal
+vehicles' real identities, recover the snapshot of the topology in an
+area so as to identify the attackers ... the more management data
+recorded, the more possible that the user privacy will be violated."
+
+A :class:`TopologyRecorder` samples (pseudonymous) positions and link
+state at a configurable cadence; :meth:`ForensicService.investigate`
+joins a snapshot window with the audit log and the TA's escrow to name
+suspects — and reports how many *innocent* vehicles' movements the
+investigation had to expose, making the paper's privacy-vs-
+accountability tension a measurable quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2
+from ..security.access.audit import AuditLog
+from ..security.pki import TrustedAuthority
+from ..sim.world import World
+
+
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """One instant's view: pseudonym -> position, plus live links."""
+
+    time: float
+    positions: Dict[str, Vec2]
+    links: Tuple[Tuple[str, str], ...]
+
+    def nodes_in_area(self, center: Vec2, radius_m: float) -> List[str]:
+        """Pseudonyms observed inside a circular area."""
+        return sorted(
+            identity
+            for identity, position in self.positions.items()
+            if position.distance_to(center) <= radius_m
+        )
+
+
+class TopologyRecorder:
+    """Periodically samples the fleet's pseudonymous topology."""
+
+    def __init__(
+        self,
+        world: World,
+        identity_of,  # Callable[[Vehicle], str]: the *on-air* identity
+        vehicles,  # Sequence[Vehicle], live list
+        link_range_m: float = 300.0,
+        interval_s: float = 5.0,
+        retention: int = 500,
+    ) -> None:
+        if interval_s <= 0 or retention < 1:
+            raise ConfigurationError("interval_s > 0 and retention >= 1 required")
+        self.world = world
+        self.identity_of = identity_of
+        self.vehicles = vehicles
+        self.link_range_m = link_range_m
+        self.interval_s = interval_s
+        self.retention = retention
+        self.snapshots: List[TopologySnapshot] = []
+        self._task = None
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._task is None:
+            self._task = self.world.engine.call_every(
+                self.interval_s, self.sample, label="topology-sample"
+            )
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def sample(self) -> TopologySnapshot:
+        """Take one snapshot now."""
+        positions: Dict[str, Vec2] = {}
+        for vehicle in self.vehicles:
+            identity = self.identity_of(vehicle)
+            positions[identity] = vehicle.position
+        identities = sorted(positions)
+        links = tuple(
+            (a, b)
+            for index, a in enumerate(identities)
+            for b in identities[index + 1 :]
+            if positions[a].distance_to(positions[b]) <= self.link_range_m
+        )
+        snapshot = TopologySnapshot(
+            time=self.world.now, positions=positions, links=links
+        )
+        self.snapshots.append(snapshot)
+        if len(self.snapshots) > self.retention:
+            self.snapshots.pop(0)
+        return snapshot
+
+    def window(self, start: float, end: float) -> List[TopologySnapshot]:
+        """Snapshots within a half-open time window [start, end)."""
+        return [s for s in self.snapshots if start <= s.time < end]
+
+    @property
+    def storage_records(self) -> int:
+        """Total retained (identity, position) records — the privacy cost."""
+        return sum(len(s.positions) for s in self.snapshots)
+
+
+@dataclass(frozen=True)
+class InvestigationReport:
+    """Outcome of one forensic investigation."""
+
+    suspects: Tuple[str, ...]  # real identities named by the TA
+    suspect_pseudonyms: Tuple[str, ...]
+    snapshots_examined: int
+    innocents_exposed: int  # real identities revealed but not suspected
+
+    @property
+    def privacy_cost(self) -> int:
+        """Total identities de-anonymized during the investigation."""
+        return len(self.suspects) + self.innocents_exposed
+
+
+class ForensicService:
+    """The authority-side join of audit logs, snapshots and escrow."""
+
+    def __init__(self, authority: TrustedAuthority, recorder: TopologyRecorder) -> None:
+        self.authority = authority
+        self.recorder = recorder
+        self.investigations = 0
+
+    def investigate(
+        self,
+        audit_log: AuditLog,
+        area_center: Vec2,
+        area_radius_m: float,
+        window: Tuple[float, float],
+        min_denials: int = 2,
+    ) -> InvestigationReport:
+        """Name attackers active in an area during a time window.
+
+        Suspicion requires *both* signals: repeated denials in the audit
+        log and physical presence in the area per the topology record.
+        The report also counts how many innocent vehicles had to be
+        de-anonymized to rule them out.
+        """
+        self.investigations += 1
+        start, end = window
+        snapshots = self.recorder.window(start, end)
+        present: set = set()
+        for snapshot in snapshots:
+            present.update(snapshot.nodes_in_area(area_center, area_radius_m))
+        flagged = set(audit_log.suspicious_requesters(min_denials=min_denials))
+        suspect_pseudonyms = sorted(present & flagged)
+
+        suspects = []
+        innocents = 0
+        # Ruling candidates in or out de-anonymizes everyone present.
+        for pseudonym in sorted(present):
+            real_id = self.authority.reveal(pseudonym)
+            if real_id is None:
+                continue
+            if pseudonym in suspect_pseudonyms:
+                suspects.append(real_id)
+            else:
+                innocents += 1
+        return InvestigationReport(
+            suspects=tuple(sorted(set(suspects))),
+            suspect_pseudonyms=tuple(suspect_pseudonyms),
+            snapshots_examined=len(snapshots),
+            innocents_exposed=innocents,
+        )

@@ -1,0 +1,415 @@
+"""The vehicular cloud orchestrator.
+
+Ties membership, resource pooling, allocation, execution and handover
+together on the simulation engine.  The three architecture variants of
+Fig. 4 are this class configured with different coordination adapters
+and dwell models (see ``repro.core.architectures``).
+
+Execution model: assignment transfers the task input to the worker,
+execution takes ``remaining_work / worker_mips`` virtual seconds, and
+completion returns the output.  When a worker departs mid-task the
+configured :class:`~repro.core.handover.HandoverPolicy` decides whether
+its progress survives.  When an auth protocol is configured, admission
+requires a successful mutual handshake with the coordinator and its
+latency is charged to the join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..mobility.vehicle import Vehicle
+from ..sim.engine import EventHandle
+from ..sim.world import World
+from .handover import CheckpointHandoverPolicy, HandoverPolicy
+from .membership import MembershipManager
+from .resources import Reservation, ResourceOffer, ResourcePool
+from .scheduler import (
+    Allocator,
+    GreedyResourceAllocator,
+    WorkerCandidate,
+    candidates_from_pool,
+)
+from .tasks import Task, TaskRecord, TaskState
+
+
+class CoordinationAdapter:
+    """How assignments and results move between coordinator and workers."""
+
+    name = "v2v"
+    #: Infrastructure messages per (assignment, result) pair.
+    infra_messages_per_task = 0
+
+    def available(self) -> bool:
+        """Whether coordination is currently possible."""
+        return True
+
+    def coordination_latency_s(self, payload_bytes: int) -> float:
+        """One-way coordinator<->worker latency for a payload."""
+        return 0.004 + payload_bytes / 750_000.0
+
+    def latency_for(
+        self, head_id: Optional[str], worker_id: Optional[str], payload_bytes: int
+    ) -> float:
+        """Pair-aware latency; the default ignores the endpoints."""
+        return self.coordination_latency_s(payload_bytes)
+
+
+class V2VCoordination(CoordinationAdapter):
+    """Pure vehicle-to-vehicle coordination (dynamic v-cloud)."""
+
+    name = "v2v"
+    infra_messages_per_task = 0
+
+
+class GeometryCoordination(V2VCoordination):
+    """V2V coordination priced by the live radio geometry.
+
+    Transfer latency between the captain and a worker uses the channel's
+    latency model at their *actual* distance and the captain's current
+    contention level, so a worker at the zone edge really is slower to
+    feed than one driving alongside — and a DoS flood near the captain
+    slows every assignment.
+    """
+
+    name = "v2v-geometry"
+
+    def __init__(self, channel) -> None:
+        self.channel = channel
+
+    def latency_for(
+        self, head_id: Optional[str], worker_id: Optional[str], payload_bytes: int
+    ) -> float:
+        if (
+            head_id is None
+            or worker_id is None
+            or not self.channel.is_attached(head_id)
+            or not self.channel.is_attached(worker_id)
+        ):
+            return self.coordination_latency_s(payload_bytes)
+        head = self.channel.node(head_id)
+        worker = self.channel.node(worker_id)
+        distance = head.position.distance_to(worker.position)
+        contention = self.channel.neighbor_count(head_id)
+        return self.channel.latency(distance, payload_bytes, contention)
+
+
+class RsuCoordination(CoordinationAdapter):
+    """Coordination relayed through a road-side unit.
+
+    Each task costs infrastructure messages, pays the wired-backhaul
+    delay, and fails outright while the RSU is damaged/offline — the
+    availability cliff of infrastructure-based v-clouds.
+    """
+
+    name = "rsu"
+    infra_messages_per_task = 4  # assign up/down + result up/down
+
+    def __init__(self, rsu) -> None:
+        self.rsu = rsu
+
+    def available(self) -> bool:
+        return self.rsu.online and not self.rsu.damaged
+
+    def coordination_latency_s(self, payload_bytes: int) -> float:
+        return (
+            0.004
+            + payload_bytes / 750_000.0
+            + self.rsu.backhaul_delay_s
+        )
+
+
+@dataclass
+class CloudStats:
+    """Aggregate outcomes of one cloud's task stream."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    handovers: int = 0
+    drops: int = 0
+    infra_messages: int = 0
+    auth_failures: int = 0
+    wasted_work_mi: float = 0.0
+    completion_latencies_s: List[float] = field(default_factory=list)
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed over submitted (0 when nothing submitted)."""
+        if self.submitted == 0:
+            return 0.0
+        return self.completed / self.submitted
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean completion latency (0 when nothing completed)."""
+        if not self.completion_latencies_s:
+            return 0.0
+        return sum(self.completion_latencies_s) / len(self.completion_latencies_s)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Deadline hits over deadline-carrying completions."""
+        total = self.deadline_hits + self.deadline_misses
+        if total == 0:
+            return 0.0
+        return self.deadline_hits / total
+
+
+@dataclass
+class _Execution:
+    record: TaskRecord
+    reservation: Reservation
+    started_at: float
+    runtime_s: float
+    completion_handle: EventHandle
+
+
+class VehicularCloud:
+    """One vehicular cloud: members, pooled resources, task stream."""
+
+    RETRY_INTERVAL_S = 1.0
+
+    def __init__(
+        self,
+        world: World,
+        cloud_id: str,
+        allocator: Optional[Allocator] = None,
+        handover_policy: Optional[HandoverPolicy] = None,
+        coordination: Optional[CoordinationAdapter] = None,
+        auth_protocol=None,
+        dwell_lookup: Optional[Callable[[str], float]] = None,
+        head_id: Optional[str] = None,
+        max_members: int = 64,
+        max_assignment_retries: int = 120,
+    ) -> None:
+        # Retries model queueing while workers are busy or coordination is
+        # down; deadline-carrying tasks fail via their deadline first, so
+        # the retry budget is a backstop for deadline-free tasks.
+        self.world = world
+        self.cloud_id = cloud_id
+        self.allocator = allocator if allocator is not None else GreedyResourceAllocator()
+        self.handover_policy = (
+            handover_policy if handover_policy is not None else CheckpointHandoverPolicy()
+        )
+        self.coordination = coordination if coordination is not None else V2VCoordination()
+        self.auth_protocol = auth_protocol
+        self.dwell_lookup = dwell_lookup if dwell_lookup is not None else (lambda _vid: 1e9)
+        self.head_id = head_id
+        self.max_assignment_retries = max_assignment_retries
+        self.membership = MembershipManager(cloud_id, max_members)
+        self.pool = ResourcePool()
+        self.stats = CloudStats()
+        self.records: List[TaskRecord] = []
+        self._executions: Dict[str, _Execution] = {}  # task_id -> execution
+        self._retries: Dict[str, int] = {}
+        self.membership.on_leave(self._on_member_left)
+
+    # -- membership ------------------------------------------------------------
+
+    def admit(
+        self,
+        vehicle: Vehicle,
+        offer: Optional[ResourceOffer] = None,
+        lend_fraction: float = 0.8,
+    ) -> bool:
+        """Admit a vehicle as a member.
+
+        With an auth protocol configured, the vehicle must mutually
+        authenticate with the coordinator first; a failed handshake is a
+        rejected join.  Returns True when admitted.
+        """
+        vehicle_id = vehicle.vehicle_id
+        if self.auth_protocol is not None and self.head_id is not None:
+            if vehicle_id != self.head_id:
+                result = self.auth_protocol.mutual_authenticate(
+                    vehicle_id,
+                    self.head_id,
+                    self.world.now,
+                    infra_available=self.coordination.available(),
+                )
+                self.world.metrics.observe(
+                    f"{self.cloud_id}/auth_latency_s", result.latency_s
+                )
+                self.stats.infra_messages += result.infra_messages
+                if not result.success:
+                    self.stats.auth_failures += 1
+                    return False
+        self.membership.join(vehicle_id, self.world.now, vehicle.position)
+        resolved_offer = (
+            offer
+            if offer is not None
+            else ResourceOffer.from_equipment(vehicle_id, vehicle.equipment, lend_fraction)
+        )
+        self.pool.add_offer(resolved_offer)
+        if self.head_id is None:
+            self.head_id = vehicle_id
+        return True
+
+    def member_leave(self, vehicle_id: str) -> None:
+        """Explicitly remove a member (drives the on-leave path)."""
+        self.membership.leave(vehicle_id)
+
+    def _on_member_left(self, vehicle_id: str) -> None:
+        self.pool.remove_member(vehicle_id)
+        if vehicle_id == self.head_id:
+            remaining = self.membership.member_ids()
+            self.head_id = remaining[0] if remaining else None
+        # Tasks running on the departed worker go through handover.
+        affected = [
+            execution
+            for execution in self._executions.values()
+            if execution.record.worker_id == vehicle_id
+        ]
+        for execution in affected:
+            self._handle_worker_departure(execution)
+
+    # -- task lifecycle ------------------------------------------------------------
+
+    def submit(self, task: Task) -> TaskRecord:
+        """Submit a task for execution in this cloud."""
+        record = TaskRecord(task=task, submitted_at=self.world.now)
+        self.records.append(record)
+        self.stats.submitted += 1
+        self._try_assign(record)
+        return record
+
+    def _deadline_at(self, record: TaskRecord) -> Optional[float]:
+        if record.task.deadline_s is None:
+            return None
+        return record.submitted_at + record.task.deadline_s
+
+    def _try_assign(self, record: TaskRecord) -> None:
+        if record.state in (TaskState.COMPLETED, TaskState.FAILED):
+            return
+        deadline = self._deadline_at(record)
+        if deadline is not None and self.world.now > deadline:
+            record.fail()
+            self.stats.failed += 1
+            return
+        if not self.coordination.available():
+            self._schedule_retry(record, reason="coordination unavailable")
+            return
+        candidates = candidates_from_pool(self.pool, record.task, self.dwell_lookup)
+        # The coordinator does not assign work to itself in head-based
+        # clouds with more than one member.
+        if self.head_id is not None and len(candidates) > 1:
+            candidates = [c for c in candidates if c.vehicle_id != self.head_id]
+        choice = self.allocator.choose(record.task, candidates)
+        if choice is None:
+            self._schedule_retry(record, reason="no eligible worker")
+            return
+        try:
+            reservation = self.pool.reserve(choice.vehicle_id, self.pool.free_mips(choice.vehicle_id))
+        except Exception:
+            self._schedule_retry(record, reason="reservation race")
+            return
+        record.assign(choice.vehicle_id, self.world.now)
+        self.stats.infra_messages += self.coordination.infra_messages_per_task // 2
+        transfer = self.coordination.latency_for(
+            self.head_id, choice.vehicle_id, record.task.input_bytes
+        )
+        runtime = record.remaining_work_mi / reservation.mips
+        start_at = self.world.now + transfer
+        finish_at = start_at + runtime
+        handle = self.world.engine.schedule_at(
+            finish_at, lambda: self._complete(record.task.task_id), label="task-complete"
+        )
+        self.world.engine.schedule_at(
+            start_at, lambda: self._start_if_assigned(record), label="task-start"
+        )
+        self._executions[record.task.task_id] = _Execution(
+            record=record,
+            reservation=reservation,
+            started_at=start_at,
+            runtime_s=runtime,
+            completion_handle=handle,
+        )
+
+    def _start_if_assigned(self, record: TaskRecord) -> None:
+        if record.state is TaskState.ASSIGNED:
+            record.start()
+
+    def _schedule_retry(self, record: TaskRecord, reason: str) -> None:
+        retries = self._retries.get(record.task.task_id, 0)
+        if retries >= self.max_assignment_retries:
+            record.fail()
+            self.stats.failed += 1
+            return
+        self._retries[record.task.task_id] = retries + 1
+        self.world.engine.schedule(
+            self.RETRY_INTERVAL_S, lambda: self._try_assign(record), label="task-retry"
+        )
+
+    def _complete(self, task_id: str) -> None:
+        execution = self._executions.pop(task_id, None)
+        if execution is None:
+            return
+        record = execution.record
+        if record.state is not TaskState.RUNNING:
+            # Raced with a departure that already handled this task.
+            return
+        self.pool.release(execution.reservation)
+        # Output travels back to the coordinator before completion counts.
+        return_latency = self.coordination.latency_for(
+            self.head_id, record.worker_id, record.task.output_bytes
+        )
+        self.stats.infra_messages += self.coordination.infra_messages_per_task - (
+            self.coordination.infra_messages_per_task // 2
+        )
+
+        def _finish() -> None:
+            record.complete(self.world.now)
+            self.stats.completed += 1
+            latency = record.completion_latency_s
+            if latency is not None:
+                self.stats.completion_latencies_s.append(latency)
+            met = record.met_deadline()
+            if met is True:
+                self.stats.deadline_hits += 1
+            elif met is False:
+                self.stats.deadline_misses += 1
+
+        self.world.engine.schedule(return_latency, _finish, label="task-result")
+
+    def _handle_worker_departure(self, execution: _Execution) -> None:
+        record = execution.record
+        execution.completion_handle.cancel()
+        self._executions.pop(record.task.task_id, None)
+        self.pool.release(execution.reservation)
+        # Progress achieved so far on this worker.
+        if record.state is TaskState.RUNNING:
+            elapsed = max(0.0, self.world.now - execution.started_at)
+            fraction_of_run = min(1.0, elapsed / execution.runtime_s) if execution.runtime_s > 0 else 1.0
+            new_progress = record.progress + (1.0 - record.progress) * fraction_of_run
+            record.checkpoint(min(1.0, new_progress))
+        outcome = self.handover_policy.on_worker_departed(record, self.world.now)
+        if record.state is TaskState.HANDED_OVER:
+            self.stats.handovers += 1
+        else:
+            self.stats.drops += 1
+            self.stats.wasted_work_mi += record.task.work_mi * outcome.preserved_progress
+        self.stats.wasted_work_mi += record.wasted_work_mi
+        record.wasted_work_mi = 0.0
+        if outcome.requeue:
+            delay = max(outcome.overhead_s, 1e-6)
+            self.world.engine.schedule(
+                delay, lambda: self._try_assign(record), label="task-requeue"
+            )
+
+    # -- introspection -------------------------------------------------------------
+
+    def running_tasks(self) -> List[TaskRecord]:
+        """Records currently assigned or running."""
+        return [
+            r
+            for r in self.records
+            if r.state in (TaskState.ASSIGNED, TaskState.RUNNING)
+        ]
+
+    def member_count(self) -> int:
+        """Current member count."""
+        return len(self.membership)

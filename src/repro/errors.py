@@ -1,0 +1,64 @@
+"""Exception hierarchy for the vcloud-repro framework.
+
+All framework exceptions derive from :class:`VCloudError` so callers can
+catch every framework failure with a single ``except`` clause while the
+subclasses keep failure modes distinguishable.
+"""
+
+from __future__ import annotations
+
+
+class VCloudError(Exception):
+    """Base class for every error raised by this framework."""
+
+
+class ConfigurationError(VCloudError):
+    """A scenario or component was configured with invalid parameters."""
+
+
+class SimulationError(VCloudError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class NetworkError(VCloudError):
+    """A network-layer operation failed (no route, node offline, ...)."""
+
+
+class RoutingError(NetworkError):
+    """A routing protocol could not deliver or forward a message."""
+
+
+class SecurityError(VCloudError):
+    """Base class for security-related failures."""
+
+
+class AuthenticationError(SecurityError):
+    """An authentication handshake failed or was rejected."""
+
+
+class AuthorizationError(SecurityError):
+    """An access request was denied by the policy engine."""
+
+
+class RevocationError(SecurityError):
+    """A credential was found on a revocation list."""
+
+
+class CryptoError(SecurityError):
+    """A (simulated) cryptographic operation failed verification."""
+
+
+class TrustError(VCloudError):
+    """Trustworthiness evaluation could not produce a decision."""
+
+
+class ResourceError(VCloudError):
+    """A resource pool could not satisfy a reservation."""
+
+
+class TaskError(VCloudError):
+    """Task allocation, execution, or handover failed."""
+
+
+class MembershipError(VCloudError):
+    """A cloud membership operation (join/leave/merge/split) failed."""

@@ -1,0 +1,117 @@
+"""Small 2-D geometry helpers used across mobility and networking.
+
+The simulator lives on a flat plane measured in metres.  A light-weight,
+immutable :class:`Vec2` avoids pulling numpy into hot per-event code paths
+while staying explicit and easy to test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """An immutable 2-D vector (or point) in metres."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        if scalar == 0:
+            raise ZeroDivisionError("cannot divide Vec2 by zero")
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Vec2") -> float:
+        """Return the dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Return the Euclidean length of the vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Vec2":
+        """Return a unit-length copy; the zero vector normalizes to itself."""
+        length = self.norm()
+        if length == 0:
+            return Vec2(0.0, 0.0)
+        return self / length
+
+    def heading(self) -> float:
+        """Return the direction angle in radians in ``[-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+    def rotated(self, angle: float) -> "Vec2":
+        """Return the vector rotated counter-clockwise by ``angle`` radians."""
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        return Vec2(self.x * cos_a - self.y * sin_a, self.x * sin_a + self.y * cos_a)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    @staticmethod
+    def from_polar(radius: float, angle: float) -> "Vec2":
+        """Build a vector from polar coordinates ``(radius, angle)``."""
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+
+ORIGIN = Vec2(0.0, 0.0)
+
+
+def heading_difference(a: float, b: float) -> float:
+    """Return the absolute angular difference between two headings.
+
+    The result is wrapped into ``[0, pi]`` so opposite directions differ
+    by ``pi`` and identical directions by ``0`` regardless of branch cuts.
+    """
+    diff = (a - b) % (2.0 * math.pi)
+    if diff > math.pi:
+        diff = 2.0 * math.pi - diff
+    return diff
+
+
+def centroid(points: Iterable[Vec2]) -> Vec2:
+    """Return the centroid of a non-empty iterable of points."""
+    total_x = 0.0
+    total_y = 0.0
+    count = 0
+    for point in points:
+        total_x += point.x
+        total_y += point.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid of an empty point set is undefined")
+    return Vec2(total_x / count, total_y / count)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"invalid clamp interval [{low}, {high}]")
+    return max(low, min(high, value))

@@ -1,0 +1,86 @@
+"""The conventional central cloud endpoint.
+
+Used as the *conventional cloud* arm of the Fig. 2 comparison (E1) and
+as the upstream the infrastructure-based v-cloud offloads to.  Requests
+reach it through an RSU or base station, pay WAN latency both ways, and
+are processed with ample-but-not-infinite capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from ..sim.world import World
+
+
+@dataclass(frozen=True)
+class CloudResponse:
+    """Result of a central-cloud request."""
+
+    request_id: str
+    completed_at: float
+    queue_delay_s: float
+    processing_s: float
+
+
+class CentralCloud:
+    """A datacenter with a WAN in front and a work queue inside."""
+
+    def __init__(
+        self,
+        world: World,
+        compute_mips: float = 500_000.0,
+        wan_delay_s: Optional[float] = None,
+    ) -> None:
+        if compute_mips <= 0:
+            raise ConfigurationError("compute_mips must be positive")
+        self.world = world
+        self.compute_mips = compute_mips
+        self.wan_delay_s = (
+            wan_delay_s if wan_delay_s is not None else world.config.channel.wan_delay_s
+        )
+        #: Virtual time at which the last queued job finishes.
+        self._busy_until = 0.0
+        self.requests_served = 0
+
+    def submit(
+        self,
+        request_id: str,
+        work_mi: float,
+        on_complete: Callable[[CloudResponse], None],
+    ) -> None:
+        """Process ``work_mi`` million instructions; respond via callback.
+
+        The response callback fires after uplink WAN delay, queueing,
+        processing, and downlink WAN delay.
+        """
+        if work_mi < 0:
+            raise ConfigurationError("work_mi must be non-negative")
+        arrival = self.world.now + self.wan_delay_s
+        start = max(arrival, self._busy_until)
+        processing = work_mi / self.compute_mips
+        finish = start + processing
+        self._busy_until = finish
+        queue_delay = start - arrival
+        respond_at = finish + self.wan_delay_s
+        self.requests_served += 1
+        self.world.metrics.increment("central_cloud/requests")
+
+        def _respond() -> None:
+            on_complete(
+                CloudResponse(
+                    request_id=request_id,
+                    completed_at=self.world.now,
+                    queue_delay_s=queue_delay,
+                    processing_s=processing,
+                )
+            )
+
+        self.world.engine.schedule_at(respond_at, _respond, label="cloud-response")
+
+    @property
+    def backlog_s(self) -> float:
+        """Seconds of work currently queued ahead of a new arrival."""
+        return max(0.0, self._busy_until - self.world.now)

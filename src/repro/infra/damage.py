@@ -1,0 +1,70 @@
+"""Disaster / infrastructure-damage model.
+
+The paper motivates dynamic v-clouds with disasters that damage RSUs
+(§II.C, §V.A: earthquakes, hurricanes).  A :class:`DisasterModel`
+disables a configurable fraction of infrastructure at a scheduled time
+and optionally repairs it later, letting experiments E2 and E10 measure
+what each architecture loses when the infrastructure goes away.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..sim.world import World
+from .base_station import BaseStation
+from .rsu import Rsu
+
+Damageable = Union[Rsu, BaseStation]
+
+
+class DisasterModel:
+    """Schedules damage and repair of infrastructure nodes."""
+
+    def __init__(self, world: World, infrastructure: Sequence[Damageable]) -> None:
+        self.world = world
+        self.infrastructure = list(infrastructure)
+        self.rng = world.rng.fork("disaster")
+        self.damaged_nodes: List[Damageable] = []
+
+    def strike(self, fraction: float) -> List[Damageable]:
+        """Immediately damage a random fraction of the infrastructure."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must be in [0, 1]")
+        intact = [node for node in self.infrastructure if not node.damaged]
+        count = round(len(intact) * fraction)
+        victims = self.rng.sample(intact, count) if count else []
+        for node in victims:
+            node.damage()
+            self.damaged_nodes.append(node)
+        self.world.metrics.increment("disaster/strikes")
+        self.world.metrics.increment("disaster/nodes_damaged", len(victims))
+        return victims
+
+    def schedule_strike(self, at_time: float, fraction: float) -> None:
+        """Damage ``fraction`` of the infrastructure at virtual ``at_time``."""
+        self.world.engine.schedule_at(
+            at_time, lambda: self.strike(fraction), label="disaster-strike"
+        )
+
+    def repair_all(self) -> int:
+        """Repair every damaged node; returns the repair count."""
+        count = 0
+        for node in list(self.damaged_nodes):
+            node.repair()
+            self.damaged_nodes.remove(node)
+            count += 1
+        return count
+
+    def schedule_repair(self, at_time: float) -> None:
+        """Repair all damaged nodes at virtual ``at_time``."""
+        self.world.engine.schedule_at(at_time, self.repair_all, label="disaster-repair")
+
+    @property
+    def live_fraction(self) -> float:
+        """Fraction of infrastructure currently in service."""
+        if not self.infrastructure:
+            return 0.0
+        live = sum(1 for node in self.infrastructure if not node.damaged)
+        return live / len(self.infrastructure)

@@ -1,0 +1,88 @@
+"""Infrastructure deployment generators.
+
+Helpers that place RSUs along a highway or at grid intersections with a
+given density, so the infrastructure-reliance axis (paper Fig. 2) can be
+swept as a scalar parameter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2
+from ..mobility.road import Highway, ManhattanGrid
+from ..net.channel import WirelessChannel
+from ..sim.world import World
+from .base_station import BaseStation
+from .rsu import Rsu
+
+
+def deploy_rsus_on_highway(
+    world: World,
+    channel: WirelessChannel,
+    highway: Highway,
+    spacing_m: float,
+    chain_backhaul: bool = True,
+) -> List[Rsu]:
+    """Place RSUs every ``spacing_m`` metres along the median.
+
+    With ``chain_backhaul`` the RSUs are wired to their neighbors,
+    forming the linear backhaul typical of corridor deployments.
+    """
+    if spacing_m <= 0:
+        raise ConfigurationError("spacing_m must be positive")
+    positions = []
+    x = spacing_m / 2.0
+    while x < highway.length_m:
+        positions.append(Vec2(x, 0.0))
+        x += spacing_m
+    rsus = [Rsu(world, channel, position) for position in positions]
+    if chain_backhaul:
+        for left, right in zip(rsus, rsus[1:]):
+            left.connect_backhaul(right)
+    return rsus
+
+
+def deploy_rsus_on_grid(
+    world: World,
+    channel: WirelessChannel,
+    grid: ManhattanGrid,
+    every_nth_intersection: int = 2,
+    mesh_backhaul: bool = True,
+) -> List[Rsu]:
+    """Place RSUs at every ``n``-th grid intersection."""
+    if every_nth_intersection < 1:
+        raise ConfigurationError("every_nth_intersection must be >= 1")
+    rsus: List[Rsu] = []
+    for i in range(0, grid.blocks_x + 1, every_nth_intersection):
+        for j in range(0, grid.blocks_y + 1, every_nth_intersection):
+            position = Vec2(i * grid.block_size_m, j * grid.block_size_m)
+            rsus.append(Rsu(world, channel, position))
+    if mesh_backhaul:
+        for index, rsu in enumerate(rsus):
+            for other in rsus[index + 1 :]:
+                if rsu.position.distance_to(other.position) <= 2.5 * every_nth_intersection * grid.block_size_m:
+                    rsu.connect_backhaul(other)
+    return rsus
+
+
+def deploy_base_station(
+    world: World,
+    channel: WirelessChannel,
+    center: Vec2,
+) -> BaseStation:
+    """Place one wide-coverage base station at ``center``."""
+    return BaseStation(world, channel, center)
+
+
+def coverage_fraction(rsus: List[Rsu], points: List[Vec2]) -> float:
+    """Fraction of sample points covered by at least one live RSU."""
+    if not points:
+        return 0.0
+    covered = sum(
+        1
+        for point in points
+        if any(rsu.covers(point) and not rsu.damaged for rsu in rsus)
+    )
+    return covered / len(points)

@@ -1,0 +1,338 @@
+"""Mobility models driving vehicle kinematics.
+
+Three synthetic generators cover the regimes of the paper's three
+architectures (Fig. 4):
+
+* :class:`HighwayModel` — free-flow highway traffic with speed jitter;
+  the habitat of *dynamic* v-clouds.
+* :class:`ManhattanModel` — urban grid with random turns; the habitat of
+  *infrastructure-based* v-clouds anchored at RSUs.
+* :class:`ParkingLotModel` — parked vehicles with a Poisson departure /
+  arrival process; the habitat of *stationary* v-clouds (Arif et al.'s
+  airport datacenter).
+
+Each model owns its vehicles and is stepped periodically by the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2, clamp
+from ..sim.config import MobilityConfig
+from ..sim.rng import SeededRng
+from ..sim.world import World
+from .equipment import AutomationLevel, OnboardEquipment
+from .road import Highway, ManhattanGrid, ParkingLot
+from .vehicle import Vehicle
+
+
+class MobilityModel:
+    """Base class: owns a vehicle population and steps their kinematics."""
+
+    def __init__(self, world: World, config: Optional[MobilityConfig] = None) -> None:
+        self.world = world
+        self.config = config if config is not None else world.config.mobility
+        self.rng: SeededRng = world.rng.fork(f"mobility/{type(self).__name__}")
+        self.vehicles: List[Vehicle] = []
+        self._task = None
+        self._listeners: List[Callable[[Vehicle], None]] = []
+
+    # -- population -------------------------------------------------------
+
+    def add_vehicle(self, vehicle: Vehicle) -> Vehicle:
+        """Register a vehicle with the model and the world."""
+        self.vehicles.append(vehicle)
+        self.world.register(vehicle.vehicle_id, vehicle)
+        return vehicle
+
+    def populate(self, count: int) -> List[Vehicle]:
+        """Create and place ``count`` vehicles (model-specific placement)."""
+        created = [self._spawn_vehicle() for _ in range(count)]
+        for vehicle in created:
+            self.add_vehicle(vehicle)
+        return created
+
+    def _spawn_vehicle(self) -> Vehicle:
+        raise NotImplementedError
+
+    def _draw_speed(self) -> float:
+        cfg = self.config
+        speed = self.rng.gauss(cfg.mean_speed_mps, cfg.speed_std_mps)
+        return clamp(speed, cfg.min_speed_mps, cfg.max_speed_mps)
+
+    def _draw_automation_level(self) -> AutomationLevel:
+        # A mixed fleet skewed toward higher automation, per the paper's
+        # autonomous-vehicle setting.
+        levels = [
+            AutomationLevel.PARTIAL_AUTOMATION,
+            AutomationLevel.CONDITIONAL_AUTOMATION,
+            AutomationLevel.HIGH_AUTOMATION,
+            AutomationLevel.FULL_AUTOMATION,
+        ]
+        weights = [0.15, 0.25, 0.40, 0.20]
+        return self.rng.weighted_choice(levels, weights)
+
+    # -- stepping ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic kinematic updates on the engine."""
+        if self._task is not None:
+            return
+        self._task = self.world.engine.call_every(
+            self.config.update_interval_s, self._step, label="mobility-step"
+        )
+
+    def stop(self) -> None:
+        """Stop periodic updates."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def on_departure(self, listener: Callable[[Vehicle], None]) -> None:
+        """Register a callback fired when a vehicle leaves the scenario."""
+        self._listeners.append(listener)
+
+    def _notify_departure(self, vehicle: Vehicle) -> None:
+        for listener in self._listeners:
+            listener(vehicle)
+
+    def _step(self) -> None:
+        dt = self.config.update_interval_s
+        for vehicle in self.vehicles:
+            self._move_vehicle(vehicle, dt)
+
+    def _move_vehicle(self, vehicle: Vehicle, dt: float) -> None:
+        raise NotImplementedError
+
+
+class HighwayModel(MobilityModel):
+    """Free-flow highway traffic on a ring highway.
+
+    Vehicles hold a lane, jitter their speed with an Ornstein-Uhlenbeck
+    style pull toward the fleet mean, and wrap around the highway ends so
+    density stays constant over a run.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        highway: Optional[Highway] = None,
+        config: Optional[MobilityConfig] = None,
+    ) -> None:
+        super().__init__(world, config)
+        self.highway = highway if highway is not None else Highway()
+        self._lane_of: Dict[str, int] = {}
+
+    def _spawn_vehicle(self) -> Vehicle:
+        lane = self.rng.randint(0, self.highway.total_lanes - 1)
+        x = self.rng.uniform(0.0, self.highway.length_m)
+        level = self._draw_automation_level()
+        vehicle = Vehicle(
+            position=Vec2(x, self.highway.lane_y(lane)),
+            speed_mps=self._draw_speed(),
+            heading_rad=self.highway.lane_heading(lane),
+            automation_level=level,
+            equipment=OnboardEquipment.for_level(level),
+        )
+        self._lane_of[vehicle.vehicle_id] = lane
+        return vehicle
+
+    def lane_of(self, vehicle: Vehicle) -> int:
+        """Return the lane index a vehicle is travelling in."""
+        return self._lane_of[vehicle.vehicle_id]
+
+    def _move_vehicle(self, vehicle: Vehicle, dt: float) -> None:
+        cfg = self.config
+        # Mean-reverting speed jitter keeps speeds plausible without a
+        # full car-following model.
+        pull = 0.1 * (cfg.mean_speed_mps - vehicle.speed_mps)
+        noise = self.rng.gauss(0.0, cfg.speed_std_mps * 0.2)
+        vehicle.speed_mps = clamp(
+            vehicle.speed_mps + (pull + noise) * dt,
+            cfg.min_speed_mps,
+            cfg.max_speed_mps,
+        )
+        vehicle.advance(dt)
+        vehicle.position = Vec2(
+            self.highway.wrap_x(vehicle.position.x), vehicle.position.y
+        )
+
+
+class ManhattanModel(MobilityModel):
+    """Urban grid mobility with probabilistic turns at intersections."""
+
+    def __init__(
+        self,
+        world: World,
+        grid: Optional[ManhattanGrid] = None,
+        config: Optional[MobilityConfig] = None,
+    ) -> None:
+        super().__init__(world, config)
+        self.grid = grid if grid is not None else ManhattanGrid()
+        self._next_corner: Dict[str, Vec2] = {}
+
+    def _spawn_vehicle(self) -> Vehicle:
+        corners = self.grid.intersections()
+        start = self.rng.choice(corners)
+        level = self._draw_automation_level()
+        vehicle = Vehicle(
+            position=start,
+            speed_mps=self._draw_speed() * 0.6,  # urban speeds
+            heading_rad=0.0,
+            automation_level=level,
+            equipment=OnboardEquipment.for_level(level, cellular=True),
+        )
+        self._choose_heading(vehicle)
+        return vehicle
+
+    def _choose_heading(self, vehicle: Vehicle) -> None:
+        corner = self.grid.nearest_intersection(vehicle.position)
+        options = self.grid.allowed_headings(corner)
+        if not options:
+            raise ConfigurationError("grid produced an intersection with no exits")
+        # Prefer continuing straight; turn with configured probability.
+        straight = [h for h in options if abs(h - vehicle.heading_rad) < 1e-9]
+        if straight and not self.rng.chance(self.config.turn_probability):
+            heading = straight[0]
+        else:
+            heading = self.rng.choice(options)
+        vehicle.heading_rad = heading
+        step = Vec2.from_polar(self.grid.block_size_m, heading)
+        self._next_corner[vehicle.vehicle_id] = self.grid.clamp(corner + step)
+
+    def _move_vehicle(self, vehicle: Vehicle, dt: float) -> None:
+        target = self._next_corner[vehicle.vehicle_id]
+        remaining = vehicle.position.distance_to(target)
+        travel = vehicle.speed_mps * dt
+        if travel >= remaining:
+            vehicle.position = target
+            self._choose_heading(vehicle)
+        else:
+            vehicle.advance(dt)
+
+
+class ParkingLotModel(MobilityModel):
+    """Parked vehicles with Poisson departures and arrivals.
+
+    Departures remove resources from the stationary cloud; arrivals
+    refill empty spots.  ``occupancy`` tracks the live fraction so the
+    replication experiments can sweep departure pressure.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        lot: Optional[ParkingLot] = None,
+        config: Optional[MobilityConfig] = None,
+        departure_rate_per_hour: Optional[float] = None,
+        arrivals_enabled: bool = True,
+    ) -> None:
+        super().__init__(world, config)
+        self.lot = lot if lot is not None else ParkingLot()
+        rate = (
+            departure_rate_per_hour
+            if departure_rate_per_hour is not None
+            else self.config.parking_departure_rate_per_hour
+        )
+        if rate < 0:
+            raise ConfigurationError("departure rate must be non-negative")
+        self.departure_rate_per_s = rate / 3600.0
+        self.arrivals_enabled = arrivals_enabled
+        self.departed: List[Vehicle] = []
+        self._spot_of: Dict[str, int] = {}
+        self._free_spots: List[int] = []
+        self._next_fresh_spot = 0
+
+    def _spawn_vehicle(self) -> Vehicle:
+        if self._free_spots:
+            index = self._free_spots.pop()
+        else:
+            index = self._next_fresh_spot
+            if index >= self.lot.capacity:
+                raise ConfigurationError("parking lot is full")
+            self._next_fresh_spot += 1
+        level = self._draw_automation_level()
+        vehicle = Vehicle(
+            position=self.lot.spot_position(index),
+            speed_mps=0.0,
+            heading_rad=0.0,
+            automation_level=level,
+            equipment=OnboardEquipment.for_level(level, cellular=True),
+        )
+        vehicle.park()
+        self._spot_of[vehicle.vehicle_id] = index
+        return vehicle
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of populated spots currently occupied."""
+        total = len(self.vehicles) + len(self.departed)
+        if total == 0:
+            return 0.0
+        return len(self.vehicles) / total
+
+    def _move_vehicle(self, vehicle: Vehicle, dt: float) -> None:
+        # Parked vehicles do not move; churn is handled in _step.
+        pass
+
+    def _step(self) -> None:
+        dt = self.config.update_interval_s
+        per_vehicle_leave = 1.0 - math.exp(-self.departure_rate_per_s * dt)
+        leaving = [v for v in self.vehicles if self.rng.chance(per_vehicle_leave)]
+        for vehicle in leaving:
+            self._depart(vehicle)
+        if self.arrivals_enabled:
+            # Arrivals balance departures in expectation, keeping the lot
+            # near its initial occupancy.
+            expected = self.departure_rate_per_s * dt * len(self.departed)
+            arrivals = self.rng.poisson(min(expected, 5.0))
+            for _ in range(arrivals):
+                if self._free_spots and self.departed:
+                    self.departed.pop(0)
+                    self.add_vehicle(self._spawn_vehicle())
+
+    def _depart(self, vehicle: Vehicle) -> None:
+        self.vehicles.remove(vehicle)
+        self.departed.append(vehicle)
+        spot = self._spot_of.pop(vehicle.vehicle_id)
+        self._free_spots.append(spot)
+        self.world.unregister(vehicle.vehicle_id)
+        self._notify_departure(vehicle)
+
+
+class StationaryModel(MobilityModel):
+    """Vehicles frozen at their spawn positions (useful in unit tests)."""
+
+    def __init__(
+        self,
+        world: World,
+        positions: Optional[Sequence[Vec2]] = None,
+        config: Optional[MobilityConfig] = None,
+    ) -> None:
+        super().__init__(world, config)
+        self._positions = list(positions) if positions is not None else []
+        self._next_index = 0
+
+    def _spawn_vehicle(self) -> Vehicle:
+        if self._next_index < len(self._positions):
+            position = self._positions[self._next_index]
+        else:
+            width, height = self.world.config.area_m
+            position = Vec2(
+                self.rng.uniform(0.0, width), self.rng.uniform(0.0, height)
+            )
+        self._next_index += 1
+        level = self._draw_automation_level()
+        return Vehicle(
+            position=position,
+            speed_mps=0.0,
+            heading_rad=0.0,
+            automation_level=level,
+            equipment=OnboardEquipment.for_level(level),
+        )
+
+    def _move_vehicle(self, vehicle: Vehicle, dt: float) -> None:
+        pass

@@ -1,0 +1,165 @@
+"""Road geometries: highway segments, Manhattan grids, parking lots.
+
+These are deliberately simple — straight multi-lane highways, rectangular
+grids with intersections, and rectangular parking lots — because the
+survey's arguments depend on contact-time and density regimes, not on
+road curvature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2
+
+
+@dataclass(frozen=True)
+class Highway:
+    """A straight multi-lane bidirectional highway along the x axis."""
+
+    length_m: float = 5000.0
+    lanes_per_direction: int = 2
+    lane_width_m: float = 3.7
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ConfigurationError("length_m must be positive")
+        if self.lanes_per_direction < 1:
+            raise ConfigurationError("lanes_per_direction must be >= 1")
+
+    @property
+    def total_lanes(self) -> int:
+        """Number of lanes counting both directions."""
+        return 2 * self.lanes_per_direction
+
+    def lane_y(self, lane_index: int) -> float:
+        """Return the y coordinate of a lane centreline.
+
+        Lanes ``0 .. lanes_per_direction-1`` travel east (+x) below the
+        median; the remaining lanes travel west (-x) above it.
+        """
+        if not 0 <= lane_index < self.total_lanes:
+            raise ConfigurationError(
+                f"lane_index {lane_index} out of range 0..{self.total_lanes - 1}"
+            )
+        if lane_index < self.lanes_per_direction:
+            return -(lane_index + 0.5) * self.lane_width_m
+        return (lane_index - self.lanes_per_direction + 0.5) * self.lane_width_m
+
+    def lane_heading(self, lane_index: int) -> float:
+        """Return the travel heading (radians) of a lane."""
+        if lane_index < self.lanes_per_direction:
+            return 0.0
+        return math.pi
+
+    def wrap_x(self, x: float) -> float:
+        """Wrap an x coordinate into ``[0, length_m)`` (ring highway)."""
+        return x % self.length_m
+
+    def contains(self, point: Vec2) -> bool:
+        """Return True if the point lies on the carriageway."""
+        half_width = self.lanes_per_direction * self.lane_width_m
+        return 0.0 <= point.x <= self.length_m and -half_width <= point.y <= half_width
+
+
+@dataclass(frozen=True)
+class ManhattanGrid:
+    """A rectangular street grid with uniformly spaced intersections."""
+
+    blocks_x: int = 5
+    blocks_y: int = 5
+    block_size_m: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.blocks_x < 1 or self.blocks_y < 1:
+            raise ConfigurationError("grid must have at least one block per axis")
+        if self.block_size_m <= 0:
+            raise ConfigurationError("block_size_m must be positive")
+
+    @property
+    def width_m(self) -> float:
+        """Total east-west extent."""
+        return self.blocks_x * self.block_size_m
+
+    @property
+    def height_m(self) -> float:
+        """Total north-south extent."""
+        return self.blocks_y * self.block_size_m
+
+    def intersections(self) -> List[Vec2]:
+        """Return all intersection points of the grid."""
+        return [
+            Vec2(i * self.block_size_m, j * self.block_size_m)
+            for i in range(self.blocks_x + 1)
+            for j in range(self.blocks_y + 1)
+        ]
+
+    def nearest_intersection(self, point: Vec2) -> Vec2:
+        """Return the intersection closest to ``point``."""
+        grid_x = round(point.x / self.block_size_m)
+        grid_y = round(point.y / self.block_size_m)
+        grid_x = max(0, min(self.blocks_x, grid_x))
+        grid_y = max(0, min(self.blocks_y, grid_y))
+        return Vec2(grid_x * self.block_size_m, grid_y * self.block_size_m)
+
+    def is_intersection(self, point: Vec2, tolerance_m: float = 1.0) -> bool:
+        """Return True if the point is within ``tolerance_m`` of a corner."""
+        nearest = self.nearest_intersection(point)
+        return point.distance_to(nearest) <= tolerance_m
+
+    def clamp(self, point: Vec2) -> Vec2:
+        """Clamp a point into the grid's bounding box."""
+        return Vec2(
+            max(0.0, min(self.width_m, point.x)),
+            max(0.0, min(self.height_m, point.y)),
+        )
+
+    def allowed_headings(self, point: Vec2) -> List[float]:
+        """Return the headings a vehicle may take from an intersection.
+
+        Edges of the grid exclude headings that would leave the map.
+        """
+        headings: List[float] = []
+        if point.x < self.width_m:
+            headings.append(0.0)  # east
+        if point.x > 0.0:
+            headings.append(math.pi)  # west
+        if point.y < self.height_m:
+            headings.append(math.pi / 2.0)  # north
+        if point.y > 0.0:
+            headings.append(-math.pi / 2.0)  # south
+        return headings
+
+
+@dataclass(frozen=True)
+class ParkingLot:
+    """A rectangular parking lot with a fixed grid of parking spots."""
+
+    rows: int = 10
+    columns: int = 20
+    spot_spacing_m: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.columns < 1:
+            raise ConfigurationError("parking lot must have at least one spot")
+        if self.spot_spacing_m <= 0:
+            raise ConfigurationError("spot_spacing_m must be positive")
+
+    @property
+    def capacity(self) -> int:
+        """Total number of parking spots."""
+        return self.rows * self.columns
+
+    def spot_position(self, index: int) -> Vec2:
+        """Return the location of spot ``index`` (row-major order)."""
+        if not 0 <= index < self.capacity:
+            raise ConfigurationError(f"spot index {index} out of range 0..{self.capacity - 1}")
+        row, col = divmod(index, self.columns)
+        return Vec2(col * self.spot_spacing_m, row * self.spot_spacing_m)
+
+    def bounds(self) -> Tuple[float, float]:
+        """Return the (width, height) of the lot in metres."""
+        return ((self.columns - 1) * self.spot_spacing_m, (self.rows - 1) * self.spot_spacing_m)

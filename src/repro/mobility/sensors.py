@@ -1,0 +1,156 @@
+"""Sensor models with configurable noise.
+
+Sensing is one of the four pooled resource kinds the paper names.  These
+models produce noisy readings of ground truth so the trust layer has
+something realistic to validate: an honest vehicle's speed claim differs
+from truth by sensor noise, while a malicious vehicle's claim differs by
+an injected offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2
+from ..sim.rng import SeededRng
+from .equipment import SensorKind
+from .vehicle import Vehicle
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One timestamped reading taken by a vehicle's sensor."""
+
+    sensor: SensorKind
+    vehicle_id: str
+    time: float
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("reading time must be non-negative")
+
+
+class GpsSensor:
+    """GPS position sensor with isotropic Gaussian error."""
+
+    def __init__(self, rng: SeededRng, error_std_m: float = 2.5) -> None:
+        if error_std_m < 0:
+            raise ConfigurationError("error_std_m must be non-negative")
+        self.rng = rng
+        self.error_std_m = error_std_m
+
+    def read(self, vehicle: Vehicle, time: float) -> SensorReading:
+        """Return a noisy position fix for ``vehicle``."""
+        noisy = Vec2(
+            vehicle.position.x + self.rng.gauss(0.0, self.error_std_m),
+            vehicle.position.y + self.rng.gauss(0.0, self.error_std_m),
+        )
+        return SensorReading(SensorKind.GPS, vehicle.vehicle_id, time, noisy)
+
+
+class Speedometer:
+    """Speed sensor with multiplicative Gaussian error."""
+
+    def __init__(self, rng: SeededRng, relative_error_std: float = 0.02) -> None:
+        if relative_error_std < 0:
+            raise ConfigurationError("relative_error_std must be non-negative")
+        self.rng = rng
+        self.relative_error_std = relative_error_std
+
+    def read(self, vehicle: Vehicle, time: float) -> SensorReading:
+        """Return a noisy speed reading for ``vehicle``."""
+        factor = 1.0 + self.rng.gauss(0.0, self.relative_error_std)
+        return SensorReading(
+            SensorKind.SPEEDOMETER, vehicle.vehicle_id, time, vehicle.speed_mps * factor
+        )
+
+
+@dataclass(frozen=True)
+class RadarContact:
+    """A single target detected by a radar sweep."""
+
+    target_id: str
+    range_m: float
+    bearing_rad: float
+
+
+class Radar:
+    """Range-limited neighbor detector with range noise and misses."""
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        max_range_m: float = 150.0,
+        range_error_std_m: float = 1.0,
+        detection_probability: float = 0.97,
+    ) -> None:
+        if max_range_m <= 0:
+            raise ConfigurationError("max_range_m must be positive")
+        if not 0.0 <= detection_probability <= 1.0:
+            raise ConfigurationError("detection_probability must be in [0, 1]")
+        self.rng = rng
+        self.max_range_m = max_range_m
+        self.range_error_std_m = range_error_std_m
+        self.detection_probability = detection_probability
+
+    def sweep(
+        self, vehicle: Vehicle, others: Sequence[Vehicle], time: float
+    ) -> SensorReading:
+        """Return detected contacts among ``others`` within range."""
+        contacts: List[RadarContact] = []
+        for other in others:
+            if other.vehicle_id == vehicle.vehicle_id:
+                continue
+            true_range = vehicle.distance_to(other)
+            if true_range > self.max_range_m:
+                continue
+            if not self.rng.chance(self.detection_probability):
+                continue
+            offset = other.position - vehicle.position
+            contacts.append(
+                RadarContact(
+                    target_id=other.vehicle_id,
+                    range_m=max(0.0, true_range + self.rng.gauss(0.0, self.range_error_std_m)),
+                    bearing_rad=offset.heading(),
+                )
+            )
+        return SensorReading(SensorKind.RADAR, vehicle.vehicle_id, time, contacts)
+
+
+class SensorSuite:
+    """Bundle of the sensors a vehicle actually carries.
+
+    Reading a sensor the vehicle does not carry returns ``None``, which
+    mirrors how task allocation must check equipment before assignment
+    (paper §V.A: "what kind of sensors this vehicle has").
+    """
+
+    def __init__(self, vehicle: Vehicle, rng: SeededRng) -> None:
+        self.vehicle = vehicle
+        stream = rng.fork(f"sensors/{vehicle.vehicle_id}")
+        self._gps = GpsSensor(stream.fork("gps"))
+        self._speedometer = Speedometer(stream.fork("speed"))
+        self._radar = Radar(stream.fork("radar"))
+
+    def read_gps(self, time: float) -> Optional[SensorReading]:
+        """Return a GPS fix, or None if no GPS is carried."""
+        if not self.vehicle.equipment.has_sensor(SensorKind.GPS):
+            return None
+        return self._gps.read(self.vehicle, time)
+
+    def read_speed(self, time: float) -> Optional[SensorReading]:
+        """Return a speed reading, or None if no speedometer is carried."""
+        if not self.vehicle.equipment.has_sensor(SensorKind.SPEEDOMETER):
+            return None
+        return self._speedometer.read(self.vehicle, time)
+
+    def radar_sweep(
+        self, others: Sequence[Vehicle], time: float
+    ) -> Optional[SensorReading]:
+        """Return radar contacts, or None if no radar is carried."""
+        if not self.vehicle.equipment.has_sensor(SensorKind.RADAR):
+            return None
+        return self._radar.sweep(self.vehicle, others, time)

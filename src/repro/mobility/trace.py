@@ -1,0 +1,159 @@
+"""Mobility trace recording and replay.
+
+Recording positions lets experiments (and the privacy adversary of
+experiment E3) analyse movement after the fact; replay makes a mobility
+pattern repeatable across protocol variants so comparisons are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2
+from ..sim.world import World
+from .models import MobilityModel
+from .vehicle import Vehicle
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One vehicle's state at one instant."""
+
+    time: float
+    vehicle_id: str
+    position: Vec2
+    speed_mps: float
+    heading_rad: float
+
+
+@dataclass
+class MobilityTrace:
+    """A time-ordered collection of :class:`TracePoint` records."""
+
+    points: List[TracePoint] = field(default_factory=list)
+
+    def record(self, time: float, vehicle: Vehicle) -> None:
+        """Append the vehicle's current state at ``time``."""
+        self.points.append(
+            TracePoint(
+                time=time,
+                vehicle_id=vehicle.vehicle_id,
+                position=vehicle.position,
+                speed_mps=vehicle.speed_mps,
+                heading_rad=vehicle.heading_rad,
+            )
+        )
+
+    def vehicle_ids(self) -> List[str]:
+        """Return the distinct vehicle ids in first-seen order."""
+        seen: Dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.vehicle_id, None)
+        return list(seen)
+
+    def for_vehicle(self, vehicle_id: str) -> List[TracePoint]:
+        """Return this vehicle's points in time order."""
+        return [p for p in self.points if p.vehicle_id == vehicle_id]
+
+    def position_at(self, vehicle_id: str, time: float) -> Optional[Vec2]:
+        """Linearly interpolate the vehicle's position at ``time``.
+
+        Returns None if the vehicle has no points bracketing ``time``.
+        """
+        track = self.for_vehicle(vehicle_id)
+        if not track:
+            return None
+        if time <= track[0].time:
+            return track[0].position
+        if time >= track[-1].time:
+            return track[-1].position
+        for earlier, later in zip(track, track[1:]):
+            if earlier.time <= time <= later.time:
+                span = later.time - earlier.time
+                if span == 0:
+                    return earlier.position
+                alpha = (time - earlier.time) / span
+                return earlier.position + (later.position - earlier.position) * alpha
+        return None
+
+    def duration(self) -> float:
+        """Return the time span covered by the trace."""
+        if not self.points:
+            return 0.0
+        return self.points[-1].time - self.points[0].time
+
+
+class TraceRecorder:
+    """Periodically samples a mobility model's population into a trace."""
+
+    def __init__(
+        self, world: World, model: MobilityModel, interval_s: float = 1.0
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        self.world = world
+        self.model = model
+        self.interval_s = interval_s
+        self.trace = MobilityTrace()
+        self._task = None
+
+    def start(self) -> None:
+        """Begin sampling."""
+        if self._task is None:
+            self._task = self.world.engine.call_every(
+                self.interval_s, self._sample, label="trace-sample"
+            )
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _sample(self) -> None:
+        now = self.world.now
+        for vehicle in self.model.vehicles:
+            self.trace.record(now, vehicle)
+
+
+class TraceReplayModel(MobilityModel):
+    """A mobility model that replays a recorded trace.
+
+    Vehicles follow the recorded positions exactly; vehicles absent from
+    the trace at the current time hold their last known position.
+    """
+
+    def __init__(self, world: World, trace: MobilityTrace) -> None:
+        super().__init__(world)
+        if not trace.points:
+            raise ConfigurationError("cannot replay an empty trace")
+        self.trace = trace
+        self._start_time = trace.points[0].time
+
+    def populate_from_trace(self) -> List[Vehicle]:
+        """Create one vehicle per distinct id in the trace."""
+        created: List[Vehicle] = []
+        for vehicle_id in self.trace.vehicle_ids():
+            first = self.trace.for_vehicle(vehicle_id)[0]
+            vehicle = Vehicle(
+                vehicle_id=f"replay-{vehicle_id}",
+                position=first.position,
+                speed_mps=first.speed_mps,
+                heading_rad=first.heading_rad,
+            )
+            self.add_vehicle(vehicle)
+            created.append(vehicle)
+        return created
+
+    def _spawn_vehicle(self) -> Vehicle:
+        raise ConfigurationError("TraceReplayModel populates from its trace")
+
+    def _move_vehicle(self, vehicle: Vehicle, dt: float) -> None:
+        source_id = vehicle.vehicle_id.replace("replay-", "", 1)
+        position = self.trace.position_at(
+            source_id, self._start_time + self.world.now
+        )
+        if position is not None:
+            vehicle.position = position

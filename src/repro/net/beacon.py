@@ -1,0 +1,165 @@
+"""Periodic HELLO beaconing and neighbor tables.
+
+Beacons are how vehicles learn the local "topology" the paper says the
+basic supporting architecture must maintain: every node broadcasts its
+kinematic state once per interval, and receivers keep a
+:class:`NeighborTable` whose entries expire when beacons stop arriving
+(vehicle left range, went offline, or the channel lost the frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2
+from ..sim.world import World
+from .messages import Message, MessageKind, hello_message
+from .node import VehicleNode
+
+
+@dataclass
+class NeighborEntry:
+    """Last-known state of one neighbor, refreshed by its beacons."""
+
+    node_id: str
+    position: Vec2
+    speed_mps: float
+    heading_rad: float
+    last_seen: float
+    beacon_count: int = 1
+
+    def age(self, now: float) -> float:
+        """Seconds since the last beacon from this neighbor."""
+        return now - self.last_seen
+
+
+class NeighborTable:
+    """Beacon-derived view of nearby nodes with timeout-based expiry."""
+
+    def __init__(self, timeout_s: float) -> None:
+        if timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        self.timeout_s = timeout_s
+        self._entries: Dict[str, NeighborEntry] = {}
+
+    def update_from_hello(self, message: Message, now: float) -> NeighborEntry:
+        """Insert or refresh an entry from a HELLO message."""
+        position = message.payload["position"]
+        entry = self._entries.get(message.src)
+        if entry is None:
+            entry = NeighborEntry(
+                node_id=message.src,
+                position=Vec2(position[0], position[1]),
+                speed_mps=message.payload.get("speed_mps", 0.0),
+                heading_rad=message.payload.get("heading_rad", 0.0),
+                last_seen=now,
+            )
+            self._entries[message.src] = entry
+        else:
+            entry.position = Vec2(position[0], position[1])
+            entry.speed_mps = message.payload.get("speed_mps", entry.speed_mps)
+            entry.heading_rad = message.payload.get("heading_rad", entry.heading_rad)
+            entry.last_seen = now
+            entry.beacon_count += 1
+        return entry
+
+    def expire(self, now: float) -> List[str]:
+        """Drop entries older than the timeout; returns the dropped ids."""
+        stale = [
+            node_id
+            for node_id, entry in self._entries.items()
+            if entry.age(now) > self.timeout_s
+        ]
+        for node_id in stale:
+            del self._entries[node_id]
+        return stale
+
+    def get(self, node_id: str) -> Optional[NeighborEntry]:
+        """Return the entry for ``node_id`` if fresh enough to exist."""
+        return self._entries.get(node_id)
+
+    def entries(self) -> List[NeighborEntry]:
+        """Return all current entries."""
+        return list(self._entries.values())
+
+    def ids(self) -> List[str]:
+        """Return all current neighbor ids."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._entries
+
+
+class BeaconService:
+    """Runs beaconing and neighbor-table maintenance for one vehicle node.
+
+    The optional ``identity_provider`` lets the security layer substitute
+    a pseudonym for the on-air source id, which is what makes pseudonym
+    changes visible to the tracking adversary of experiment E3.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        node: VehicleNode,
+        interval_s: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+        identity_provider: Optional[object] = None,
+    ) -> None:
+        cloud_cfg = world.config.cloud
+        self.world = world
+        self.node = node
+        self.interval_s = interval_s if interval_s is not None else cloud_cfg.beacon_interval_s
+        timeout = timeout_s if timeout_s is not None else cloud_cfg.neighbor_timeout_s
+        self.table = NeighborTable(timeout)
+        self.identity_provider = identity_provider
+        self._task = None
+        node.on(MessageKind.HELLO, self._on_hello)
+
+    def start(self) -> None:
+        """Begin periodic beaconing (with per-node jitter)."""
+        if self._task is not None:
+            return
+        rng = self.world.rng.fork(f"beacon/{self.node.node_id}")
+        self._task = self.world.engine.call_every(
+            self.interval_s,
+            self._beacon,
+            label=f"beacon:{self.node.node_id}",
+            jitter=self.interval_s * 0.1,
+            rng=rng,
+            start_delay=rng.uniform(0.0, self.interval_s),
+        )
+
+    def stop(self) -> None:
+        """Stop beaconing."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def on_air_identity(self) -> str:
+        """Return the identity this node currently puts on the air."""
+        if self.identity_provider is not None:
+            return self.identity_provider.current_identity(self.world.now)
+        return self.node.node_id
+
+    def _beacon(self) -> None:
+        vehicle = self.node.vehicle
+        message = hello_message(
+            src=self.on_air_identity(),
+            position=vehicle.position.as_tuple(),
+            speed_mps=vehicle.speed_mps,
+            heading_rad=vehicle.heading_rad,
+            created_at=self.world.now,
+        )
+        self.node.broadcast(message)
+        self.world.metrics.increment("beacon/sent")
+        self.table.expire(self.world.now)
+
+    def _on_hello(self, message: Message, from_id: str) -> None:
+        self.table.update_from_hello(message, self.world.now)
+        self.world.metrics.increment("beacon/received")

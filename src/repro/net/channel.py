@@ -1,0 +1,275 @@
+"""Wireless channel model.
+
+The channel is a unit-disc graph (per-node radio range) with a
+distance-dependent loss probability and a latency model:
+
+    latency = base_transmit + bytes / rate + propagation(distance)
+              + contention_delay * local_neighbor_count
+
+That last term makes dense scenes slower, which is how DoS flooding and
+density sweeps exert the time pressure the paper's "stringent time
+constraints" arguments turn on.
+
+Attack hooks: *taps* passively observe frames near an adversary
+(eavesdropping, traffic-flow analysis); *interceptors* may drop, delay
+or replace frames in flight (MITM, delay/suppression).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol
+
+from ..errors import NetworkError
+from ..geometry import Vec2
+from ..sim.config import ChannelConfig
+from ..sim.world import World
+from .messages import Message
+
+
+class ChannelNode(Protocol):
+    """What the channel needs from anything attached to it."""
+
+    node_id: str
+    radio_range_m: float
+
+    @property
+    def position(self) -> Vec2: ...
+
+    def deliver(self, message: Message, from_id: str) -> None: ...
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One transmission attempt observed on the air."""
+
+    src_id: str
+    dst_id: Optional[str]  # None for broadcast
+    message: Message
+    sent_at: float
+
+
+class InterceptAction(enum.Enum):
+    """What an interceptor decided to do with a frame."""
+
+    PASS = "pass"
+    DROP = "drop"
+    DELAY = "delay"
+    REPLACE = "replace"
+
+
+@dataclass(frozen=True)
+class InterceptVerdict:
+    """Result of running a frame past an interceptor."""
+
+    action: InterceptAction = InterceptAction.PASS
+    delay_s: float = 0.0
+    replacement: Optional[Message] = None
+
+    @staticmethod
+    def passthrough() -> "InterceptVerdict":
+        return InterceptVerdict(InterceptAction.PASS)
+
+    @staticmethod
+    def drop() -> "InterceptVerdict":
+        return InterceptVerdict(InterceptAction.DROP)
+
+    @staticmethod
+    def delay(seconds: float) -> "InterceptVerdict":
+        return InterceptVerdict(InterceptAction.DELAY, delay_s=seconds)
+
+    @staticmethod
+    def replace(message: Message) -> "InterceptVerdict":
+        return InterceptVerdict(InterceptAction.REPLACE, replacement=message)
+
+
+class Tap(Protocol):
+    """A passive observer of frames (eavesdropper)."""
+
+    @property
+    def position(self) -> Vec2: ...
+
+    @property
+    def listen_range_m(self) -> float: ...
+
+    def on_frame(self, frame: Frame) -> None: ...
+
+
+Interceptor = Callable[[Frame], InterceptVerdict]
+
+
+class WirelessChannel:
+    """Shared broadcast medium connecting all radio-equipped nodes."""
+
+    def __init__(self, world: World, config: Optional[ChannelConfig] = None) -> None:
+        self.world = world
+        self.config = config if config is not None else world.config.channel
+        self.rng = world.rng.fork("channel")
+        self._nodes: Dict[str, ChannelNode] = {}
+        self._taps: List[Tap] = []
+        self._interceptors: List[Interceptor] = []
+
+    # -- membership --------------------------------------------------------
+
+    def attach(self, node: ChannelNode) -> None:
+        """Attach a node to the medium."""
+        if node.node_id in self._nodes:
+            raise NetworkError(f"node already attached: {node.node_id!r}")
+        self._nodes[node.node_id] = node
+
+    def detach(self, node_id: str) -> None:
+        """Detach a node; pending deliveries to it are lost."""
+        self._nodes.pop(node_id, None)
+
+    def is_attached(self, node_id: str) -> bool:
+        """Return True if the node is currently attached."""
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> ChannelNode:
+        """Return the attached node with this id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"no such node on channel: {node_id!r}") from None
+
+    def nodes(self) -> List[ChannelNode]:
+        """Return all attached nodes."""
+        return list(self._nodes.values())
+
+    # -- topology queries ------------------------------------------------------
+
+    def in_range(self, a: ChannelNode, b: ChannelNode) -> bool:
+        """True if ``a`` can reach ``b`` with its own radio range."""
+        return a.position.distance_to(b.position) <= a.radio_range_m
+
+    def neighbors_of(self, node_id: str) -> List[ChannelNode]:
+        """Return nodes reachable from ``node_id`` (excluding itself)."""
+        node = self.node(node_id)
+        return [
+            other
+            for other in self._nodes.values()
+            if other.node_id != node_id and self.in_range(node, other)
+        ]
+
+    def neighbor_count(self, node_id: str) -> int:
+        """Return the number of reachable neighbors."""
+        return len(self.neighbors_of(node_id))
+
+    # -- attack hooks -------------------------------------------------------------
+
+    def add_tap(self, tap: Tap) -> None:
+        """Register a passive eavesdropper."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        """Remove a previously registered tap."""
+        self._taps.remove(tap)
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Register an in-path interceptor (MITM / delay / suppression)."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        """Remove a previously registered interceptor."""
+        self._interceptors.remove(interceptor)
+
+    # -- transmission ---------------------------------------------------------------
+
+    def unicast(self, src_id: str, dst_id: str, message: Message) -> bool:
+        """Transmit to a single in-range destination.
+
+        Returns True if the frame was *sent* (destination in range); the
+        actual delivery may still be lost or intercepted.  Out-of-range
+        destinations return False without raising, because transient
+        disconnection is normal in VANETs, not an error.
+        """
+        src = self.node(src_id)
+        dst = self._nodes.get(dst_id)
+        frame = Frame(src_id, dst_id, message, self.world.now)
+        self._offer_to_taps(frame, src)
+        self.world.metrics.increment("channel/frames_sent")
+        self.world.metrics.increment("channel/bytes_sent", message.total_bytes)
+        if dst is None or not self.in_range(src, dst):
+            self.world.metrics.increment("channel/frames_unreachable")
+            return False
+        self._dispatch(frame, src, dst)
+        return True
+
+    def broadcast(self, src_id: str, message: Message) -> int:
+        """Transmit to every in-range node; returns the receiver count."""
+        src = self.node(src_id)
+        frame = Frame(src_id, None, message, self.world.now)
+        self._offer_to_taps(frame, src)
+        self.world.metrics.increment("channel/frames_sent")
+        self.world.metrics.increment("channel/bytes_sent", message.total_bytes)
+        receivers = self.neighbors_of(src_id)
+        for dst in receivers:
+            self._dispatch(Frame(src_id, dst.node_id, message, self.world.now), src, dst)
+        return len(receivers)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _offer_to_taps(self, frame: Frame, src: ChannelNode) -> None:
+        for tap in self._taps:
+            if tap.position.distance_to(src.position) <= tap.listen_range_m:
+                tap.on_frame(frame)
+
+    def _run_interceptors(self, frame: Frame) -> InterceptVerdict:
+        for interceptor in self._interceptors:
+            verdict = interceptor(frame)
+            if verdict.action is not InterceptAction.PASS:
+                return verdict
+        return InterceptVerdict.passthrough()
+
+    def _loss_probability(self, distance_m: float) -> float:
+        loss = (
+            self.config.base_loss_probability
+            + self.config.loss_per_100m * distance_m / 100.0
+        )
+        return min(0.95, loss)
+
+    def latency(self, distance_m: float, size_bytes: int, neighbor_count: int) -> float:
+        """Return the modelled one-hop latency for a frame."""
+        return (
+            self.config.base_transmit_delay_s
+            + size_bytes / self.config.bytes_per_second
+            + (distance_m / 1000.0) * self.config.propagation_delay_s_per_km * 1000.0
+            + self.config.contention_delay_per_neighbor_s * neighbor_count
+        )
+
+    def _dispatch(self, frame: Frame, src: ChannelNode, dst: ChannelNode) -> None:
+        verdict = self._run_interceptors(frame)
+        if verdict.action is InterceptAction.DROP:
+            self.world.metrics.increment("channel/frames_suppressed")
+            return
+        message = frame.message
+        extra_delay = 0.0
+        if verdict.action is InterceptAction.DELAY:
+            extra_delay = verdict.delay_s
+            self.world.metrics.increment("channel/frames_delayed")
+        elif verdict.action is InterceptAction.REPLACE:
+            if verdict.replacement is None:
+                raise NetworkError("REPLACE verdict without a replacement message")
+            message = verdict.replacement
+            self.world.metrics.increment("channel/frames_tampered")
+
+        distance = src.position.distance_to(dst.position)
+        if self.rng.chance(self._loss_probability(distance)):
+            self.world.metrics.increment("channel/frames_lost")
+            return
+        delay = self.latency(distance, message.total_bytes, self.neighbor_count(src.node_id))
+        delivered = message
+        from_id = frame.src_id
+        dst_id = dst.node_id
+
+        def _deliver() -> None:
+            target = self._nodes.get(dst_id)
+            if target is None:
+                self.world.metrics.increment("channel/frames_to_departed")
+                return
+            self.world.metrics.increment("channel/frames_delivered")
+            self.world.metrics.observe("channel/delivery_latency_s", delay + extra_delay)
+            target.deliver(delivered, from_id)
+
+        self.world.engine.schedule(delay + extra_delay, _deliver, label="frame-delivery")

@@ -1,0 +1,23 @@
+"""Clustering algorithms for v-cloud formation."""
+
+from .base import (
+    Cluster,
+    ClusteringAlgorithm,
+    ClusterSet,
+    head_lifetimes,
+    neighbors_within,
+)
+from .mobility_clustering import MobilityClustering
+from .passive_multihop import PassiveMultihopClustering
+from .rsu_anchored import RsuAnchoredClustering
+
+__all__ = [
+    "Cluster",
+    "ClusterSet",
+    "ClusteringAlgorithm",
+    "MobilityClustering",
+    "PassiveMultihopClustering",
+    "RsuAnchoredClustering",
+    "head_lifetimes",
+    "neighbors_within",
+]

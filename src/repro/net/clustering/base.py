@@ -1,0 +1,148 @@
+"""Clustering abstractions.
+
+The survey (§IV.A.1) concludes that clusters are the organizing device of
+v-clouds: a well-chosen cluster head "can serve as the coordinator of a
+group of vehicles to support resource sharing, task allocation and result
+aggregation".  Algorithms here partition a vehicle set into clusters and
+expose a maintenance step so churn and head lifetime can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...errors import ConfigurationError
+from ...geometry import Vec2, centroid
+from ...mobility.vehicle import Vehicle
+
+
+@dataclass
+class Cluster:
+    """A head plus its member vehicles (the head is also a member)."""
+
+    head_id: str
+    member_ids: List[str] = field(default_factory=list)
+    formed_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.head_id not in self.member_ids:
+            self.member_ids.insert(0, self.head_id)
+
+    @property
+    def size(self) -> int:
+        """Number of members including the head."""
+        return len(self.member_ids)
+
+    def contains(self, vehicle_id: str) -> bool:
+        """Return True if the vehicle belongs to this cluster."""
+        return vehicle_id in self.member_ids
+
+    def centroid_of(self, vehicles: Dict[str, Vehicle]) -> Vec2:
+        """Return the geometric centre of the present members."""
+        points = [
+            vehicles[m].position for m in self.member_ids if m in vehicles
+        ]
+        if not points:
+            raise ConfigurationError("cluster has no locatable members")
+        return centroid(points)
+
+
+@dataclass
+class ClusterSet:
+    """The output of one clustering pass: clusters plus bookkeeping."""
+
+    clusters: List[Cluster] = field(default_factory=list)
+    control_messages: int = 0
+
+    def cluster_of(self, vehicle_id: str) -> Optional[Cluster]:
+        """Return the cluster containing ``vehicle_id``, if any."""
+        for cluster in self.clusters:
+            if cluster.contains(vehicle_id):
+                return cluster
+        return None
+
+    def head_ids(self) -> List[str]:
+        """Return the ids of all cluster heads."""
+        return [c.head_id for c in self.clusters]
+
+    def all_member_ids(self) -> List[str]:
+        """Return every clustered vehicle id."""
+        return [m for c in self.clusters for m in c.member_ids]
+
+    @property
+    def mean_size(self) -> float:
+        """Mean cluster size (0 for an empty set)."""
+        if not self.clusters:
+            return 0.0
+        return sum(c.size for c in self.clusters) / len(self.clusters)
+
+
+class ClusteringAlgorithm:
+    """Base interface: form clusters from a vehicle snapshot."""
+
+    name = "base"
+
+    def form(
+        self, vehicles: Sequence[Vehicle], range_m: float, now: float = 0.0
+    ) -> ClusterSet:
+        """Partition the vehicles into clusters."""
+        raise NotImplementedError
+
+    def maintain(
+        self,
+        previous: ClusterSet,
+        vehicles: Sequence[Vehicle],
+        range_m: float,
+        now: float = 0.0,
+    ) -> ClusterSet:
+        """Update clusters after vehicles moved.
+
+        The default recomputes from scratch but preserves ``formed_at``
+        for clusters whose head survived, so head lifetime is measurable.
+        Subclasses may override with cheaper incremental maintenance.
+        """
+        fresh = self.form(vehicles, range_m, now)
+        previous_heads = {c.head_id: c.formed_at for c in previous.clusters}
+        for cluster in fresh.clusters:
+            if cluster.head_id in previous_heads:
+                cluster.formed_at = previous_heads[cluster.head_id]
+        return fresh
+
+
+def neighbors_within(
+    vehicles: Sequence[Vehicle], range_m: float
+) -> Dict[str, List[Vehicle]]:
+    """Return the unit-disc adjacency of a vehicle snapshot."""
+    if range_m <= 0:
+        raise ConfigurationError("range_m must be positive")
+    adjacency: Dict[str, List[Vehicle]] = {v.vehicle_id: [] for v in vehicles}
+    ordered = list(vehicles)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            if a.distance_to(b) <= range_m:
+                adjacency[a.vehicle_id].append(b)
+                adjacency[b.vehicle_id].append(a)
+    return adjacency
+
+
+def head_lifetimes(history: Sequence[ClusterSet], interval_s: float) -> List[float]:
+    """Estimate head tenure lengths from a sequence of cluster snapshots.
+
+    A head's lifetime is the number of consecutive snapshots in which it
+    remains a head, times the snapshot interval.  Heads still alive at
+    the end of the history contribute their (censored) tenure as well.
+    """
+    if interval_s <= 0:
+        raise ConfigurationError("interval_s must be positive")
+    tenures: List[float] = []
+    active: Dict[str, int] = {}
+    for snapshot in history:
+        heads = set(snapshot.head_ids())
+        for head in list(active):
+            if head not in heads:
+                tenures.append(active.pop(head) * interval_s)
+        for head in heads:
+            active[head] = active.get(head, 0) + 1
+    tenures.extend(count * interval_s for count in active.values())
+    return tenures

@@ -1,0 +1,115 @@
+"""Passive multi-hop clustering (after Zhang et al. [46]).
+
+Vehicles organize by a *priority neighborhood following* mechanism: each
+vehicle passively follows its highest-priority neighbor (the most stable
+node it can hear), chains of followership terminate at local maxima which
+become heads, and a member may sit up to ``n_hops`` from its head.  The
+"passive" part is the cost model: no dedicated formation round-trips are
+needed beyond the beacons vehicles already send, so ``control_messages``
+only counts the piggybacked priority announcements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ...errors import ConfigurationError
+from ...mobility.vehicle import Vehicle
+from .base import Cluster, ClusteringAlgorithm, ClusterSet, neighbors_within
+
+
+class PassiveMultihopClustering(ClusteringAlgorithm):
+    """N-hop clustering where the most stable node becomes head."""
+
+    name = "passive-multihop"
+
+    def __init__(self, n_hops: int = 2) -> None:
+        if n_hops < 1:
+            raise ConfigurationError("n_hops must be >= 1")
+        self.n_hops = n_hops
+
+    @staticmethod
+    def priority(vehicle: Vehicle, neighbors: Sequence[Vehicle]) -> float:
+        """Stability priority: low relative mobility, high degree.
+
+        Relative mobility is the mean speed difference to neighbors; a
+        vehicle matching the local flow has priority close to its degree.
+        """
+        if not neighbors:
+            return 0.0
+        relative_mobility = sum(
+            vehicle.relative_speed(other) for other in neighbors
+        ) / len(neighbors)
+        return len(neighbors) / (1.0 + relative_mobility)
+
+    def form(
+        self, vehicles: Sequence[Vehicle], range_m: float, now: float = 0.0
+    ) -> ClusterSet:
+        adjacency = neighbors_within(vehicles, range_m)
+        by_id: Dict[str, Vehicle] = {v.vehicle_id: v for v in vehicles}
+        priorities = {
+            vid: self.priority(by_id[vid], adjacency[vid]) for vid in by_id
+        }
+
+        # Priority neighbor following: each vehicle points at the best
+        # neighbor (or itself if it is the local maximum).
+        follows: Dict[str, str] = {}
+        for vid in by_id:
+            best = vid
+            best_priority = priorities[vid]
+            for neighbor in adjacency[vid]:
+                nid = neighbor.vehicle_id
+                if (priorities[nid], nid) > (best_priority, best):
+                    best = nid
+                    best_priority = priorities[nid]
+            follows[vid] = best
+
+        # Resolve follower chains to their fixpoint: each hop strictly
+        # increases (priority, id), so chains terminate at local maxima.
+        # The N-hop bound is enforced afterwards by the reachability BFS.
+        head_of: Dict[str, str] = {}
+        for vid in by_id:
+            current = vid
+            while follows[current] != current:
+                current = follows[current]
+            head_of[vid] = current
+
+        # Group members under heads, then enforce the N-hop bound by BFS.
+        grouped: Dict[str, List[str]] = {}
+        for vid, head in head_of.items():
+            grouped.setdefault(head, []).append(vid)
+
+        clusters: List[Cluster] = []
+        control_messages = 0
+        for head, members in sorted(grouped.items()):
+            reachable = self._within_hops(head, adjacency, set(members))
+            in_cluster = sorted(m for m in members if m in reachable)
+            stranded = [m for m in members if m not in reachable]
+            clusters.append(Cluster(head_id=head, member_ids=in_cluster, formed_at=now))
+            # Piggybacked priority exchange: one per member.
+            control_messages += len(in_cluster)
+            # Stranded followers become singleton clusters.
+            for orphan in sorted(stranded):
+                clusters.append(Cluster(head_id=orphan, member_ids=[orphan], formed_at=now))
+                control_messages += 1
+        return ClusterSet(clusters=clusters, control_messages=control_messages)
+
+    def _within_hops(
+        self,
+        head: str,
+        adjacency: Dict[str, List[Vehicle]],
+        candidates: Set[str],
+    ) -> Set[str]:
+        """Return the candidate ids within ``n_hops`` of the head."""
+        frontier = {head}
+        reachable = {head}
+        for _ in range(self.n_hops):
+            next_frontier: Set[str] = set()
+            for vid in frontier:
+                for neighbor in adjacency.get(vid, []):
+                    nid = neighbor.vehicle_id
+                    if nid in candidates and nid not in reachable:
+                        reachable.add(nid)
+                        next_frontier.add(nid)
+            frontier = next_frontier
+        return reachable

@@ -1,0 +1,84 @@
+"""RSU-anchored clustering (infrastructure-based formation).
+
+Clusters form around road-side units: every vehicle inside an RSU's
+coverage joins that RSU's cluster, and the vehicle nearest the RSU acts
+as the on-road head (the RSU itself is infrastructure, not a vehicle).
+Vehicles outside all coverage are left unclustered — exactly the
+availability gap the paper attributes to infrastructure-based v-clouds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...errors import ConfigurationError
+from ...geometry import Vec2
+from ...mobility.vehicle import Vehicle
+from .base import Cluster, ClusteringAlgorithm, ClusterSet
+
+
+class RsuAnchoredClustering(ClusteringAlgorithm):
+    """Clusters pinned to fixed RSU positions."""
+
+    name = "rsu-anchored"
+
+    def __init__(self, rsu_positions: Sequence[Vec2], coverage_m: float = 500.0) -> None:
+        if not rsu_positions:
+            raise ConfigurationError("at least one RSU position is required")
+        if coverage_m <= 0:
+            raise ConfigurationError("coverage_m must be positive")
+        self.rsu_positions = list(rsu_positions)
+        self.coverage_m = coverage_m
+
+    def form(
+        self, vehicles: Sequence[Vehicle], range_m: float, now: float = 0.0
+    ) -> ClusterSet:
+        # Assign each covered vehicle to its nearest covering RSU.
+        assignment: Dict[int, List[Vehicle]] = {i: [] for i in range(len(self.rsu_positions))}
+        control_messages = 0
+        for vehicle in vehicles:
+            best_index = None
+            best_distance = self.coverage_m
+            for index, rsu_pos in enumerate(self.rsu_positions):
+                distance = vehicle.position.distance_to(rsu_pos)
+                if distance <= best_distance:
+                    best_index = index
+                    best_distance = distance
+            if best_index is not None:
+                assignment[best_index].append(vehicle)
+                # Registration message to the RSU.
+                control_messages += 1
+
+        clusters: List[Cluster] = []
+        for index, members in assignment.items():
+            if not members:
+                continue
+            rsu_pos = self.rsu_positions[index]
+            head = min(
+                members,
+                key=lambda v: (v.position.distance_to(rsu_pos), v.vehicle_id),
+            )
+            clusters.append(
+                Cluster(
+                    head_id=head.vehicle_id,
+                    member_ids=sorted(v.vehicle_id for v in members),
+                    formed_at=now,
+                )
+            )
+            # Head appointment message from the RSU.
+            control_messages += 1
+        return ClusterSet(clusters=clusters, control_messages=control_messages)
+
+    def coverage_fraction(self, vehicles: Sequence[Vehicle]) -> float:
+        """Return the fraction of vehicles inside any RSU's coverage."""
+        if not vehicles:
+            return 0.0
+        covered = sum(
+            1
+            for vehicle in vehicles
+            if any(
+                vehicle.position.distance_to(pos) <= self.coverage_m
+                for pos in self.rsu_positions
+            )
+        )
+        return covered / len(vehicles)

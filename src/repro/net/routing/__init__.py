@@ -1,0 +1,27 @@
+"""Routing protocols for VANET message delivery."""
+
+from .base import (
+    DeliveryRecord,
+    NetworkView,
+    RoutingHarness,
+    RoutingProtocol,
+    RoutingStats,
+)
+from .carry_forward import CarryForwardRouting
+from .cluster_routing import ClusterRouting
+from .epidemic import EpidemicRouting
+from .greedy import GreedyGeographicRouting
+from .moving_zone import MovingZoneRouting
+
+__all__ = [
+    "CarryForwardRouting",
+    "ClusterRouting",
+    "DeliveryRecord",
+    "EpidemicRouting",
+    "GreedyGeographicRouting",
+    "MovingZoneRouting",
+    "NetworkView",
+    "RoutingHarness",
+    "RoutingProtocol",
+    "RoutingStats",
+]

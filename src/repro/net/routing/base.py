@@ -1,0 +1,301 @@
+"""Routing abstractions and the hop-by-hop delivery harness.
+
+Routing protocols are *local* policies: given the current node, the
+destination, and the node's view of the network, pick the next hop(s).
+The :class:`RoutingHarness` wires a protocol into real channel traffic —
+forwarding happens on message receipt, losses come from the channel
+model, and latency accumulates per hop — so protocols are compared under
+identical radio conditions (experiment E7).
+
+Geographic protocols assume a location service that can resolve a
+destination id to a position (standard in the VANET literature, e.g.
+GPSR); :class:`NetworkView` provides it from simulation ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ...errors import RoutingError
+from ...geometry import Vec2
+from ...mobility.vehicle import Vehicle
+from ...sim.world import World
+from ..channel import WirelessChannel
+from ..messages import Message, MessageKind, data_message
+from ..node import NetworkNode
+
+
+class NetworkView:
+    """A node's (idealized) view of network state for routing decisions."""
+
+    def __init__(self, channel: WirelessChannel) -> None:
+        self.channel = channel
+
+    def position_of(self, node_id: str) -> Optional[Vec2]:
+        """Resolve a node id to its current position (location service)."""
+        if not self.channel.is_attached(node_id):
+            return None
+        return self.channel.node(node_id).position
+
+    def neighbors(self, node_id: str) -> List[str]:
+        """Return ids of nodes currently in radio range of ``node_id``."""
+        if not self.channel.is_attached(node_id):
+            return []
+        return [n.node_id for n in self.channel.neighbors_of(node_id)]
+
+    def is_alive(self, node_id: str) -> bool:
+        """Return True if the node is attached to the channel."""
+        return self.channel.is_attached(node_id)
+
+
+class RoutingProtocol:
+    """Base class for routing policies."""
+
+    name = "base"
+    #: Flooding protocols fan out to many neighbors per hop.
+    is_flooding = False
+    #: Store-carry-forward: when no next hop exists, hold the message at
+    #: the current (moving) node and retry after this many seconds.
+    #: 0 disables carrying (drop at local maxima instead).
+    hold_retry_interval_s = 0.0
+    #: Give up carrying after this long.
+    max_hold_s = 0.0
+
+    def prepare(
+        self, view: NetworkView, vehicles: Sequence[Vehicle], now: float = 0.0
+    ) -> int:
+        """One-time setup (cluster formation etc.).
+
+        Returns the number of control messages the setup cost.
+        """
+        return 0
+
+    def refresh(
+        self, view: NetworkView, vehicles: Sequence[Vehicle], now: float = 0.0
+    ) -> int:
+        """Periodic maintenance after mobility; returns control messages."""
+        return 0
+
+    def next_hops(
+        self, current_id: str, dst_id: str, message: Message, view: NetworkView
+    ) -> List[str]:
+        """Return the neighbor ids to forward to (empty = drop)."""
+        raise NotImplementedError
+
+
+@dataclass
+class DeliveryRecord:
+    """Outcome bookkeeping for one routed message."""
+
+    msg_id: str
+    src_id: str
+    dst_id: str
+    sent_at: float
+    delivered: bool = False
+    delivered_at: Optional[float] = None
+    hop_count: int = 0
+    transmissions: int = 0
+    drop_reason: Optional[str] = None
+    path: tuple = ()
+    carries: int = 0  # store-carry-forward hold periods used
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end delay, or None if never delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+
+@dataclass
+class RoutingStats:
+    """Aggregate statistics over a batch of routed messages."""
+
+    records: List[DeliveryRecord] = field(default_factory=list)
+    control_messages: int = 0
+
+    @property
+    def sent(self) -> int:
+        """Number of messages originated."""
+        return len(self.records)
+
+    @property
+    def delivered(self) -> int:
+        """Number delivered to their destination."""
+        return sum(1 for r in self.records if r.delivered)
+
+    @property
+    def pdr(self) -> float:
+        """Packet delivery ratio."""
+        if not self.records:
+            return 0.0
+        return self.delivered / len(self.records)
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count over delivered messages."""
+        hops = [r.hop_count for r in self.records if r.delivered]
+        if not hops:
+            return 0.0
+        return sum(hops) / len(hops)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency over delivered messages."""
+        latencies = [r.latency_s for r in self.records if r.latency_s is not None]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    @property
+    def total_transmissions(self) -> int:
+        """All frames transmitted on behalf of routed messages."""
+        return sum(r.transmissions for r in self.records)
+
+    @property
+    def overhead_per_delivery(self) -> float:
+        """Transmissions (data + control) per delivered message."""
+        if self.delivered == 0:
+            return float("inf")
+        return (self.total_transmissions + self.control_messages) / self.delivered
+
+
+class RoutingHarness:
+    """Drives a routing protocol over live channel traffic."""
+
+    def __init__(
+        self,
+        world: World,
+        channel: WirelessChannel,
+        protocol: RoutingProtocol,
+        nodes: Sequence[NetworkNode],
+    ) -> None:
+        self.world = world
+        self.channel = channel
+        self.protocol = protocol
+        self.view = NetworkView(channel)
+        self.stats = RoutingStats()
+        self._records: Dict[str, DeliveryRecord] = {}
+        self._seen: Dict[str, Set[str]] = {}
+        self._nodes = {node.node_id: node for node in nodes}
+        for node in nodes:
+            node.on(MessageKind.DATA, self._make_handler(node))
+
+    def prepare(self, vehicles: Sequence[Vehicle]) -> None:
+        """Run the protocol's setup and account its control cost."""
+        self.stats.control_messages += self.protocol.prepare(
+            self.view, vehicles, self.world.now
+        )
+
+    def refresh(self, vehicles: Sequence[Vehicle]) -> None:
+        """Run the protocol's maintenance step."""
+        self.stats.control_messages += self.protocol.refresh(
+            self.view, vehicles, self.world.now
+        )
+
+    def send(self, src_id: str, dst_id: str, size_bytes: int = 512) -> DeliveryRecord:
+        """Originate a routed message; returns its live record."""
+        if src_id not in self._nodes:
+            raise RoutingError(f"unknown source node {src_id!r}")
+        message = data_message(
+            src=src_id,
+            dst=dst_id,
+            size_bytes=size_bytes,
+            created_at=self.world.now,
+            payload={"route_dst": dst_id},
+        )
+        record = DeliveryRecord(
+            msg_id=message.msg_id,
+            src_id=src_id,
+            dst_id=dst_id,
+            sent_at=self.world.now,
+        )
+        self._records[message.msg_id] = record
+        self.stats.records.append(record)
+        self._seen[message.msg_id] = {src_id}
+        self._forward(src_id, message, record)
+        return record
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_handler(self, node: NetworkNode):
+        def _handle(message: Message, from_id: str) -> None:
+            self._on_data(node, message, from_id)
+
+        return _handle
+
+    def _on_data(self, node: NetworkNode, message: Message, from_id: str) -> None:
+        record = self._records.get(message.msg_id)
+        if record is None:
+            return  # not one of ours (e.g. application traffic)
+        seen = self._seen.setdefault(message.msg_id, set())
+        if node.node_id in seen and self.protocol.is_flooding:
+            return  # duplicate suppression
+        seen.add(node.node_id)
+        if node.node_id == record.dst_id:
+            if not record.delivered:
+                record.delivered = True
+                record.delivered_at = self.world.now
+                record.hop_count = len(message.path) + 1
+                record.path = message.path + (node.node_id,)
+            return
+        if record.delivered:
+            return  # flooding copies still in flight after delivery
+        if message.expired():
+            record.drop_reason = record.drop_reason or "ttl"
+            return
+        self._forward(node.node_id, message.forwarded_by(node.node_id), record)
+
+    def _forward(
+        self,
+        current_id: str,
+        message: Message,
+        record: DeliveryRecord,
+        held_since: Optional[float] = None,
+    ) -> None:
+        hops = self.protocol.next_hops(current_id, record.dst_id, message, self.view)
+        if not hops:
+            if self._try_carry(current_id, message, record, held_since):
+                return
+            record.drop_reason = record.drop_reason or "no_next_hop"
+            return
+        seen = self._seen.setdefault(message.msg_id, set())
+        node = self._nodes.get(current_id)
+        if node is None:
+            record.drop_reason = record.drop_reason or "relay_departed"
+            return
+        for hop in hops:
+            if self.protocol.is_flooding and hop in seen:
+                continue
+            record.transmissions += 1
+            node.send(hop, message)
+
+    def _try_carry(
+        self,
+        current_id: str,
+        message: Message,
+        record: DeliveryRecord,
+        held_since: Optional[float],
+    ) -> bool:
+        """Store-carry-forward: hold the message on a moving relay.
+
+        Returns True when a retry was scheduled; False means the protocol
+        does not carry (or the hold budget ran out) and the message drops.
+        """
+        interval = self.protocol.hold_retry_interval_s
+        if interval <= 0 or record.delivered:
+            return False
+        start = held_since if held_since is not None else self.world.now
+        if self.world.now - start + interval > self.protocol.max_hold_s:
+            record.drop_reason = record.drop_reason or "carry_timeout"
+            return False
+        if current_id not in self._nodes:
+            return False
+        record.carries += 1
+        self.world.engine.schedule(
+            interval,
+            lambda: self._forward(current_id, message, record, held_since=start),
+            label="carry-retry",
+        )
+        return True

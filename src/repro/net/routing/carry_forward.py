@@ -1,0 +1,33 @@
+"""Store-carry-forward geographic routing (DTN-style).
+
+Sparse VANETs partition; the survey's bus-based street-centric routing
+(Sun et al. [36]) works because vehicles *physically carry* messages
+across the gaps.  This protocol forwards greedily while progress exists
+and otherwise holds the message on the current (moving) relay, retrying
+every ``hold_retry_interval_s`` until mobility produces a next hop or
+the hold budget expires.
+
+The trade: far higher delivery in sparse scenes, paid in latency —
+carrying happens at vehicle speed, not radio speed.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from .greedy import GreedyGeographicRouting
+
+
+class CarryForwardRouting(GreedyGeographicRouting):
+    """Greedy forwarding plus mobility-assisted carrying at local maxima."""
+
+    name = "carry-forward"
+
+    def __init__(
+        self, hold_retry_interval_s: float = 1.0, max_hold_s: float = 60.0
+    ) -> None:
+        if hold_retry_interval_s <= 0:
+            raise ConfigurationError("hold_retry_interval_s must be positive")
+        if max_hold_s < hold_retry_interval_s:
+            raise ConfigurationError("max_hold_s must cover at least one retry")
+        self.hold_retry_interval_s = hold_retry_interval_s
+        self.max_hold_s = max_hold_s

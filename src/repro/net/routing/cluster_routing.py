@@ -1,0 +1,105 @@
+"""Cluster-head overlay routing (CBLTR-flavoured, Abuashour et al. [1]).
+
+Members send via their cluster head; heads forward across the head
+overlay toward the destination's cluster.  Head-to-head forwarding uses
+geographic progress over *any* physical neighbor (members act as
+gateways), so a hop in the overlay may be several physical hops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...mobility.vehicle import Vehicle
+from ..clustering.base import ClusteringAlgorithm, ClusterSet
+from ..clustering.mobility_clustering import MobilityClustering
+from ..messages import Message
+from .base import NetworkView, RoutingProtocol
+
+
+class ClusterRouting(RoutingProtocol):
+    """Route member -> head -> (overlay) -> head -> member."""
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        clustering: Optional[ClusteringAlgorithm] = None,
+        cluster_range_m: float = 300.0,
+    ) -> None:
+        self._clustering = clustering if clustering is not None else MobilityClustering()
+        self.cluster_range_m = cluster_range_m
+        self.clusters: ClusterSet = ClusterSet()
+        self._cluster_of: Dict[str, int] = {}
+
+    def prepare(
+        self, view: NetworkView, vehicles: Sequence[Vehicle], now: float = 0.0
+    ) -> int:
+        return self.refresh(view, vehicles, now)
+
+    def refresh(
+        self, view: NetworkView, vehicles: Sequence[Vehicle], now: float = 0.0
+    ) -> int:
+        self.clusters = self._clustering.maintain(
+            self.clusters, vehicles, self.cluster_range_m, now
+        )
+        self._cluster_of = {}
+        for index, cluster in enumerate(self.clusters.clusters):
+            for member in cluster.member_ids:
+                self._cluster_of[member] = index
+        return self.clusters.control_messages
+
+    def head_of(self, node_id: str) -> Optional[str]:
+        """Return the head id of the node's cluster, if clustered."""
+        index = self._cluster_of.get(node_id)
+        if index is None:
+            return None
+        return self.clusters.clusters[index].head_id
+
+    def next_hops(
+        self, current_id: str, dst_id: str, message: Message, view: NetworkView
+    ) -> List[str]:
+        neighbors = view.neighbors(current_id)
+        if dst_id in neighbors:
+            return [dst_id]
+        dst_position = view.position_of(dst_id)
+        current_position = view.position_of(current_id)
+        if dst_position is None or current_position is None:
+            return []
+
+        my_head = self.head_of(current_id)
+        dst_head = self.head_of(dst_id)
+
+        # A member first hands the message to its own head (one overlay
+        # entry point), unless the head is unreachable right now.
+        if my_head is not None and my_head != current_id and my_head in neighbors:
+            # Avoid bouncing: only go to the head if it was not the relay
+            # that just gave us the message.  ``path`` already ends with
+            # the current node, so the previous relay is one slot back.
+            if len(message.path) >= 2:
+                previous_relay = message.path[-2]
+            elif message.path:
+                previous_relay = message.src
+            else:
+                previous_relay = None
+            if previous_relay != my_head:
+                return [my_head]
+
+        # Heads (or members acting as gateways) forward with geographic
+        # progress, preferring neighbors in the destination's cluster.
+        best_id = None
+        best_key = (1, current_position.distance_to(dst_position))
+        for neighbor_id in neighbors:
+            neighbor_position = view.position_of(neighbor_id)
+            if neighbor_position is None:
+                continue
+            in_dst_cluster = (
+                dst_head is not None and self.head_of(neighbor_id) == dst_head
+            )
+            key = (0 if in_dst_cluster else 1, neighbor_position.distance_to(dst_position))
+            if key < best_key:
+                best_key = key
+                best_id = neighbor_id
+        if best_id is None:
+            return []
+        return [best_id]

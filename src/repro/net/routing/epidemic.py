@@ -1,0 +1,38 @@
+"""Epidemic (flooding) routing baseline.
+
+Every relay rebroadcasts to all neighbors it has not already infected.
+Maximal delivery probability, maximal overhead — the upper/lower bound
+pair against which the efficient protocols are judged in experiment E7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..messages import Message
+from .base import NetworkView, RoutingProtocol
+
+
+class EpidemicRouting(RoutingProtocol):
+    """Flood the message through every reachable node."""
+
+    name = "epidemic"
+    is_flooding = True
+
+    def __init__(self, fanout_limit: int = 0) -> None:
+        """``fanout_limit`` of 0 means unlimited; otherwise cap copies per hop."""
+        self.fanout_limit = fanout_limit
+
+    def next_hops(
+        self, current_id: str, dst_id: str, message: Message, view: NetworkView
+    ) -> List[str]:
+        neighbors = view.neighbors(current_id)
+        if dst_id in neighbors:
+            # Always include the destination itself, then flood the rest.
+            others = [n for n in neighbors if n != dst_id]
+            if self.fanout_limit:
+                others = others[: self.fanout_limit - 1]
+            return [dst_id] + others
+        if self.fanout_limit:
+            return neighbors[: self.fanout_limit]
+        return neighbors

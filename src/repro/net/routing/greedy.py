@@ -1,0 +1,44 @@
+"""Greedy geographic forwarding (GPSR-style baseline).
+
+Each relay forwards to the neighbor that makes the most geographic
+progress toward the destination.  Messages die at local maxima (no
+neighbor closer than self) — the classic failure mode that
+cluster/zone-aware protocols are designed to mitigate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..messages import Message
+from .base import NetworkView, RoutingProtocol
+
+
+class GreedyGeographicRouting(RoutingProtocol):
+    """Forward to the neighbor geographically closest to the destination."""
+
+    name = "greedy"
+
+    def next_hops(
+        self, current_id: str, dst_id: str, message: Message, view: NetworkView
+    ) -> List[str]:
+        dst_position = view.position_of(dst_id)
+        current_position = view.position_of(current_id)
+        if dst_position is None or current_position is None:
+            return []
+        my_distance = current_position.distance_to(dst_position)
+        best_id = None
+        best_distance = my_distance
+        for neighbor_id in view.neighbors(current_id):
+            if neighbor_id == dst_id:
+                return [dst_id]
+            neighbor_position = view.position_of(neighbor_id)
+            if neighbor_position is None:
+                continue
+            distance = neighbor_position.distance_to(dst_position)
+            if distance < best_distance:
+                best_distance = distance
+                best_id = neighbor_id
+        if best_id is None:
+            return []  # local maximum: greedy fails here
+        return [best_id]

@@ -1,0 +1,143 @@
+"""Moving-zone routing (after MoZo, Lin et al. [22]).
+
+Vehicles are grouped into *moving zones* — clusters built from heading
+and speed similarity rather than bare position — and messages travel
+zone-to-zone using pure V2V communication, with no infrastructure
+involvement.  Within a zone the captain knows the membership; across
+zones the relay picks the neighbor whose zone is making the best
+progress toward the destination.
+
+The mobility-aware grouping is the point: on a highway, position-only
+clusters mix opposing traffic and shatter within seconds, while moving
+zones persist, so zone-level forwarding decisions stay valid longer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...geometry import Vec2
+from ...mobility.vehicle import Vehicle
+from ..clustering.base import ClusterSet
+from ..clustering.mobility_clustering import MobilityClustering
+from ..messages import Message
+from .base import NetworkView, RoutingProtocol
+
+
+class MovingZoneRouting(RoutingProtocol):
+    """Zone-based V2V routing with mobility-aware zone formation."""
+
+    name = "moving-zone"
+
+    def __init__(self, zone_range_m: float = 300.0, max_zone_size: int = 32) -> None:
+        # Heavily weight co-movement and keep opposing traffic out of the
+        # zone entirely, as MoZo does.
+        self._clustering = MobilityClustering(
+            degree_weight=0.2,
+            speed_weight=0.4,
+            heading_weight=0.4,
+            max_cluster_size=max_zone_size,
+            min_alignment=0.7,
+        )
+        self.zone_range_m = zone_range_m
+        self.zones: ClusterSet = ClusterSet()
+        self._zone_of: Dict[str, int] = {}
+        self._vehicles: Dict[str, Vehicle] = {}
+
+    # -- zone maintenance ---------------------------------------------------
+
+    def prepare(
+        self, view: NetworkView, vehicles: Sequence[Vehicle], now: float = 0.0
+    ) -> int:
+        return self.refresh(view, vehicles, now)
+
+    def refresh(
+        self, view: NetworkView, vehicles: Sequence[Vehicle], now: float = 0.0
+    ) -> int:
+        self._vehicles = {v.vehicle_id: v for v in vehicles}
+        self.zones = self._clustering.maintain(
+            self.zones, vehicles, self.zone_range_m, now
+        )
+        self._zone_of = {}
+        for index, zone in enumerate(self.zones.clusters):
+            for member in zone.member_ids:
+                self._zone_of[member] = index
+        return self.zones.control_messages
+
+    def zone_index_of(self, node_id: str) -> Optional[int]:
+        """Return the zone index of a vehicle, if it is zoned."""
+        return self._zone_of.get(node_id)
+
+    def _zone_centroid(self, index: int) -> Optional[Vec2]:
+        try:
+            return self.zones.clusters[index].centroid_of(self._vehicles)
+        except Exception:
+            return None
+
+    # -- forwarding ------------------------------------------------------------
+
+    def next_hops(
+        self, current_id: str, dst_id: str, message: Message, view: NetworkView
+    ) -> List[str]:
+        neighbors = view.neighbors(current_id)
+        if dst_id in neighbors:
+            return [dst_id]
+        dst_position = view.position_of(dst_id)
+        current_position = view.position_of(current_id)
+        if dst_position is None or current_position is None:
+            return []
+
+        my_zone = self._zone_of.get(current_id)
+        dst_zone = self._zone_of.get(dst_id)
+
+        # Intra-zone: relay via the captain, who knows the membership.
+        if my_zone is not None and my_zone == dst_zone:
+            captain = self.zones.clusters[my_zone].head_id
+            if captain != current_id and captain in neighbors:
+                return [captain]
+            # Captain unreachable: fall through to geographic progress.
+
+        # Inter-zone: prefer the neighbor whose *zone* makes the best
+        # progress toward the destination; within the current zone, plain
+        # geographic progress applies (the zone centroid would tie).
+        my_distance = current_position.distance_to(dst_position)
+        my_primary = my_distance
+        if my_zone is not None:
+            my_centroid = self._zone_centroid(my_zone)
+            if my_centroid is not None:
+                my_primary = my_centroid.distance_to(dst_position)
+        best_id = None
+        best_key = (my_primary, my_distance)
+        for neighbor_id in neighbors:
+            neighbor_position = view.position_of(neighbor_id)
+            if neighbor_position is None:
+                continue
+            neighbor_distance = neighbor_position.distance_to(dst_position)
+            zone_index = self._zone_of.get(neighbor_id)
+            primary = neighbor_distance
+            if zone_index is not None and zone_index != my_zone:
+                zone_centroid = self._zone_centroid(zone_index)
+                if zone_centroid is not None:
+                    primary = zone_centroid.distance_to(dst_position)
+            key = (primary, neighbor_distance)
+            if key < best_key:
+                best_key = key
+                best_id = neighbor_id
+        if best_id is not None:
+            return [best_id]
+        # Zone-level progress stalled (e.g. a zone centroid sits behind
+        # the relay): recover with plain geographic progress so the zone
+        # heuristic never does worse than greedy.
+        fallback_id = None
+        fallback_distance = my_distance
+        for neighbor_id in neighbors:
+            neighbor_position = view.position_of(neighbor_id)
+            if neighbor_position is None:
+                continue
+            distance = neighbor_position.distance_to(dst_position)
+            if distance < fallback_distance:
+                fallback_distance = distance
+                fallback_id = neighbor_id
+        if fallback_id is None:
+            return []
+        return [fallback_id]

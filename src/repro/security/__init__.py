@@ -1,0 +1,66 @@
+"""Security stack: crypto, identities, PKI, authentication, access control."""
+
+from .batch import BatchItem, BatchVerifier, PrecomputedSigner
+from .crypto import (
+    CryptoCostModel,
+    CryptoOp,
+    DEFAULT_COSTS,
+    GroupSignature,
+    GroupSignatureScheme,
+    HmacScheme,
+    KeyPair,
+    Signature,
+    SignatureScheme,
+    serialize_for_signing,
+    sha256_hex,
+)
+from .identity import (
+    Certificate,
+    Pseudonym,
+    PseudonymPool,
+    RealIdentity,
+    RotatingIdentity,
+    StaticIdentity,
+)
+from .pki import Enrollment, TrustedAuthority
+from .revocation import BloomRevocationFilter, RevocationList
+from .secret_sharing import (
+    DistributedSecretStore,
+    SecretShare,
+    reconstruct_secret,
+    split_secret,
+)
+from .tokens import ServiceAccessToken, TokenService
+
+__all__ = [
+    "DistributedSecretStore",
+    "SecretShare",
+    "reconstruct_secret",
+    "split_secret",
+    "BatchItem",
+    "BatchVerifier",
+    "PrecomputedSigner",
+    "BloomRevocationFilter",
+    "Certificate",
+    "CryptoCostModel",
+    "CryptoOp",
+    "DEFAULT_COSTS",
+    "Enrollment",
+    "GroupSignature",
+    "GroupSignatureScheme",
+    "HmacScheme",
+    "KeyPair",
+    "Pseudonym",
+    "PseudonymPool",
+    "RealIdentity",
+    "RevocationList",
+    "RotatingIdentity",
+    "ServiceAccessToken",
+    "Signature",
+    "SignatureScheme",
+    "StaticIdentity",
+    "TokenService",
+    "TrustedAuthority",
+    "serialize_for_signing",
+    "sha256_hex",
+]

@@ -1,0 +1,76 @@
+"""Privacy-preserving access control for vehicular clouds (§III.C, §IV.C, §V.C)."""
+
+from .abe import AbeAuthority, AbeCiphertext, AbeKey, AbePolicy
+from .anonymous import (
+    AccessTicket,
+    AnonymousAccessIssuer,
+    AnonymousAccessVerifier,
+    Capability,
+)
+from .attributes import AttributeSet
+from .audit import AuditLog, AuditRecord
+from .context import AccessContext, AccessRequest, OperatingMode, VehicleRole
+from .emergency import EmergencyEscalator, EmergencyGrant, EmergencyRule
+from .engine import Decision, PolicyDecisionPoint
+from .package import AccessOutcome, DataPolicyPackage
+from .policy import (
+    ALWAYS,
+    AllOf,
+    AnyOf,
+    AttributeEquals,
+    AutomationAtLeast,
+    Condition,
+    Effect,
+    GroupIs,
+    ModeIs,
+    Policy,
+    Predicate,
+    RoleIs,
+    Rule,
+    SpeedBelow,
+    WithinArea,
+    deny,
+    permit,
+)
+
+__all__ = [
+    "AccessTicket",
+    "AnonymousAccessIssuer",
+    "AnonymousAccessVerifier",
+    "Capability",
+    "ALWAYS",
+    "AbeAuthority",
+    "AbeCiphertext",
+    "AbeKey",
+    "AbePolicy",
+    "AccessContext",
+    "AccessOutcome",
+    "AccessRequest",
+    "AllOf",
+    "AnyOf",
+    "AttributeEquals",
+    "AttributeSet",
+    "AuditLog",
+    "AuditRecord",
+    "AutomationAtLeast",
+    "Condition",
+    "DataPolicyPackage",
+    "Decision",
+    "deny",
+    "Effect",
+    "EmergencyEscalator",
+    "EmergencyGrant",
+    "EmergencyRule",
+    "GroupIs",
+    "ModeIs",
+    "OperatingMode",
+    "permit",
+    "Policy",
+    "PolicyDecisionPoint",
+    "Predicate",
+    "RoleIs",
+    "Rule",
+    "SpeedBelow",
+    "VehicleRole",
+    "WithinArea",
+]

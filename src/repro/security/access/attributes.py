@@ -1,0 +1,74 @@
+"""Attribute sets for attribute-based access control.
+
+Vehicles hold attributes ("role=head", "sensors=lidar", "region=east")
+issued by authorities; policies and ABE ciphertexts reference them.  An
+:class:`AttributeSet` is immutable so a credential cannot be quietly
+edited after issuance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ...errors import AuthorizationError
+
+
+class AttributeSet:
+    """An immutable mapping of attribute name to value."""
+
+    def __init__(self, attributes: Optional[Mapping[str, object]] = None) -> None:
+        self._attributes: Dict[str, object] = dict(attributes or {})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def __iter__(self) -> Iterator[Tuple[str, object]]:
+        return iter(self._attributes.items())
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeSet):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attributes.items()))
+        return f"AttributeSet({inner})"
+
+    def get(self, name: str, default: object = None) -> object:
+        """Return an attribute value or ``default``."""
+        return self._attributes.get(name, default)
+
+    def require(self, name: str) -> object:
+        """Return an attribute value, raising if absent."""
+        if name not in self._attributes:
+            raise AuthorizationError(f"missing required attribute: {name!r}")
+        return self._attributes[name]
+
+    def names(self) -> Iterable[str]:
+        """Return the attribute names."""
+        return self._attributes.keys()
+
+    def with_attribute(self, name: str, value: object) -> "AttributeSet":
+        """Return a copy with one attribute added/overridden."""
+        merged = dict(self._attributes)
+        merged[name] = value
+        return AttributeSet(merged)
+
+    def without_attribute(self, name: str) -> "AttributeSet":
+        """Return a copy with one attribute removed."""
+        remaining = {k: v for k, v in self._attributes.items() if k != name}
+        return AttributeSet(remaining)
+
+    def satisfies(self, required: Mapping[str, object]) -> bool:
+        """True if every required name/value pair is held exactly."""
+        return all(
+            name in self._attributes and self._attributes[name] == value
+            for name, value in required.items()
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a mutable copy of the underlying mapping."""
+        return dict(self._attributes)

@@ -1,0 +1,77 @@
+"""Audit logging for data access.
+
+The paper requires that "any access to the data will trigger automatic
+logging actions for future auditing" (§V.C).  The log records decisions
+against *pseudonyms*, preserving privacy, while the TA's escrow can
+attribute entries to real identities during an investigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One access attempt against a protected object."""
+
+    time: float
+    package_id: str
+    requester: str  # pseudonym
+    action: str
+    resource: str
+    permitted: bool
+    matched_rule_id: Optional[str] = None
+
+
+@dataclass
+class AuditLog:
+    """An append-only record of access decisions."""
+
+    records: List[AuditRecord] = field(default_factory=list)
+
+    def append(self, record: AuditRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def for_package(self, package_id: str) -> List[AuditRecord]:
+        """All records about one data-policy package."""
+        return [r for r in self.records if r.package_id == package_id]
+
+    def for_requester(self, requester: str) -> List[AuditRecord]:
+        """All records from one (pseudonymous) requester."""
+        return [r for r in self.records if r.requester == requester]
+
+    def denials(self) -> List[AuditRecord]:
+        """All denied attempts."""
+        return [r for r in self.records if not r.permitted]
+
+    def between(self, start: float, end: float) -> List[AuditRecord]:
+        """Records in the half-open time window [start, end)."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def denial_rate(self) -> float:
+        """Fraction of attempts denied (0 for an empty log)."""
+        if not self.records:
+            return 0.0
+        return len(self.denials()) / len(self.records)
+
+    def suspicious_requesters(self, min_denials: int = 3) -> List[str]:
+        """Pseudonyms with at least ``min_denials`` denied attempts.
+
+        Candidates to hand to the TA's escrow for de-anonymization.
+        """
+        counts: dict = {}
+        for record in self.records:
+            if not record.permitted:
+                counts[record.requester] = counts.get(record.requester, 0) + 1
+        return sorted(r for r, c in counts.items() if c >= min_denials)
+
+    def merge(self, other: "AuditLog") -> "AuditLog":
+        """Return a new, time-ordered combined log."""
+        combined = sorted(self.records + other.records, key=lambda r: r.time)
+        return AuditLog(records=combined)

@@ -1,0 +1,73 @@
+"""Access-request context.
+
+The paper requires policies "under varying contexts" — role in the
+current group, location, speed, automation level, operating mode
+(§III.C).  A :class:`AccessContext` snapshots all of that at request
+time so the policy engine evaluates against the situation the vehicle is
+*actually in*, not a stale registration record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...geometry import Vec2
+from ...mobility.equipment import AutomationLevel
+from .attributes import AttributeSet
+
+
+class VehicleRole(enum.Enum):
+    """Roles a vehicle may hold within a v-cloud (paper §III.A)."""
+
+    HEAD = "head"
+    MEMBER = "member"
+    STORAGE_NODE = "storage_node"
+    BUFFER_NODE = "buffer_node"
+    GATEWAY = "gateway"
+    OUTSIDER = "outsider"
+
+
+class OperatingMode(enum.Enum):
+    """Cloud operating modes (paper §V.A)."""
+
+    NORMAL = "normal"
+    EVENT = "event"
+    EMERGENCY = "emergency"
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Everything the policy engine may condition on."""
+
+    requester: str  # on-air identity (pseudonym), never the real id
+    role: VehicleRole = VehicleRole.MEMBER
+    location: Optional[Vec2] = None
+    speed_mps: float = 0.0
+    automation_level: AutomationLevel = AutomationLevel.HIGH_AUTOMATION
+    mode: OperatingMode = OperatingMode.NORMAL
+    group_id: Optional[str] = None
+    time: float = 0.0
+    attributes: AttributeSet = field(default_factory=AttributeSet)
+
+    def with_mode(self, mode: OperatingMode) -> "AccessContext":
+        """Return a copy in a different operating mode."""
+        from dataclasses import replace
+
+        return replace(self, mode=mode)
+
+    def with_role(self, role: VehicleRole) -> "AccessContext":
+        """Return a copy holding a different role."""
+        from dataclasses import replace
+
+        return replace(self, role=role)
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """One authorization question: may ``context`` do ``action`` on ``resource``?"""
+
+    context: AccessContext
+    action: str  # "read" | "write" | "compute" | "share" | ...
+    resource: str  # hierarchical path, e.g. "sensor/lidar/frames"

@@ -1,0 +1,118 @@
+"""Emergency permission escalation.
+
+The paper's hardest authorization deadline: "if emergencies come up,
+such as one vehicle hit ice on the road, additional permissions on the
+data which may not be accessible in normal scenario should be granted to
+another vehicle in milliseconds" (§III.C).
+
+The escalator keeps a small, pre-compiled table of emergency grants so
+the fast path is a dictionary probe plus one HMAC — no full policy walk —
+and every grant is time-boxed and audit-logged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import ConfigurationError
+from .audit import AuditLog, AuditRecord
+from .context import AccessContext, OperatingMode
+
+
+@dataclass(frozen=True)
+class EmergencyGrant:
+    """A time-boxed elevated permission."""
+
+    grant_id: str
+    requester: str
+    resource: str
+    action: str
+    granted_at: float
+    expires_at: float
+    latency_s: float
+
+    def is_active(self, now: float) -> bool:
+        """True while the grant has not expired."""
+        return now <= self.expires_at
+
+
+@dataclass
+class EmergencyRule:
+    """One pre-compiled escalation: (resource, action) available in emergencies."""
+
+    resource: str
+    action: str
+    ttl_s: float = 60.0
+
+
+class EmergencyEscalator:
+    """Millisecond-class permission escalation for emergency mode."""
+
+    #: Fast-path evaluation cost: table probe + HMAC-class check.
+    FAST_PATH_COST_S = 1.5e-4
+
+    def __init__(self, rules: Optional[List[EmergencyRule]] = None) -> None:
+        self._table: Dict[Tuple[str, str], EmergencyRule] = {}
+        self._grant_counter = 0
+        self.grants_issued = 0
+        self.denials = 0
+        for rule in rules or []:
+            self.register(rule)
+
+    def register(self, rule: EmergencyRule) -> None:
+        """Pre-compile one escalation rule into the fast-path table."""
+        if rule.ttl_s <= 0:
+            raise ConfigurationError("grant ttl_s must be positive")
+        self._table[(rule.resource, rule.action)] = rule
+
+    def rules_count(self) -> int:
+        """Number of pre-compiled escalations."""
+        return len(self._table)
+
+    def request(
+        self,
+        context: AccessContext,
+        resource: str,
+        action: str,
+        audit_log: Optional[AuditLog] = None,
+    ) -> Optional[EmergencyGrant]:
+        """Request an emergency grant.
+
+        Returns None (and counts a denial) when the context is not in
+        emergency mode or no escalation is registered for the
+        resource/action pair.  The grant's ``latency_s`` is the fast-path
+        cost — the number experiment E4 compares against the paper's
+        milliseconds budget.
+        """
+        permitted = (
+            context.mode is OperatingMode.EMERGENCY
+            and (resource, action) in self._table
+        )
+        if audit_log is not None:
+            audit_log.append(
+                AuditRecord(
+                    time=context.time,
+                    package_id="emergency",
+                    requester=context.requester,
+                    action=action,
+                    resource=resource,
+                    permitted=permitted,
+                    matched_rule_id="emergency-fast-path" if permitted else None,
+                )
+            )
+        if not permitted:
+            self.denials += 1
+            return None
+        rule = self._table[(resource, action)]
+        self._grant_counter += 1
+        self.grants_issued += 1
+        return EmergencyGrant(
+            grant_id=f"egrant-{self._grant_counter}",
+            requester=context.requester,
+            resource=resource,
+            action=action,
+            granted_at=context.time,
+            expires_at=context.time + rule.ttl_s,
+            latency_s=self.FAST_PATH_COST_S,
+        )

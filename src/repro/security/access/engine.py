@@ -1,0 +1,109 @@
+"""Policy decision point (PDP) with deadline accounting.
+
+The paper's authorization challenge is temporal: "the verification of
+access rights needs to be completed within stringent time constraints
+... in milliseconds" (§III.C).  The PDP therefore reports the virtual
+time every decision cost, and decisions know whether they met their
+deadline, so experiment E4 can sweep policy size against latency budget.
+
+Semantics: deny-overrides among matching rules at the highest matching
+priority, default deny when nothing matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .context import AccessRequest
+from .policy import Effect, Policy, Rule
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The PDP's answer to one access request."""
+
+    permitted: bool
+    latency_s: float
+    matched_rule_id: Optional[str]
+    rules_evaluated: int
+    default_deny: bool = False
+
+    def met_deadline(self, deadline_s: float) -> bool:
+        """True if the decision completed within ``deadline_s``."""
+        return self.latency_s <= deadline_s
+
+
+class PolicyDecisionPoint:
+    """Evaluates access requests against policies with cost accounting."""
+
+    #: Virtual seconds per condition-unit evaluated.
+    DEFAULT_COST_PER_UNIT_S = 5e-6
+
+    def __init__(self, cost_per_unit_s: float = DEFAULT_COST_PER_UNIT_S) -> None:
+        self.cost_per_unit_s = cost_per_unit_s
+        self.decisions_made = 0
+
+    def evaluate(self, policy: Policy, request: AccessRequest) -> Decision:
+        """Decide one request; latency reflects rules actually touched.
+
+        Evaluation walks rules in priority order; within one priority
+        level, a DENY match overrides PERMIT matches.  Evaluation stops
+        at the first priority level that produced any match.
+        """
+        self.decisions_made += 1
+        cost_units = 0
+        rules_touched = 0
+        current_priority: Optional[int] = None
+        level_permit: Optional[Rule] = None
+        level_deny: Optional[Rule] = None
+
+        for rule in policy.sorted_rules():
+            if current_priority is not None and rule.priority != current_priority:
+                decision = self._conclude_level(level_permit, level_deny)
+                if decision is not None:
+                    return self._finish(decision, cost_units, rules_touched)
+                level_permit = None
+                level_deny = None
+            current_priority = rule.priority
+            rules_touched += 1
+            cost_units += 1  # scope check
+            if not rule.applies_to(request):
+                continue
+            cost_units += rule.condition.cost_units
+            if not rule.condition.matches(request.context):
+                continue
+            if rule.effect is Effect.DENY:
+                level_deny = rule
+            else:
+                level_permit = rule
+
+        decision = self._conclude_level(level_permit, level_deny)
+        if decision is not None:
+            return self._finish(decision, cost_units, rules_touched)
+        # Default deny.
+        return Decision(
+            permitted=False,
+            latency_s=cost_units * self.cost_per_unit_s,
+            matched_rule_id=None,
+            rules_evaluated=rules_touched,
+            default_deny=True,
+        )
+
+    @staticmethod
+    def _conclude_level(
+        level_permit: Optional[Rule], level_deny: Optional[Rule]
+    ) -> Optional[Rule]:
+        if level_deny is not None:
+            return level_deny
+        if level_permit is not None:
+            return level_permit
+        return None
+
+    def _finish(self, rule: Rule, cost_units: int, rules_touched: int) -> Decision:
+        return Decision(
+            permitted=rule.effect is Effect.PERMIT,
+            latency_s=cost_units * self.cost_per_unit_s,
+            matched_rule_id=rule.rule_id,
+            rules_evaluated=rules_touched,
+        )

@@ -1,0 +1,232 @@
+"""Access-control policies.
+
+A :class:`Policy` is a prioritized rule list with deny-overrides
+semantics and a default-deny fallback.  Conditions are small composable
+predicate objects over the :class:`AccessContext`, so policies can
+express the paper's examples directly — "in group A a vehicle serves as
+head node and can access road conditions ... in group B it serves as
+video buffering node and can only access video data in its own storage".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from ...geometry import Vec2
+from .context import AccessContext, AccessRequest, OperatingMode, VehicleRole
+
+
+class Effect(enum.Enum):
+    """What a matching rule decides."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class Condition:
+    """Base predicate over an access context."""
+
+    #: Relative evaluation cost in "condition units" (engine converts to time).
+    cost_units = 1
+
+    def matches(self, context: AccessContext) -> bool:
+        """Return True if the context satisfies this condition."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "AllOf":
+        return AllOf([self, other])
+
+    def __or__(self, other: "Condition") -> "AnyOf":
+        return AnyOf([self, other])
+
+
+@dataclass(frozen=True)
+class RoleIs(Condition):
+    """Requester holds one of the given roles."""
+
+    roles: Tuple[VehicleRole, ...]
+
+    def __init__(self, *roles: VehicleRole) -> None:
+        object.__setattr__(self, "roles", tuple(roles))
+
+    def matches(self, context: AccessContext) -> bool:
+        return context.role in self.roles
+
+
+@dataclass(frozen=True)
+class ModeIs(Condition):
+    """Cloud is in one of the given operating modes."""
+
+    modes: Tuple[OperatingMode, ...]
+
+    def __init__(self, *modes: OperatingMode) -> None:
+        object.__setattr__(self, "modes", tuple(modes))
+
+    def matches(self, context: AccessContext) -> bool:
+        return context.mode in self.modes
+
+
+@dataclass(frozen=True)
+class GroupIs(Condition):
+    """Requester belongs to a specific group."""
+
+    group_id: str
+
+    def matches(self, context: AccessContext) -> bool:
+        return context.group_id == self.group_id
+
+
+@dataclass(frozen=True)
+class AttributeEquals(Condition):
+    """Requester's attribute has an exact value."""
+
+    name: str
+    value: object
+
+    def matches(self, context: AccessContext) -> bool:
+        return context.attributes.get(self.name) == self.value
+
+
+@dataclass(frozen=True)
+class SpeedBelow(Condition):
+    """Requester is moving slower than a bound."""
+
+    limit_mps: float
+
+    def matches(self, context: AccessContext) -> bool:
+        return context.speed_mps < self.limit_mps
+
+
+@dataclass(frozen=True)
+class AutomationAtLeast(Condition):
+    """Requester's automation level meets a floor."""
+
+    minimum: int
+
+    def matches(self, context: AccessContext) -> bool:
+        return int(context.automation_level) >= self.minimum
+
+
+class WithinArea(Condition):
+    """Requester is inside a circular geographic area."""
+
+    cost_units = 2
+
+    def __init__(self, center: Vec2, radius_m: float) -> None:
+        if radius_m <= 0:
+            raise ConfigurationError("radius_m must be positive")
+        self.center = center
+        self.radius_m = radius_m
+
+    def matches(self, context: AccessContext) -> bool:
+        if context.location is None:
+            return False
+        return context.location.distance_to(self.center) <= self.radius_m
+
+
+class AllOf(Condition):
+    """Conjunction of conditions."""
+
+    def __init__(self, conditions: Sequence[Condition]) -> None:
+        self.conditions = list(conditions)
+        self.cost_units = sum(c.cost_units for c in self.conditions)
+
+    def matches(self, context: AccessContext) -> bool:
+        return all(c.matches(context) for c in self.conditions)
+
+
+class AnyOf(Condition):
+    """Disjunction of conditions."""
+
+    def __init__(self, conditions: Sequence[Condition]) -> None:
+        self.conditions = list(conditions)
+        self.cost_units = sum(c.cost_units for c in self.conditions)
+
+    def matches(self, context: AccessContext) -> bool:
+        return any(c.matches(context) for c in self.conditions)
+
+
+class Predicate(Condition):
+    """Escape hatch: arbitrary callable predicate."""
+
+    cost_units = 3
+
+    def __init__(self, fn: Callable[[AccessContext], bool], label: str = "custom") -> None:
+        self.fn = fn
+        self.label = label
+
+    def matches(self, context: AccessContext) -> bool:
+        return self.fn(context)
+
+
+ALWAYS = Predicate(lambda _context: True, label="always")
+ALWAYS.cost_units = 0
+
+
+@dataclass
+class Rule:
+    """One policy rule: effect + actions + resource scope + condition."""
+
+    rule_id: str
+    effect: Effect
+    actions: Tuple[str, ...]
+    resource_prefix: str
+    condition: Condition = ALWAYS
+    priority: int = 0
+
+    def applies_to(self, request: AccessRequest) -> bool:
+        """True if the rule's action/resource scope covers the request."""
+        if "*" not in self.actions and request.action not in self.actions:
+            return False
+        return request.resource.startswith(self.resource_prefix)
+
+    def matches(self, request: AccessRequest) -> bool:
+        """True if the rule both applies and its condition holds."""
+        return self.applies_to(request) and self.condition.matches(request.context)
+
+
+@dataclass
+class Policy:
+    """A prioritized rule set with deny-overrides and default deny."""
+
+    policy_id: str
+    rules: List[Rule] = field(default_factory=list)
+
+    def add_rule(self, rule: Rule) -> "Policy":
+        """Append a rule (fluent)."""
+        self.rules.append(rule)
+        return self
+
+    def sorted_rules(self) -> List[Rule]:
+        """Rules in evaluation order: priority descending, stable."""
+        return sorted(self.rules, key=lambda r: -r.priority)
+
+    @property
+    def total_cost_units(self) -> int:
+        """Worst-case evaluation cost in condition units."""
+        return sum(r.condition.cost_units + 1 for r in self.rules)
+
+
+def permit(
+    rule_id: str,
+    actions: Sequence[str],
+    resource_prefix: str,
+    condition: Condition = ALWAYS,
+    priority: int = 0,
+) -> Rule:
+    """Build a PERMIT rule."""
+    return Rule(rule_id, Effect.PERMIT, tuple(actions), resource_prefix, condition, priority)
+
+
+def deny(
+    rule_id: str,
+    actions: Sequence[str],
+    resource_prefix: str,
+    condition: Condition = ALWAYS,
+    priority: int = 0,
+) -> Rule:
+    """Build a DENY rule."""
+    return Rule(rule_id, Effect.DENY, tuple(actions), resource_prefix, condition, priority)

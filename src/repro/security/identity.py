@@ -1,0 +1,123 @@
+"""Identities, certificates and pseudonyms.
+
+The split the paper insists on: a vehicle has one *real identity* known
+to the trusted authority, and puts *pseudonyms* on the air.  Privacy is
+preserved to the degree that on-air identities cannot be linked back to
+the real identity — the tracking adversary of experiment E3 measures
+exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SecurityError
+from .crypto import KeyPair, Signature
+
+
+@dataclass(frozen=True)
+class RealIdentity:
+    """A vehicle's registered legal identity (license/VIN-level)."""
+
+    real_id: str
+    owner: str = ""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A credential binding a subject id to a public key, signed by the TA."""
+
+    subject_id: str
+    public_id: str
+    issued_at: float
+    expires_at: float
+    issuer_id: str
+    signature: Optional[Signature] = None
+
+    def is_expired(self, now: float) -> bool:
+        """Return True once past the expiry time."""
+        return now > self.expires_at
+
+
+@dataclass(frozen=True)
+class Pseudonym:
+    """One disposable on-air identity with its keypair and certificate."""
+
+    pseudonym_id: str
+    keypair: KeyPair
+    certificate: Certificate
+
+
+@dataclass
+class PseudonymPool:
+    """The pre-loaded pool of pseudonyms a vehicle rotates through."""
+
+    pseudonyms: List[Pseudonym] = field(default_factory=list)
+    used: int = 0
+
+    @property
+    def remaining(self) -> int:
+        """Pseudonyms not yet consumed."""
+        return len(self.pseudonyms) - self.used
+
+    def current(self) -> Pseudonym:
+        """Return the pseudonym currently in use."""
+        if not self.pseudonyms:
+            raise SecurityError("pseudonym pool is empty")
+        return self.pseudonyms[min(self.used, len(self.pseudonyms) - 1)]
+
+    def rotate(self) -> Pseudonym:
+        """Advance to the next pseudonym; returns the new current one.
+
+        Raises once the pool is exhausted — the caller must refill from
+        the TA (an infrastructure interaction the experiments count).
+        """
+        if self.used + 1 >= len(self.pseudonyms):
+            raise SecurityError("pseudonym pool exhausted; refill required")
+        self.used += 1
+        return self.current()
+
+    def refill(self, fresh: List[Pseudonym]) -> None:
+        """Append fresh pseudonyms from the TA."""
+        self.pseudonyms.extend(fresh)
+
+
+class RotatingIdentity:
+    """Identity provider that changes pseudonym on a fixed interval.
+
+    Plugs into :class:`repro.net.beacon.BeaconService` so the on-air
+    source id changes every ``change_interval_s`` — the standard defence
+    against trajectory linking.
+    """
+
+    def __init__(self, pool: PseudonymPool, change_interval_s: float) -> None:
+        if change_interval_s <= 0:
+            raise SecurityError("change_interval_s must be positive")
+        self.pool = pool
+        self.change_interval_s = change_interval_s
+        self._last_rotation = 0.0
+        self.rotations = 0
+        self.exhausted = False
+
+    def current_identity(self, now: float) -> str:
+        """Return the pseudonym id to put on the air at time ``now``."""
+        if now - self._last_rotation >= self.change_interval_s:
+            try:
+                self.pool.rotate()
+                self.rotations += 1
+            except SecurityError:
+                self.exhausted = True
+            self._last_rotation = now
+        return self.pool.current().pseudonym_id
+
+
+class StaticIdentity:
+    """Identity provider that never changes (the no-privacy baseline)."""
+
+    def __init__(self, identity: str) -> None:
+        self.identity = identity
+
+    def current_identity(self, now: float) -> str:
+        """Always return the same id."""
+        return self.identity

@@ -1,0 +1,25 @@
+"""Authentication protocol families of the paper's §IV.B."""
+
+from .base import (
+    AuthProtocol,
+    AuthResult,
+    EnrollmentReceipt,
+    LinkProfile,
+    MessageAuthCost,
+)
+from .group import GroupAuthProtocol
+from .hybrid import HybridAuthProtocol
+from .pseudonym import PseudonymAuthProtocol
+from .randomized import RandomizedAuthProtocol
+
+__all__ = [
+    "AuthProtocol",
+    "AuthResult",
+    "EnrollmentReceipt",
+    "GroupAuthProtocol",
+    "HybridAuthProtocol",
+    "LinkProfile",
+    "MessageAuthCost",
+    "PseudonymAuthProtocol",
+    "RandomizedAuthProtocol",
+]

@@ -1,0 +1,115 @@
+"""Authentication protocol interface.
+
+Protocols expose three measurable surfaces, matching the axes of the
+paper's Fig. 5 comparison:
+
+* ``enroll``      — the registration-phase cost (always involves the TA);
+* ``mutual_authenticate`` — the V2V handshake: latency, bytes, rounds,
+  and how many *infrastructure* messages it needed right now;
+* ``message_overhead_bytes`` / ``sign_message`` / ``verify_message`` —
+  the steady-state per-message authentication cost.
+
+A handshake is attempted under a :class:`LinkProfile` describing current
+radio conditions, and with an ``infra_available`` flag — protocols that
+need the RSU/TA mid-handshake fail when it is False, which is how
+experiment E3 (and the disaster runs of E2/E10) expose infrastructure
+reliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import AuthenticationError
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Current radio conditions for a handshake."""
+
+    v2v_latency_s: float = 0.004
+    infra_rtt_s: float = 0.050
+
+    def handshake_latency(self, rounds: int) -> float:
+        """Air-time latency of a ``rounds``-message V2V exchange."""
+        return rounds * self.v2v_latency_s
+
+
+@dataclass(frozen=True)
+class EnrollmentReceipt:
+    """Result of registration with the TA."""
+
+    real_id: str
+    latency_s: float
+    infra_messages: int
+
+
+@dataclass(frozen=True)
+class AuthResult:
+    """Outcome of one mutual authentication attempt."""
+
+    success: bool
+    latency_s: float
+    bytes_on_air: int
+    rounds: int
+    infra_messages: int = 0
+    reason: str = ""
+
+    def require_success(self) -> "AuthResult":
+        """Raise if the handshake failed; returns self otherwise."""
+        if not self.success:
+            raise AuthenticationError(f"authentication failed: {self.reason}")
+        return self
+
+
+@dataclass(frozen=True)
+class MessageAuthCost:
+    """Cost of authenticating one steady-state message."""
+
+    sign_cost_s: float
+    verify_cost_s: float
+    overhead_bytes: int
+
+
+class AuthProtocol:
+    """Base class for the protocol families of §IV.B."""
+
+    name = "base"
+    #: True if the handshake itself can proceed with no infrastructure.
+    infrastructure_free_handshake = True
+
+    def enroll(self, real_id: str, now: float = 0.0) -> EnrollmentReceipt:
+        """Register a vehicle with the TA (one-time, infra required)."""
+        raise NotImplementedError
+
+    def is_enrolled(self, real_id: str) -> bool:
+        """Return True if the vehicle completed enrollment."""
+        raise NotImplementedError
+
+    def mutual_authenticate(
+        self,
+        initiator_id: str,
+        responder_id: str,
+        now: float,
+        link: Optional[LinkProfile] = None,
+        infra_available: bool = True,
+    ) -> AuthResult:
+        """Run a mutual V2V handshake between two enrolled vehicles."""
+        raise NotImplementedError
+
+    def message_auth_cost(self, session_established: bool = True) -> MessageAuthCost:
+        """Per-message signing/verification cost in steady state."""
+        raise NotImplementedError
+
+    def on_air_identity(self, real_id: str, now: float) -> str:
+        """The identity this protocol exposes on the air right now."""
+        raise NotImplementedError
+
+    def identity_linkable_by_peer(self) -> bool:
+        """Whether an eavesdropping peer can link consecutive identities.
+
+        Used by the privacy experiment to sanity-check measured
+        linkability against the protocol's design intent.
+        """
+        raise NotImplementedError

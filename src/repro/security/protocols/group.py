@@ -1,0 +1,168 @@
+"""Group-signature-based authentication (§IV.B.1, second family).
+
+Vehicles enroll into signature groups; a handshake exchanges group
+signatures over nonces, so a verifier learns only *which group* the peer
+belongs to.  The family's documented properties emerge here as:
+
+* group signature operations are an order of magnitude costlier than
+  plain ECDSA (the "high computation cost of the bilinear pairing"
+  critique of Islam et al. [12]);
+* group state must be periodically re-keyed through infrastructure —
+  "heavily rely on some sort of infrastructure such as road side units"
+  (Fig. 5).  When the RSU is unreachable and the epoch key is stale, the
+  handshake fails;
+* privacy is *conditional*: peers cannot identify the signer, but the
+  group manager (TA or cluster coordinator) can ``open`` signatures —
+  "locations and identities ... are still known to the group
+  coordinators".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ...errors import SecurityError
+from ..crypto import serialize_for_signing
+from ..identity import RealIdentity
+from ..pki import TrustedAuthority
+from .base import (
+    AuthProtocol,
+    AuthResult,
+    EnrollmentReceipt,
+    LinkProfile,
+    MessageAuthCost,
+)
+
+_DEFAULT_LINK = LinkProfile()
+
+
+@dataclass
+class _Membership:
+    group_id: str
+    member_key: str
+    last_rekey: float
+
+
+class GroupAuthProtocol(AuthProtocol):
+    """Threshold-style anonymous authentication within signature groups."""
+
+    name = "group"
+    infrastructure_free_handshake = False
+
+    def __init__(
+        self,
+        authority: TrustedAuthority,
+        group_id: str = "vc-group-1",
+        rekey_interval_s: float = 300.0,
+    ) -> None:
+        if rekey_interval_s <= 0:
+            raise SecurityError("rekey_interval_s must be positive")
+        self.authority = authority
+        self.group_id = group_id
+        self.rekey_interval_s = rekey_interval_s
+        self._members: Dict[str, _Membership] = {}
+        self.rekeys = 0
+        if not authority.group_signatures.has_group(group_id):
+            authority.create_group(group_id)
+
+    # -- enrollment -----------------------------------------------------------
+
+    def enroll(self, real_id: str, now: float = 0.0) -> EnrollmentReceipt:
+        if not self.authority.is_registered(real_id):
+            self.authority.register_vehicle(RealIdentity(real_id), now)
+        member_key = self.authority.join_group(real_id, self.group_id)
+        self._members[real_id] = _Membership(
+            group_id=self.group_id, member_key=member_key, last_rekey=now
+        )
+        # Registration + group join: heavier infra involvement.
+        return EnrollmentReceipt(
+            real_id=real_id, latency_s=2 * _DEFAULT_LINK.infra_rtt_s, infra_messages=4
+        )
+
+    def is_enrolled(self, real_id: str) -> bool:
+        return real_id in self._members
+
+    def on_air_identity(self, real_id: str, now: float) -> str:
+        if real_id not in self._members:
+            raise SecurityError(f"vehicle not enrolled: {real_id!r}")
+        # Anonymous within the group: the air identity is the group tag.
+        return f"grp:{self.group_id}"
+
+    # -- handshake ----------------------------------------------------------------
+
+    def mutual_authenticate(
+        self,
+        initiator_id: str,
+        responder_id: str,
+        now: float,
+        link: Optional[LinkProfile] = None,
+        infra_available: bool = True,
+    ) -> AuthResult:
+        link = link if link is not None else _DEFAULT_LINK
+        total_bytes = 0
+        crypto_cost = 0.0
+        infra_messages = 0
+
+        for real_id in (initiator_id, responder_id):
+            membership = self._members.get(real_id)
+            if membership is None:
+                return AuthResult(False, 0.0, 0, 0, reason=f"{real_id} not enrolled")
+            if now - membership.last_rekey > self.rekey_interval_s:
+                # Stale epoch key: must reach the RSU/TA to re-key.
+                if not infra_available:
+                    return AuthResult(
+                        False,
+                        link.handshake_latency(1),
+                        0,
+                        1,
+                        reason=f"{real_id} group key stale, no infrastructure",
+                    )
+                membership.last_rekey = now
+                self.rekeys += 1
+                infra_messages += 2
+                crypto_cost += link.infra_rtt_s
+
+        scheme = self.authority.group_signatures
+        success = True
+        for prover in (initiator_id, responder_id):
+            membership = self._members[prover]
+            nonce = serialize_for_signing("gauth", self.group_id, now, prover)
+            sign_op = scheme.sign(
+                self.group_id, prover, membership.member_key, nonce
+            )
+            crypto_cost += sign_op.cost_s
+            total_bytes += sign_op.size_bytes + 32
+            verify_op = scheme.verify(nonce, sign_op.value)
+            crypto_cost += verify_op.cost_s
+            success = success and verify_op.value
+
+        latency = link.handshake_latency(2) + crypto_cost
+        return AuthResult(
+            success=success,
+            latency_s=latency,
+            bytes_on_air=total_bytes,
+            rounds=2,
+            infra_messages=infra_messages,
+            reason="" if success else "group signature invalid",
+        )
+
+    # -- steady state -----------------------------------------------------------------
+
+    def message_auth_cost(self, session_established: bool = True) -> MessageAuthCost:
+        costs = self.authority.costs
+        # No CRL scan (revocation is handled by group re-keying), but the
+        # signature itself is large and slow.
+        return MessageAuthCost(
+            sign_cost_s=costs.group_sign_s,
+            verify_cost_s=costs.group_verify_s,
+            overhead_bytes=costs.group_signature_bytes,
+        )
+
+    def identity_linkable_by_peer(self) -> bool:
+        # All members look identical on the air.
+        return False
+
+    def coordinator_can_identify(self) -> bool:
+        """The conditional-privacy caveat: the manager can open signatures."""
+        return True

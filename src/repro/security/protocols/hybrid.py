@@ -1,0 +1,163 @@
+"""Hybrid pseudonym + group authentication (after Rajput et al. [31]).
+
+Pseudonyms act as *trapdoors* inside a group context: the first contact
+between two vehicles runs a pseudonym-certificate handshake, after which
+the pair derives a session key and authenticates subsequent exchanges
+with cheap HMACs.  Vehicles are "not ... involved in the certificate
+revocation list management" — revocation rides on short pseudonym
+lifetimes instead of CRL scans — so the handshake avoids both the CRL
+cost of the pseudonym family and the pairing cost of the group family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ...errors import SecurityError
+from ..crypto import HmacScheme, serialize_for_signing
+from ..identity import PseudonymPool, RealIdentity, RotatingIdentity
+from ..pki import TrustedAuthority
+from .base import (
+    AuthProtocol,
+    AuthResult,
+    EnrollmentReceipt,
+    LinkProfile,
+    MessageAuthCost,
+)
+
+_DEFAULT_LINK = LinkProfile()
+
+
+class HybridAuthProtocol(AuthProtocol):
+    """First-contact certificates, then HMAC sessions; no CRL scans."""
+
+    name = "hybrid"
+    infrastructure_free_handshake = True
+
+    def __init__(
+        self,
+        authority: TrustedAuthority,
+        pool_size: int = 20,
+        change_interval_s: float = 60.0,
+        session_lifetime_s: float = 120.0,
+    ) -> None:
+        self.authority = authority
+        self.pool_size = pool_size
+        self.change_interval_s = change_interval_s
+        self.session_lifetime_s = session_lifetime_s
+        self.hmac = HmacScheme(authority.costs)
+        self._pools: Dict[str, PseudonymPool] = {}
+        self._rotators: Dict[str, RotatingIdentity] = {}
+        self._sessions: Dict[Tuple[str, str], float] = {}  # pair -> established_at
+        self.session_hits = 0
+        self.full_handshakes = 0
+
+    # -- enrollment -----------------------------------------------------------
+
+    def enroll(self, real_id: str, now: float = 0.0) -> EnrollmentReceipt:
+        if not self.authority.is_registered(real_id):
+            self.authority.register_vehicle(RealIdentity(real_id), now)
+        pool = self.authority.issue_pseudonyms(real_id, self.pool_size, now)
+        self._pools[real_id] = pool
+        self._rotators[real_id] = RotatingIdentity(pool, self.change_interval_s)
+        return EnrollmentReceipt(
+            real_id=real_id, latency_s=2 * _DEFAULT_LINK.infra_rtt_s, infra_messages=4
+        )
+
+    def is_enrolled(self, real_id: str) -> bool:
+        return real_id in self._pools
+
+    def on_air_identity(self, real_id: str, now: float) -> str:
+        rotator = self._rotators.get(real_id)
+        if rotator is None:
+            raise SecurityError(f"vehicle not enrolled: {real_id!r}")
+        return rotator.current_identity(now)
+
+    # -- handshake ----------------------------------------------------------------
+
+    def _pair_key(self, a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def has_session(self, a: str, b: str, now: float) -> bool:
+        """Return True if an unexpired session exists for the pair."""
+        established = self._sessions.get(self._pair_key(a, b))
+        return established is not None and now - established <= self.session_lifetime_s
+
+    def mutual_authenticate(
+        self,
+        initiator_id: str,
+        responder_id: str,
+        now: float,
+        link: Optional[LinkProfile] = None,
+        infra_available: bool = True,
+    ) -> AuthResult:
+        link = link if link is not None else _DEFAULT_LINK
+        for real_id in (initiator_id, responder_id):
+            if real_id not in self._pools:
+                return AuthResult(False, 0.0, 0, 0, reason=f"{real_id} not enrolled")
+
+        costs = self.authority.costs
+        if self.has_session(initiator_id, responder_id, now):
+            # Fast path: mutual HMAC challenge over the session key.
+            self.session_hits += 1
+            session_key = self._session_key(initiator_id, responder_id)
+            challenge = serialize_for_signing("fast", initiator_id, responder_id, now)
+            tag_op = self.hmac.tag(session_key, challenge)
+            verify_op = self.hmac.verify(session_key, challenge, tag_op.value)
+            crypto_cost = 2 * (tag_op.cost_s + verify_op.cost_s)
+            return AuthResult(
+                success=verify_op.value,
+                latency_s=link.handshake_latency(2) + crypto_cost,
+                bytes_on_air=2 * (tag_op.size_bytes + 32),
+                rounds=2,
+            )
+
+        # Slow path: certificate handshake (no CRL scan) + key agreement.
+        self.full_handshakes += 1
+        crypto_cost = 0.0
+        total_bytes = 0
+        success = True
+        for prover in (initiator_id, responder_id):
+            pseudonym = self._pools[prover].current()
+            nonce = serialize_for_signing("hauth", prover, now)
+            sign_op = self.authority.signatures.sign(pseudonym.keypair, nonce)
+            cert_op = self.authority.verify_certificate(pseudonym.certificate, now)
+            sig_op = self.authority.signatures.verify(
+                pseudonym.keypair.public_id, nonce, sign_op.value
+            )
+            crypto_cost += sign_op.cost_s + cert_op.cost_s + sig_op.cost_s
+            total_bytes += sign_op.size_bytes + costs.certificate_bytes + 32
+            success = success and cert_op.value and sig_op.value
+        if success:
+            self._sessions[self._pair_key(initiator_id, responder_id)] = now
+        return AuthResult(
+            success=success,
+            latency_s=link.handshake_latency(2) + crypto_cost,
+            bytes_on_air=total_bytes,
+            rounds=2,
+            reason="" if success else "certificate invalid",
+        )
+
+    def _session_key(self, a: str, b: str) -> bytes:
+        pair = self._pair_key(a, b)
+        return hashlib.sha256(f"session:{pair[0]}:{pair[1]}".encode()).digest()
+
+    # -- steady state -----------------------------------------------------------------
+
+    def message_auth_cost(self, session_established: bool = True) -> MessageAuthCost:
+        costs = self.authority.costs
+        if session_established:
+            return MessageAuthCost(
+                sign_cost_s=costs.hmac_s,
+                verify_cost_s=costs.hmac_s,
+                overhead_bytes=costs.hmac_bytes,
+            )
+        return MessageAuthCost(
+            sign_cost_s=costs.ecdsa_sign_s,
+            verify_cost_s=costs.ecdsa_verify_s * 2,
+            overhead_bytes=costs.signature_bytes + costs.certificate_bytes,
+        )
+
+    def identity_linkable_by_peer(self) -> bool:
+        return False

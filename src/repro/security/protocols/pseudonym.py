@@ -1,0 +1,172 @@
+"""Pseudonym-based authentication (§IV.B.1, first family).
+
+Each vehicle holds a TA-issued pool of certified pseudonyms and rotates
+through them.  A handshake exchanges certificates and signed nonces both
+ways; each side verifies the peer's certificate against the TA key,
+verifies the nonce signature, and scans the CRL for the peer's pseudonym.
+
+The family's documented weaknesses emerge from the cost model:
+
+* the CRL scan is linear in the number of revoked certificates ("the
+  checking process of the similarly huge pool of revoked certificates is
+  time-consuming"), so handshake latency grows as the CRL grows;
+* every message carries a certificate plus signature, the "high message
+  authentication overhead" of Fig. 5;
+* the TA can always link pseudonyms to the real identity (escrow), so
+  "privacy isn't fully preserved" against the identity issuer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...errors import SecurityError
+from ..crypto import serialize_for_signing
+from ..identity import PseudonymPool, RealIdentity, RotatingIdentity
+from ..pki import TrustedAuthority
+from .base import (
+    AuthProtocol,
+    AuthResult,
+    EnrollmentReceipt,
+    LinkProfile,
+    MessageAuthCost,
+)
+
+_DEFAULT_LINK = LinkProfile()
+
+
+class PseudonymAuthProtocol(AuthProtocol):
+    """Certificate-pool pseudonymous authentication."""
+
+    name = "pseudonym"
+    infrastructure_free_handshake = True
+
+    def __init__(
+        self,
+        authority: TrustedAuthority,
+        pool_size: int = 20,
+        change_interval_s: float = 60.0,
+    ) -> None:
+        if pool_size < 2:
+            raise SecurityError("pool_size must be at least 2")
+        self.authority = authority
+        self.pool_size = pool_size
+        self.change_interval_s = change_interval_s
+        self._pools: Dict[str, PseudonymPool] = {}
+        self._rotators: Dict[str, RotatingIdentity] = {}
+        self.refills = 0
+
+    # -- enrollment -----------------------------------------------------------
+
+    def enroll(self, real_id: str, now: float = 0.0) -> EnrollmentReceipt:
+        if not self.authority.is_registered(real_id):
+            self.authority.register_vehicle(RealIdentity(real_id), now)
+        pool = self.authority.issue_pseudonyms(real_id, self.pool_size, now)
+        self._pools[real_id] = pool
+        self._rotators[real_id] = RotatingIdentity(pool, self.change_interval_s)
+        # Registration + pool download: two infra round trips.
+        latency = 2 * _DEFAULT_LINK.infra_rtt_s
+        return EnrollmentReceipt(real_id=real_id, latency_s=latency, infra_messages=4)
+
+    def is_enrolled(self, real_id: str) -> bool:
+        return real_id in self._pools
+
+    def on_air_identity(self, real_id: str, now: float) -> str:
+        rotator = self._rotators.get(real_id)
+        if rotator is None:
+            raise SecurityError(f"vehicle not enrolled: {real_id!r}")
+        return rotator.current_identity(now)
+
+    def identity_provider(self, real_id: str) -> RotatingIdentity:
+        """Return the rotating identity provider for beacon integration."""
+        rotator = self._rotators.get(real_id)
+        if rotator is None:
+            raise SecurityError(f"vehicle not enrolled: {real_id!r}")
+        return rotator
+
+    # -- handshake ----------------------------------------------------------------
+
+    def mutual_authenticate(
+        self,
+        initiator_id: str,
+        responder_id: str,
+        now: float,
+        link: Optional[LinkProfile] = None,
+        infra_available: bool = True,
+    ) -> AuthResult:
+        link = link if link is not None else _DEFAULT_LINK
+        total_bytes = 0
+        crypto_cost = 0.0
+        infra_messages = 0
+        costs = self.authority.costs
+
+        for real_id in (initiator_id, responder_id):
+            pool = self._pools.get(real_id)
+            if pool is None:
+                return AuthResult(False, 0.0, 0, 0, reason=f"{real_id} not enrolled")
+            if pool.remaining <= 1:
+                # Pool refill is an infrastructure interaction.
+                if not infra_available:
+                    return AuthResult(
+                        False,
+                        link.handshake_latency(1),
+                        0,
+                        1,
+                        reason=f"{real_id} pseudonym pool exhausted, no infra",
+                    )
+                self.authority.refill_pseudonyms(real_id, pool, self.pool_size, now)
+                self.refills += 1
+                infra_messages += 2
+                crypto_cost += link.infra_rtt_s
+
+        side_results = []
+        for prover, verifier in (
+            (initiator_id, responder_id),
+            (responder_id, initiator_id),
+        ):
+            pseudonym = self._pools[prover].current()
+            nonce = serialize_for_signing("auth", prover, verifier, now)
+            sign_op = self.authority.signatures.sign(pseudonym.keypair, nonce)
+            crypto_cost += sign_op.cost_s
+            total_bytes += sign_op.size_bytes + costs.certificate_bytes + 32
+
+            cert_op = self.authority.verify_certificate(pseudonym.certificate, now)
+            crypto_cost += cert_op.cost_s
+            sig_op = self.authority.signatures.verify(
+                pseudonym.keypair.public_id, nonce, sign_op.value
+            )
+            crypto_cost += sig_op.cost_s
+            crl_op = self.authority.crl.check(pseudonym.pseudonym_id)
+            crypto_cost += crl_op.cost_s
+            side_results.append(
+                cert_op.value and sig_op.value and not crl_op.value
+            )
+
+        success = all(side_results)
+        latency = link.handshake_latency(2) + crypto_cost
+        reason = "" if success else "credential invalid or revoked"
+        return AuthResult(
+            success=success,
+            latency_s=latency,
+            bytes_on_air=total_bytes,
+            rounds=2,
+            infra_messages=infra_messages,
+            reason=reason,
+        )
+
+    # -- steady state -----------------------------------------------------------------
+
+    def message_auth_cost(self, session_established: bool = True) -> MessageAuthCost:
+        costs = self.authority.costs
+        # Every message carries certificate + signature; the verifier
+        # re-checks the CRL (this is the family's overhead signature).
+        crl_cost = self.authority.crl.check("probe").cost_s
+        return MessageAuthCost(
+            sign_cost_s=costs.ecdsa_sign_s,
+            verify_cost_s=costs.ecdsa_verify_s * 2 + crl_cost,
+            overhead_bytes=costs.signature_bytes + costs.certificate_bytes,
+        )
+
+    def identity_linkable_by_peer(self) -> bool:
+        # Within one rotation interval, yes; across rotations, no.
+        return False

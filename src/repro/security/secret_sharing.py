@@ -1,0 +1,194 @@
+"""Threshold secret sharing (§V.B).
+
+"In traditional scenarios, there are many existing methods, such as
+splitting information into different parts, then store and process these
+parts in several honest-but-curious servers to reduce the risk of
+privacy leakage."  In a v-cloud the honest-but-curious servers are other
+vehicles: a (k, n) split lets the owner scatter shares across cloud
+members so that any k of them reconstruct the secret but k-1 collaborate
+in vain — and departures of up to n-k holders lose nothing.
+
+Implementation: Shamir's scheme per byte over GF(257) would leak for the
+value 256, so we work over the prime field GF(2^61 - 1) on 7-byte blocks
+— real information-theoretic hiding, not a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import CryptoError
+from ..sim.rng import SeededRng
+
+#: A Mersenne prime comfortably above any 7-byte block value.
+PRIME = 2**61 - 1
+_BLOCK_BYTES = 7
+
+
+@dataclass(frozen=True)
+class SecretShare:
+    """One participant's share of a split secret."""
+
+    index: int  # the x-coordinate (1-based; 0 would leak the secret)
+    values: Tuple[int, ...]  # one field element per block
+    total_blocks: int
+    original_length: int
+    threshold: int
+
+
+def _blocks_of(secret: bytes) -> List[int]:
+    blocks = []
+    for offset in range(0, len(secret), _BLOCK_BYTES):
+        chunk = secret[offset : offset + _BLOCK_BYTES]
+        blocks.append(int.from_bytes(chunk, "big"))
+    return blocks
+
+
+def _bytes_of(blocks: Sequence[int], original_length: int) -> bytes:
+    out = bytearray()
+    for index, block in enumerate(blocks):
+        remaining = original_length - index * _BLOCK_BYTES
+        width = min(_BLOCK_BYTES, remaining)
+        # Legitimate blocks always fit in ``width`` bytes; a garbage
+        # reconstruction (wrong shares) may be any field element, so mask
+        # rather than crash — the caller gets bytes either way, just not
+        # the secret.
+        masked = int(block) % (1 << (8 * width))
+        out.extend(masked.to_bytes(width, "big"))
+    return bytes(out)
+
+
+def _eval_polynomial(coefficients: Sequence[int], x: int) -> int:
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % PRIME
+    return result
+
+
+def split_secret(
+    secret: bytes, n: int, k: int, rng: SeededRng
+) -> List[SecretShare]:
+    """Split ``secret`` into ``n`` shares, any ``k`` of which reconstruct.
+
+    Coefficients are drawn from the supplied deterministic RNG so
+    experiments replay; a deployment would use an OS CSPRNG here.
+    """
+    if not 1 <= k <= n:
+        raise CryptoError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if n >= PRIME:
+        raise CryptoError("n must be smaller than the field size")
+    if not secret:
+        raise CryptoError("cannot split an empty secret")
+    blocks = _blocks_of(secret)
+    # One random polynomial of degree k-1 per block; the constant term is
+    # the block value.
+    polynomials = [
+        [block] + [rng.randint(0, PRIME - 1) for _ in range(k - 1)]
+        for block in blocks
+    ]
+    shares = []
+    for index in range(1, n + 1):
+        values = tuple(_eval_polynomial(poly, index) for poly in polynomials)
+        shares.append(
+            SecretShare(
+                index=index,
+                values=values,
+                total_blocks=len(blocks),
+                original_length=len(secret),
+                threshold=k,
+            )
+        )
+    return shares
+
+
+def reconstruct_secret(shares: Sequence[SecretShare]) -> bytes:
+    """Recover the secret from at least ``threshold`` distinct shares."""
+    if not shares:
+        raise CryptoError("no shares supplied")
+    threshold = shares[0].threshold
+    blocks = shares[0].total_blocks
+    length = shares[0].original_length
+    for share in shares:
+        if (
+            share.threshold != threshold
+            or share.total_blocks != blocks
+            or share.original_length != length
+        ):
+            raise CryptoError("shares belong to different splits")
+    distinct: Dict[int, SecretShare] = {share.index: share for share in shares}
+    if len(distinct) < threshold:
+        raise CryptoError(
+            f"need {threshold} distinct shares, got {len(distinct)}"
+        )
+    chosen = list(distinct.values())[:threshold]
+    xs = [share.index for share in chosen]
+    recovered_blocks = []
+    for block_index in range(blocks):
+        ys = [share.values[block_index] for share in chosen]
+        recovered_blocks.append(_lagrange_at_zero(xs, ys))
+    return _bytes_of(recovered_blocks, length)
+
+
+def _lagrange_at_zero(xs: Sequence[int], ys: Sequence[int]) -> int:
+    total = 0
+    for i, (x_i, y_i) in enumerate(zip(xs, ys)):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = (numerator * (-x_j)) % PRIME
+            denominator = (denominator * (x_i - x_j)) % PRIME
+        total = (total + y_i * numerator * pow(denominator, PRIME - 2, PRIME)) % PRIME
+    return total
+
+
+class DistributedSecretStore:
+    """Scatter shares across cloud members; survive departures.
+
+    A thin orchestration layer over :func:`split_secret`: the store
+    places one share per member, tracks departures, and reports whether
+    reconstruction is still possible — the resilience/privacy trade the
+    paper's §V.B sketch implies (higher k: harder for curious members to
+    collude, easier to lose to churn).
+    """
+
+    def __init__(self, rng: SeededRng) -> None:
+        self.rng = rng
+        self._holdings: Dict[str, Dict[str, SecretShare]] = {}  # secret -> member -> share
+        self._thresholds: Dict[str, int] = {}
+
+    def scatter(
+        self, secret_id: str, secret: bytes, members: Sequence[str], k: int
+    ) -> int:
+        """Split across ``members``; returns the share count placed."""
+        if secret_id in self._holdings:
+            raise CryptoError(f"secret already scattered: {secret_id!r}")
+        shares = split_secret(secret, n=len(members), k=k, rng=self.rng)
+        self._holdings[secret_id] = dict(zip(members, shares))
+        self._thresholds[secret_id] = k
+        return len(shares)
+
+    def member_departed(self, member_id: str) -> None:
+        """A member left, taking its shares with it."""
+        for holdings in self._holdings.values():
+            holdings.pop(member_id, None)
+
+    def can_reconstruct(self, secret_id: str) -> bool:
+        """Whether enough share-holders remain."""
+        holdings = self._holdings.get(secret_id)
+        if holdings is None:
+            return False
+        return len(holdings) >= self._thresholds[secret_id]
+
+    def reconstruct(self, secret_id: str) -> bytes:
+        """Gather surviving shares and recover the secret."""
+        holdings = self._holdings.get(secret_id)
+        if holdings is None:
+            raise CryptoError(f"unknown secret: {secret_id!r}")
+        return reconstruct_secret(list(holdings.values()))
+
+    def colluders_needed(self, secret_id: str) -> int:
+        """How many curious members must collude to learn the secret."""
+        return self._thresholds.get(secret_id, 0)

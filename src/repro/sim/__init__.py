@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate: engine, RNG, metrics, config, world."""
+
+from .config import (
+    ChannelConfig,
+    CloudConfig,
+    MobilityConfig,
+    ScenarioConfig,
+    SecurityConfig,
+)
+from .engine import Engine, EventHandle, PeriodicTask
+from .metrics import MetricsRegistry, SeriesSummary, percentile, summarize
+from .rng import SeededRng, derive_seed
+from .world import World
+
+__all__ = [
+    "ChannelConfig",
+    "CloudConfig",
+    "Engine",
+    "EventHandle",
+    "MetricsRegistry",
+    "MobilityConfig",
+    "PeriodicTask",
+    "ScenarioConfig",
+    "SecurityConfig",
+    "SeededRng",
+    "SeriesSummary",
+    "World",
+    "derive_seed",
+    "percentile",
+    "summarize",
+]

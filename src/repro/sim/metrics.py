@@ -1,0 +1,167 @@
+"""Metric collection for simulation runs.
+
+A :class:`MetricsRegistry` holds named counters, gauges, and sample
+series.  Benchmarks and experiments read summaries out of the registry
+after a run; nothing here depends on the engine so the registry can be
+unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+@dataclass
+class SeriesSummary:
+    """Summary statistics for a sample series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dictionary."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Return the linear-interpolated percentile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty series is undefined")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    interpolated = sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+    # Clamp against float rounding so the result stays inside the data.
+    return max(sorted_values[0], min(sorted_values[-1], interpolated))
+
+
+def summarize(values: List[float]) -> SeriesSummary:
+    """Compute a :class:`SeriesSummary` for a non-empty list of samples."""
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    ordered = sorted(values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((v - mean) ** 2 for v in ordered) / count
+    return SeriesSummary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=percentile(ordered, 0.50),
+        p90=percentile(ordered, 0.90),
+        p95=percentile(ordered, 0.95),
+        p99=percentile(ordered, 0.99),
+    )
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters, gauges and sample series for one simulation run."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    timelines: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    # -- counters -----------------------------------------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the named counter (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Return the counter value, 0 if never incremented."""
+        return self.counters.get(name, 0.0)
+
+    # -- gauges ---------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value``."""
+        self.gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Return the gauge value or ``default``."""
+        return self.gauges.get(name, default)
+
+    # -- series ---------------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Append a sample to the named series."""
+        self.series.setdefault(name, []).append(value)
+
+    def observe_at(self, name: str, time: float, value: float) -> None:
+        """Append a timestamped sample to the named timeline."""
+        self.timelines.setdefault(name, []).append((time, value))
+
+    def samples(self, name: str) -> List[float]:
+        """Return the raw samples of a series (empty list if absent)."""
+        return self.series.get(name, [])
+
+    def summary(self, name: str) -> Optional[SeriesSummary]:
+        """Return summary stats for a series, or None if it is empty."""
+        values = self.series.get(name)
+        if not values:
+            return None
+        return summarize(values)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return counter ``numerator / denominator`` (0 when empty)."""
+        denom = self.counters.get(denominator, 0.0)
+        if denom == 0:
+            return 0.0
+        return self.counters.get(numerator, 0.0) / denom
+
+    def merged(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Return a new registry combining this one with ``other``."""
+        result = MetricsRegistry()
+        for source in (self, other):
+            for name, value in source.counters.items():
+                result.increment(name, value)
+            for name, value in source.gauges.items():
+                result.set_gauge(name, value)
+            for name, values in source.series.items():
+                result.series.setdefault(name, []).extend(values)
+            for name, points in source.timelines.items():
+                result.timelines.setdefault(name, []).extend(points)
+        return result
+
+    def snapshot(self) -> Mapping[str, object]:
+        """Return a read-only flat snapshot usable in reports."""
+        flat: Dict[str, object] = {}
+        for name, value in sorted(self.counters.items()):
+            flat[f"counter/{name}"] = value
+        for name, value in sorted(self.gauges.items()):
+            flat[f"gauge/{name}"] = value
+        for name in sorted(self.series):
+            summary = self.summary(name)
+            if summary is not None:
+                flat[f"series/{name}"] = summary.as_dict()
+        return flat

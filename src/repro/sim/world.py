@@ -1,0 +1,85 @@
+"""Shared simulation context.
+
+A :class:`World` bundles the engine, master RNG, metrics registry and the
+scenario config, and acts as a registry of simulation entities (vehicles,
+RSUs, services).  Passing a single ``world`` keeps component constructors
+short and makes the wiring explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TypeVar
+
+from ..errors import SimulationError
+from .config import ScenarioConfig
+from .engine import Engine
+from .metrics import MetricsRegistry
+from .rng import SeededRng
+
+T = TypeVar("T")
+
+
+class World:
+    """Container for one simulation run's shared state."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config if config is not None else ScenarioConfig()
+        self.engine = Engine()
+        self.rng = SeededRng(self.config.seed)
+        self.metrics = MetricsRegistry()
+        self._entities: Dict[str, object] = {}
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.engine.now
+
+    # -- entity registry ------------------------------------------------------
+
+    def register(self, entity_id: str, entity: object) -> None:
+        """Register an entity under a unique id."""
+        if entity_id in self._entities:
+            raise SimulationError(f"entity id already registered: {entity_id!r}")
+        self._entities[entity_id] = entity
+
+    def unregister(self, entity_id: str) -> None:
+        """Remove an entity from the registry."""
+        if entity_id not in self._entities:
+            raise SimulationError(f"unknown entity id: {entity_id!r}")
+        del self._entities[entity_id]
+
+    def get(self, entity_id: str) -> object:
+        """Return the entity registered under ``entity_id``."""
+        try:
+            return self._entities[entity_id]
+        except KeyError:
+            raise SimulationError(f"unknown entity id: {entity_id!r}") from None
+
+    def maybe_get(self, entity_id: str) -> Optional[object]:
+        """Return the entity or None if not registered."""
+        return self._entities.get(entity_id)
+
+    def has(self, entity_id: str) -> bool:
+        """Return True if an entity with this id exists."""
+        return entity_id in self._entities
+
+    def entities_of_type(self, cls: type) -> List[object]:
+        """Return all registered entities that are instances of ``cls``."""
+        return [e for e in self._entities.values() if isinstance(e, cls)]
+
+    def entity_ids(self) -> Iterator[str]:
+        """Iterate over all registered entity ids."""
+        return iter(self._entities)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    # -- convenience -----------------------------------------------------------
+
+    def run_for(self, duration: float) -> int:
+        """Advance the simulation by ``duration`` seconds."""
+        return self.engine.run_for(duration)
+
+    def run_until(self, end_time: float) -> int:
+        """Advance the simulation to absolute time ``end_time``."""
+        return self.engine.run_until(end_time)

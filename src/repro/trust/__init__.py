@@ -1,0 +1,56 @@
+"""Trustworthiness evaluation: classification, validation, reputation, provenance."""
+
+from .classifier import EventCluster, MessageClassifier
+from .events import (
+    EventKind,
+    EventReport,
+    GroundTruthEvent,
+    false_report,
+    honest_report,
+)
+from .pipeline import PipelineDecision, TrustPipeline
+from .report_service import EventReportCollector, WitnessReporter, report_message
+from .provenance import (
+    diversity_weight,
+    effective_report_count,
+    path_jaccard,
+    shared_relays,
+)
+from .reputation import ReputationRecord, ReputationStore
+from .validators import (
+    BayesianValidator,
+    DempsterShaferValidator,
+    MajorityVoting,
+    MassFunction,
+    TrustDecision,
+    Validator,
+    WeightedVoting,
+)
+
+__all__ = [
+    "EventReportCollector",
+    "WitnessReporter",
+    "report_message",
+    "BayesianValidator",
+    "DempsterShaferValidator",
+    "EventCluster",
+    "EventKind",
+    "EventReport",
+    "GroundTruthEvent",
+    "MajorityVoting",
+    "MassFunction",
+    "MessageClassifier",
+    "PipelineDecision",
+    "ReputationRecord",
+    "ReputationStore",
+    "TrustDecision",
+    "TrustPipeline",
+    "Validator",
+    "WeightedVoting",
+    "diversity_weight",
+    "effective_report_count",
+    "false_report",
+    "honest_report",
+    "path_jaccard",
+    "shared_relays",
+]

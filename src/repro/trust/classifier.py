@@ -1,0 +1,108 @@
+"""Message classifier: grouping reports by event (§V.D).
+
+"A message classifier module needs to be designed to identify messages
+belonging to the same event."  Reports are clustered by kind, spatial
+proximity and temporal proximity with single-linkage agglomeration —
+two reports land in the same cluster if a chain of pairwise-close
+reports connects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from ..geometry import Vec2, centroid
+from .events import EventKind, EventReport
+
+
+@dataclass
+class EventCluster:
+    """Reports the classifier believes describe one event."""
+
+    kind: EventKind
+    reports: List[EventReport] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of reports in the cluster."""
+        return len(self.reports)
+
+    def center(self) -> Vec2:
+        """Centroid of the claimed locations."""
+        return centroid(r.location for r in self.reports)
+
+    def time_span(self) -> float:
+        """Gap between earliest and latest report."""
+        if not self.reports:
+            return 0.0
+        times = [r.reported_at for r in self.reports]
+        return max(times) - min(times)
+
+    def positive_fraction(self) -> float:
+        """Fraction of reports claiming the event is real."""
+        if not self.reports:
+            return 0.0
+        return sum(1 for r in self.reports if r.claim) / len(self.reports)
+
+    def reporters(self) -> List[str]:
+        """Distinct reporter identities."""
+        seen: Dict[str, None] = {}
+        for report in self.reports:
+            seen.setdefault(report.reporter, None)
+        return list(seen)
+
+
+class MessageClassifier:
+    """Groups incoming reports into per-event clusters."""
+
+    #: Modelled per-pair comparison cost (distance + window checks).
+    COMPARISON_COST_S = 2e-6
+
+    def __init__(
+        self,
+        distance_threshold_m: float = 200.0,
+        time_window_s: float = 30.0,
+    ) -> None:
+        if distance_threshold_m <= 0:
+            raise ConfigurationError("distance_threshold_m must be positive")
+        if time_window_s <= 0:
+            raise ConfigurationError("time_window_s must be positive")
+        self.distance_threshold_m = distance_threshold_m
+        self.time_window_s = time_window_s
+        self.last_cost_s = 0.0
+
+    def related(self, a: EventReport, b: EventReport) -> bool:
+        """True if two reports plausibly describe the same event."""
+        return (
+            a.kind == b.kind
+            and a.distance_to(b) <= self.distance_threshold_m
+            and a.time_gap(b) <= self.time_window_s
+        )
+
+    def classify(self, reports: Sequence[EventReport]) -> List[EventCluster]:
+        """Partition ``reports`` into event clusters (single linkage)."""
+        clusters: List[EventCluster] = []
+        comparisons = 0
+        for report in reports:
+            joined: List[EventCluster] = []
+            for cluster in clusters:
+                if cluster.kind != report.kind:
+                    continue
+                for member in cluster.reports:
+                    comparisons += 1
+                    if self.related(report, member):
+                        joined.append(cluster)
+                        break
+            if not joined:
+                clusters.append(EventCluster(kind=report.kind, reports=[report]))
+            else:
+                # Merge every cluster the report bridges.
+                primary = joined[0]
+                primary.reports.append(report)
+                for other in joined[1:]:
+                    primary.reports.extend(other.reports)
+                    clusters.remove(other)
+        self.last_cost_s = comparisons * self.COMPARISON_COST_S
+        return clusters

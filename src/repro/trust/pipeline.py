@@ -1,0 +1,85 @@
+"""The end-to-end trust pipeline of §V.D.
+
+``classifier -> validator -> (reputation feedback)``: incoming reports
+are grouped into event clusters, each cluster is judged by a content
+validator, and — once ground truth about an event eventually surfaces —
+reporter reputations are updated so future judgements improve.
+
+The pipeline accounts total latency per decision: per-report message
+authentication (from the active auth protocol's cost model), classifier
+comparisons, and validator compute.  That total is what experiment E5
+holds against the paper's stringent-time-constraint budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .classifier import EventCluster, MessageClassifier
+from .events import EventReport
+from .reputation import ReputationStore
+from .validators.base import TrustDecision, Validator
+
+
+@dataclass(frozen=True)
+class PipelineDecision:
+    """One cluster's verdict with full latency attribution."""
+
+    cluster: EventCluster
+    decision: TrustDecision
+    auth_latency_s: float
+    classify_latency_s: float
+
+    @property
+    def total_latency_s(self) -> float:
+        """Authentication + classification + validation time."""
+        return self.auth_latency_s + self.classify_latency_s + self.decision.latency_s
+
+
+@dataclass
+class TrustPipeline:
+    """Composable classifier + validator + reputation store."""
+
+    classifier: MessageClassifier
+    validator: Validator
+    reputation: Optional[ReputationStore] = None
+    per_message_auth_cost_s: float = 0.0
+    decisions: List[PipelineDecision] = field(default_factory=list)
+
+    def process(self, reports: Sequence[EventReport]) -> List[PipelineDecision]:
+        """Classify and validate a batch of reports."""
+        clusters = self.classifier.classify(reports)
+        classify_cost = self.classifier.last_cost_s
+        share = classify_cost / len(clusters) if clusters else 0.0
+        batch: List[PipelineDecision] = []
+        for cluster in clusters:
+            verdict = self.validator.evaluate(cluster, self.reputation)
+            batch.append(
+                PipelineDecision(
+                    cluster=cluster,
+                    decision=verdict,
+                    auth_latency_s=self.per_message_auth_cost_s * cluster.size,
+                    classify_latency_s=share,
+                )
+            )
+        self.decisions.extend(batch)
+        return batch
+
+    def feedback(self, cluster: EventCluster, truth_exists: bool, now: float = 0.0) -> None:
+        """Update reporter reputations once ground truth is known."""
+        if self.reputation is None:
+            return
+        for report in cluster.reports:
+            self.reputation.observe(report.reporter, report.claim == truth_exists, now)
+
+    def accuracy_against(self, truth_by_cluster: Sequence[bool]) -> float:
+        """Fraction of recorded decisions matching supplied ground truth."""
+        if not self.decisions or len(truth_by_cluster) != len(self.decisions):
+            raise ValueError("need one ground-truth flag per recorded decision")
+        correct = sum(
+            1
+            for decision, truth in zip(self.decisions, truth_by_cluster)
+            if decision.decision.correct_against(truth)
+        )
+        return correct / len(self.decisions)

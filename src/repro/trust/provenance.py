@@ -1,0 +1,63 @@
+"""Routing-path provenance analysis.
+
+The paper's §V.D prescribes examining "routing path similarity" when
+reconciling conflicting reports: ten reports that all transited the same
+two relays are barely more evidence than one report, because a single
+malicious relay could have minted all of them.  Evidence weights are
+therefore discounted by path overlap (after the provenance-based
+assessment of Lim et al. [20]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .events import EventReport
+
+
+def path_jaccard(a: Tuple[str, ...], b: Tuple[str, ...]) -> float:
+    """Jaccard overlap of two relay paths (1.0 = identical relays).
+
+    Two direct (empty-path) reports share no relays, hence overlap 0 —
+    they are independent first-hand deliveries.
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 0.0
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def diversity_weight(report: EventReport, others: Sequence[EventReport]) -> float:
+    """Weight in (0, 1] reflecting how path-independent a report is.
+
+    A report whose path heavily overlaps its co-reports is discounted:
+    weight = 1 / (1 + sum of pairwise overlaps).
+    """
+    overlap_mass = sum(
+        path_jaccard(report.path, other.path)
+        for other in others
+        if other.report_id != report.report_id
+    )
+    return 1.0 / (1.0 + overlap_mass)
+
+
+def effective_report_count(reports: Sequence[EventReport]) -> float:
+    """Path-diversity-adjusted evidence mass of a report set.
+
+    Equals ``len(reports)`` when all paths are disjoint and approaches 1
+    as all reports collapse onto one shared path.
+    """
+    return sum(diversity_weight(report, reports) for report in reports)
+
+
+def shared_relays(reports: Sequence[EventReport]) -> List[str]:
+    """Relays present in every report's path (chokepoint suspects)."""
+    if not reports:
+        return []
+    common = set(reports[0].path)
+    for report in reports[1:]:
+        common &= set(report.path)
+    return sorted(common)

@@ -1,0 +1,136 @@
+"""Event reporting over the live network (§V.D end to end).
+
+Vehicles that witness an event broadcast ``EVENT_REPORT`` messages; a
+collector (typically the cluster head) gathers whatever the radio
+delivers, reconstructs :class:`EventReport` objects — relay provenance
+included — and periodically pushes batches through a
+:class:`~repro.trust.pipeline.TrustPipeline`.
+
+This closes the loop the unit-level trust tests leave open: reports here
+suffer real channel loss, real relay paths, and real delays before the
+validator ever sees them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..geometry import Vec2
+from ..net.messages import Message, MessageKind
+from ..net.node import NetworkNode
+from ..sim.world import World
+from .events import EventKind, EventReport
+from .pipeline import PipelineDecision, TrustPipeline
+
+
+def report_message(
+    src: str,
+    kind: EventKind,
+    location: Vec2,
+    claim: bool,
+    now: float,
+    confidence: float = 0.9,
+) -> Message:
+    """Encode an event report for the air interface."""
+    return Message(
+        kind=MessageKind.EVENT_REPORT,
+        src=src,
+        dst="*",
+        payload={
+            "event_kind": kind.value,
+            "location": location.as_tuple(),
+            "claim": claim,
+            "confidence": confidence,
+        },
+        size_bytes=160,
+        created_at=now,
+        ttl_hops=4,
+    )
+
+
+class EventReportCollector:
+    """Receives EVENT_REPORT traffic at one node and feeds the pipeline."""
+
+    def __init__(
+        self,
+        world: World,
+        node: NetworkNode,
+        pipeline: TrustPipeline,
+        batch_interval_s: float = 5.0,
+    ) -> None:
+        self.world = world
+        self.node = node
+        self.pipeline = pipeline
+        self.batch_interval_s = batch_interval_s
+        self.pending: List[EventReport] = []
+        self.decisions: List[PipelineDecision] = []
+        self.reports_received = 0
+        self._task = None
+        node.on(MessageKind.EVENT_REPORT, self._on_report)
+
+    def _on_report(self, message: Message, from_id: str) -> None:
+        payload = message.payload
+        location = payload["location"]
+        self.reports_received += 1
+        self.pending.append(
+            EventReport(
+                reporter=message.src,
+                kind=EventKind(payload["event_kind"]),
+                location=Vec2(location[0], location[1]),
+                reported_at=message.created_at,
+                claim=bool(payload["claim"]),
+                confidence=float(payload.get("confidence", 0.9)),
+                path=message.path,
+            )
+        )
+
+    def start(self) -> None:
+        """Begin periodic batch evaluation."""
+        if self._task is None:
+            self._task = self.world.engine.call_every(
+                self.batch_interval_s, self.flush, label="report-batch"
+            )
+
+    def stop(self) -> None:
+        """Stop periodic evaluation."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def flush(self) -> List[PipelineDecision]:
+        """Evaluate the pending batch now; returns the new decisions."""
+        if not self.pending:
+            return []
+        batch = self.pipeline.process(self.pending)
+        self.pending = []
+        self.decisions.extend(batch)
+        return batch
+
+
+class WitnessReporter:
+    """Broadcasts a vehicle's observation of an event."""
+
+    def __init__(self, world: World, node: NetworkNode) -> None:
+        self.world = world
+        self.node = node
+        self.reports_sent = 0
+
+    def report(
+        self,
+        kind: EventKind,
+        location: Vec2,
+        claim: bool,
+        confidence: float = 0.9,
+        identity: Optional[str] = None,
+    ) -> int:
+        """Broadcast one report; returns the in-range receiver count."""
+        message = report_message(
+            src=identity if identity is not None else self.node.node_id,
+            kind=kind,
+            location=location,
+            claim=claim,
+            now=self.world.now,
+            confidence=confidence,
+        )
+        self.reports_sent += 1
+        return self.node.broadcast(message)

@@ -1,0 +1,121 @@
+"""Sender reputation (the social-network-style approach, §IV.D).
+
+A beta-reputation store: each identity accumulates positive/negative
+outcomes and its score is the posterior mean ``alpha / (alpha + beta)``.
+
+The paper's critique is structural, and this implementation makes it
+measurable: reputation keys on *on-air identities*, so pseudonym
+rotation resets history; and in ephemeral traffic, the number of repeat
+encounters per peer stays tiny (``mean_encounters``), so scores barely
+move from the prior before the peer is gone forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class ReputationRecord:
+    """Beta-distribution evidence about one identity."""
+
+    identity: str
+    alpha: float = 1.0  # prior pseudo-count of good outcomes
+    beta: float = 1.0  # prior pseudo-count of bad outcomes
+    encounters: int = 0
+    last_seen: float = 0.0
+
+    @property
+    def score(self) -> float:
+        """Posterior mean trust in [0, 1]."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def evidence(self) -> float:
+        """Total accumulated evidence beyond the prior."""
+        return self.alpha + self.beta - 2.0
+
+
+class ReputationStore:
+    """Per-identity beta reputation with optional exponential decay."""
+
+    def __init__(self, decay_per_s: float = 0.0, prior_score: float = 0.5) -> None:
+        if not 0.0 < prior_score < 1.0:
+            raise ValueError("prior_score must be strictly inside (0, 1)")
+        self.decay_per_s = decay_per_s
+        # Encode the prior as (alpha, beta) summing to 2.
+        self._prior_alpha = 2.0 * prior_score
+        self._prior_beta = 2.0 - self._prior_alpha
+        self._records: Dict[str, ReputationRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record_of(self, identity: str) -> ReputationRecord:
+        """Return (creating if needed) the record for an identity."""
+        record = self._records.get(identity)
+        if record is None:
+            record = ReputationRecord(
+                identity=identity, alpha=self._prior_alpha, beta=self._prior_beta
+            )
+            self._records[identity] = record
+        return record
+
+    def score(self, identity: str) -> float:
+        """Current trust score (prior mean for strangers)."""
+        record = self._records.get(identity)
+        if record is None:
+            return self._prior_alpha / (self._prior_alpha + self._prior_beta)
+        return record.score
+
+    def observe(self, identity: str, good: bool, now: float = 0.0) -> ReputationRecord:
+        """Record one interaction outcome."""
+        record = self.record_of(identity)
+        self._decay(record, now)
+        if good:
+            record.alpha += 1.0
+        else:
+            record.beta += 1.0
+        record.encounters += 1
+        record.last_seen = now
+        return record
+
+    def _decay(self, record: ReputationRecord, now: float) -> None:
+        # Nothing to decay before the first observation (time 0.0 is a
+        # perfectly valid first-seen timestamp).
+        if self.decay_per_s <= 0 or record.encounters == 0:
+            return
+        import math
+
+        factor = math.exp(-self.decay_per_s * max(0.0, now - record.last_seen))
+        record.alpha = self._prior_alpha + (record.alpha - self._prior_alpha) * factor
+        record.beta = self._prior_beta + (record.beta - self._prior_beta) * factor
+
+    # -- structural diagnostics (the paper's critique) ----------------------
+
+    @property
+    def mean_encounters(self) -> float:
+        """Mean repeat-encounter count per known identity.
+
+        Near 1 in ephemeral traffic — the reason sender reputation fails
+        in v-clouds (§III.D).
+        """
+        if not self._records:
+            return 0.0
+        return sum(r.encounters for r in self._records.values()) / len(self._records)
+
+    def mature_fraction(self, min_evidence: float = 5.0) -> float:
+        """Fraction of identities with enough evidence to be meaningful."""
+        if not self._records:
+            return 0.0
+        mature = sum(1 for r in self._records.values() if r.evidence >= min_evidence)
+        return mature / len(self._records)
+
+    def identities(self) -> List[str]:
+        """All identities with records."""
+        return list(self._records)
+
+    def forget(self, identity: str) -> None:
+        """Drop an identity's record (e.g. after pseudonym rotation)."""
+        self._records.pop(identity, None)

@@ -1,0 +1,17 @@
+"""Content validators for real-time message validation."""
+
+from .base import TrustDecision, Validator
+from .bayesian import BayesianValidator
+from .dempster_shafer import DempsterShaferValidator, MassFunction, VACUOUS
+from .voting import MajorityVoting, WeightedVoting
+
+__all__ = [
+    "BayesianValidator",
+    "DempsterShaferValidator",
+    "MajorityVoting",
+    "MassFunction",
+    "TrustDecision",
+    "VACUOUS",
+    "Validator",
+    "WeightedVoting",
+]

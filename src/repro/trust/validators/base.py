@@ -1,0 +1,49 @@
+"""Validator interface for message content validation (§V.D).
+
+A validator consumes one classified event cluster and emits a
+:class:`TrustDecision` with an explicit latency, because "the
+trustworthiness assessment process should be executed so to comply
+(possibly very) stringent time constraints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..classifier import EventCluster
+from ..reputation import ReputationStore
+
+
+@dataclass(frozen=True)
+class TrustDecision:
+    """The validator's verdict on one event cluster."""
+
+    believe: bool
+    score: float  # confidence that the event is real, in [0, 1]
+    latency_s: float
+    report_count: int
+    validator: str
+
+    def correct_against(self, truth_exists: bool) -> bool:
+        """Score the decision against ground truth (experiment use)."""
+        return self.believe == truth_exists
+
+
+class Validator:
+    """Base content validator."""
+
+    name = "base"
+    #: Modelled per-report processing cost (parse + arithmetic).
+    PER_REPORT_COST_S = 2e-5
+
+    def evaluate(
+        self,
+        cluster: EventCluster,
+        reputation: Optional[ReputationStore] = None,
+    ) -> TrustDecision:
+        """Produce a verdict for one event cluster."""
+        raise NotImplementedError
+
+    def _base_cost(self, cluster: EventCluster) -> float:
+        return self.PER_REPORT_COST_S * max(1, cluster.size)

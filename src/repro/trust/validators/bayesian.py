@@ -1,0 +1,79 @@
+"""Bayesian inference validator (Raya et al.'s second technique).
+
+Treats each report as a noisy binary sensor of the event with true- and
+false-positive rates, starts from a prior on event existence, and
+multiplies likelihood ratios in log space.  Reporter reputation, when
+available, interpolates each report's assumed error rates between an
+honest profile and an adversarial one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ...errors import ConfigurationError
+from ..classifier import EventCluster
+from ..reputation import ReputationStore
+from .base import TrustDecision, Validator
+
+
+class BayesianValidator(Validator):
+    """Posterior-probability content validation."""
+
+    name = "bayesian"
+
+    def __init__(
+        self,
+        prior: float = 0.3,
+        honest_tpr: float = 0.9,
+        honest_fpr: float = 0.08,
+        decision_threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 < prior < 1.0:
+            raise ConfigurationError("prior must be strictly inside (0, 1)")
+        if not 0.0 < honest_tpr <= 1.0 or not 0.0 <= honest_fpr < 1.0:
+            raise ConfigurationError("rates must be valid probabilities")
+        if honest_tpr <= honest_fpr:
+            raise ConfigurationError("honest_tpr must exceed honest_fpr")
+        self.prior = prior
+        self.honest_tpr = honest_tpr
+        self.honest_fpr = honest_fpr
+        self.decision_threshold = decision_threshold
+
+    def _rates_for(self, trust: float) -> tuple:
+        """Interpolate (tpr, fpr) between adversarial and honest profiles.
+
+        trust 1.0 -> honest rates; trust 0.0 -> an inverted (lying)
+        sensor whose claims carry opposite evidence.
+        """
+        lying_tpr = 1.0 - self.honest_tpr
+        lying_fpr = 1.0 - self.honest_fpr
+        tpr = lying_tpr + (self.honest_tpr - lying_tpr) * trust
+        fpr = lying_fpr + (self.honest_fpr - lying_fpr) * trust
+        return tpr, fpr
+
+    def evaluate(
+        self,
+        cluster: EventCluster,
+        reputation: Optional[ReputationStore] = None,
+    ) -> TrustDecision:
+        log_odds = math.log(self.prior / (1.0 - self.prior))
+        extra_cost = 0.0
+        for report in cluster.reports:
+            trust = 1.0 if reputation is None else reputation.score(report.reporter)
+            if reputation is not None:
+                extra_cost += 1e-6
+            tpr, fpr = self._rates_for(max(0.01, min(0.99, trust)))
+            if report.claim:
+                log_odds += math.log(tpr / fpr)
+            else:
+                log_odds += math.log((1.0 - tpr) / (1.0 - fpr))
+        posterior = 1.0 / (1.0 + math.exp(-log_odds))
+        return TrustDecision(
+            believe=posterior > self.decision_threshold,
+            score=posterior,
+            latency_s=self._base_cost(cluster) + extra_cost,
+            report_count=cluster.size,
+            validator=self.name,
+        )

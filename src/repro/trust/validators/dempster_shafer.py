@@ -1,0 +1,110 @@
+"""Dempster-Shafer evidence fusion validator.
+
+Each report contributes a mass function over {event, no-event, unknown}
+scaled by the reporter's trust; Dempster's rule combines them.  Unlike
+Bayesian fusion, low-trust reports mostly add mass to *unknown* rather
+than to the opposite claim, which makes DS robust when the malicious
+fraction is unknown — one of the open directions §V.D gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import TrustError
+from ..classifier import EventCluster
+from ..reputation import ReputationStore
+from .base import TrustDecision, Validator
+
+
+@dataclass(frozen=True)
+class MassFunction:
+    """Basic belief assignment over {event (E), no-event (N), unknown (U)}."""
+
+    event: float
+    no_event: float
+    unknown: float
+
+    def __post_init__(self) -> None:
+        total = self.event + self.no_event + self.unknown
+        if not 0.999 <= total <= 1.001:
+            raise TrustError(f"mass function must sum to 1, got {total}")
+        if min(self.event, self.no_event, self.unknown) < -1e-12:
+            raise TrustError("mass values must be non-negative")
+
+    def combine(self, other: "MassFunction") -> "MassFunction":
+        """Dempster's rule of combination (normalizing out conflict)."""
+        conflict = self.event * other.no_event + self.no_event * other.event
+        normalizer = 1.0 - conflict
+        if normalizer <= 1e-12:
+            # Total conflict: fall back to maximal ignorance.
+            return MassFunction(0.0, 0.0, 1.0)
+        event = (
+            self.event * other.event
+            + self.event * other.unknown
+            + self.unknown * other.event
+        ) / normalizer
+        no_event = (
+            self.no_event * other.no_event
+            + self.no_event * other.unknown
+            + self.unknown * other.no_event
+        ) / normalizer
+        unknown = (self.unknown * other.unknown) / normalizer
+        return MassFunction(event, no_event, unknown)
+
+    @property
+    def belief_event(self) -> float:
+        """Belief committed exactly to the event."""
+        return self.event
+
+    @property
+    def plausibility_event(self) -> float:
+        """Mass not contradicting the event."""
+        return self.event + self.unknown
+
+
+VACUOUS = MassFunction(0.0, 0.0, 1.0)
+
+
+class DempsterShaferValidator(Validator):
+    """Evidence-fusion content validation."""
+
+    name = "dempster-shafer"
+
+    def __init__(self, belief_threshold: float = 0.5) -> None:
+        self.belief_threshold = belief_threshold
+
+    def mass_for_report(self, claim: bool, confidence: float, trust: float) -> MassFunction:
+        """Convert one report into a mass function.
+
+        Commitment is ``confidence * trust``; the remainder is ignorance.
+        """
+        commitment = max(0.0, min(1.0, confidence * trust))
+        if claim:
+            return MassFunction(commitment, 0.0, 1.0 - commitment)
+        return MassFunction(0.0, commitment, 1.0 - commitment)
+
+    def evaluate(
+        self,
+        cluster: EventCluster,
+        reputation: Optional[ReputationStore] = None,
+    ) -> TrustDecision:
+        combined = VACUOUS
+        extra_cost = 0.0
+        for report in cluster.reports:
+            trust = 0.8 if reputation is None else reputation.score(report.reporter)
+            if reputation is not None:
+                extra_cost += 1e-6
+            mass = self.mass_for_report(report.claim, report.confidence, trust)
+            combined = combined.combine(mass)
+            extra_cost += 3e-6  # combination arithmetic
+        # Decide on pignistic-style midpoint of belief and plausibility.
+        score = (combined.belief_event + combined.plausibility_event) / 2.0
+        return TrustDecision(
+            believe=combined.belief_event > self.belief_threshold,
+            score=score,
+            latency_s=self._base_cost(cluster) + extra_cost,
+            report_count=cluster.size,
+            validator=self.name,
+        )

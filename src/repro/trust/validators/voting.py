@@ -1,0 +1,90 @@
+"""Voting validators (the techniques catalogued by Raya et al. [32]).
+
+:class:`MajorityVoting` counts heads.  :class:`WeightedVoting` weights
+each vote by sender reputation and path diversity, which is the
+composite the paper's §V.D sketches ("content similarity and conflicts
+as well as routing path similarity ... calculate the trust scores").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import ConfigurationError
+from ..classifier import EventCluster
+from ..provenance import diversity_weight
+from ..reputation import ReputationStore
+from .base import TrustDecision, Validator
+
+
+class MajorityVoting(Validator):
+    """Believe the event if more than ``threshold`` of reports claim it."""
+
+    name = "majority-voting"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ConfigurationError("threshold must be strictly inside (0, 1)")
+        self.threshold = threshold
+
+    def evaluate(
+        self,
+        cluster: EventCluster,
+        reputation: Optional[ReputationStore] = None,
+    ) -> TrustDecision:
+        positive = cluster.positive_fraction()
+        return TrustDecision(
+            believe=positive > self.threshold,
+            score=positive,
+            latency_s=self._base_cost(cluster),
+            report_count=cluster.size,
+            validator=self.name,
+        )
+
+
+class WeightedVoting(Validator):
+    """Votes weighted by reputation and path diversity."""
+
+    name = "weighted-voting"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        use_reputation: bool = True,
+        use_path_diversity: bool = True,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ConfigurationError("threshold must be strictly inside (0, 1)")
+        self.threshold = threshold
+        self.use_reputation = use_reputation
+        self.use_path_diversity = use_path_diversity
+
+    def evaluate(
+        self,
+        cluster: EventCluster,
+        reputation: Optional[ReputationStore] = None,
+    ) -> TrustDecision:
+        if cluster.size == 0:
+            return TrustDecision(False, 0.0, self._base_cost(cluster), 0, self.name)
+        positive_mass = 0.0
+        total_mass = 0.0
+        extra_cost = 0.0
+        for report in cluster.reports:
+            weight = report.confidence
+            if self.use_reputation and reputation is not None:
+                weight *= reputation.score(report.reporter)
+                extra_cost += 1e-6  # reputation lookup
+            if self.use_path_diversity:
+                weight *= diversity_weight(report, cluster.reports)
+                extra_cost += 1e-6 * cluster.size  # pairwise path comparison
+            total_mass += weight
+            if report.claim:
+                positive_mass += weight
+        score = positive_mass / total_mass if total_mass > 0 else 0.0
+        return TrustDecision(
+            believe=score > self.threshold,
+            score=score,
+            latency_s=self._base_cost(cluster) + extra_cost,
+            report_count=cluster.size,
+            validator=self.name,
+        )

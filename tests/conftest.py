@@ -1,0 +1,19 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ScenarioConfig, SeededRng, World
+
+
+@pytest.fixture
+def world() -> World:
+    """A fresh world with a fixed seed."""
+    return World(ScenarioConfig(seed=1234))
+
+
+@pytest.fixture
+def rng() -> SeededRng:
+    """A deterministic RNG stream."""
+    return SeededRng(99, "test")

@@ -1,0 +1,113 @@
+"""Tests for the analysis helpers (stats + table rendering)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    confidence_interval_95,
+    format_cell,
+    mean,
+    ratio_or_inf,
+    render_comparison,
+    render_table,
+    running_mean,
+    speedup,
+    std,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_std_constant_series(self):
+        assert std([5, 5, 5]) == 0.0
+
+    def test_std_known_value(self):
+        assert std([2, 4]) == pytest.approx(1.0)
+
+    def test_confidence_interval_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = confidence_interval_95(values)
+        assert low <= mean(values) <= high
+
+    def test_confidence_interval_single_value(self):
+        assert confidence_interval_95([7.0]) == (7.0, 7.0)
+
+    def test_confidence_interval_empty(self):
+        assert confidence_interval_95([]) == (0.0, 0.0)
+
+    def test_ratio_or_inf(self):
+        assert ratio_or_inf(6, 3) == 2.0
+        assert math.isinf(ratio_or_inf(1, 0))
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert math.isinf(speedup(10.0, 0.0))
+
+    def test_running_mean(self):
+        assert running_mean([1, 2, 3, 4], window=2) == [1.0, 1.5, 2.5, 3.5]
+
+    def test_running_mean_window_one(self):
+        assert running_mean([1, 2, 3], window=1) == [1.0, 2.0, 3.0]
+
+    def test_running_mean_invalid_window(self):
+        with pytest.raises(ValueError):
+            running_mean([1], window=0)
+
+
+class TestFormatCell:
+    def test_booleans(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_large_floats_have_thousands_separator(self):
+        assert format_cell(1234567.0) == "1,234,567"
+
+    def test_small_floats_use_sig_figs(self):
+        assert format_cell(0.123456) == "0.123"
+
+    def test_nan_and_inf(self):
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("-inf")) == "-inf"
+
+    def test_strings_pass_through(self):
+        assert format_cell("hello") == "hello"
+
+    def test_integers(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        table = render_table(["name", "value"], [["a", 1], ["long-name", 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_prepended(self):
+        table = render_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        table = render_table(["a"], [])
+        assert "a" in table
+
+    def test_render_comparison(self):
+        table = render_comparison(
+            "system", ["alpha", "beta"], ["speed"], [[1.0], [2.0]]
+        )
+        assert "alpha" in table and "beta" in table
+        assert "system" in table and "speed" in table

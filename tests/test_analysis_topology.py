@@ -1,0 +1,106 @@
+"""Tests for the networkx-backed topology analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Vec2
+from repro.mobility import Vehicle
+from repro.analysis.topology import (
+    connectivity_over_time,
+    partition_risk,
+    radio_graph,
+    topology_stats,
+)
+
+
+def chain(count: int, spacing: float = 100.0):
+    return [Vehicle(position=Vec2(i * spacing, 0)) for i in range(count)]
+
+
+class TestRadioGraph:
+    def test_edges_respect_range(self):
+        vehicles = chain(3, spacing=250.0)
+        graph = radio_graph(vehicles, range_m=300.0)
+        assert graph.number_of_edges() == 2  # only adjacent pairs
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            radio_graph([], 0.0)
+
+    def test_isolated_nodes_present(self):
+        vehicles = [Vehicle(position=Vec2(0, 0)), Vehicle(position=Vec2(10_000, 0))]
+        graph = radio_graph(vehicles, 300.0)
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 0
+
+
+class TestTopologyStats:
+    def test_empty(self):
+        stats = topology_stats([], 300.0)
+        assert stats.nodes == 0 and stats.components == 0
+
+    def test_connected_chain(self):
+        stats = topology_stats(chain(5), 150.0)
+        assert stats.is_connected
+        assert stats.components == 1
+        assert stats.giant_fraction == 1.0
+        assert stats.giant_diameter_hops == 4
+
+    def test_partitioned(self):
+        vehicles = chain(3) + [Vehicle(position=Vec2(50_000 + i * 100.0, 0)) for i in range(2)]
+        stats = topology_stats(vehicles, 150.0)
+        assert stats.components == 2
+        assert stats.giant_fraction == pytest.approx(3 / 5)
+        assert not stats.is_connected
+
+    def test_articulation_points_of_chain(self):
+        vehicles = chain(5)
+        stats = topology_stats(vehicles, 150.0)
+        # Interior chain nodes are articulation points; endpoints are not.
+        interior = {v.vehicle_id for v in vehicles[1:-1]}
+        assert set(stats.articulation_points) == interior
+
+    def test_clique_has_no_articulation_points(self):
+        vehicles = [Vehicle(position=Vec2(i * 10.0, 0)) for i in range(5)]
+        stats = topology_stats(vehicles, 300.0)
+        assert stats.articulation_points == ()
+        assert stats.mean_degree == pytest.approx(4.0)
+
+    def test_single_node(self):
+        stats = topology_stats([Vehicle(position=Vec2(0, 0))], 300.0)
+        assert stats.giant_diameter_hops == 0
+        assert stats.giant_fraction == 1.0
+
+
+class TestPartitionRisk:
+    def test_bridge_node_is_risky(self):
+        # a -- bridge -- b : removing the bridge halves the network.
+        vehicles = [
+            Vehicle(position=Vec2(0, 0)),
+            Vehicle(position=Vec2(140, 0)),  # the bridge
+            Vehicle(position=Vec2(280, 0)),
+        ]
+        risks = partition_risk(vehicles, range_m=150.0)
+        bridge_risk = risks[vehicles[1].vehicle_id]
+        end_risk = risks[vehicles[0].vehicle_id]
+        assert bridge_risk > end_risk
+
+    def test_clique_members_riskless(self):
+        vehicles = [Vehicle(position=Vec2(i * 10.0, 0)) for i in range(4)]
+        risks = partition_risk(vehicles, range_m=300.0)
+        assert all(risk == pytest.approx(0.0) for risk in risks.values())
+
+    def test_single_vehicle(self):
+        vehicle = Vehicle(position=Vec2(0, 0))
+        assert partition_risk([vehicle], 300.0) == {vehicle.vehicle_id: 0.0}
+
+
+class TestOverTime:
+    def test_sequence_of_snapshots(self):
+        early = chain(4)
+        late = chain(4, spacing=1000.0)  # drifted apart
+        series = connectivity_over_time([early, late], range_m=300.0)
+        assert series[0].is_connected
+        assert not series[1].is_connected

@@ -1,0 +1,438 @@
+"""Tests for the attack suite and paired defences (§III threats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    CollusionRing,
+    DelaySuppressAttacker,
+    DosFlooder,
+    EavesdropAttacker,
+    FalseReporter,
+    ImpersonationAttacker,
+    JunkProcessingMeter,
+    MitmAttacker,
+    RateLimiter,
+    ReplayAttacker,
+    ReplayCache,
+    SignatureDefense,
+    SybilForger,
+    TrackingAdversary,
+    TrafficFlowAnalyzer,
+)
+from repro.geometry import Vec2
+from repro.mobility import Vehicle
+from repro.net import (
+    MessageKind,
+    SecurityEnvelope,
+    VehicleNode,
+    WirelessChannel,
+    data_message,
+)
+from repro.security.crypto import KeyPair, SignatureScheme, serialize_for_signing
+from repro.sim import ChannelConfig, ScenarioConfig, World
+from repro.trust.events import EventKind, GroundTruthEvent
+
+
+def lossless_world(seed=11):
+    return World(
+        ScenarioConfig(
+            seed=seed,
+            channel=ChannelConfig(base_loss_probability=0.0, loss_per_100m=0.0),
+        )
+    )
+
+
+def pair(world, distance=100.0):
+    channel = WirelessChannel(world)
+    a = VehicleNode(world, channel, Vehicle(position=Vec2(0, 0)))
+    b = VehicleNode(world, channel, Vehicle(position=Vec2(distance, 0)))
+    return channel, a, b
+
+
+class TestEavesdropping:
+    def test_captures_plaintext_in_range(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker = EavesdropAttacker(world, channel, position=Vec2(50, 0))
+        a.send(b.node_id, data_message(a.node_id, b.node_id, 256, world.now))
+        world.run_for(1.0)
+        assert attacker.captured_bytes() >= 256
+        assert attacker.outcome.success_rate == 1.0
+        assert a.node_id in attacker.captured_identities()
+
+    def test_out_of_range_hears_nothing(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker = EavesdropAttacker(
+            world, channel, position=Vec2(50_000, 0), listen_range_m=300
+        )
+        a.send(b.node_id, data_message(a.node_id, b.node_id, 256, world.now))
+        assert attacker.captured == []
+
+    def test_encrypted_payloads_not_a_success(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker = EavesdropAttacker(world, channel, position=Vec2(50, 0))
+        message = data_message(
+            a.node_id, b.node_id, 256, world.now, payload={"encrypted": True}
+        )
+        a.send(b.node_id, message)
+        assert attacker.outcome.success_rate == 0.0
+
+
+class TestReplay:
+    def test_replayed_message_accepted_without_defense(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker_node = VehicleNode(world, channel, Vehicle(position=Vec2(50, 0)))
+        attacker = ReplayAttacker(world, channel, attacker_node)
+        received = []
+        b.on(MessageKind.DATA, lambda msg, frm: received.append(msg))
+        original = data_message(a.node_id, b.node_id, 100, world.now).with_envelope(
+            SecurityEnvelope(claimed_identity=a.node_id, nonce="n-1", timestamp=world.now)
+        )
+        a.send(b.node_id, original)
+        world.run_for(1.0)
+        attacker.replay_all()
+        world.run_for(1.0)
+        assert len(received) == 2  # original + replay processed
+
+    def test_replay_cache_blocks_duplicate(self):
+        cache = ReplayCache(window_s=30.0)
+        assert cache.accept("n-1", timestamp=0.0, now=1.0)
+        assert not cache.accept("n-1", timestamp=0.0, now=2.0)
+        assert cache.rejected == 1
+
+    def test_replay_cache_blocks_stale(self):
+        cache = ReplayCache(window_s=10.0)
+        assert not cache.accept("n-2", timestamp=0.0, now=100.0)
+
+    def test_replay_cache_eviction(self):
+        cache = ReplayCache(window_s=1.0, capacity=5)
+        for index in range(5):
+            cache.accept(f"n-{index}", timestamp=0.0, now=0.0)
+        # Old entries evicted, new one fits.
+        assert cache.accept("n-new", timestamp=100.0, now=100.0)
+        assert len(cache) <= 5
+
+    def test_envelope_free_message_passes_cache(self):
+        cache = ReplayCache()
+        message = data_message("a", "b", 100, 0.0)
+        assert cache.accept_message(message, now=1.0)
+
+    def test_end_to_end_defense(self):
+        """Receiver with a replay cache processes the original, not the replay."""
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker_node = VehicleNode(world, channel, Vehicle(position=Vec2(50, 0)))
+        attacker = ReplayAttacker(world, channel, attacker_node)
+        cache = ReplayCache(window_s=30.0)
+        processed = []
+
+        def guarded(msg, frm):
+            if cache.accept_message(msg, world.now):
+                processed.append(msg)
+
+        b.on(MessageKind.DATA, guarded)
+        original = data_message(a.node_id, b.node_id, 100, world.now).with_envelope(
+            SecurityEnvelope(claimed_identity=a.node_id, nonce="n-1", timestamp=world.now)
+        )
+        a.send(b.node_id, original)
+        world.run_for(1.0)
+        attacker.replay_all()
+        world.run_for(1.0)
+        assert len(processed) == 1
+
+
+class TestImpersonation:
+    def test_forged_message_lacks_valid_signature(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker_node = VehicleNode(world, channel, Vehicle(position=Vec2(50, 0)))
+        attacker = ImpersonationAttacker(world, attacker_node, victim_identity=a.node_id)
+        defense = SignatureDefense(SignatureScheme())
+        accepted = []
+
+        def guarded(msg, frm):
+            if defense.verify(msg):
+                accepted.append(msg)
+
+        b.on(MessageKind.DATA, guarded)
+        attacker.send_forged(MessageKind.DATA, {"speed": 999})
+        world.run_for(1.0)
+        assert accepted == []
+        assert defense.rejected == 1
+
+    def test_naive_receiver_fooled(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker_node = VehicleNode(world, channel, Vehicle(position=Vec2(50, 0)))
+        attacker = ImpersonationAttacker(world, attacker_node, victim_identity=a.node_id)
+        naive = []
+        b.on(MessageKind.DATA, lambda msg, frm: naive.append(msg.src))
+        attacker.send_forged(MessageKind.DATA, {"speed": 999})
+        world.run_for(1.0)
+        assert naive == [a.node_id]  # believes the claimed identity
+
+    def test_genuine_signature_passes_defense(self):
+        scheme = SignatureScheme()
+        defense = SignatureDefense(scheme)
+        keypair = KeyPair.generate("honest")
+        message = data_message("honest", "b", 100, 1.0, payload={"speed": 20})
+        signature = scheme.sign(keypair, defense.message_digest_payload(message)).value
+        signed = message.with_envelope(
+            SecurityEnvelope(
+                claimed_identity="honest", signature=signature, nonce="n", timestamp=1.0
+            )
+        )
+        assert defense.verify(signed, expected_public_id=keypair.public_id)
+
+
+class TestMitm:
+    def test_tampering_between_victims(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker = MitmAttacker(
+            world, channel, Vec2(50, 0), victim_a=a.node_id, victim_b=b.node_id
+        )
+        received = []
+        b.on(MessageKind.DATA, lambda msg, frm: received.append(msg))
+        a.send(b.node_id, data_message(a.node_id, b.node_id, 100, world.now))
+        world.run_for(1.0)
+        assert received[0].payload.get("tampered") is True
+        assert attacker.tampered_count == 1
+
+    def test_non_victims_untouched(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        c = VehicleNode(world, channel, Vehicle(position=Vec2(50, 50)))
+        MitmAttacker(world, channel, Vec2(50, 0), victim_a=a.node_id, victim_b=c.node_id)
+        received = []
+        b.on(MessageKind.DATA, lambda msg, frm: received.append(msg))
+        a.send(b.node_id, data_message(a.node_id, b.node_id, 100, world.now))
+        world.run_for(1.0)
+        assert "tampered" not in received[0].payload
+
+    def test_signature_defense_detects_tampering(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        scheme = SignatureScheme()
+        defense = SignatureDefense(scheme)
+        keypair = KeyPair.generate()
+        MitmAttacker(world, channel, Vec2(50, 0), victim_a=a.node_id, victim_b=b.node_id)
+        verified = []
+        b.on(MessageKind.DATA, lambda msg, frm: verified.append(defense.verify(msg, keypair.public_id)))
+        message = data_message(a.node_id, b.node_id, 100, world.now, payload={"v": 1})
+        signature = scheme.sign(keypair, defense.message_digest_payload(message)).value
+        a.send(
+            b.node_id,
+            message.with_envelope(
+                SecurityEnvelope(claimed_identity=a.node_id, signature=signature),
+            ),
+        )
+        world.run_for(1.0)
+        assert verified == [False]
+
+    def test_stop_removes_interceptor(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        attacker = MitmAttacker(
+            world, channel, Vec2(50, 0), victim_a=a.node_id, victim_b=b.node_id
+        )
+        attacker.stop()
+        received = []
+        b.on(MessageKind.DATA, lambda msg, frm: received.append(msg))
+        a.send(b.node_id, data_message(a.node_id, b.node_id, 100, world.now))
+        world.run_for(1.0)
+        assert "tampered" not in received[0].payload
+
+
+class TestDelaySuppress:
+    def test_victim_messages_delayed(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        DelaySuppressAttacker(world, channel, Vec2(50, 0), victim=a.node_id, delay_s=1.0)
+        times = []
+        b.on(MessageKind.DATA, lambda msg, frm: times.append(world.now))
+        a.send(b.node_id, data_message(a.node_id, b.node_id, 100, world.now))
+        world.run_for(0.5)
+        assert times == []
+        world.run_for(1.0)
+        assert len(times) == 1 and times[0] > 1.0
+
+    def test_suppression_drops_messages(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        DelaySuppressAttacker(
+            world, channel, Vec2(50, 0), victim=a.node_id,
+            delay_s=0.0, suppress_probability=1.0,
+        )
+        received = []
+        b.on(MessageKind.DATA, lambda msg, frm: received.append(msg))
+        for _ in range(5):
+            a.send(b.node_id, data_message(a.node_id, b.node_id, 100, world.now))
+        world.run_for(2.0)
+        assert received == []
+
+    def test_non_victims_unaffected(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        DelaySuppressAttacker(
+            world, channel, Vec2(50, 0), victim="someone-else", suppress_probability=1.0
+        )
+        received = []
+        b.on(MessageKind.DATA, lambda msg, frm: received.append(msg))
+        a.send(b.node_id, data_message(a.node_id, b.node_id, 100, world.now))
+        world.run_for(1.0)
+        assert len(received) == 1
+
+
+class TestDos:
+    def test_flooder_sends_at_rate(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        flooder = DosFlooder(world, a, rate_per_s=50.0)
+        flooder.start()
+        world.run_for(2.0)
+        flooder.stop()
+        assert 90 <= flooder.messages_sent <= 110
+
+    def test_junk_processed_without_limiter(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        meter = JunkProcessingMeter(world)
+        b.on(MessageKind.DATA, meter)
+        flooder = DosFlooder(world, a, rate_per_s=100.0)
+        flooder.start()
+        world.run_for(1.0)
+        flooder.stop()
+        world.run_for(1.0)
+        assert meter.processed > 50
+        assert meter.drop_rate == 0.0
+
+    def test_rate_limiter_sheds_flood(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        meter = JunkProcessingMeter(world, RateLimiter(rate_per_s=10.0, burst=10.0))
+        b.on(MessageKind.DATA, meter)
+        flooder = DosFlooder(world, a, rate_per_s=200.0)
+        flooder.start()
+        world.run_for(2.0)
+        flooder.stop()
+        world.run_for(1.0)
+        assert meter.drop_rate > 0.8
+
+    def test_rate_limiter_refills(self):
+        limiter = RateLimiter(rate_per_s=1.0, burst=1.0)
+        assert limiter.allow("x", now=0.0)
+        assert not limiter.allow("x", now=0.1)
+        assert limiter.allow("x", now=2.0)
+
+    def test_rate_limiter_per_sender(self):
+        limiter = RateLimiter(rate_per_s=1.0, burst=1.0)
+        assert limiter.allow("a", now=0.0)
+        assert limiter.allow("b", now=0.0)
+
+
+class TestTracking:
+    def test_static_identity_fully_tracked(self):
+        world = lossless_world()
+        channel, a, b = pair(world, distance=150)
+        tracker = TrackingAdversary(channel)
+        from repro.net import BeaconService
+
+        services = [BeaconService(world, node) for node in (a, b)]
+        for service in services:
+            service.start()
+        world.run_for(20.0)
+        owner_map = {a.node_id: a.node_id, b.node_id: b.node_id}
+        # Static identities: each vehicle is one identity, trivially one track.
+        assert len(tracker.tracks) == 2
+
+    def test_kinematic_linking_across_identity_change(self):
+        world = lossless_world()
+        channel = WirelessChannel(world)
+        vehicle = Vehicle(position=Vec2(0, 0), speed_mps=20.0, heading_rad=0.0)
+        node = VehicleNode(world, channel, vehicle)
+        tracker = TrackingAdversary(channel, gate_m=30.0)
+
+        class SwitchingIdentity:
+            def current_identity(self, now):
+                return "pn-early" if now < 10 else "pn-late"
+
+        from repro.net import BeaconService
+
+        service = BeaconService(world, node, identity_provider=SwitchingIdentity())
+        service.start()
+
+        def advance():
+            vehicle.advance(0.5)
+
+        world.engine.call_every(0.5, advance)
+        world.run_for(20.0)
+        owner = {"pn-early": "veh", "pn-late": "veh"}
+        assert tracker.linking_accuracy(owner) == 1.0
+        assert tracker.tracked_fraction(owner) == 1.0
+
+    def test_gate_prevents_wild_links(self):
+        world = lossless_world()
+        channel = WirelessChannel(world)
+        tracker = TrackingAdversary(channel, gate_m=10.0)
+        # Two vehicles far apart with fresh identities every beacon would
+        # never be cross-linked.
+        from repro.net import BeaconService
+
+        v1 = Vehicle(position=Vec2(0, 0))
+        v2 = Vehicle(position=Vec2(5000, 0))
+        n1 = VehicleNode(world, channel, v1)
+        n2 = VehicleNode(world, channel, v2)
+        BeaconService(world, n1).start()
+        BeaconService(world, n2).start()
+        world.run_for(5.0)
+        assert len(tracker.tracks) == 2
+
+
+class TestTrafficFlowAnalysis:
+    def test_flow_statistics(self):
+        world = lossless_world()
+        channel, a, b = pair(world)
+        analyzer = TrafficFlowAnalyzer(channel)
+        for _ in range(3):
+            a.send(b.node_id, data_message(a.node_id, b.node_id, 500, world.now))
+        world.run_for(1.0)
+        top = analyzer.top_talkers()
+        assert top[0][0] == a.node_id
+        assert (a.node_id, b.node_id) in analyzer.conversation_pairs()
+
+
+class TestDataDisruption:
+    def _event(self, exists=True):
+        return GroundTruthEvent(
+            "evt", EventKind.ICY_ROAD, Vec2(0, 0), 0.0, exists=exists
+        )
+
+    def test_false_reporter_inverts_truth(self):
+        reporter = FalseReporter("evil")
+        lie = reporter.report_on(self._event(exists=True), now=1.0)
+        assert lie.claim is False
+
+    def test_fabricate_nonevent(self):
+        reporter = FalseReporter("evil")
+        fake = reporter.fabricate(EventKind.COLLISION, Vec2(9, 9), now=1.0)
+        assert fake.claim is True
+        assert reporter.reports_sent == 1
+
+    def test_collusion_ring_consistent_lies(self):
+        ring = CollusionRing([f"evil-{i}" for i in range(4)])
+        reports = ring.smear(self._event(exists=True), now=1.0)
+        assert len(reports) == 4
+        assert all(r.claim is False for r in reports)
+
+    def test_sybil_forger_shares_path(self):
+        forger = SybilForger("evil", sybil_count=5, relay_chain=("evil-relay",))
+        reports = forger.fabricate_event(EventKind.COLLISION, Vec2(0, 0), now=1.0)
+        assert len(reports) == 5
+        assert len({r.reporter for r in reports}) == 5
+        assert all(r.path == ("evil-relay",) for r in reports)

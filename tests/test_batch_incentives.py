@@ -1,0 +1,261 @@
+"""Tests for batch verification, SCRA-style signing, and incentives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CryptoError, ResourceError
+from repro.geometry import Vec2
+from repro.mobility import StationaryModel
+from repro.core import ResourceOffer, Task, TaskState, VehicularCloud
+from repro.core.incentives import CreditLedger, IncentivizedSubmission
+from repro.security.batch import BatchItem, BatchVerifier, PrecomputedSigner
+from repro.security.crypto import KeyPair, Signature, SignatureScheme
+
+
+def make_batch(count: int, tamper_indices=()):
+    scheme = SignatureScheme()
+    items = []
+    for index in range(count):
+        keypair = KeyPair.generate(f"s{index}")
+        data = f"message-{index}".encode()
+        signature = scheme.sign(keypair, data).value
+        if index in tamper_indices:
+            signature = Signature(
+                signer_public_id=keypair.public_id, binding="f" * 64
+            )
+        items.append(BatchItem(keypair.public_id, data, signature))
+    return scheme, items
+
+
+class TestBatchVerifier:
+    def test_clean_batch_verifies(self):
+        scheme, items = make_batch(10)
+        verifier = BatchVerifier(scheme)
+        result = verifier.verify_batch(items)
+        assert result.value
+
+    def test_poisoned_batch_fails(self):
+        scheme, items = make_batch(10, tamper_indices={3})
+        verifier = BatchVerifier(scheme)
+        assert not verifier.verify_batch(items).value
+
+    def test_batch_cheaper_than_sequential(self):
+        scheme, items = make_batch(30)
+        verifier = BatchVerifier(scheme)
+        batch_cost = verifier.verify_batch(items).cost_s
+        assert batch_cost < verifier.sequential_cost(30) / 2
+
+    def test_isolation_finds_all_bad_indices(self):
+        scheme, items = make_batch(16, tamper_indices={2, 9, 15})
+        verifier = BatchVerifier(scheme)
+        bad, _cost = verifier.verify_and_isolate(items)
+        assert bad == [2, 9, 15]
+
+    def test_isolation_clean_batch_single_check(self):
+        scheme, items = make_batch(8)
+        verifier = BatchVerifier(scheme)
+        bad, cost = verifier.verify_and_isolate(items)
+        assert bad == []
+        assert cost == pytest.approx(verifier.verify_batch(items).cost_s)
+
+    def test_isolation_costs_more_when_poisoned(self):
+        scheme, clean = make_batch(16)
+        scheme2, dirty = make_batch(16, tamper_indices={5})
+        _, clean_cost = BatchVerifier(scheme).verify_and_isolate(clean)
+        _, dirty_cost = BatchVerifier(scheme2).verify_and_isolate(dirty)
+        assert dirty_cost > clean_cost
+
+    def test_empty_batch_rejected(self):
+        verifier = BatchVerifier()
+        with pytest.raises(CryptoError):
+            verifier.verify_batch([])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(CryptoError):
+            BatchVerifier(per_item_fraction=0.0)
+
+
+class TestPrecomputedSigner:
+    def test_online_signing_is_cheap_and_valid(self):
+        keypair = KeyPair.generate("scra")
+        scheme = SignatureScheme()
+        signer = PrecomputedSigner(keypair, scheme)
+        signer.precompute(5)
+        op = signer.sign(b"urgent safety beacon")
+        assert op.cost_s < scheme.costs.ecdsa_sign_s / 10
+        assert scheme.verify(keypair.public_id, b"urgent safety beacon", op.value).value
+
+    def test_precompute_pays_full_cost(self):
+        signer = PrecomputedSigner(KeyPair.generate())
+        op = signer.precompute(20)
+        assert op.value == 20
+        assert op.cost_s == pytest.approx(20 * signer.costs.ecdsa_sign_s)
+        assert signer.tokens_remaining == 20
+
+    def test_pool_exhaustion_raises(self):
+        signer = PrecomputedSigner(KeyPair.generate())
+        signer.precompute(1)
+        signer.sign(b"a")
+        with pytest.raises(CryptoError):
+            signer.sign(b"b")
+
+    def test_total_work_conserved(self):
+        """SCRA moves cost, it doesn't destroy it: precompute+online ~ sign."""
+        signer = PrecomputedSigner(KeyPair.generate())
+        signer.precompute(10)
+        online_total = sum(signer.sign(f"m{i}".encode()).cost_s for i in range(10))
+        per_message = (signer.precompute_cost_s + online_total) / 10
+        assert per_message >= signer.costs.ecdsa_sign_s  # no free lunch
+
+    def test_invalid_precompute_count(self):
+        with pytest.raises(CryptoError):
+            PrecomputedSigner(KeyPair.generate()).precompute(0)
+
+
+class TestCreditLedger:
+    def test_signup_grant(self):
+        ledger = CreditLedger(initial_grant=10.0)
+        assert ledger.open_wallet("w1") == 10.0
+        assert ledger.open_wallet("w1") == 10.0  # idempotent
+        assert ledger.balance("w1") == 10.0
+
+    def test_submission_charges(self):
+        ledger = CreditLedger(initial_grant=10.0, credit_per_mi=0.01)
+        ledger.open_wallet("w1")
+        price = ledger.charge_submission("w1", work_mi=500, now=1.0)
+        assert price == pytest.approx(5.0)
+        assert ledger.balance("w1") == pytest.approx(5.0)
+
+    def test_free_rider_blocked(self):
+        ledger = CreditLedger(initial_grant=1.0, credit_per_mi=0.01)
+        ledger.open_wallet("broke")
+        with pytest.raises(ResourceError):
+            ledger.charge_submission("broke", work_mi=1000, now=1.0)
+        assert "broke" not in ledger.free_riders()  # can still afford 1 MI
+        ledger.fine("broke", 1.0, now=2.0)
+        assert "broke" in ledger.free_riders()
+
+    def test_work_rewarded(self):
+        ledger = CreditLedger(initial_grant=0.0, credit_per_mi=0.01)
+        ledger.reward_work("worker", work_mi=2000, now=3.0)
+        assert ledger.balance("worker") == pytest.approx(20.0)
+        assert ledger.top_earners() == [("worker", pytest.approx(20.0))]
+
+    def test_credits_conserved_between_peers(self):
+        """What submitters spend equals what workers earn (same rate)."""
+        ledger = CreditLedger(initial_grant=10.0, credit_per_mi=0.01)
+        ledger.open_wallet("submitter")
+        ledger.open_wallet("worker")
+        before = ledger.total_supply()
+        ledger.charge_submission("submitter", 500, now=1.0)
+        ledger.reward_work("worker", 500, now=2.0)
+        assert ledger.total_supply() == pytest.approx(before)
+
+    def test_ledger_entries_recorded(self):
+        ledger = CreditLedger()
+        ledger.open_wallet("w")
+        ledger.charge_submission("w", 100, now=1.0)
+        reasons = [entry.reason for entry in ledger.entries]
+        assert reasons == ["signup-grant", "task-submission"]
+
+    def test_invalid_config(self):
+        with pytest.raises(ResourceError):
+            CreditLedger(credit_per_mi=0.0)
+
+
+class TestIncentivizedSubmission:
+    def _cloud(self, world):
+        model = StationaryModel(world, positions=[Vec2(i * 50.0, 0) for i in range(3)])
+        vehicles = model.populate(3)
+        cloud = VehicularCloud(world, "pay-vc")
+        for vehicle in vehicles:
+            cloud.admit(vehicle, offer=ResourceOffer(vehicle.vehicle_id, 1000, 10**9, 1e6))
+        return cloud
+
+    def test_completed_task_pays_worker(self, world):
+        cloud = self._cloud(world)
+        ledger = CreditLedger(initial_grant=10.0, credit_per_mi=0.001)
+        ledger.open_wallet("submitter")
+        gateway = IncentivizedSubmission(ledger, cloud)
+        record = gateway.submit("submitter", Task(work_mi=1000, deadline_s=30))
+        assert record is not None
+        world.run_for(40.0)
+        assert record.state is TaskState.COMPLETED
+        worker_wallet = record.workers_history[-1]
+        assert ledger.balance(worker_wallet) > 0
+        assert gateway.rewards_paid == 1
+
+    def test_broke_submitter_blocked(self, world):
+        cloud = self._cloud(world)
+        ledger = CreditLedger(initial_grant=0.0, credit_per_mi=1.0)
+        ledger.open_wallet("broke")
+        gateway = IncentivizedSubmission(ledger, cloud)
+        record = gateway.submit("broke", Task(work_mi=1000))
+        assert record is None
+        assert gateway.submissions_blocked == 1
+        assert cloud.stats.submitted == 0
+
+    def test_earned_credits_enable_future_submissions(self, world):
+        """The participation cycle: work -> earn -> spend."""
+        cloud = self._cloud(world)
+        ledger = CreditLedger(initial_grant=0.0, credit_per_mi=0.001)
+        gateway = IncentivizedSubmission(ledger, cloud)
+        # Bootstrap: someone else funds the first task.
+        ledger.open_wallet("sponsor")
+        ledger.reward_work("sponsor", 5000, now=0.0)
+        record = gateway.submit("sponsor", Task(work_mi=2000, deadline_s=30))
+        world.run_for(40.0)
+        worker_wallet = record.workers_history[-1]
+        # The worker can now submit on its own earnings.
+        assert ledger.can_submit(worker_wallet, work_mi=1000)
+        follow_up = gateway.submit(worker_wallet, Task(work_mi=1000, deadline_s=30))
+        assert follow_up is not None
+
+
+class TestTrustIncentiveIntegration:
+    def test_liars_caught_by_validator_get_fined(self, world):
+        """Close the loop the paper implies: trust verdicts feed the
+        incentive layer, so lying eventually prices itself out."""
+        from repro.geometry import Vec2
+        from repro.trust import (
+            EventKind,
+            GroundTruthEvent,
+            MessageClassifier,
+            ReputationStore,
+            TrustPipeline,
+            WeightedVoting,
+            honest_report,
+        )
+        from repro.attacks import CollusionRing
+
+        ledger = CreditLedger(initial_grant=5.0, credit_per_mi=0.01)
+        pipeline = TrustPipeline(
+            classifier=MessageClassifier(),
+            validator=WeightedVoting(),
+            reputation=ReputationStore(),
+        )
+        ring = CollusionRing(["liar-1", "liar-2"])
+        for identity in ("liar-1", "liar-2", "honest-1", "honest-2", "honest-3"):
+            ledger.open_wallet(identity)
+
+        event = GroundTruthEvent(
+            "evt", EventKind.ICY_ROAD, Vec2(0, 0), 0.0, exists=True
+        )
+        reports = [honest_report(f"honest-{i}", event, 1.0) for i in (1, 2, 3)]
+        reports += ring.smear(event, 1.0)  # liars deny the real event
+        decision = pipeline.process(reports)[0]
+        assert decision.decision.believe  # honest majority prevails
+
+        # Ground truth confirms; every reporter whose claim contradicted
+        # it gets fined (the trust->incentive hook).
+        for report in decision.cluster.reports:
+            if report.claim != True:
+                ledger.fine(report.reporter, 2.0, now=5.0, reason="false-report")
+        assert ledger.balance("liar-1") == pytest.approx(3.0)
+        assert ledger.balance("honest-1") == pytest.approx(5.0)
+
+        # Repeat offenses push liars below the submission floor.
+        for _round in range(3):
+            ledger.fine("liar-1", 2.0, now=6.0, reason="false-report")
+        assert "liar-1" in ledger.free_riders()

@@ -1,0 +1,101 @@
+"""Tests for the message-driven task offload protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GeometryCoordination, Task
+from repro.core.task_protocol import NetworkedTaskExchange
+from repro.errors import TaskError
+from repro.geometry import Vec2
+from repro.mobility import Vehicle
+from repro.net import VehicleNode, WirelessChannel
+from repro.sim import ChannelConfig, ScenarioConfig, World
+
+
+def build(loss: float = 0.0, distance: float = 100.0, worker_mips: float = 1000.0):
+    world = World(
+        ScenarioConfig(
+            seed=55, channel=ChannelConfig(base_loss_probability=loss, loss_per_100m=0.0)
+        )
+    )
+    channel = WirelessChannel(world)
+    head = VehicleNode(world, channel, Vehicle(position=Vec2(0, 0)))
+    worker = VehicleNode(world, channel, Vehicle(position=Vec2(distance, 0)))
+    exchange = NetworkedTaskExchange(world, head)
+    exchange.register_worker(worker, mips=worker_mips)
+    return world, channel, head, worker, exchange
+
+
+class TestOffloadExchange:
+    def test_round_trip_completes(self):
+        world, _c, _h, worker, exchange = build()
+        record = exchange.offload(worker.node_id, Task(work_mi=1000, input_bytes=20_000))
+        world.run_for(10.0)
+        assert record.done
+        assert record.latency_s is not None
+        # Latency covers transfer + 1 s compute + return.
+        assert record.latency_s > 1.0
+        assert record.assign_transmissions == 1
+
+    def test_unregistered_worker_rejected(self):
+        _w, _c, _h, _worker, exchange = build()
+        with pytest.raises(TaskError):
+            exchange.offload("ghost", Task(work_mi=10))
+
+    def test_lossy_channel_retries(self):
+        world, _c, _h, worker, exchange = build(loss=0.3)
+        records = [
+            exchange.offload(worker.node_id, Task(work_mi=100, input_bytes=5_000))
+            for _ in range(10)
+        ]
+        world.run_for(60.0)
+        completed = [r for r in records if r.done]
+        assert len(completed) >= 8  # retries recover most losses
+        assert sum(r.assign_transmissions for r in records) > 10  # some retried
+
+    def test_retry_budget_bounds_failure(self):
+        world, channel, _h, worker, exchange = build()
+        # Worker drives out of range before the offload: all sends fail.
+        worker.vehicle.position = Vec2(50_000, 0)
+        record = exchange.offload(worker.node_id, Task(work_mi=100))
+        world.run_for(60.0)
+        assert record.failed
+        assert not record.done
+        assert record.assign_transmissions == exchange.max_retries + 1
+
+    def test_duplicate_assignments_execute_once(self):
+        """Retransmits must not double-execute or double-complete."""
+        world, _c, _h, worker, exchange = build(loss=0.3, worker_mips=100.0)
+        record = exchange.offload(worker.node_id, Task(work_mi=500))  # 5 s compute
+        world.run_for(60.0)
+        if record.done:
+            # However many retries happened, one completion, one result time.
+            assert record.latency_s >= 5.0
+
+    def test_measured_latency_matches_geometry_adapter(self):
+        """The analytic GeometryCoordination estimate must track the real
+        message exchange within a small factor (validation of E2's
+        analytic pricing)."""
+        world, channel, head, worker, exchange = build(distance=200.0)
+        task = Task(work_mi=1000, input_bytes=50_000, output_bytes=10_000)
+        record = exchange.offload(worker.node_id, task)
+        world.run_for(20.0)
+        adapter = GeometryCoordination(channel)
+        analytic = (
+            adapter.latency_for(head.node_id, worker.node_id, task.input_bytes)
+            + task.work_mi / 1000.0
+            + adapter.latency_for(head.node_id, worker.node_id, task.output_bytes)
+        )
+        assert record.latency_s == pytest.approx(analytic, rel=0.25)
+
+    def test_invalid_config(self):
+        world, _c, head, _w, _e = build()[0:1] + (None, None, None, None)
+        world2, _c2, head2, _w2, _e2 = build()
+        with pytest.raises(TaskError):
+            NetworkedTaskExchange(world2, head2, retry_interval_s=0.0)
+
+    def test_worker_mips_validated(self):
+        world, _c, head, worker, exchange = build()
+        with pytest.raises(TaskError):
+            exchange.register_worker(worker, mips=0.0)

@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example must run clean and self-check.
+
+Each example script ends with assertions on its own output, so running
+them is a meaningful end-to-end regression, not just an import check.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLE_SCRIPTS) >= 5
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    # Every example prints a titled results table.
+    assert "|" in output and "-+-" in output

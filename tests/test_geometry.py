@@ -1,0 +1,146 @@
+"""Tests for repro.geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import ORIGIN, Vec2, centroid, clamp, heading_difference
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestVec2:
+    def test_addition(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_subtraction(self):
+        assert Vec2(5, 5) - Vec2(2, 3) == Vec2(3, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_division(self):
+        assert Vec2(4, 6) / 2 == Vec2(2, 3)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(1, 1) / 0
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == pytest.approx(5.0)
+
+    def test_dot(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == pytest.approx(11.0)
+
+    def test_normalized_unit_length(self):
+        assert Vec2(10, 0).normalized() == Vec2(1, 0)
+
+    def test_normalized_zero_vector(self):
+        assert Vec2(0, 0).normalized() == Vec2(0, 0)
+
+    def test_heading_east(self):
+        assert Vec2(1, 0).heading() == pytest.approx(0.0)
+
+    def test_heading_north(self):
+        assert Vec2(0, 1).heading() == pytest.approx(math.pi / 2)
+
+    def test_from_polar_round_trip(self):
+        vec = Vec2.from_polar(5.0, math.pi / 3)
+        assert vec.norm() == pytest.approx(5.0)
+        assert vec.heading() == pytest.approx(math.pi / 3)
+
+    def test_rotated_quarter_turn(self):
+        rotated = Vec2(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_iteration_unpacks(self):
+        x, y = Vec2(7, 8)
+        assert (x, y) == (7, 8)
+
+    def test_immutability(self):
+        vec = Vec2(1, 2)
+        with pytest.raises(Exception):
+            vec.x = 10  # type: ignore[misc]
+
+    @given(finite, finite)
+    def test_norm_non_negative(self, x, y):
+        assert Vec2(x, y).norm() >= 0
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b = Vec2(x1, y1), Vec2(x2, y2)
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(finite, finite)
+    def test_distance_symmetry(self, x, y):
+        a, b = Vec2(x, y), Vec2(y, x)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestHeadingDifference:
+    def test_identical(self):
+        assert heading_difference(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert heading_difference(0.0, math.pi) == pytest.approx(math.pi)
+
+    def test_wraps_branch_cut(self):
+        assert heading_difference(math.pi - 0.1, -math.pi + 0.1) == pytest.approx(0.2)
+
+    @given(st.floats(min_value=-10, max_value=10), st.floats(min_value=-10, max_value=10))
+    def test_range(self, a, b):
+        diff = heading_difference(a, b)
+        assert 0.0 <= diff <= math.pi + 1e-9
+
+    @given(st.floats(min_value=-10, max_value=10), st.floats(min_value=-10, max_value=10))
+    def test_symmetry(self, a, b):
+        assert heading_difference(a, b) == pytest.approx(heading_difference(b, a))
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Vec2(3, 4)]) == Vec2(3, 4)
+
+    def test_square(self):
+        points = [Vec2(0, 0), Vec2(2, 0), Vec2(2, 2), Vec2(0, 2)]
+        assert centroid(points) == Vec2(1, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_accepts_generator(self):
+        assert centroid(Vec2(i, 0) for i in range(3)) == Vec2(1, 0)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-1, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(11, 0, 10) == 10
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(5, 10, 0)
+
+    def test_origin_constant(self):
+        assert ORIGIN == Vec2(0.0, 0.0)

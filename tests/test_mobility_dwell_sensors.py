@@ -1,0 +1,208 @@
+"""Tests for dwell estimation, sensors and traces."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry import Vec2
+from repro.mobility import (
+    DwellEstimator,
+    MobilityTrace,
+    SensorKind,
+    SensorSuite,
+    StationaryModel,
+    TraceRecorder,
+    Vehicle,
+    link_lifetime,
+    zone_residence_time,
+)
+from repro.mobility.models import HighwayModel
+from repro.mobility.sensors import GpsSensor, Radar, Speedometer
+
+
+class TestLinkLifetime:
+    def test_out_of_range_is_zero(self):
+        a = Vehicle(position=Vec2(0, 0))
+        b = Vehicle(position=Vec2(1000, 0))
+        assert link_lifetime(a, b, 300) == 0.0
+
+    def test_static_pair_is_infinite(self):
+        a = Vehicle(position=Vec2(0, 0))
+        b = Vehicle(position=Vec2(100, 0))
+        assert math.isinf(link_lifetime(a, b, 300))
+
+    def test_platoon_is_infinite(self):
+        a = Vehicle(position=Vec2(0, 0), speed_mps=20, heading_rad=0)
+        b = Vehicle(position=Vec2(50, 0), speed_mps=20, heading_rad=0)
+        assert math.isinf(link_lifetime(a, b, 300))
+
+    def test_opposite_traffic_short_lifetime(self):
+        a = Vehicle(position=Vec2(0, 0), speed_mps=20, heading_rad=0)
+        b = Vehicle(position=Vec2(100, 0), speed_mps=20, heading_rad=math.pi)
+        # Closing at 40 m/s from 100m apart inside a 300m radius: the gap
+        # shrinks, passes zero, then opens to 300 -> (100+300)/40 = 10 s.
+        assert link_lifetime(a, b, 300) == pytest.approx(10.0)
+
+    def test_diverging_pair(self):
+        a = Vehicle(position=Vec2(0, 0), speed_mps=10, heading_rad=math.pi)
+        b = Vehicle(position=Vec2(100, 0), speed_mps=10, heading_rad=0)
+        # Opening at 20 m/s with 200m margin -> 10 s.
+        assert link_lifetime(a, b, 300) == pytest.approx(10.0)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            link_lifetime(Vehicle(), Vehicle(), 0)
+
+    @given(st.floats(min_value=10, max_value=40), st.floats(min_value=10, max_value=290))
+    def test_lifetime_non_negative(self, speed, gap):
+        a = Vehicle(position=Vec2(0, 0), speed_mps=speed, heading_rad=0)
+        b = Vehicle(position=Vec2(gap, 0), speed_mps=speed / 2, heading_rad=math.pi)
+        assert link_lifetime(a, b, 300) >= 0
+
+
+class TestZoneResidence:
+    def test_outside_is_zero(self):
+        vehicle = Vehicle(position=Vec2(1000, 0))
+        assert zone_residence_time(vehicle, Vec2(0, 0), 300) == 0.0
+
+    def test_parked_inside_is_infinite(self):
+        vehicle = Vehicle(position=Vec2(10, 0))
+        assert math.isinf(zone_residence_time(vehicle, Vec2(0, 0), 300))
+
+    def test_crossing_through_center(self):
+        vehicle = Vehicle(position=Vec2(-300, 0), speed_mps=30, heading_rad=0)
+        # Entering at the rim, exiting 600m later at 30 m/s -> 20 s.
+        assert zone_residence_time(vehicle, Vec2(0, 0), 300) == pytest.approx(20.0)
+
+    def test_leaving_radially(self):
+        vehicle = Vehicle(position=Vec2(100, 0), speed_mps=20, heading_rad=0)
+        assert zone_residence_time(vehicle, Vec2(0, 0), 300) == pytest.approx(10.0)
+
+
+class TestDwellEstimator:
+    def test_unbiased_estimate_near_truth(self, rng):
+        estimator = DwellEstimator(rng, bias=1.0, noise_std_fraction=0.0)
+        a = Vehicle(position=Vec2(0, 0), speed_mps=20, heading_rad=0)
+        b = Vehicle(position=Vec2(100, 0), speed_mps=20, heading_rad=math.pi)
+        estimate = estimator.estimate_link(a, b, 300)
+        assert estimate.estimated_s == pytest.approx(estimate.true_s)
+        assert estimate.error_s == pytest.approx(0.0)
+
+    def test_bias_shifts_estimate(self, rng):
+        estimator = DwellEstimator(rng, bias=2.0, noise_std_fraction=0.0)
+        a = Vehicle(position=Vec2(0, 0), speed_mps=20, heading_rad=0)
+        b = Vehicle(position=Vec2(100, 0), speed_mps=20, heading_rad=math.pi)
+        estimate = estimator.estimate_link(a, b, 300)
+        assert estimate.estimated_s == pytest.approx(2.0 * estimate.true_s)
+
+    def test_infinite_truth_capped(self, rng):
+        estimator = DwellEstimator(rng, noise_std_fraction=0.0)
+        a = Vehicle(position=Vec2(0, 0))
+        b = Vehicle(position=Vec2(10, 0))
+        estimate = estimator.estimate_link(a, b, 300)
+        assert estimate.estimated_s <= DwellEstimator.HORIZON_S
+        assert math.isinf(estimate.true_s)
+
+    def test_invalid_bias(self, rng):
+        with pytest.raises(ConfigurationError):
+            DwellEstimator(rng, bias=0.0)
+
+    def test_estimate_never_negative(self, rng):
+        estimator = DwellEstimator(rng, noise_std_fraction=2.0)
+        a = Vehicle(position=Vec2(0, 0), speed_mps=20, heading_rad=0)
+        b = Vehicle(position=Vec2(250, 0), speed_mps=20, heading_rad=math.pi)
+        for _ in range(50):
+            assert estimator.estimate_link(a, b, 300).estimated_s >= 0
+
+
+class TestSensors:
+    def test_gps_noise_bounded(self, rng):
+        sensor = GpsSensor(rng, error_std_m=1.0)
+        vehicle = Vehicle(position=Vec2(100, 100))
+        errors = [
+            sensor.read(vehicle, 0.0).value.distance_to(vehicle.position)
+            for _ in range(200)
+        ]
+        assert sum(errors) / len(errors) < 5.0
+
+    def test_speedometer_relative_noise(self, rng):
+        sensor = Speedometer(rng, relative_error_std=0.01)
+        vehicle = Vehicle(speed_mps=30.0)
+        readings = [sensor.read(vehicle, 0.0).value for _ in range(100)]
+        assert 29.0 < sum(readings) / len(readings) < 31.0
+
+    def test_radar_detects_in_range_only(self, rng):
+        radar = Radar(rng, max_range_m=100, detection_probability=1.0, range_error_std_m=0.0)
+        me = Vehicle(position=Vec2(0, 0))
+        near = Vehicle(position=Vec2(50, 0))
+        far = Vehicle(position=Vec2(500, 0))
+        contacts = radar.sweep(me, [near, far], 0.0).value
+        assert [c.target_id for c in contacts] == [near.vehicle_id]
+        assert contacts[0].range_m == pytest.approx(50.0)
+
+    def test_radar_never_detects_self(self, rng):
+        radar = Radar(rng, detection_probability=1.0)
+        me = Vehicle(position=Vec2(0, 0))
+        assert radar.sweep(me, [me], 0.0).value == []
+
+    def test_suite_respects_equipment(self, rng):
+        from repro.mobility import AutomationLevel, OnboardEquipment
+
+        vehicle = Vehicle(
+            equipment=OnboardEquipment.for_level(AutomationLevel.NO_AUTOMATION)
+        )
+        suite = SensorSuite(vehicle, rng)
+        assert suite.read_gps(0.0) is not None
+        assert suite.radar_sweep([], 0.0) is None  # no radar at level 0
+
+    def test_suite_reading_kinds(self, rng):
+        vehicle = Vehicle()
+        suite = SensorSuite(vehicle, rng)
+        assert suite.read_gps(1.0).sensor is SensorKind.GPS
+        assert suite.read_speed(1.0).sensor is SensorKind.SPEEDOMETER
+
+
+class TestTrace:
+    def test_record_and_duration(self):
+        trace = MobilityTrace()
+        vehicle = Vehicle(position=Vec2(0, 0))
+        trace.record(0.0, vehicle)
+        vehicle.position = Vec2(10, 0)
+        trace.record(5.0, vehicle)
+        assert trace.duration() == 5.0
+        assert trace.vehicle_ids() == [vehicle.vehicle_id]
+
+    def test_interpolation(self):
+        trace = MobilityTrace()
+        vehicle = Vehicle(position=Vec2(0, 0))
+        trace.record(0.0, vehicle)
+        vehicle.position = Vec2(10, 0)
+        trace.record(10.0, vehicle)
+        midpoint = trace.position_at(vehicle.vehicle_id, 5.0)
+        assert midpoint == Vec2(5, 0)
+
+    def test_interpolation_clamps_to_ends(self):
+        trace = MobilityTrace()
+        vehicle = Vehicle(position=Vec2(3, 3))
+        trace.record(1.0, vehicle)
+        assert trace.position_at(vehicle.vehicle_id, 0.0) == Vec2(3, 3)
+        assert trace.position_at(vehicle.vehicle_id, 99.0) == Vec2(3, 3)
+
+    def test_unknown_vehicle_returns_none(self):
+        assert MobilityTrace().position_at("ghost", 0.0) is None
+
+    def test_recorder_samples_population(self, world):
+        model = HighwayModel(world)
+        model.populate(5)
+        model.start()
+        recorder = TraceRecorder(world, model, interval_s=1.0)
+        recorder.start()
+        world.run_for(10)
+        recorder.stop()
+        assert len(recorder.trace.points) == 5 * 10
+        assert len(recorder.trace.vehicle_ids()) == 5

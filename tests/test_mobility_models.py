@@ -1,0 +1,223 @@
+"""Tests for roads and mobility models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Vec2
+from repro.mobility import (
+    Highway,
+    HighwayModel,
+    ManhattanGrid,
+    ManhattanModel,
+    ParkingLot,
+    ParkingLotModel,
+    StationaryModel,
+)
+from repro.sim import ScenarioConfig, World
+
+
+class TestHighway:
+    def test_lane_geometry(self):
+        highway = Highway(lanes_per_direction=2, lane_width_m=4.0)
+        assert highway.total_lanes == 4
+        assert highway.lane_y(0) == pytest.approx(-2.0)
+        assert highway.lane_y(2) == pytest.approx(2.0)
+
+    def test_lane_heading_by_direction(self):
+        highway = Highway(lanes_per_direction=1)
+        assert highway.lane_heading(0) == 0.0
+        assert highway.lane_heading(1) == math.pi
+
+    def test_lane_index_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Highway(lanes_per_direction=1).lane_y(2)
+
+    def test_wrap(self):
+        highway = Highway(length_m=1000)
+        assert highway.wrap_x(1100) == pytest.approx(100)
+        assert highway.wrap_x(-100) == pytest.approx(900)
+
+    def test_contains(self):
+        highway = Highway(length_m=1000, lanes_per_direction=1, lane_width_m=4)
+        assert highway.contains(Vec2(500, 0))
+        assert not highway.contains(Vec2(500, 100))
+
+
+class TestManhattanGrid:
+    def test_dimensions(self):
+        grid = ManhattanGrid(blocks_x=3, blocks_y=2, block_size_m=100)
+        assert grid.width_m == 300
+        assert grid.height_m == 200
+        assert len(grid.intersections()) == 4 * 3
+
+    def test_nearest_intersection(self):
+        grid = ManhattanGrid(block_size_m=100)
+        assert grid.nearest_intersection(Vec2(149, 51)) == Vec2(100, 100)
+
+    def test_nearest_clamped_to_grid(self):
+        grid = ManhattanGrid(blocks_x=2, blocks_y=2, block_size_m=100)
+        assert grid.nearest_intersection(Vec2(-50, 999)) == Vec2(0, 200)
+
+    def test_allowed_headings_interior(self):
+        grid = ManhattanGrid(blocks_x=2, blocks_y=2, block_size_m=100)
+        headings = grid.allowed_headings(Vec2(100, 100))
+        assert len(headings) == 4
+
+    def test_allowed_headings_corner(self):
+        grid = ManhattanGrid(blocks_x=2, blocks_y=2, block_size_m=100)
+        headings = grid.allowed_headings(Vec2(0, 0))
+        assert len(headings) == 2
+
+    def test_is_intersection(self):
+        grid = ManhattanGrid(block_size_m=100)
+        assert grid.is_intersection(Vec2(100.5, 99.8))
+        assert not grid.is_intersection(Vec2(150, 150))
+
+
+class TestParkingLot:
+    def test_capacity_and_positions(self):
+        lot = ParkingLot(rows=2, columns=3, spot_spacing_m=5)
+        assert lot.capacity == 6
+        assert lot.spot_position(0) == Vec2(0, 0)
+        assert lot.spot_position(4) == Vec2(5, 5)
+
+    def test_invalid_spot(self):
+        with pytest.raises(ConfigurationError):
+            ParkingLot(rows=1, columns=1).spot_position(1)
+
+
+class TestHighwayModel:
+    def test_populate_places_on_lanes(self, world):
+        model = HighwayModel(world, Highway(length_m=2000))
+        vehicles = model.populate(20)
+        assert len(vehicles) == 20
+        for vehicle in vehicles:
+            assert 0 <= vehicle.position.x <= 2000
+            assert vehicle.heading_rad in (0.0, math.pi)
+
+    def test_vehicles_registered_in_world(self, world):
+        model = HighwayModel(world)
+        vehicles = model.populate(5)
+        for vehicle in vehicles:
+            assert world.has(vehicle.vehicle_id)
+
+    def test_motion_wraps_highway(self, world):
+        highway = Highway(length_m=500)
+        model = HighwayModel(world, highway)
+        model.populate(10)
+        model.start()
+        world.run_for(60)
+        for vehicle in model.vehicles:
+            assert 0 <= vehicle.position.x < 500
+
+    def test_speeds_stay_in_bounds(self, world):
+        model = HighwayModel(world)
+        model.populate(15)
+        model.start()
+        world.run_for(30)
+        cfg = world.config.mobility
+        for vehicle in model.vehicles:
+            assert cfg.min_speed_mps <= vehicle.speed_mps <= cfg.max_speed_mps
+
+    def test_deterministic_across_worlds(self):
+        def run(seed):
+            world = World(ScenarioConfig(seed=seed))
+            model = HighwayModel(world)
+            model.populate(10)
+            model.start()
+            world.run_for(20)
+            return [(round(v.position.x, 6), round(v.position.y, 6)) for v in model.vehicles]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_stop_halts_motion(self, world):
+        model = HighwayModel(world)
+        model.populate(3)
+        model.start()
+        world.run_for(5)
+        model.stop()
+        positions = [v.position for v in model.vehicles]
+        world.run_for(10)
+        assert [v.position for v in model.vehicles] == positions
+
+
+class TestManhattanModel:
+    def test_vehicles_stay_on_grid_lines(self, world):
+        grid = ManhattanGrid(blocks_x=3, blocks_y=3, block_size_m=200)
+        model = ManhattanModel(world, grid)
+        model.populate(15)
+        model.start()
+        world.run_for(60)
+        for vehicle in model.vehicles:
+            on_vertical = abs(vehicle.position.x % 200) < 1e-6
+            on_horizontal = abs(vehicle.position.y % 200) < 1e-6
+            assert on_vertical or on_horizontal
+
+    def test_vehicles_stay_in_bounds(self, world):
+        grid = ManhattanGrid(blocks_x=2, blocks_y=2, block_size_m=100)
+        model = ManhattanModel(world, grid)
+        model.populate(10)
+        model.start()
+        world.run_for(120)
+        for vehicle in model.vehicles:
+            assert -1e-6 <= vehicle.position.x <= grid.width_m + 1e-6
+            assert -1e-6 <= vehicle.position.y <= grid.height_m + 1e-6
+
+
+class TestParkingLotModel:
+    def test_vehicles_start_parked(self, world):
+        model = ParkingLotModel(world)
+        model.populate(10)
+        assert all(v.parked for v in model.vehicles)
+
+    def test_departures_happen(self, world):
+        model = ParkingLotModel(world, departure_rate_per_hour=3600.0, arrivals_enabled=False)
+        model.populate(30)
+        departed = []
+        model.on_departure(departed.append)
+        model.start()
+        world.run_for(30)
+        assert departed, "with a 1/s rate departures must occur within 30s"
+        assert model.occupancy < 1.0
+
+    def test_departed_vehicles_unregistered(self, world):
+        model = ParkingLotModel(world, departure_rate_per_hour=3600.0, arrivals_enabled=False)
+        model.populate(10)
+        model.start()
+        world.run_for(60)
+        for vehicle in model.departed:
+            assert not world.has(vehicle.vehicle_id)
+
+    def test_zero_rate_keeps_everyone(self, world):
+        model = ParkingLotModel(world, departure_rate_per_hour=0.0)
+        model.populate(10)
+        model.start()
+        world.run_for(60)
+        assert len(model.vehicles) == 10
+
+    def test_overfill_raises(self, world):
+        from repro.mobility import ParkingLot
+
+        model = ParkingLotModel(world, lot=ParkingLot(rows=1, columns=2))
+        with pytest.raises(ConfigurationError):
+            model.populate(3)
+
+
+class TestStationaryModel:
+    def test_explicit_positions(self, world):
+        model = StationaryModel(world, positions=[Vec2(1, 2), Vec2(3, 4)])
+        vehicles = model.populate(2)
+        assert vehicles[0].position == Vec2(1, 2)
+        assert vehicles[1].position == Vec2(3, 4)
+
+    def test_vehicles_never_move(self, world):
+        model = StationaryModel(world, positions=[Vec2(5, 5)])
+        model.populate(1)
+        model.start()
+        world.run_for(30)
+        assert model.vehicles[0].position == Vec2(5, 5)

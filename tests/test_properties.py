@@ -1,0 +1,298 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin the framework's global invariants: determinism from seeds,
+conservation laws in membership and replication, monotonicity of cost
+models, and algebraic properties of the evidence-fusion machinery.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Vec2
+from repro.mobility import Vehicle, link_lifetime
+from repro.core import (
+    FileStore,
+    MembershipManager,
+    ReplicationManager,
+    ResourceOffer,
+    ResourcePool,
+    StoredFile,
+    Task,
+)
+from repro.security.access import (
+    AccessContext,
+    AccessRequest,
+    Policy,
+    PolicyDecisionPoint,
+    VehicleRole,
+    permit,
+)
+from repro.sim import Engine, ScenarioConfig, SeededRng, World
+from repro.trust.validators.dempster_shafer import MassFunction, VACUOUS
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_rng_streams_replay(self, seed):
+        a = SeededRng(seed, "stream")
+        b = SeededRng(seed, "stream")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_engine_event_order_is_stable(self, seed):
+        def run():
+            engine = Engine()
+            rng = SeededRng(seed, "order")
+            fired = []
+            for index in range(30):
+                engine.schedule(
+                    rng.uniform(0.0, 10.0), lambda i=index: fired.append(i)
+                )
+            engine.run_until(10.0)
+            return fired
+
+        assert run() == run()
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_world_simulation_replays(self, seed):
+        def run():
+            world = World(ScenarioConfig(seed=seed))
+            from repro.mobility import HighwayModel
+
+            model = HighwayModel(world)
+            model.populate(8)
+            model.start()
+            world.run_for(15.0)
+            return [round(v.position.x, 9) for v in model.vehicles]
+
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# Conservation laws
+# ---------------------------------------------------------------------------
+
+
+member_lists = st.lists(
+    st.integers(min_value=0, max_value=29), min_size=2, max_size=12, unique=True
+)
+
+
+class TestMembershipConservation:
+    @given(member_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_split_conserves_members(self, indices):
+        manager = MembershipManager("vc", max_members=64)
+        ids = [f"m{i}" for i in indices]
+        for member_id in ids:
+            manager.join(member_id, 0.0)
+        to_split = ids[: len(ids) // 2]
+        if not to_split:
+            return
+        spawned = manager.split(to_split, "vc2", 1.0)
+        assert sorted(manager.member_ids() + spawned.member_ids()) == sorted(ids)
+
+    @given(member_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_absorb_conserves_members(self, indices):
+        ids = [f"m{i}" for i in indices]
+        half = len(ids) // 2
+        alpha = MembershipManager("a", max_members=64)
+        beta = MembershipManager("b", max_members=64)
+        for member_id in ids[:half]:
+            alpha.join(member_id, 0.0)
+        for member_id in ids[half:]:
+            beta.join(member_id, 0.0)
+        alpha.absorb(beta, 1.0)
+        assert sorted(alpha.member_ids() + beta.member_ids()) == sorted(ids)
+
+
+class TestResourceConservation:
+    @given(
+        st.lists(
+            st.floats(min_value=10.0, max_value=1000.0), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reserve_release_round_trip(self, amounts):
+        pool = ResourcePool()
+        pool.add_offer(ResourceOffer("v", sum(amounts) + 1.0, 10**9, 1e6))
+        reservations = [pool.reserve("v", amount) for amount in amounts]
+        for reservation in reservations:
+            pool.release(reservation)
+        assert pool.free_mips("v") == pytest.approx(sum(amounts) + 1.0)
+        assert pool.utilization() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReplicationInvariants:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_replicas_never_exceed_members(self, replicas, members, seed):
+        manager = ReplicationManager(SeededRng(seed, "p"), repair=False)
+        for index in range(members):
+            manager.add_store(FileStore(f"v{index}", 10**6))
+        placed = manager.store_file(StoredFile("f", 100, target_replicas=replicas))
+        assert placed == min(replicas, members)
+        assert manager.replica_count("f") == placed
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_repair_restores_target_while_possible(self, seed):
+        rng = SeededRng(seed, "repair")
+        manager = ReplicationManager(rng.fork("m"), repair=True)
+        for index in range(6):
+            manager.add_store(FileStore(f"v{index}", 10**6))
+        manager.store_file(StoredFile("f", 100, target_replicas=3))
+        # Remove members one at a time; while >=3 members remain the
+        # replica count must return to target.
+        members = manager.member_ids()
+        rng.shuffle(members)
+        for removed, member in enumerate(members[:3], start=1):
+            manager.remove_store(member)
+            remaining = 6 - removed
+            expected = min(3, remaining)
+            assert manager.replica_count("f") == expected
+
+
+# ---------------------------------------------------------------------------
+# Cost-model monotonicity
+# ---------------------------------------------------------------------------
+
+
+class TestCostMonotonicity:
+    @given(st.floats(min_value=1.0, max_value=1e6), st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_task_runtime_monotone(self, work, mips):
+        task = Task(work_mi=work)
+        assert task.runtime_on(mips) >= task.runtime_on(mips * 2)
+
+    @given(
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pdp_latency_monotone_in_rules(self, small, extra):
+        def build(count):
+            policy = Policy(f"p{count}")
+            for index in range(count):
+                policy.add_rule(permit(f"r{index}", ["read"], f"never-{index}"))
+            return policy
+
+        pdp = PolicyDecisionPoint()
+        request = AccessRequest(
+            AccessContext(requester="x", role=VehicleRole.MEMBER), "read", "nomatch"
+        )
+        latency_small = pdp.evaluate(build(small), request).latency_s
+        latency_large = pdp.evaluate(build(small + extra), request).latency_s
+        assert latency_large >= latency_small
+
+
+# ---------------------------------------------------------------------------
+# Evidence-fusion algebra
+# ---------------------------------------------------------------------------
+
+
+def masses():
+    return st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ).map(
+        lambda pair: MassFunction(
+            pair[0] * (1 - pair[1]),
+            pair[1] * (1 - pair[0] * (1 - pair[1])) if pair[0] * (1 - pair[1]) + pair[1] <= 1 else 0.0,
+            max(0.0, 1.0 - pair[0] * (1 - pair[1]) - (pair[1] * (1 - pair[0] * (1 - pair[1])) if pair[0] * (1 - pair[1]) + pair[1] <= 1 else 0.0)),
+        )
+    )
+
+
+def simple_masses():
+    """Mass functions committing to one side plus ignorance."""
+    return st.tuples(
+        st.booleans(), st.floats(min_value=0.0, max_value=0.95)
+    ).map(
+        lambda pair: MassFunction(pair[1], 0.0, 1.0 - pair[1])
+        if pair[0]
+        else MassFunction(0.0, pair[1], 1.0 - pair[1])
+    )
+
+
+class TestDempsterShaferAlgebra:
+    @given(simple_masses(), simple_masses())
+    @settings(max_examples=50, deadline=None)
+    def test_combination_commutative(self, a, b):
+        ab = a.combine(b)
+        ba = b.combine(a)
+        assert ab.event == pytest.approx(ba.event, abs=1e-9)
+        assert ab.no_event == pytest.approx(ba.no_event, abs=1e-9)
+
+    @given(simple_masses())
+    @settings(max_examples=50, deadline=None)
+    def test_vacuous_is_identity(self, a):
+        combined = a.combine(VACUOUS)
+        assert combined.event == pytest.approx(a.event, abs=1e-9)
+        assert combined.no_event == pytest.approx(a.no_event, abs=1e-9)
+
+    @given(simple_masses(), simple_masses())
+    @settings(max_examples=50, deadline=None)
+    def test_combination_normalized(self, a, b):
+        combined = a.combine(b)
+        total = combined.event + combined.no_event + combined.unknown
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(simple_masses())
+    @settings(max_examples=50, deadline=None)
+    def test_belief_bounded_by_plausibility(self, a):
+        assert a.belief_event <= a.plausibility_event + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Kinematics
+# ---------------------------------------------------------------------------
+
+
+class TestLinkLifetimeProperties:
+    @given(
+        st.floats(min_value=-200, max_value=200),
+        st.floats(min_value=0, max_value=40),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+        st.floats(min_value=0, max_value=40),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lifetime_consistent_with_simulation(self, gap, speed_a, heading_a, speed_b, heading_b):
+        """At the analytic exit time, the pair really is at the range edge."""
+        a = Vehicle(position=Vec2(0, 0), speed_mps=speed_a, heading_rad=heading_a)
+        b = Vehicle(position=Vec2(gap, 0), speed_mps=speed_b, heading_rad=heading_b)
+        if a.relative_speed(b) < 1e-3:
+            return  # near-zero relative motion: quadratic is ill-conditioned
+        range_m = 300.0
+        lifetime = link_lifetime(a, b, range_m)
+        if lifetime == 0.0 or math.isinf(lifetime):
+            return
+        position_a = a.position + a.velocity * lifetime
+        position_b = b.position + b.velocity * lifetime
+        assert position_a.distance_to(position_b) == pytest.approx(range_m, rel=1e-4)
+
+    @given(st.floats(min_value=0, max_value=250))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, gap):
+        a = Vehicle(position=Vec2(0, 0), speed_mps=20, heading_rad=0)
+        b = Vehicle(position=Vec2(gap, 0), speed_mps=10, heading_rad=math.pi)
+        assert link_lifetime(a, b, 300) == pytest.approx(link_lifetime(b, a, 300))

@@ -1,0 +1,145 @@
+"""Tests for threshold secret sharing (§V.B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CryptoError
+from repro.security.secret_sharing import (
+    DistributedSecretStore,
+    reconstruct_secret,
+    split_secret,
+)
+from repro.sim import SeededRng
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(7, "shamir")
+
+
+class TestSplitReconstruct:
+    def test_round_trip(self, rng):
+        secret = b"driver biometric template 0xDEADBEEF"
+        shares = split_secret(secret, n=5, k=3, rng=rng)
+        assert len(shares) == 5
+        assert reconstruct_secret(shares[:3]) == secret
+
+    def test_any_k_shares_suffice(self, rng):
+        secret = b"route history"
+        shares = split_secret(secret, n=5, k=3, rng=rng)
+        import itertools
+
+        for combo in itertools.combinations(shares, 3):
+            assert reconstruct_secret(list(combo)) == secret
+
+    def test_fewer_than_k_rejected(self, rng):
+        shares = split_secret(b"secret", n=5, k=3, rng=rng)
+        with pytest.raises(CryptoError):
+            reconstruct_secret(shares[:2])
+
+    def test_duplicate_shares_do_not_count(self, rng):
+        shares = split_secret(b"secret", n=5, k=3, rng=rng)
+        with pytest.raises(CryptoError):
+            reconstruct_secret([shares[0], shares[0], shares[1]])
+
+    def test_k_minus_one_shares_reveal_nothing(self, rng):
+        """Information-theoretic hiding: the k-1 views of two different
+        secrets are both consistent with *any* secret, so observing them
+        cannot distinguish the secrets.  We check the operational form:
+        reconstruction from k-1 shares plus a wrong guess share fails to
+        produce the secret."""
+        secret = b"AAAAAAA"
+        shares = split_secret(secret, n=4, k=3, rng=rng)
+        forged = shares[2].__class__(
+            index=99,
+            values=tuple(0 for _ in shares[0].values),
+            total_blocks=shares[0].total_blocks,
+            original_length=shares[0].original_length,
+            threshold=shares[0].threshold,
+        )
+        result = reconstruct_secret([shares[0], shares[1], forged])
+        assert result != secret
+
+    def test_mixed_splits_rejected(self, rng):
+        a = split_secret(b"secret-one", n=3, k=2, rng=rng)
+        b = split_secret(b"different!", n=3, k=2, rng=rng.fork("b"))
+        # Same parameters but different polynomials: reconstruction mixes
+        # into garbage rather than either secret.
+        mixed = reconstruct_secret([a[0], b[1]])
+        assert mixed not in (b"secret-one", b"different!")
+
+    def test_incompatible_parameters_rejected(self, rng):
+        a = split_secret(b"short", n=3, k=2, rng=rng)
+        b = split_secret(b"a much longer secret value", n=3, k=2, rng=rng)
+        with pytest.raises(CryptoError):
+            reconstruct_secret([a[0], b[1]])
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(CryptoError):
+            split_secret(b"x", n=2, k=3, rng=rng)
+        with pytest.raises(CryptoError):
+            split_secret(b"", n=3, k=2, rng=rng)
+
+    def test_k_equals_one_is_replication(self, rng):
+        shares = split_secret(b"public-ish", n=3, k=1, rng=rng)
+        for share in shares:
+            assert reconstruct_secret([share]) == b"public-ish"
+
+    def test_k_equals_n(self, rng):
+        shares = split_secret(b"all hands", n=4, k=4, rng=rng)
+        assert reconstruct_secret(shares) == b"all hands"
+        with pytest.raises(CryptoError):
+            reconstruct_secret(shares[:3])
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, secret, n):
+        rng = SeededRng(11, "prop")
+        k = max(2, n - 1)
+        shares = split_secret(secret, n=n, k=k, rng=rng)
+        assert reconstruct_secret(shares[:k]) == secret
+        assert reconstruct_secret(list(reversed(shares))[:k]) == secret
+
+
+class TestDistributedSecretStore:
+    def test_scatter_and_reconstruct(self, rng):
+        store = DistributedSecretStore(rng)
+        members = [f"v{i}" for i in range(5)]
+        store.scatter("biometrics", b"iris-template", members, k=3)
+        assert store.can_reconstruct("biometrics")
+        assert store.reconstruct("biometrics") == b"iris-template"
+        assert store.colluders_needed("biometrics") == 3
+
+    def test_survives_tolerated_departures(self, rng):
+        store = DistributedSecretStore(rng)
+        members = [f"v{i}" for i in range(5)]
+        store.scatter("s", b"payload", members, k=3)
+        store.member_departed("v0")
+        store.member_departed("v1")
+        assert store.can_reconstruct("s")
+        assert store.reconstruct("s") == b"payload"
+
+    def test_too_many_departures_lose_the_secret(self, rng):
+        store = DistributedSecretStore(rng)
+        members = [f"v{i}" for i in range(5)]
+        store.scatter("s", b"payload", members, k=3)
+        for member in members[:3]:
+            store.member_departed(member)
+        assert not store.can_reconstruct("s")
+        with pytest.raises(CryptoError):
+            store.reconstruct("s")
+
+    def test_duplicate_secret_id_rejected(self, rng):
+        store = DistributedSecretStore(rng)
+        store.scatter("s", b"x", ["a", "b"], k=2)
+        with pytest.raises(CryptoError):
+            store.scatter("s", b"y", ["a", "b"], k=2)
+
+    def test_unknown_secret(self, rng):
+        store = DistributedSecretStore(rng)
+        assert not store.can_reconstruct("ghost")
+        with pytest.raises(CryptoError):
+            store.reconstruct("ghost")

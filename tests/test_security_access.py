@@ -1,0 +1,403 @@
+"""Tests for access control: policies, PDP, ABE, packages, emergency."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AuthorizationError, CryptoError
+from repro.geometry import Vec2
+from repro.mobility import AutomationLevel
+from repro.security.access import (
+    AbeAuthority,
+    AbePolicy,
+    AccessContext,
+    AccessRequest,
+    AttributeEquals,
+    AttributeSet,
+    AuditLog,
+    AuditRecord,
+    AutomationAtLeast,
+    DataPolicyPackage,
+    EmergencyEscalator,
+    EmergencyRule,
+    GroupIs,
+    ModeIs,
+    OperatingMode,
+    Policy,
+    PolicyDecisionPoint,
+    RoleIs,
+    SpeedBelow,
+    VehicleRole,
+    WithinArea,
+    deny,
+    permit,
+)
+
+
+def context(**kwargs) -> AccessContext:
+    defaults = dict(requester="pn-1", role=VehicleRole.MEMBER, time=0.0)
+    defaults.update(kwargs)
+    return AccessContext(**defaults)
+
+
+class TestAttributeSet:
+    def test_get_and_require(self):
+        attrs = AttributeSet({"role": "head"})
+        assert attrs.get("role") == "head"
+        assert attrs.require("role") == "head"
+        with pytest.raises(AuthorizationError):
+            attrs.require("missing")
+
+    def test_immutability_via_copies(self):
+        attrs = AttributeSet({"a": 1})
+        extended = attrs.with_attribute("b", 2)
+        assert "b" not in attrs
+        assert extended.get("b") == 2
+        shrunk = extended.without_attribute("a")
+        assert "a" not in shrunk
+
+    def test_satisfies(self):
+        attrs = AttributeSet({"a": 1, "b": 2})
+        assert attrs.satisfies({"a": 1})
+        assert not attrs.satisfies({"a": 2})
+        assert not attrs.satisfies({"c": 3})
+
+    def test_equality(self):
+        assert AttributeSet({"a": 1}) == AttributeSet({"a": 1})
+        assert AttributeSet({"a": 1}) != AttributeSet({"a": 2})
+
+
+class TestConditions:
+    def test_role_is(self):
+        condition = RoleIs(VehicleRole.HEAD, VehicleRole.GATEWAY)
+        assert condition.matches(context(role=VehicleRole.HEAD))
+        assert not condition.matches(context(role=VehicleRole.MEMBER))
+
+    def test_mode_is(self):
+        condition = ModeIs(OperatingMode.EMERGENCY)
+        assert condition.matches(context(mode=OperatingMode.EMERGENCY))
+        assert not condition.matches(context())
+
+    def test_group_is(self):
+        assert GroupIs("g1").matches(context(group_id="g1"))
+        assert not GroupIs("g1").matches(context(group_id="g2"))
+
+    def test_attribute_equals(self):
+        condition = AttributeEquals("region", "east")
+        assert condition.matches(context(attributes=AttributeSet({"region": "east"})))
+        assert not condition.matches(context())
+
+    def test_speed_below(self):
+        assert SpeedBelow(20).matches(context(speed_mps=10))
+        assert not SpeedBelow(20).matches(context(speed_mps=25))
+
+    def test_automation_at_least(self):
+        condition = AutomationAtLeast(4)
+        assert condition.matches(context(automation_level=AutomationLevel.HIGH_AUTOMATION))
+        assert not condition.matches(
+            context(automation_level=AutomationLevel.PARTIAL_AUTOMATION)
+        )
+
+    def test_within_area(self):
+        condition = WithinArea(Vec2(0, 0), 100)
+        assert condition.matches(context(location=Vec2(50, 0)))
+        assert not condition.matches(context(location=Vec2(500, 0)))
+        assert not condition.matches(context())  # unknown location fails closed
+
+    def test_boolean_composition(self):
+        condition = RoleIs(VehicleRole.HEAD) & SpeedBelow(20)
+        assert condition.matches(context(role=VehicleRole.HEAD, speed_mps=10))
+        assert not condition.matches(context(role=VehicleRole.HEAD, speed_mps=30))
+        either = RoleIs(VehicleRole.HEAD) | SpeedBelow(20)
+        assert either.matches(context(role=VehicleRole.MEMBER, speed_mps=10))
+
+
+class TestPolicyDecisionPoint:
+    def _policy(self):
+        return Policy("p").add_rule(
+            permit("head-read", ["read"], "sensor/", RoleIs(VehicleRole.HEAD))
+        ).add_rule(
+            deny("no-outsiders", ["*"], "", RoleIs(VehicleRole.OUTSIDER), priority=10)
+        )
+
+    def test_permit_path(self):
+        pdp = PolicyDecisionPoint()
+        request = AccessRequest(context(role=VehicleRole.HEAD), "read", "sensor/lidar")
+        decision = pdp.evaluate(self._policy(), request)
+        assert decision.permitted
+        assert decision.matched_rule_id == "head-read"
+        assert decision.latency_s > 0
+
+    def test_default_deny(self):
+        pdp = PolicyDecisionPoint()
+        request = AccessRequest(context(role=VehicleRole.MEMBER), "read", "sensor/lidar")
+        decision = pdp.evaluate(self._policy(), request)
+        assert not decision.permitted
+        assert decision.default_deny
+
+    def test_deny_overrides_within_priority(self):
+        policy = Policy("p")
+        policy.add_rule(permit("allow", ["read"], "data"))
+        policy.add_rule(deny("forbid", ["read"], "data"))
+        decision = PolicyDecisionPoint().evaluate(
+            policy, AccessRequest(context(), "read", "data")
+        )
+        assert not decision.permitted
+        assert decision.matched_rule_id == "forbid"
+
+    def test_higher_priority_wins(self):
+        policy = Policy("p")
+        policy.add_rule(deny("forbid", ["read"], "data", priority=0))
+        policy.add_rule(permit("vip", ["read"], "data", priority=5))
+        decision = PolicyDecisionPoint().evaluate(
+            policy, AccessRequest(context(), "read", "data")
+        )
+        assert decision.permitted
+        assert decision.matched_rule_id == "vip"
+
+    def test_action_scoping(self):
+        policy = Policy("p").add_rule(permit("read-only", ["read"], "data"))
+        pdp = PolicyDecisionPoint()
+        assert pdp.evaluate(policy, AccessRequest(context(), "read", "data")).permitted
+        assert not pdp.evaluate(policy, AccessRequest(context(), "write", "data")).permitted
+
+    def test_resource_prefix_scoping(self):
+        policy = Policy("p").add_rule(permit("video", ["read"], "video/"))
+        pdp = PolicyDecisionPoint()
+        assert pdp.evaluate(policy, AccessRequest(context(), "read", "video/cam1")).permitted
+        assert not pdp.evaluate(policy, AccessRequest(context(), "read", "sensor/gps")).permitted
+
+    def test_wildcard_action(self):
+        policy = Policy("p").add_rule(permit("all", ["*"], "data"))
+        decision = PolicyDecisionPoint().evaluate(
+            policy, AccessRequest(context(), "share", "data")
+        )
+        assert decision.permitted
+
+    def test_latency_scales_with_policy_size(self):
+        small = Policy("s").add_rule(permit("r", ["read"], "zzz"))
+        big = Policy("b")
+        for index in range(500):
+            big.add_rule(permit(f"r{index}", ["read"], f"zzz{index}"))
+        pdp = PolicyDecisionPoint()
+        request = AccessRequest(context(), "read", "nomatch")
+        assert pdp.evaluate(big, request).latency_s > pdp.evaluate(small, request).latency_s
+
+    def test_paper_role_example(self):
+        """Group A head reads road conditions; group B buffer reads only video."""
+        policy = Policy("roles")
+        policy.add_rule(
+            permit("head-road", ["read"], "road/", RoleIs(VehicleRole.HEAD) & GroupIs("A"))
+        )
+        policy.add_rule(
+            permit(
+                "buffer-video",
+                ["read"],
+                "video/own",
+                RoleIs(VehicleRole.BUFFER_NODE) & GroupIs("B"),
+            )
+        )
+        pdp = PolicyDecisionPoint()
+        head_in_a = context(role=VehicleRole.HEAD, group_id="A")
+        buffer_in_b = context(role=VehicleRole.BUFFER_NODE, group_id="B")
+        assert pdp.evaluate(policy, AccessRequest(head_in_a, "read", "road/cond")).permitted
+        assert not pdp.evaluate(policy, AccessRequest(head_in_a, "read", "video/own")).permitted
+        assert pdp.evaluate(policy, AccessRequest(buffer_in_b, "read", "video/own")).permitted
+        assert not pdp.evaluate(policy, AccessRequest(buffer_in_b, "read", "road/cond")).permitted
+
+
+class TestAbe:
+    def test_round_trip(self):
+        authority = AbeAuthority()
+        key = authority.keygen({"role": "head", "region": "east"}).value
+        ciphertext = authority.encrypt(b"secret", AbePolicy.of(role="head")).value
+        assert authority.decrypt(key, ciphertext).value == b"secret"
+
+    def test_unsatisfied_policy_returns_none(self):
+        authority = AbeAuthority()
+        key = authority.keygen({"role": "member"}).value
+        ciphertext = authority.encrypt(b"secret", AbePolicy.of(role="head")).value
+        assert authority.decrypt(key, ciphertext).value is None
+
+    def test_forged_key_rejected(self):
+        from repro.security.access.abe import AbeKey
+
+        authority = AbeAuthority()
+        ciphertext = authority.encrypt(b"secret", AbePolicy.of(role="head")).value
+        forged = AbeKey(key_id="fake", attributes=(("role", "head"),), binding="forged")
+        assert authority.decrypt(forged, ciphertext).value is None
+
+    def test_cross_authority_key_rejected(self):
+        issuing = AbeAuthority()
+        other = AbeAuthority()
+        # Same attribute set, different master secret.
+        key = other.keygen({"role": "head"}).value
+        ciphertext = issuing.encrypt(b"secret", AbePolicy.of(role="head")).value
+        assert issuing.decrypt(key, ciphertext).value is None
+
+    def test_keygen_cost_scales_with_attributes(self):
+        authority = AbeAuthority()
+        one = authority.keygen({"a": 1}).cost_s
+        three = authority.keygen({"a": 1, "b": 2, "c": 3}).cost_s
+        assert three == pytest.approx(3 * one)
+
+    def test_decrypt_cost_scales_with_policy(self):
+        authority = AbeAuthority()
+        key = authority.keygen({"a": 1, "b": 2, "c": 3}).value
+        small = authority.encrypt(b"x", AbePolicy.of(a=1)).value
+        large = authority.encrypt(b"x", AbePolicy.of(a=1, b=2, c=3)).value
+        assert authority.decrypt(key, large).cost_s > authority.decrypt(key, small).cost_s
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(CryptoError):
+            AbeAuthority().encrypt(b"x", AbePolicy(()))
+
+    def test_ciphertext_size_grows_with_policy(self):
+        authority = AbeAuthority()
+        small = authority.encrypt(b"x", AbePolicy.of(a=1)).value
+        large = authority.encrypt(b"x", AbePolicy.of(a=1, b=2, c=3)).value
+        assert large.size_bytes > small.size_bytes
+
+
+class TestDataPolicyPackage:
+    def _package(self):
+        policy = Policy("pkg-policy").add_rule(
+            permit("head-read", ["read"], "data", RoleIs(VehicleRole.HEAD))
+        )
+        return DataPolicyPackage(b"payload", policy, owner="pn-owner")
+
+    def test_permitted_read(self):
+        package = self._package()
+        log = AuditLog()
+        data = package.read(context(role=VehicleRole.HEAD), PolicyDecisionPoint(), log)
+        assert data == b"payload"
+
+    def test_denied_read_raises(self):
+        package = self._package()
+        log = AuditLog()
+        with pytest.raises(AuthorizationError):
+            package.read(context(role=VehicleRole.MEMBER), PolicyDecisionPoint(), log)
+
+    def test_every_access_logged(self):
+        package = self._package()
+        log = AuditLog()
+        pdp = PolicyDecisionPoint()
+        package.access(context(role=VehicleRole.HEAD), "read", pdp, log)
+        package.access(context(role=VehicleRole.MEMBER), "read", pdp, log)
+        assert len(log) == 2
+        assert len(log.denials()) == 1
+
+    def test_denied_access_returns_no_data(self):
+        package = self._package()
+        outcome = package.access(
+            context(role=VehicleRole.MEMBER), "read", PolicyDecisionPoint(), AuditLog()
+        )
+        assert not outcome.permitted
+        assert outcome.data is None
+
+    def test_tampering_detected(self):
+        package = self._package()
+        package.tamper_with_data(b"evil payload")
+        assert not package.verify_integrity()
+        with pytest.raises(CryptoError):
+            package.access(
+                context(role=VehicleRole.HEAD), "read", PolicyDecisionPoint(), AuditLog()
+            )
+
+    def test_size_accounts_policy(self):
+        package = self._package()
+        assert package.size_bytes > len(b"payload")
+
+
+class TestAuditLog:
+    def _record(self, requester="pn-1", permitted=True, time=0.0):
+        return AuditRecord(
+            time=time,
+            package_id="pkg-1",
+            requester=requester,
+            action="read",
+            resource="data",
+            permitted=permitted,
+        )
+
+    def test_queries(self):
+        log = AuditLog()
+        log.append(self._record("pn-1", True, 1.0))
+        log.append(self._record("pn-2", False, 2.0))
+        assert len(log.for_requester("pn-1")) == 1
+        assert len(log.for_package("pkg-1")) == 2
+        assert len(log.between(0.0, 1.5)) == 1
+        assert log.denial_rate() == 0.5
+
+    def test_suspicious_requesters(self):
+        log = AuditLog()
+        for _ in range(3):
+            log.append(self._record("pn-evil", permitted=False))
+        log.append(self._record("pn-good", permitted=False))
+        assert log.suspicious_requesters(min_denials=3) == ["pn-evil"]
+
+    def test_merge_time_ordered(self):
+        a, b = AuditLog(), AuditLog()
+        a.append(self._record(time=2.0))
+        b.append(self._record(time=1.0))
+        merged = a.merge(b)
+        assert [r.time for r in merged.records] == [1.0, 2.0]
+
+
+class TestEmergencyEscalation:
+    def test_grant_in_emergency(self):
+        escalator = EmergencyEscalator([EmergencyRule("sensor/brake", "read")])
+        grant = escalator.request(
+            context(mode=OperatingMode.EMERGENCY, time=5.0), "sensor/brake", "read"
+        )
+        assert grant is not None
+        assert grant.is_active(6.0)
+        assert not grant.is_active(1000.0)
+
+    def test_denied_outside_emergency(self):
+        escalator = EmergencyEscalator([EmergencyRule("sensor/brake", "read")])
+        assert escalator.request(context(), "sensor/brake", "read") is None
+        assert escalator.denials == 1
+
+    def test_denied_for_unregistered_resource(self):
+        escalator = EmergencyEscalator()
+        grant = escalator.request(
+            context(mode=OperatingMode.EMERGENCY), "sensor/secret", "read"
+        )
+        assert grant is None
+
+    def test_millisecond_class_latency(self):
+        """The paper's requirement: emergency grants in milliseconds."""
+        escalator = EmergencyEscalator([EmergencyRule("sensor/brake", "read")])
+        grant = escalator.request(
+            context(mode=OperatingMode.EMERGENCY), "sensor/brake", "read"
+        )
+        assert grant.latency_s < 0.001
+
+    def test_fast_path_beats_full_policy_walk(self):
+        big = Policy("big")
+        for index in range(1000):
+            big.add_rule(permit(f"r{index}", ["read"], f"res{index}"))
+        pdp = PolicyDecisionPoint()
+        slow = pdp.evaluate(big, AccessRequest(context(), "read", "nomatch")).latency_s
+        escalator = EmergencyEscalator([EmergencyRule("sensor/brake", "read")])
+        grant = escalator.request(
+            context(mode=OperatingMode.EMERGENCY), "sensor/brake", "read"
+        )
+        assert grant.latency_s < slow
+
+    def test_grants_audited(self):
+        escalator = EmergencyEscalator([EmergencyRule("x", "read")])
+        log = AuditLog()
+        escalator.request(context(mode=OperatingMode.EMERGENCY), "x", "read", log)
+        escalator.request(context(), "x", "read", log)
+        assert len(log) == 2
+        assert len(log.denials()) == 1
+
+    @given(st.sampled_from(list(OperatingMode)))
+    def test_only_emergency_mode_grants(self, mode):
+        escalator = EmergencyEscalator([EmergencyRule("x", "read")])
+        grant = escalator.request(context(mode=mode), "x", "read")
+        assert (grant is not None) == (mode is OperatingMode.EMERGENCY)

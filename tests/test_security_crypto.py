@@ -1,0 +1,168 @@
+"""Tests for the cost-modelled crypto layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CryptoError
+from repro.security import (
+    CryptoCostModel,
+    GroupSignatureScheme,
+    HmacScheme,
+    KeyPair,
+    SignatureScheme,
+    serialize_for_signing,
+    sha256_hex,
+)
+
+
+class TestSignatureScheme:
+    def test_sign_verify_round_trip(self):
+        scheme = SignatureScheme()
+        keypair = KeyPair.generate("car")
+        op = scheme.sign(keypair, b"hello")
+        assert scheme.verify(keypair.public_id, b"hello", op.value).value
+
+    def test_wrong_data_rejected(self):
+        scheme = SignatureScheme()
+        keypair = KeyPair.generate()
+        signature = scheme.sign(keypair, b"hello").value
+        assert not scheme.verify(keypair.public_id, b"tampered", signature).value
+
+    def test_wrong_key_rejected(self):
+        scheme = SignatureScheme()
+        alice = KeyPair.generate()
+        bob = KeyPair.generate()
+        signature = scheme.sign(alice, b"hello").value
+        assert not scheme.verify(bob.public_id, b"hello", signature).value
+
+    def test_forgery_without_private_key_fails(self):
+        """An attacker knowing only the public id cannot mint signatures."""
+        from repro.security.crypto import Signature
+
+        scheme = SignatureScheme()
+        victim = KeyPair.generate()
+        forged = Signature(
+            signer_public_id=victim.public_id,
+            binding=sha256_hex(b"attacker guess"),
+        )
+        assert not scheme.verify(victim.public_id, b"hello", forged).value
+
+    def test_costs_attached(self):
+        costs = CryptoCostModel()
+        scheme = SignatureScheme(costs)
+        keypair = KeyPair.generate()
+        sign_op = scheme.sign(keypair, b"x")
+        verify_op = scheme.verify(keypair.public_id, b"x", sign_op.value)
+        assert sign_op.cost_s == costs.ecdsa_sign_s
+        assert verify_op.cost_s == costs.ecdsa_verify_s
+        assert sign_op.size_bytes == costs.signature_bytes
+
+    def test_verify_cheaper_than_group_verify(self):
+        costs = CryptoCostModel()
+        assert costs.ecdsa_verify_s < costs.group_verify_s
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_round_trip_any_payload(self, payload):
+        scheme = SignatureScheme()
+        keypair = KeyPair.generate()
+        signature = scheme.sign(keypair, payload).value
+        assert scheme.verify(keypair.public_id, payload, signature).value
+
+
+class TestHmac:
+    def test_round_trip(self):
+        scheme = HmacScheme()
+        tag = scheme.tag(b"key", b"data").value
+        assert scheme.verify(b"key", b"data", tag).value
+
+    def test_wrong_key_rejected(self):
+        scheme = HmacScheme()
+        tag = scheme.tag(b"key", b"data").value
+        assert not scheme.verify(b"other", b"data", tag).value
+
+    def test_wrong_data_rejected(self):
+        scheme = HmacScheme()
+        tag = scheme.tag(b"key", b"data").value
+        assert not scheme.verify(b"key", b"other", tag).value
+
+    def test_hmac_cheaper_than_signature(self):
+        costs = CryptoCostModel()
+        assert costs.hmac_s < costs.ecdsa_sign_s
+
+
+class TestGroupSignatures:
+    def _group(self):
+        scheme = GroupSignatureScheme()
+        scheme.create_group("g1")
+        key = scheme.enroll_member("g1", "alice")
+        return scheme, key
+
+    def test_member_can_sign_and_anyone_verify(self):
+        scheme, key = self._group()
+        signature = scheme.sign("g1", "alice", key, b"msg").value
+        assert scheme.verify(b"msg", signature).value
+
+    def test_signature_anonymous_but_openable(self):
+        scheme, key = self._group()
+        scheme.enroll_member("g1", "bob")
+        signature = scheme.sign("g1", "alice", key, b"msg").value
+        # Verifiers learn only the group id...
+        assert signature.group_id == "g1"
+        assert "alice" not in repr(signature.binding)
+        # ...but the manager can open it.
+        assert scheme.open(signature).value == "alice"
+
+    def test_non_member_cannot_sign(self):
+        scheme, _key = self._group()
+        with pytest.raises(CryptoError):
+            scheme.sign("g1", "mallory", "stolen-looking-key", b"msg")
+
+    def test_removed_member_cannot_sign(self):
+        scheme, key = self._group()
+        scheme.remove_member("g1", "alice")
+        with pytest.raises(CryptoError):
+            scheme.sign("g1", "alice", key, b"msg")
+
+    def test_tampered_message_rejected(self):
+        scheme, key = self._group()
+        signature = scheme.sign("g1", "alice", key, b"msg").value
+        assert not scheme.verify(b"other", signature).value
+
+    def test_unknown_group_verify_fails(self):
+        scheme, key = self._group()
+        signature = scheme.sign("g1", "alice", key, b"msg").value
+        other = GroupSignatureScheme()
+        assert not other.verify(b"msg", signature).value
+
+    def test_duplicate_group_raises(self):
+        scheme = GroupSignatureScheme()
+        scheme.create_group("g")
+        with pytest.raises(CryptoError):
+            scheme.create_group("g")
+
+    def test_member_count(self):
+        scheme, _key = self._group()
+        scheme.enroll_member("g1", "bob")
+        assert scheme.member_count("g1") == 2
+
+    def test_group_ops_cost_more_than_ecdsa(self):
+        costs = CryptoCostModel()
+        scheme, key = self._group()
+        op = scheme.sign("g1", "alice", key, b"m")
+        assert op.cost_s == costs.group_sign_s
+        assert op.cost_s > costs.ecdsa_sign_s
+
+
+class TestSerialization:
+    def test_deterministic(self):
+        assert serialize_for_signing("a", 1, 2.5) == serialize_for_signing("a", 1, 2.5)
+
+    def test_unambiguous_boundaries(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert serialize_for_signing("ab", "c") != serialize_for_signing("a", "bc")
+
+    def test_type_sensitive(self):
+        assert serialize_for_signing(1) != serialize_for_signing("1")

@@ -1,0 +1,238 @@
+"""Tests for the trusted authority, identities, revocation and tokens."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.security import (
+    BloomRevocationFilter,
+    PseudonymPool,
+    RealIdentity,
+    RevocationList,
+    RotatingIdentity,
+    StaticIdentity,
+    TokenService,
+    TrustedAuthority,
+)
+
+
+class TestRegistration:
+    def test_register_issues_long_term_credential(self):
+        ta = TrustedAuthority()
+        enrollment = ta.register_vehicle(RealIdentity("car-1"), now=0.0)
+        assert enrollment.long_term_certificate.subject_id == "car-1"
+        assert ta.is_registered("car-1")
+
+    def test_double_registration_raises(self):
+        ta = TrustedAuthority()
+        ta.register_vehicle(RealIdentity("car-1"))
+        with pytest.raises(SecurityError):
+            ta.register_vehicle(RealIdentity("car-1"))
+
+    def test_unknown_vehicle_lookup_raises(self):
+        with pytest.raises(SecurityError):
+            TrustedAuthority().enrollment_of("ghost")
+
+
+class TestPseudonyms:
+    def _enrolled(self):
+        ta = TrustedAuthority()
+        ta.register_vehicle(RealIdentity("car-1"))
+        return ta
+
+    def test_pool_issue(self):
+        ta = self._enrolled()
+        pool = ta.issue_pseudonyms("car-1", 5)
+        assert pool.remaining == 5
+        assert len({p.pseudonym_id for p in pool.pseudonyms}) == 5
+
+    def test_escrow_reveals_real_identity(self):
+        ta = self._enrolled()
+        pool = ta.issue_pseudonyms("car-1", 3)
+        for pseudonym in pool.pseudonyms:
+            assert ta.reveal(pseudonym.pseudonym_id) == "car-1"
+        assert ta.reveal("pn-nonexistent") is None
+
+    def test_certificates_verify(self):
+        ta = self._enrolled()
+        pool = ta.issue_pseudonyms("car-1", 1, now=0.0)
+        assert ta.verify_certificate(pool.pseudonyms[0].certificate, now=1.0).value
+
+    def test_expired_certificate_rejected(self):
+        ta = self._enrolled()
+        pool = ta.issue_pseudonyms("car-1", 1, now=0.0)
+        far_future = TrustedAuthority.DEFAULT_VALIDITY_S + 1
+        assert not ta.verify_certificate(pool.pseudonyms[0].certificate, now=far_future).value
+
+    def test_foreign_certificate_rejected(self):
+        ta = self._enrolled()
+        other_ta = TrustedAuthority(authority_id="ta-evil")
+        other_ta.register_vehicle(RealIdentity("car-1"))
+        foreign = other_ta.issue_pseudonyms("car-1", 1).pseudonyms[0]
+        assert not ta.verify_certificate(foreign.certificate, now=0.0).value
+
+    def test_rotation_consumes_pool(self):
+        ta = self._enrolled()
+        pool = ta.issue_pseudonyms("car-1", 3)
+        first = pool.current().pseudonym_id
+        second = pool.rotate().pseudonym_id
+        assert first != second
+        assert pool.remaining == 2
+
+    def test_exhausted_pool_raises(self):
+        pool = PseudonymPool(pseudonyms=[])
+        with pytest.raises(SecurityError):
+            pool.current()
+
+    def test_refill(self):
+        ta = self._enrolled()
+        pool = ta.issue_pseudonyms("car-1", 2)
+        pool.rotate()
+        with pytest.raises(SecurityError):
+            pool.rotate()
+        ta.refill_pseudonyms("car-1", pool, 2)
+        assert pool.rotate() is not None
+
+
+class TestRotatingIdentity:
+    def _pool(self, size=5):
+        ta = TrustedAuthority()
+        ta.register_vehicle(RealIdentity("car-1"))
+        return ta.issue_pseudonyms("car-1", size)
+
+    def test_identity_stable_within_interval(self):
+        rotator = RotatingIdentity(self._pool(), change_interval_s=60.0)
+        first = rotator.current_identity(1.0)
+        assert rotator.current_identity(30.0) == first
+
+    def test_identity_changes_after_interval(self):
+        rotator = RotatingIdentity(self._pool(), change_interval_s=60.0)
+        first = rotator.current_identity(1.0)
+        later = rotator.current_identity(100.0)
+        assert later != first
+        assert rotator.rotations >= 1
+
+    def test_exhaustion_flag(self):
+        rotator = RotatingIdentity(self._pool(size=2), change_interval_s=10.0)
+        rotator.current_identity(0.0)
+        rotator.current_identity(20.0)
+        rotator.current_identity(40.0)
+        assert rotator.exhausted
+
+    def test_static_identity_never_changes(self):
+        static = StaticIdentity("veh-42")
+        assert static.current_identity(0.0) == static.current_identity(9999.0)
+
+
+class TestRevocation:
+    def test_revoke_vehicle_revokes_all_credentials(self):
+        ta = TrustedAuthority()
+        ta.register_vehicle(RealIdentity("car-1"))
+        pool = ta.issue_pseudonyms("car-1", 4)
+        revoked = ta.revoke_vehicle("car-1")
+        assert revoked == 5  # long-term + 4 pseudonyms
+        for pseudonym in pool.pseudonyms:
+            assert ta.crl.is_revoked(pseudonym.pseudonym_id)
+
+    def test_crl_check_cost_scales_with_size(self):
+        crl = RevocationList(check_cost_per_entry_s=1e-6)
+        small_cost = crl.check("x").cost_s
+        for index in range(1000):
+            crl.revoke(f"cred-{index}")
+        large_cost = crl.check("x").cost_s
+        assert large_cost > small_cost * 100
+
+    def test_reinstate(self):
+        crl = RevocationList()
+        crl.revoke("a")
+        crl.reinstate("a")
+        assert not crl.check("a").value
+
+    def test_bloom_filter_no_false_negatives(self):
+        bloom = BloomRevocationFilter()
+        revoked = [f"cred-{i}" for i in range(50)]
+        for credential in revoked:
+            bloom.add(credential)
+        assert all(bloom.might_be_revoked(c).value for c in revoked)
+
+    def test_bloom_filter_mostly_clean_on_unseen(self):
+        bloom = BloomRevocationFilter(bits=8192)
+        for index in range(50):
+            bloom.add(f"cred-{index}")
+        false_positives = sum(
+            1 for i in range(1000) if bloom.might_be_revoked(f"other-{i}").value
+        )
+        assert false_positives < 100
+
+    def test_bloom_constant_cost(self):
+        bloom = BloomRevocationFilter()
+        cost_before = bloom.might_be_revoked("x").cost_s
+        for index in range(500):
+            bloom.add(f"c{index}")
+        assert bloom.might_be_revoked("x").cost_s == cost_before
+
+    def test_bloom_rebuild_from_crl(self):
+        crl = RevocationList()
+        crl.revoke("bad-1")
+        bloom = BloomRevocationFilter()
+        bloom.rebuild(crl)
+        assert bloom.might_be_revoked("bad-1").value
+
+
+class TestGroups:
+    def test_join_and_open(self):
+        ta = TrustedAuthority()
+        ta.register_vehicle(RealIdentity("car-1"))
+        key = ta.join_group("car-1", "region-east")
+        signature = ta.group_signatures.sign("region-east", "car-1", key, b"m").value
+        assert ta.open_group_signature(signature) == "car-1"
+
+    def test_revoked_vehicle_removed_from_groups(self):
+        ta = TrustedAuthority()
+        ta.register_vehicle(RealIdentity("car-1"))
+        key = ta.join_group("car-1", "g")
+        ta.revoke_vehicle("car-1")
+        from repro.errors import CryptoError
+
+        with pytest.raises(CryptoError):
+            ta.group_signatures.sign("g", "car-1", key, b"m")
+
+
+class TestTokens:
+    def _setup(self):
+        ta = TrustedAuthority()
+        ta.register_vehicle(RealIdentity("car-1"))
+        pool = ta.issue_pseudonyms("car-1", 1)
+        return ta, TokenService(ta), pool.pseudonyms[0]
+
+    def test_issue_and_verify(self):
+        ta, service, pseudonym = self._setup()
+        token = service.issue(pseudonym.pseudonym_id, "storage", now=0.0)
+        assert service.verify(token, "storage", now=10.0).value
+
+    def test_unknown_pseudonym_rejected(self):
+        ta, service, _ = self._setup()
+        with pytest.raises(SecurityError):
+            service.issue("pn-forged", "storage", now=0.0)
+
+    def test_wrong_service_rejected(self):
+        ta, service, pseudonym = self._setup()
+        token = service.issue(pseudonym.pseudonym_id, "storage", now=0.0)
+        assert not service.verify(token, "compute", now=1.0).value
+
+    def test_expired_token_rejected(self):
+        ta, service, pseudonym = self._setup()
+        token = service.issue(pseudonym.pseudonym_id, "storage", now=0.0, lifetime_s=10.0)
+        assert not service.verify(token, "storage", now=11.0).value
+
+    def test_revoked_pseudonym_token_rejected(self):
+        ta, service, pseudonym = self._setup()
+        token = service.issue(pseudonym.pseudonym_id, "storage", now=0.0)
+        ta.crl.revoke(pseudonym.pseudonym_id)
+        assert not service.verify(token, "storage", now=1.0).value
+
+    def test_token_does_not_leak_real_identity(self):
+        ta, service, pseudonym = self._setup()
+        token = service.issue(pseudonym.pseudonym_id, "storage", now=0.0)
+        assert "car-1" not in repr(token)

@@ -1,0 +1,279 @@
+"""Tests for the four authentication protocol families (§IV.B / Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.security import TrustedAuthority
+from repro.security.protocols import (
+    GroupAuthProtocol,
+    HybridAuthProtocol,
+    LinkProfile,
+    PseudonymAuthProtocol,
+    RandomizedAuthProtocol,
+)
+
+
+@pytest.fixture
+def authority():
+    return TrustedAuthority()
+
+
+def enroll_pair(protocol, prefix="car"):
+    a, b = f"{prefix}-a", f"{prefix}-b"
+    protocol.enroll(a, now=0.0)
+    protocol.enroll(b, now=0.0)
+    return a, b
+
+
+class TestPseudonymProtocol:
+    def test_successful_handshake(self, authority):
+        protocol = PseudonymAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        result = protocol.mutual_authenticate(a, b, now=1.0)
+        assert result.success
+        assert result.latency_s > 0
+        assert result.bytes_on_air > 0
+        assert result.infra_messages == 0  # pool is pre-loaded
+
+    def test_unenrolled_rejected(self, authority):
+        protocol = PseudonymAuthProtocol(authority)
+        protocol.enroll("car-a")
+        result = protocol.mutual_authenticate("car-a", "stranger", now=1.0)
+        assert not result.success
+        assert "not enrolled" in result.reason
+
+    def test_revoked_vehicle_rejected(self, authority):
+        protocol = PseudonymAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        authority.revoke_vehicle(b)
+        result = protocol.mutual_authenticate(a, b, now=1.0)
+        assert not result.success
+
+    def test_crl_growth_slows_handshake(self, authority):
+        protocol = PseudonymAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        fast = protocol.mutual_authenticate(a, b, now=1.0).latency_s
+        for index in range(20_000):
+            authority.crl.revoke(f"revoked-{index}")
+        slow = protocol.mutual_authenticate(a, b, now=2.0).latency_s
+        assert slow > fast * 2
+
+    def test_pool_exhaustion_triggers_refill(self, authority):
+        protocol = PseudonymAuthProtocol(authority, pool_size=2, change_interval_s=1.0)
+        a, b = enroll_pair(protocol)
+        # Burn through the pools by rotating identities.
+        for t in range(10):
+            protocol.on_air_identity(a, float(t * 2))
+            protocol.on_air_identity(b, float(t * 2))
+        result = protocol.mutual_authenticate(a, b, now=30.0)
+        assert result.success
+        assert protocol.refills > 0
+
+    def test_pool_exhaustion_without_infra_fails(self, authority):
+        protocol = PseudonymAuthProtocol(authority, pool_size=2, change_interval_s=1.0)
+        a, b = enroll_pair(protocol)
+        for t in range(10):
+            protocol.on_air_identity(a, float(t * 2))
+        result = protocol.mutual_authenticate(a, b, now=30.0, infra_available=False)
+        assert not result.success
+        assert "no infra" in result.reason
+
+    def test_on_air_identity_rotates(self, authority):
+        protocol = PseudonymAuthProtocol(authority, change_interval_s=10.0)
+        protocol.enroll("car-a")
+        early = protocol.on_air_identity("car-a", 0.0)
+        late = protocol.on_air_identity("car-a", 50.0)
+        assert early != late
+
+    def test_message_overhead_includes_certificate(self, authority):
+        protocol = PseudonymAuthProtocol(authority)
+        cost = protocol.message_auth_cost()
+        assert cost.overhead_bytes == (
+            authority.costs.signature_bytes + authority.costs.certificate_bytes
+        )
+
+
+class TestGroupProtocol:
+    def test_successful_handshake(self, authority):
+        protocol = GroupAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        result = protocol.mutual_authenticate(a, b, now=1.0)
+        assert result.success
+
+    def test_handshake_slower_than_pseudonym(self, authority):
+        group = GroupAuthProtocol(authority)
+        pseudonym = PseudonymAuthProtocol(authority)
+        ga, gb = enroll_pair(group, "g")
+        pa, pb = enroll_pair(pseudonym, "p")
+        group_latency = group.mutual_authenticate(ga, gb, now=1.0).latency_s
+        pseudonym_latency = pseudonym.mutual_authenticate(pa, pb, now=1.0).latency_s
+        assert group_latency > pseudonym_latency
+
+    def test_on_air_identity_is_group_tag(self, authority):
+        protocol = GroupAuthProtocol(authority, group_id="fleet-1")
+        a, b = enroll_pair(protocol)
+        assert protocol.on_air_identity(a, 0.0) == protocol.on_air_identity(b, 0.0)
+        assert "fleet-1" in protocol.on_air_identity(a, 0.0)
+
+    def test_stale_key_requires_infrastructure(self, authority):
+        protocol = GroupAuthProtocol(authority, rekey_interval_s=10.0)
+        a, b = enroll_pair(protocol)
+        result = protocol.mutual_authenticate(a, b, now=100.0, infra_available=False)
+        assert not result.success
+        assert "no infrastructure" in result.reason
+
+    def test_stale_key_rekeys_via_infrastructure(self, authority):
+        protocol = GroupAuthProtocol(authority, rekey_interval_s=10.0)
+        a, b = enroll_pair(protocol)
+        result = protocol.mutual_authenticate(a, b, now=100.0, infra_available=True)
+        assert result.success
+        assert result.infra_messages > 0
+        assert protocol.rekeys == 2
+
+    def test_coordinator_can_identify(self, authority):
+        assert GroupAuthProtocol(authority).coordinator_can_identify()
+
+    def test_no_crl_scan_in_message_cost(self, authority):
+        for index in range(10_000):
+            authority.crl.revoke(f"x-{index}")
+        group_cost = GroupAuthProtocol(authority).message_auth_cost()
+        assert group_cost.verify_cost_s == authority.costs.group_verify_s
+
+
+class TestHybridProtocol:
+    def test_first_contact_then_fast_path(self, authority):
+        protocol = HybridAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        first = protocol.mutual_authenticate(a, b, now=1.0)
+        second = protocol.mutual_authenticate(a, b, now=2.0)
+        assert first.success and second.success
+        assert second.latency_s < first.latency_s
+        assert protocol.full_handshakes == 1
+        assert protocol.session_hits == 1
+
+    def test_session_expires(self, authority):
+        protocol = HybridAuthProtocol(authority, session_lifetime_s=10.0)
+        a, b = enroll_pair(protocol)
+        protocol.mutual_authenticate(a, b, now=1.0)
+        protocol.mutual_authenticate(a, b, now=100.0)
+        assert protocol.full_handshakes == 2
+
+    def test_no_crl_dependence(self, authority):
+        protocol = HybridAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        before = protocol.mutual_authenticate(a, b, now=1.0).latency_s
+        for index in range(20_000):
+            authority.crl.revoke(f"r-{index}")
+        protocol2 = HybridAuthProtocol(authority)
+        c, d = enroll_pair(protocol2, "cd")
+        after = protocol2.mutual_authenticate(c, d, now=1.0).latency_s
+        assert after == pytest.approx(before, rel=0.01)
+
+    def test_fast_path_message_cost_is_hmac(self, authority):
+        protocol = HybridAuthProtocol(authority)
+        cost = protocol.message_auth_cost(session_established=True)
+        assert cost.overhead_bytes == authority.costs.hmac_bytes
+
+    def test_session_tracking_is_symmetric(self, authority):
+        protocol = HybridAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        protocol.mutual_authenticate(a, b, now=1.0)
+        assert protocol.has_session(b, a, now=2.0)
+
+
+class TestRandomizedProtocol:
+    def test_successful_handshake(self, authority):
+        protocol = RandomizedAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        result = protocol.mutual_authenticate(a, b, now=1.0)
+        assert result.success
+        assert result.infra_messages == 0
+
+    def test_cheapest_handshake(self, authority):
+        randomized = RandomizedAuthProtocol(authority)
+        pseudonym = PseudonymAuthProtocol(authority)
+        group = GroupAuthProtocol(authority)
+        ra, rb = enroll_pair(randomized, "r")
+        pa, pb = enroll_pair(pseudonym, "p")
+        ga, gb = enroll_pair(group, "g")
+        link = LinkProfile()
+        r_latency = randomized.mutual_authenticate(ra, rb, 1.0, link).latency_s
+        p_latency = pseudonym.mutual_authenticate(pa, pb, 1.0, link).latency_s
+        g_latency = group.mutual_authenticate(ga, gb, 1.0, link).latency_s
+        assert r_latency < p_latency < g_latency
+
+    def test_identity_changes_per_epoch(self, authority):
+        protocol = RandomizedAuthProtocol(authority, identity_epoch_s=30.0)
+        protocol.enroll("car-a")
+        assert protocol.on_air_identity("car-a", 0.0) != protocol.on_air_identity(
+            "car-a", 31.0
+        )
+        assert protocol.on_air_identity("car-a", 0.0) == protocol.on_air_identity(
+            "car-a", 29.0
+        )
+
+    def test_self_generated_identities_need_no_infra(self, authority):
+        protocol = RandomizedAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        result = protocol.mutual_authenticate(a, b, now=1.0, infra_available=False)
+        assert result.success
+
+    def test_revoked_vehicle_caught_via_bloom(self, authority):
+        protocol = RandomizedAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        protocol.revoke(b)
+        result = protocol.mutual_authenticate(a, b, now=1.0, infra_available=True)
+        assert not result.success
+        assert "revoked" in result.reason
+
+    def test_revoked_flag_without_infra_fails_closed(self, authority):
+        protocol = RandomizedAuthProtocol(authority)
+        a, b = enroll_pair(protocol)
+        protocol.revoke(b)
+        result = protocol.mutual_authenticate(a, b, now=1.0, infra_available=False)
+        assert not result.success
+
+    def test_enrollment_single_round_trip(self, authority):
+        protocol = RandomizedAuthProtocol(authority)
+        receipt = protocol.enroll("car-x", now=0.0)
+        assert receipt.infra_messages == 2
+
+
+class TestFig5Shape:
+    """The qualitative orderings of the paper's Fig. 5 comparison."""
+
+    def test_message_overhead_ordering(self, authority):
+        pseudonym = PseudonymAuthProtocol(authority)
+        group = GroupAuthProtocol(authority)
+        hybrid = HybridAuthProtocol(authority)
+        randomized = RandomizedAuthProtocol(authority)
+        # Pseudonym per-message overhead (cert+sig) is the largest among
+        # certificate bearers; session-based protocols are far cheaper.
+        assert (
+            pseudonym.message_auth_cost().overhead_bytes
+            > hybrid.message_auth_cost().overhead_bytes
+        )
+        assert (
+            group.message_auth_cost().overhead_bytes
+            > randomized.message_auth_cost().overhead_bytes
+        )
+
+    def test_infrastructure_reliance_ordering(self, authority):
+        # Group-based cannot handshake with stale keys and no RSU;
+        # randomized always can.
+        group = GroupAuthProtocol(authority, rekey_interval_s=1.0)
+        randomized = RandomizedAuthProtocol(authority)
+        ga, gb = enroll_pair(group, "g")
+        ra, rb = enroll_pair(randomized, "r")
+        assert not group.mutual_authenticate(ga, gb, now=100.0, infra_available=False).success
+        assert randomized.mutual_authenticate(ra, rb, now=100.0, infra_available=False).success
+
+    def test_no_protocol_linkable_by_design(self, authority):
+        for protocol in (
+            PseudonymAuthProtocol(authority),
+            GroupAuthProtocol(authority),
+            HybridAuthProtocol(authority),
+            RandomizedAuthProtocol(authority),
+        ):
+            assert not protocol.identity_linkable_by_peer()

@@ -1,0 +1,119 @@
+"""Tests for scenario configs and the World container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import (
+    ChannelConfig,
+    CloudConfig,
+    MobilityConfig,
+    ScenarioConfig,
+    SecurityConfig,
+    World,
+)
+
+
+class TestConfigs:
+    def test_defaults_valid(self):
+        config = ScenarioConfig()
+        assert config.vehicle_count > 0
+        assert config.channel.v2v_range_m > 0
+
+    def test_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(duration_s=0)
+
+    def test_bad_vehicle_count(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(vehicle_count=0)
+
+    def test_bad_area(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(area_m=(0.0, 100.0))
+
+    def test_channel_loss_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(base_loss_probability=1.0)
+
+    def test_channel_negative_range(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(v2v_range_m=-1)
+
+    def test_mobility_speed_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MobilityConfig(min_speed_mps=30, max_speed_mps=20)
+
+    def test_mobility_turn_probability(self):
+        with pytest.raises(ConfigurationError):
+            MobilityConfig(turn_probability=1.5)
+
+    def test_security_pool_size(self):
+        with pytest.raises(ConfigurationError):
+            SecurityConfig(pseudonym_pool_size=0)
+
+    def test_cloud_neighbor_timeout_vs_beacon(self):
+        with pytest.raises(ConfigurationError):
+            CloudConfig(beacon_interval_s=2.0, neighbor_timeout_s=1.0)
+
+    def test_with_overrides_returns_copy(self):
+        config = ScenarioConfig(seed=1)
+        other = config.with_overrides(seed=2)
+        assert config.seed == 1
+        assert other.seed == 2
+
+    def test_configs_frozen(self):
+        config = ScenarioConfig()
+        with pytest.raises(Exception):
+            config.seed = 9  # type: ignore[misc]
+
+
+class TestWorld:
+    def test_default_config(self):
+        world = World()
+        assert world.config.seed == 42
+
+    def test_register_and_get(self, world):
+        world.register("thing", {"a": 1})
+        assert world.get("thing") == {"a": 1}
+        assert world.has("thing")
+
+    def test_duplicate_registration_raises(self, world):
+        world.register("x", 1)
+        with pytest.raises(SimulationError):
+            world.register("x", 2)
+
+    def test_get_unknown_raises(self, world):
+        with pytest.raises(SimulationError):
+            world.get("ghost")
+
+    def test_maybe_get_returns_none(self, world):
+        assert world.maybe_get("ghost") is None
+
+    def test_unregister(self, world):
+        world.register("x", 1)
+        world.unregister("x")
+        assert not world.has("x")
+        with pytest.raises(SimulationError):
+            world.unregister("x")
+
+    def test_entities_of_type(self, world):
+        world.register("a", "text")
+        world.register("b", 42)
+        assert world.entities_of_type(str) == ["text"]
+
+    def test_len_and_ids(self, world):
+        world.register("a", 1)
+        world.register("b", 2)
+        assert len(world) == 2
+        assert sorted(world.entity_ids()) == ["a", "b"]
+
+    def test_run_for_advances_clock(self, world):
+        world.run_for(3.0)
+        assert world.now == 3.0
+
+    def test_rng_derived_from_seed(self):
+        a = World(ScenarioConfig(seed=5))
+        b = World(ScenarioConfig(seed=5))
+        assert a.rng.random() == b.rng.random()

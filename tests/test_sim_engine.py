@@ -1,0 +1,185 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, SeededRng
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_schedule_and_run(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(engine.now))
+        engine.run_until(2.0)
+        assert fired == [1.0]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run_until(1.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_events_execute_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run_until(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = Engine()
+        order = []
+        for name in "abc":
+            engine.schedule(1.0, lambda n=name: order.append(n))
+        engine.run_until(1.0)
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_sets_clock_exactly(self):
+        engine = Engine()
+        engine.run_until(7.5)
+        assert engine.now == 7.5
+
+    def test_run_until_backwards_raises(self):
+        engine = Engine()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(4.0)
+
+    def test_events_beyond_horizon_stay_queued(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(1))
+        engine.run_until(5.0)
+        assert fired == []
+        engine.run_until(10.0)
+        assert fired == [1]
+
+    def test_callback_can_schedule_more_events(self):
+        engine = Engine()
+        fired = []
+
+        def cascade():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                engine.schedule(1.0, cascade)
+
+        engine.schedule(1.0, cascade)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_for_relative(self):
+        engine = Engine()
+        engine.run_until(2.0)
+        engine.run_for(3.0)
+        assert engine.now == 5.0
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def storm():
+            engine.schedule(0.0001, storm)
+
+        engine.schedule(0.0001, storm)
+        with pytest.raises(SimulationError):
+            engine.run_until(10.0, max_events=50)
+
+    def test_events_executed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run_until(1.0)
+        assert engine.events_executed == 5
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_drain_runs_everything(self):
+        engine = Engine()
+        fired = []
+        for index in range(4):
+            engine.schedule(index + 1.0, lambda i=index: fired.append(i))
+        count = engine.drain()
+        assert count == 4
+        assert fired == [0, 1, 2, 3]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run_until(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_handle_exposes_time_and_label(self):
+        engine = Engine()
+        handle = engine.schedule(2.5, lambda: None, label="probe")
+        assert handle.time == 2.5
+        assert handle.label == "probe"
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        engine = Engine()
+        fired = []
+        engine.call_every(1.0, lambda: fired.append(engine.now))
+        engine.run_until(5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_halts_firing(self):
+        engine = Engine()
+        fired = []
+        task = engine.call_every(1.0, lambda: fired.append(engine.now))
+        engine.run_until(2.5)
+        task.stop()
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0]
+        assert task.stopped
+
+    def test_zero_interval_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().call_every(0.0, lambda: None)
+
+    def test_jitter_desynchronizes(self):
+        engine = Engine()
+        rng = SeededRng(4, "jitter")
+        times = []
+        engine.call_every(1.0, lambda: times.append(engine.now), jitter=0.2, rng=rng)
+        engine.run_until(5.0)
+        assert times, "jittered task must still fire"
+        assert any(t != round(t) for t in times), "jitter should move firings off the grid"
+
+    def test_start_delay_override(self):
+        engine = Engine()
+        fired = []
+        engine.call_every(5.0, lambda: fired.append(engine.now), start_delay=1.0)
+        engine.run_until(1.0)
+        assert fired == [1.0]
+
+    def test_firings_counted(self):
+        engine = Engine()
+        task = engine.call_every(1.0, lambda: None)
+        engine.run_until(3.0)
+        assert task.firings == 3

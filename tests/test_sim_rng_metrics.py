@@ -1,0 +1,197 @@
+"""Tests for the seeded RNG and the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import MetricsRegistry, SeededRng, derive_seed, percentile, summarize
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(1, "x")
+        b = SeededRng(1, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRng(1)
+        b = SeededRng(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_fork_independent_of_sibling(self):
+        root = SeededRng(1)
+        fork_a_before = [root.fork("a").random() for _ in range(5)]
+        # Drawing from fork 'b' must not perturb fork 'a'.
+        _ = [SeededRng(1).fork("b").random() for _ in range(100)]
+        fork_a_after = [SeededRng(1).fork("a").random() for _ in range(5)]
+        assert fork_a_before == fork_a_after
+
+    def test_fork_names_hierarchical(self):
+        child = SeededRng(1, "root").fork("sub")
+        assert child.name == "root/sub"
+
+    def test_uniform_bounds(self):
+        rng = SeededRng(3)
+        for _ in range(100):
+            assert 2.0 <= rng.uniform(2.0, 4.0) <= 4.0
+
+    def test_exponential_positive(self):
+        rng = SeededRng(4)
+        assert all(rng.exponential(2.0) >= 0 for _ in range(100))
+
+    def test_exponential_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).exponential(0.0)
+
+    def test_poisson_mean_roughly_correct(self):
+        rng = SeededRng(5)
+        draws = [rng.poisson(3.0) for _ in range(2000)]
+        assert 2.7 < sum(draws) / len(draws) < 3.3
+
+    def test_poisson_zero_mean(self):
+        assert SeededRng(1).poisson(0.0) == 0
+
+    def test_poisson_negative_raises(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).poisson(-1.0)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).choice([])
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = SeededRng(6)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).weighted_choice(["a"], [1.0, 2.0])
+
+    def test_chance_bounds(self):
+        rng = SeededRng(7)
+        assert not any(rng.chance(0.0) for _ in range(100))
+        assert all(rng.chance(1.0) for _ in range(100))
+
+    def test_chance_invalid_probability(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).chance(1.5)
+
+    def test_token_is_hex_and_deterministic(self):
+        token = SeededRng(8).token(4)
+        assert len(token) == 8
+        int(token, 16)
+        assert SeededRng(8).token(4) == token
+
+    def test_shuffle_preserves_elements(self):
+        rng = SeededRng(9)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        ordered = sorted(values)
+        assert percentile(ordered, 0.0) == 1
+        assert percentile(ordered, 1.0) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_within_bounds(self, values):
+        ordered = sorted(values)
+        result = percentile(ordered, 0.9)
+        assert ordered[0] <= result <= ordered[-1]
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        keys = set(summarize([1.0]).as_dict())
+        assert {"count", "mean", "std", "min", "max", "p50", "p95"} <= keys
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        metrics.increment("x")
+        metrics.increment("x", 2.5)
+        assert metrics.counter("x") == 3.5
+        assert metrics.counter("missing") == 0.0
+
+    def test_gauges(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("depth", 7.0)
+        assert metrics.gauge("depth") == 7.0
+        assert metrics.gauge("missing", -1.0) == -1.0
+
+    def test_series_and_summary(self):
+        metrics = MetricsRegistry()
+        for value in [1.0, 2.0, 3.0]:
+            metrics.observe("lat", value)
+        summary = metrics.summary("lat")
+        assert summary is not None and summary.mean == pytest.approx(2.0)
+        assert metrics.summary("missing") is None
+
+    def test_ratio(self):
+        metrics = MetricsRegistry()
+        metrics.increment("hits", 3)
+        metrics.increment("total", 4)
+        assert metrics.ratio("hits", "total") == pytest.approx(0.75)
+        assert metrics.ratio("hits", "missing") == 0.0
+
+    def test_timelines(self):
+        metrics = MetricsRegistry()
+        metrics.observe_at("queue", 1.0, 5.0)
+        metrics.observe_at("queue", 2.0, 7.0)
+        assert metrics.timelines["queue"] == [(1.0, 5.0), (2.0, 7.0)]
+
+    def test_merged_combines_everything(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.increment("n", 1)
+        b.increment("n", 2)
+        a.observe("s", 1.0)
+        b.observe("s", 3.0)
+        merged = a.merged(b)
+        assert merged.counter("n") == 3
+        assert merged.samples("s") == [1.0, 3.0]
+
+    def test_snapshot_is_flat(self):
+        metrics = MetricsRegistry()
+        metrics.increment("a")
+        metrics.set_gauge("g", 1.0)
+        metrics.observe("s", 2.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["counter/a"] == 1.0
+        assert snapshot["gauge/g"] == 1.0
+        assert isinstance(snapshot["series/s"], dict)

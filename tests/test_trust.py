@@ -1,0 +1,403 @@
+"""Tests for trustworthiness evaluation: classifier, validators, reputation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Vec2
+from repro.trust import (
+    BayesianValidator,
+    DempsterShaferValidator,
+    EventCluster,
+    EventKind,
+    EventReport,
+    GroundTruthEvent,
+    MajorityVoting,
+    MassFunction,
+    MessageClassifier,
+    ReputationStore,
+    TrustPipeline,
+    WeightedVoting,
+    diversity_weight,
+    effective_report_count,
+    false_report,
+    honest_report,
+    path_jaccard,
+    shared_relays,
+)
+
+
+def event(kind=EventKind.ICY_ROAD, x=0.0, y=0.0, exists=True) -> GroundTruthEvent:
+    return GroundTruthEvent(
+        event_id="evt-1", kind=kind, location=Vec2(x, y), occurred_at=0.0, exists=exists
+    )
+
+
+def report(reporter, claim=True, x=0.0, t=0.0, kind=EventKind.ICY_ROAD, path=(), confidence=0.9):
+    return EventReport(
+        reporter=reporter,
+        kind=kind,
+        location=Vec2(x, 0.0),
+        reported_at=t,
+        claim=claim,
+        confidence=confidence,
+        path=path,
+    )
+
+
+class TestEventReports:
+    def test_honest_report_matches_truth(self):
+        truth = event(exists=True)
+        observed = honest_report("pn-1", truth, now=1.0)
+        assert observed.claim is True
+        assert observed.kind is truth.kind
+
+    def test_honest_report_of_nonevent_denies(self):
+        truth = event(exists=False)
+        assert honest_report("pn-1", truth, now=1.0).claim is False
+
+    def test_false_report(self):
+        fake = false_report("pn-evil", EventKind.COLLISION, Vec2(5, 5), now=1.0)
+        assert fake.claim is True
+        assert fake.kind is EventKind.COLLISION
+
+    def test_report_ids_unique(self):
+        assert report("a").report_id != report("a").report_id
+
+    def test_invalid_confidence(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            report("a", confidence=1.5)
+
+
+class TestClassifier:
+    def test_groups_nearby_same_kind(self):
+        classifier = MessageClassifier(distance_threshold_m=100, time_window_s=10)
+        reports = [report("a", x=0), report("b", x=50), report("c", x=90)]
+        clusters = classifier.classify(reports)
+        assert len(clusters) == 1
+        assert clusters[0].size == 3
+
+    def test_separates_distant_reports(self):
+        classifier = MessageClassifier(distance_threshold_m=100)
+        clusters = classifier.classify([report("a", x=0), report("b", x=5000)])
+        assert len(clusters) == 2
+
+    def test_separates_kinds(self):
+        classifier = MessageClassifier()
+        clusters = classifier.classify(
+            [report("a"), report("b", kind=EventKind.COLLISION)]
+        )
+        assert len(clusters) == 2
+        assert {c.kind for c in clusters} == {EventKind.ICY_ROAD, EventKind.COLLISION}
+
+    def test_separates_in_time(self):
+        classifier = MessageClassifier(time_window_s=10)
+        clusters = classifier.classify([report("a", t=0.0), report("b", t=100.0)])
+        assert len(clusters) == 2
+
+    def test_single_linkage_chains(self):
+        classifier = MessageClassifier(distance_threshold_m=100)
+        # a-b close, b-c close, a-c far: single linkage joins all three.
+        clusters = classifier.classify(
+            [report("a", x=0), report("b", x=90), report("c", x=180)]
+        )
+        assert len(clusters) == 1
+
+    def test_bridging_report_merges_clusters(self):
+        classifier = MessageClassifier(distance_threshold_m=100)
+        # Two far clusters, then a bridge lands between them.
+        reports = [report("a", x=0), report("b", x=180), report("bridge", x=90)]
+        clusters = classifier.classify(reports)
+        assert len(clusters) == 1
+
+    def test_cost_accounted(self):
+        classifier = MessageClassifier()
+        classifier.classify([report(f"r{i}", x=i * 10.0) for i in range(10)])
+        assert classifier.last_cost_s > 0
+
+    def test_cluster_statistics(self):
+        cluster = EventCluster(
+            kind=EventKind.ICY_ROAD,
+            reports=[report("a", claim=True), report("b", claim=False)],
+        )
+        assert cluster.positive_fraction() == 0.5
+        assert sorted(cluster.reporters()) == ["a", "b"]
+
+
+class TestMajorityVoting:
+    def test_believes_majority(self):
+        cluster = EventCluster(
+            kind=EventKind.ICY_ROAD,
+            reports=[report("a"), report("b"), report("c", claim=False)],
+        )
+        decision = MajorityVoting().evaluate(cluster)
+        assert decision.believe
+        assert decision.score == pytest.approx(2 / 3)
+
+    def test_rejects_minority(self):
+        cluster = EventCluster(
+            kind=EventKind.ICY_ROAD,
+            reports=[report("a"), report("b", claim=False), report("c", claim=False)],
+        )
+        assert not MajorityVoting().evaluate(cluster).believe
+
+    def test_latency_scales_with_reports(self):
+        small = EventCluster(EventKind.ICY_ROAD, [report("a")])
+        big = EventCluster(EventKind.ICY_ROAD, [report(f"r{i}") for i in range(50)])
+        validator = MajorityVoting()
+        assert validator.evaluate(big).latency_s > validator.evaluate(small).latency_s
+
+    def test_invalid_threshold(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MajorityVoting(threshold=1.0)
+
+
+class TestWeightedVoting:
+    def test_reputation_downweights_liars(self):
+        reputation = ReputationStore()
+        for _ in range(10):
+            reputation.observe("liar-1", good=False)
+            reputation.observe("liar-2", good=False)
+            reputation.observe("honest", good=True)
+        cluster = EventCluster(
+            kind=EventKind.ICY_ROAD,
+            reports=[
+                report("liar-1", claim=True),
+                report("liar-2", claim=True),
+                report("honest", claim=False),
+            ],
+        )
+        unweighted = MajorityVoting().evaluate(cluster)
+        weighted = WeightedVoting().evaluate(cluster, reputation)
+        assert unweighted.believe  # raw majority fooled
+        assert not weighted.believe  # reputation-weighted not fooled
+
+    def test_path_diversity_discounts_sybils(self):
+        shared_path = ("relay-evil", "relay-2")
+        sybils = [report(f"sybil-{i}", claim=True, path=shared_path) for i in range(5)]
+        independents = [
+            report("honest-1", claim=False, path=("r1",)),
+            report("honest-2", claim=False, path=("r2",)),
+            report("honest-3", claim=False, path=("r3",)),
+        ]
+        cluster = EventCluster(EventKind.ICY_ROAD, sybils + independents)
+        plain = WeightedVoting(use_reputation=False, use_path_diversity=False).evaluate(cluster)
+        diverse = WeightedVoting(use_reputation=False, use_path_diversity=True).evaluate(cluster)
+        assert plain.believe  # 5 vs 3 fooled
+        assert not diverse.believe  # shared-path sybils collapse
+
+    def test_empty_cluster(self):
+        decision = WeightedVoting().evaluate(EventCluster(EventKind.ICY_ROAD, []))
+        assert not decision.believe
+        assert decision.score == 0.0
+
+
+class TestBayesianValidator:
+    def test_unanimous_positive_high_posterior(self):
+        cluster = EventCluster(EventKind.ICY_ROAD, [report(f"r{i}") for i in range(5)])
+        decision = BayesianValidator().evaluate(cluster)
+        assert decision.believe
+        assert decision.score > 0.95
+
+    def test_unanimous_negative_low_posterior(self):
+        cluster = EventCluster(
+            EventKind.ICY_ROAD, [report(f"r{i}", claim=False) for i in range(5)]
+        )
+        decision = BayesianValidator().evaluate(cluster)
+        assert not decision.believe
+        assert decision.score < 0.05
+
+    def test_prior_matters_for_empty_cluster(self):
+        cluster = EventCluster(EventKind.ICY_ROAD, [])
+        skeptic = BayesianValidator(prior=0.1).evaluate(cluster)
+        believer = BayesianValidator(prior=0.9).evaluate(cluster)
+        assert skeptic.score == pytest.approx(0.1)
+        assert believer.score == pytest.approx(0.9)
+
+    def test_low_reputation_reports_discounted(self):
+        reputation = ReputationStore()
+        for _ in range(20):
+            reputation.observe("liar", good=False)
+        cluster = EventCluster(EventKind.ICY_ROAD, [report("liar", claim=True)])
+        with_reputation = BayesianValidator().evaluate(cluster, reputation)
+        without = BayesianValidator().evaluate(cluster)
+        assert with_reputation.score < without.score
+
+    def test_invalid_rates(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BayesianValidator(honest_tpr=0.1, honest_fpr=0.5)
+
+
+class TestDempsterShafer:
+    def test_mass_function_must_sum_to_one(self):
+        from repro.errors import TrustError
+
+        with pytest.raises(TrustError):
+            MassFunction(0.5, 0.5, 0.5)
+
+    def test_combination_reinforces_agreement(self):
+        a = MassFunction(0.6, 0.0, 0.4)
+        combined = a.combine(a)
+        assert combined.event > a.event
+
+    def test_combination_with_vacuous_is_identity(self):
+        a = MassFunction(0.6, 0.1, 0.3)
+        vacuous = MassFunction(0.0, 0.0, 1.0)
+        combined = a.combine(vacuous)
+        assert combined.event == pytest.approx(a.event)
+        assert combined.no_event == pytest.approx(a.no_event)
+
+    def test_total_conflict_falls_back_to_ignorance(self):
+        yes = MassFunction(1.0, 0.0, 0.0)
+        no = MassFunction(0.0, 1.0, 0.0)
+        combined = yes.combine(no)
+        assert combined.unknown == pytest.approx(1.0)
+
+    def test_unanimous_reports_believed(self):
+        cluster = EventCluster(EventKind.ICY_ROAD, [report(f"r{i}") for i in range(4)])
+        assert DempsterShaferValidator().evaluate(cluster).believe
+
+    def test_untrusted_reports_add_ignorance_not_belief(self):
+        reputation = ReputationStore()
+        for _ in range(20):
+            reputation.observe("liar", good=False)
+        cluster = EventCluster(EventKind.ICY_ROAD, [report("liar")])
+        decision = DempsterShaferValidator().evaluate(cluster, reputation)
+        assert not decision.believe
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_combination_stays_normalized(self, commit_a, commit_b):
+        a = MassFunction(commit_a, 0.0, 1.0 - commit_a)
+        b = MassFunction(0.0, commit_b, 1.0 - commit_b)
+        combined = a.combine(b)
+        total = combined.event + combined.no_event + combined.unknown
+        assert total == pytest.approx(1.0)
+
+
+class TestProvenance:
+    def test_jaccard_identical(self):
+        assert path_jaccard(("a", "b"), ("a", "b")) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert path_jaccard(("a",), ("b",)) == 0.0
+
+    def test_jaccard_empty_paths_independent(self):
+        assert path_jaccard((), ()) == 0.0
+
+    def test_diversity_weight_discounts_shared_paths(self):
+        shared = [report(f"s{i}", path=("x", "y")) for i in range(4)]
+        weight = diversity_weight(shared[0], shared)
+        assert weight < 0.5
+
+    def test_effective_count_bounds(self):
+        disjoint = [report(f"r{i}", path=(f"relay-{i}",)) for i in range(5)]
+        shared = [report(f"s{i}", path=("same",)) for i in range(5)]
+        assert effective_report_count(disjoint) == pytest.approx(5.0)
+        assert effective_report_count(shared) < 2.0
+
+    def test_shared_relays(self):
+        reports = [
+            report("a", path=("evil", "r1")),
+            report("b", path=("evil", "r2")),
+        ]
+        assert shared_relays(reports) == ["evil"]
+        assert shared_relays([]) == []
+
+
+class TestReputationStore:
+    def test_prior_for_strangers(self):
+        store = ReputationStore(prior_score=0.5)
+        assert store.score("ghost") == pytest.approx(0.5)
+
+    def test_observations_move_score(self):
+        store = ReputationStore()
+        for _ in range(10):
+            store.observe("good", good=True)
+            store.observe("bad", good=False)
+        assert store.score("good") > 0.8
+        assert store.score("bad") < 0.2
+
+    def test_decay_pulls_toward_prior(self):
+        store = ReputationStore(decay_per_s=0.1)
+        for _ in range(10):
+            store.observe("x", good=True, now=0.0)
+        confident = store.score("x")
+        store.observe("x", good=True, now=1000.0)  # long gap decays history
+        assert store.record_of("x").evidence < 11
+
+    def test_mean_encounters_diagnostic(self):
+        store = ReputationStore()
+        # Ephemeral traffic: every identity seen once.
+        for index in range(20):
+            store.observe(f"stranger-{index}", good=True)
+        assert store.mean_encounters == pytest.approx(1.0)
+        assert store.mature_fraction(min_evidence=5) == 0.0
+
+    def test_forget(self):
+        store = ReputationStore()
+        store.observe("x", good=False)
+        store.forget("x")
+        assert store.score("x") == pytest.approx(0.5)
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            ReputationStore(prior_score=1.0)
+
+
+class TestTrustPipeline:
+    def _pipeline(self, validator=None):
+        return TrustPipeline(
+            classifier=MessageClassifier(),
+            validator=validator if validator is not None else MajorityVoting(),
+            reputation=ReputationStore(),
+            per_message_auth_cost_s=0.002,
+        )
+
+    def test_end_to_end_decision(self):
+        pipeline = self._pipeline()
+        truth = event()
+        reports = [honest_report(f"pn-{i}", truth, now=1.0) for i in range(5)]
+        decisions = pipeline.process(reports)
+        assert len(decisions) == 1
+        assert decisions[0].decision.believe
+        assert decisions[0].total_latency_s > 0.01  # auth dominates
+
+    def test_multiple_events_classified_separately(self):
+        pipeline = self._pipeline()
+        near = event(x=0.0)
+        far = GroundTruthEvent("evt-2", EventKind.ICY_ROAD, Vec2(10_000, 0), 0.0)
+        reports = [honest_report("a", near, 1.0), honest_report("b", far, 1.0)]
+        decisions = pipeline.process(reports)
+        assert len(decisions) == 2
+
+    def test_feedback_improves_future_judgement(self):
+        pipeline = self._pipeline(WeightedVoting())
+        truth = event(exists=True)
+        liars = [report(f"liar-{i}", claim=False) for i in range(3)]
+        honest = [honest_report(f"pn-{i}", truth, now=1.0) for i in range(2)]
+        first = pipeline.process(liars + honest)[0]
+        assert not first.decision.believe  # liars outnumber honest
+        # Ground truth surfaces; reputations update.
+        for _ in range(5):
+            pipeline.feedback(first.cluster, truth_exists=True, now=2.0)
+        second = pipeline.process(liars + honest)[-1]
+        assert second.decision.believe  # reputation now discounts liars
+
+    def test_accuracy_scoring(self):
+        pipeline = self._pipeline()
+        truth = event()
+        pipeline.process([honest_report("a", truth, 1.0)])
+        assert pipeline.accuracy_against([True]) == 1.0
+        with pytest.raises(ValueError):
+            pipeline.accuracy_against([True, False])
