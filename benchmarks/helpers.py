@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.core import DynamicVCloud, Task
+from repro.core import Task
 from repro.mobility import Highway, HighwayModel, ManhattanGrid, ManhattanModel
 from repro.net import BeaconService, VehicleNode, WirelessChannel
 from repro.sim import ChannelConfig, ScenarioConfig, World

@@ -16,8 +16,6 @@ ablations show the trade-off curve each choice sits on:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import render_table
 from repro.attacks import ReplayCache
 from repro.core import (
@@ -27,8 +25,7 @@ from repro.core import (
     Task,
     TaskRecord,
 )
-from repro.geometry import Vec2
-from repro.mobility import Highway, HighwayModel, Vehicle, link_lifetime
+from repro.mobility import Highway, HighwayModel, link_lifetime
 from repro.net import BeaconService, VehicleNode, WirelessChannel
 from repro.security import BloomRevocationFilter
 from repro.sim import ScenarioConfig, SeededRng, World

@@ -8,8 +8,6 @@ timing (the one place wall-clock, not virtual time, is the measurement).
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import DynamicVCloud, Task
 from repro.mobility import Highway, HighwayModel
 from repro.net import BeaconService, VehicleNode, WirelessChannel

@@ -1,0 +1,403 @@
+"""Experiment E11 — fault tolerance: fault intensity vs recovery configuration.
+
+The paper's dependability argument (§V.A) is that v-clouds must "operate
+normally even under attacks or failures of sub-components".  This
+experiment injects seeded fault schedules from :mod:`repro.faults` and
+measures what each recovery mechanism buys:
+
+* **E11a** — member-crash intensity sweep on a controlled cloud, with
+  recovery on (lease-based liveness + checkpoint handover + exponential
+  backoff) vs off (silent crashes are never detected).  Task completion
+  under ≥30 % churn is the headline number.
+* **E11b** — file availability under the same crash schedules, with and
+  without replica repair (re-replication on departure).
+* **E11c** — the three Fig. 4 architectures under their natural fault
+  regime: member crashes for the stationary and dynamic clouds, RSU
+  flapping for the infrastructure-based cloud.
+
+Expected shape: recovery-enabled strictly dominates recovery-disabled on
+task completion once a third of the members crash; repair holds file
+availability at 1.0 while no-repair decays; every architecture keeps
+serving tasks under faults, the infrastructure cloud paying the largest
+stability penalty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    BackoffPolicy,
+    CheckpointHandoverPolicy,
+    DynamicVCloud,
+    FileStore,
+    InfrastructureVCloud,
+    ReplicationManager,
+    ResourceOffer,
+    StationaryVCloud,
+    StoredFile,
+    Task,
+    TaskState,
+    VehicularCloud,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.geometry import Vec2
+from repro.infra import deploy_rsus_on_highway
+from repro.mobility import ParkingLotModel, StationaryModel
+from repro.net import WirelessChannel
+from repro.sim import ScenarioConfig, World
+
+from helpers import highway_world
+
+MEMBERS = 12
+TASKS = 18
+WORK_MI = 3000.0  # 30 s on a 100-MIPS worker: long enough to be interrupted
+INTENSITIES = (0.0, 1 / 6, 1 / 3, 1 / 2)
+PLAN_SEED = 1111
+CRASH_WINDOW = (10.0, 45.0)
+RECOVERY_BACKOFF = BackoffPolicy(
+    base_delay_s=0.5, multiplier=2.0, max_delay_s=8.0, jitter_fraction=0.1
+)
+
+
+# ---------------------------------------------------------------------------
+# E11a — crash intensity vs recovery configuration
+# ---------------------------------------------------------------------------
+
+
+def _run_fault_scenario(intensity: float, recovery: bool, seed: int = 1101):
+    """A controlled stationary cloud under a seeded crash schedule."""
+    world = World(ScenarioConfig(seed=seed))
+    model = StationaryModel(
+        world, positions=[Vec2(i * 40.0, 0) for i in range(MEMBERS)]
+    )
+    vehicles = model.populate(MEMBERS)
+    cloud = VehicularCloud(
+        world,
+        "fault-sweep-vc",
+        handover_policy=CheckpointHandoverPolicy(),
+        retry_backoff=RECOVERY_BACKOFF if recovery else None,
+    )
+    for vehicle in vehicles:
+        cloud.admit(vehicle, offer=ResourceOffer(vehicle.vehicle_id, 100.0, 10**9, 1e6))
+    if recovery:
+        cloud.enable_worker_leases(lease_duration_s=4.0, sweep_interval_s=1.0)
+
+    # Same plan seed + positionally identical target lists => the same
+    # members (by index) crash at the same times in both configurations.
+    targets = [m for m in cloud.membership.member_ids() if m != cloud.head_id]
+    crashes = round(intensity * MEMBERS)
+    plan = FaultPlan(PLAN_SEED).random_crashes(crashes, CRASH_WINDOW, targets=targets)
+    injector = FaultInjector(world, plan, cloud=cloud)
+    injector.arm()
+
+    records = []
+    for index in range(TASKS):
+        world.engine.schedule_at(
+            index * 2.0,
+            lambda: records.append(cloud.submit(Task(work_mi=WORK_MI))),
+            label="task",
+        )
+    world.run_for(TASKS * 2.0 + 400.0)
+    completed = [r for r in records if r.state is TaskState.COMPLETED]
+    latencies = [r.completion_latency_s for r in completed]
+    return {
+        "completion_rate": len(completed) / TASKS,
+        "mean_latency_s": sum(latencies) / len(latencies) if latencies else float("inf"),
+        "stranded": sum(
+            1 for r in records if r.state in (TaskState.ASSIGNED, TaskState.RUNNING)
+        ),
+        "lease_evictions": cloud.stats.lease_evictions,
+        "final_members": cloud.member_count(),
+        "crashes": cloud.stats.worker_crashes,
+    }
+
+
+@pytest.fixture(scope="module")
+def fault_sweep():
+    sweep = {}
+    for intensity in INTENSITIES:
+        sweep[intensity] = {
+            "recovery": _run_fault_scenario(intensity, recovery=True),
+            "no-recovery": _run_fault_scenario(intensity, recovery=False),
+        }
+    return sweep
+
+
+def test_bench_fault_sweep_table(fault_sweep, record_table, benchmark):
+    rows = []
+    for intensity in INTENSITIES:
+        for config in ("recovery", "no-recovery"):
+            row = fault_sweep[intensity][config]
+            rows.append(
+                [
+                    f"{intensity:.0%}",
+                    config,
+                    row["completion_rate"],
+                    row["mean_latency_s"],
+                    row["stranded"],
+                    row["lease_evictions"],
+                    row["final_members"],
+                ]
+            )
+    table = render_table(
+        [
+            "crash intensity",
+            "config",
+            "completion",
+            "mean latency (s)",
+            "stranded tasks",
+            "lease evictions",
+            "final members",
+        ],
+        rows,
+        title="E11a — crash intensity vs recovery configuration",
+    )
+    record_table("E11_fault_tolerance", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_recovery_never_worse(fault_sweep, benchmark):
+    for intensity in INTENSITIES:
+        assert (
+            fault_sweep[intensity]["recovery"]["completion_rate"]
+            >= fault_sweep[intensity]["no-recovery"]["completion_rate"]
+        ), f"intensity {intensity}"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_recovery_strictly_dominates_under_heavy_churn(fault_sweep, benchmark):
+    """Acceptance: strict domination at >= 30 % member churn."""
+    for intensity in (i for i in INTENSITIES if i >= 0.3):
+        assert (
+            fault_sweep[intensity]["recovery"]["completion_rate"]
+            > fault_sweep[intensity]["no-recovery"]["completion_rate"]
+        ), f"intensity {intensity}"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_silent_crashes_strand_tasks_without_leases(fault_sweep, benchmark):
+    heavy = fault_sweep[1 / 2]
+    assert heavy["no-recovery"]["stranded"] > 0
+    assert heavy["recovery"]["stranded"] == 0
+    assert heavy["recovery"]["lease_evictions"] > 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# E11b — file availability under the same crash schedules
+# ---------------------------------------------------------------------------
+
+FILES = 30
+REPLICAS = 2
+
+
+def _run_availability(intensity: float, repair: bool, seed: int = 1102):
+    world = World(ScenarioConfig(seed=seed))
+    manager = ReplicationManager(world.rng.fork("repl"), repair=repair)
+    store_ids = [f"store-{i:02d}" for i in range(MEMBERS)]
+    for store_id in store_ids:
+        manager.add_store(FileStore(store_id, capacity_bytes=10**9))
+    for index in range(FILES):
+        manager.store_file(
+            StoredFile(f"file-{index:02d}", size_bytes=10**6, target_replicas=REPLICAS)
+        )
+    # The crash plan drives store departures directly: one plan seed,
+    # fixed store ids => byte-identical schedules for both configs.
+    plan = FaultPlan(PLAN_SEED).random_crashes(
+        round(intensity * MEMBERS), CRASH_WINDOW, targets=store_ids
+    )
+    for spec in plan.schedule():
+        world.engine.schedule_at(
+            spec.at,
+            lambda sid=spec.param("target"): manager.remove_store(sid),
+            label="store-crash",
+        )
+    world.run_for(60.0)
+    return {
+        "availability": manager.availability(),
+        "repair_transfers": manager.repair_transfers,
+    }
+
+
+@pytest.fixture(scope="module")
+def availability_sweep():
+    sweep = {}
+    for intensity in INTENSITIES:
+        sweep[intensity] = {
+            "repair": _run_availability(intensity, repair=True),
+            "no-repair": _run_availability(intensity, repair=False),
+        }
+    return sweep
+
+
+def test_bench_availability_table(availability_sweep, record_table, benchmark):
+    rows = []
+    for intensity in INTENSITIES:
+        for config in ("repair", "no-repair"):
+            row = availability_sweep[intensity][config]
+            rows.append(
+                [
+                    f"{intensity:.0%}",
+                    config,
+                    row["availability"],
+                    row["repair_transfers"],
+                ]
+            )
+    table = render_table(
+        ["crash intensity", "config", "file availability", "repair transfers"],
+        rows,
+        title=f"E11b — file availability under store crashes (k={REPLICAS})",
+    )
+    record_table("E11_fault_tolerance", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_repair_preserves_availability(availability_sweep, benchmark):
+    for intensity in INTENSITIES:
+        pair = availability_sweep[intensity]
+        assert pair["repair"]["availability"] >= pair["no-repair"]["availability"]
+    heavy = availability_sweep[1 / 2]
+    assert heavy["repair"]["availability"] == 1.0
+    assert heavy["no-repair"]["availability"] < 1.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# E11c — the three architectures under their natural fault regime
+# ---------------------------------------------------------------------------
+
+ARCH_TASKS = 15
+ARCH_WORK_MI = 600.0
+
+
+def _submit_stream(world, cloud, records):
+    for index in range(ARCH_TASKS):
+        world.engine.schedule_at(
+            index * 2.0,
+            lambda: records.append(cloud.submit(Task(work_mi=ARCH_WORK_MI))),
+            label="task",
+        )
+
+
+def _arch_stats(cloud, records):
+    completed = [r for r in records if r.state is TaskState.COMPLETED]
+    return {
+        "completion_rate": len(completed) / max(1, len(records)),
+        "lease_evictions": cloud.stats.lease_evictions,
+        "handovers": cloud.stats.handovers,
+        "final_members": cloud.member_count(),
+    }
+
+
+def _enable_recovery(cloud):
+    cloud.retry_backoff = RECOVERY_BACKOFF
+    cloud.enable_worker_leases(lease_duration_s=4.0, sweep_interval_s=1.0)
+
+
+def _run_arch_stationary(seed: int):
+    world = World(ScenarioConfig(seed=seed))
+    lot = ParkingLotModel(world, departure_rate_per_hour=20.0)
+    lot.populate(20)
+    lot.start()
+    arch = StationaryVCloud(world, lot)
+    arch.start()
+    _enable_recovery(arch.cloud)
+    targets = [m for m in arch.cloud.membership.member_ids() if m != arch.cloud.head_id]
+    plan = FaultPlan(PLAN_SEED).random_crashes(
+        round(len(targets) / 3), (10.0, 40.0), targets=targets
+    )
+    FaultInjector(world, plan, cloud=arch.cloud).arm()
+    records = []
+    _submit_stream(world, arch.cloud, records)
+    world.run_for(150.0)
+    return _arch_stats(arch.cloud, records)
+
+
+def _run_arch_infrastructure(seed: int):
+    world, model, highway = highway_world(seed, vehicle_count=30, length_m=3000)
+    channel = WirelessChannel(world)
+    rsus = deploy_rsus_on_highway(world, channel, highway, spacing_m=1500)
+    arch = InfrastructureVCloud(world, rsus[0], model)
+    arch.start()
+    _enable_recovery(arch.cloud)
+    plan = FaultPlan(PLAN_SEED).rsu_flap(
+        20.0, cycles=2, down_s=8.0, up_s=12.0, target=rsus[0].node_id
+    )
+    FaultInjector(world, plan, infrastructure=[rsus[0]]).arm()
+    records = []
+    _submit_stream(world, arch.cloud, records)
+    world.run_for(150.0)
+    return _arch_stats(arch.cloud, records)
+
+
+def _run_arch_dynamic(seed: int):
+    world, model, _highway = highway_world(seed, vehicle_count=30, length_m=3000)
+    arch = DynamicVCloud(world, model)
+    arch.start()
+    _enable_recovery(arch.cloud)
+    targets = [m for m in arch.cloud.membership.member_ids() if m != arch.cloud.head_id]
+    plan = FaultPlan(PLAN_SEED).random_crashes(
+        max(1, round(len(targets) / 3)), (10.0, 40.0), targets=targets
+    )
+    FaultInjector(world, plan, cloud=arch.cloud).arm()
+    records = []
+    _submit_stream(world, arch.cloud, records)
+    world.run_for(150.0)
+    return _arch_stats(arch.cloud, records)
+
+
+@pytest.fixture(scope="module")
+def arch_results():
+    return {
+        "stationary": ("member crashes", _run_arch_stationary(1121)),
+        "infrastructure": ("rsu flapping", _run_arch_infrastructure(1122)),
+        "dynamic": ("member crashes", _run_arch_dynamic(1123)),
+    }
+
+
+def test_bench_architecture_faults_table(arch_results, record_table, benchmark):
+    rows = []
+    for label in ("stationary", "infrastructure", "dynamic"):
+        regime, row = arch_results[label]
+        rows.append(
+            [
+                label,
+                regime,
+                row["completion_rate"],
+                row["handovers"],
+                row["lease_evictions"],
+                row["final_members"],
+            ]
+        )
+    table = render_table(
+        [
+            "architecture",
+            "fault regime",
+            "completion",
+            "handovers",
+            "lease evictions",
+            "final members",
+        ],
+        rows,
+        title="E11c — architectures under faults (recovery enabled)",
+    )
+    record_table("E11_fault_tolerance", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_all_architectures_survive_faults(arch_results, benchmark):
+    for label, (_regime, row) in arch_results.items():
+        assert row["completion_rate"] >= 0.5, label
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_fault_scenario_runtime(benchmark):
+    """End-to-end timing of one recovery-enabled fault scenario."""
+    result = benchmark.pedantic(
+        lambda: _run_fault_scenario(1 / 3, recovery=True, seed=1131),
+        rounds=1,
+        iterations=1,
+    )
+    assert result["completion_rate"] > 0.5

@@ -23,7 +23,6 @@ import pytest
 
 from repro.analysis import render_table
 from repro.attacks import TrackingAdversary
-from repro.mobility import Vehicle
 from repro.net import BeaconService, VehicleNode, WirelessChannel
 from repro.security import TrustedAuthority
 from repro.security.protocols import (
@@ -34,7 +33,6 @@ from repro.security.protocols import (
 )
 from repro.sim import ChannelConfig, ScenarioConfig, World
 
-from helpers import highway_world
 
 VEHICLES = 30
 HANDSHAKES = 60

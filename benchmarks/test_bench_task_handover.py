@@ -33,7 +33,7 @@ from repro.core import (
     VehicularCloud,
 )
 from repro.mobility import DwellEstimator
-from repro.sim import ScenarioConfig, SeededRng, World
+from repro.sim import ScenarioConfig, World
 from repro.mobility import StationaryModel
 from repro.geometry import Vec2
 

@@ -178,7 +178,6 @@ def test_ephemeral_contacts_starve_reputation(record_table, benchmark):
     store never accumulates evidence — the structural failure the paper
     predicts for social-network-style reputation in v-clouds.
     """
-    rng = SeededRng(502, "ephemeral")
     pipeline = TrustPipeline(
         classifier=MessageClassifier(),
         validator=WeightedVoting(),
@@ -241,7 +240,6 @@ def test_path_diversity_defeats_sybil_flood(record_table, benchmark):
 
 def test_bench_pipeline_throughput(benchmark):
     """Host-time micro-benchmark: one 25-report pipeline pass."""
-    rng = SeededRng(503, "bench")
     event = GroundTruthEvent("evt", EventKind.TRAFFIC_JAM, Vec2(0, 0), 0.0)
     reports = [honest_report(f"r-{i}", event, 1.0) for i in range(25)]
     pipeline = TrustPipeline(

@@ -1,5 +1,6 @@
 """V-cloud core: architectures, membership, election, tasks, replication, modes."""
 
+from ..faults.recovery import BackoffPolicy, WorkerLeases
 from .incentives import CreditLedger, IncentivizedSubmission, LedgerEntry
 from .task_protocol import NetworkedTaskExchange, OffloadResult
 from .bootstrap import BootstrapResult, BootstrapStats, SecureBootstrap
@@ -50,8 +51,10 @@ from .vcloud import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "NetworkedTaskExchange",
     "OffloadResult",
+    "WorkerLeases",
     "CreditLedger",
     "IncentivizedSubmission",
     "LedgerEntry",
@@ -94,6 +97,7 @@ __all__ = [
     "RandomAllocator",
     "Reservation",
     "ResourceDirectory",
+    "ReplicationManager",
     "ResourceKind",
     "ResourceOffer",
     "ResourcePool",

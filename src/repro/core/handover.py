@@ -46,7 +46,6 @@ class DropPolicy(HandoverPolicy):
     name = "drop"
 
     def on_worker_departed(self, record: TaskRecord, now: float) -> HandoverOutcome:
-        lost = record.progress
         record.drop()
         return HandoverOutcome(
             preserved_progress=0.0,

@@ -14,7 +14,7 @@ balances are attributable only through the TA's escrow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ResourceError

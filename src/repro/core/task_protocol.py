@@ -19,10 +19,11 @@ protocol would.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import TaskError
+from ..faults.recovery import BackoffPolicy
 from ..net.messages import Message, MessageKind
 from ..net.node import NetworkNode
 from ..sim.world import World
@@ -65,13 +66,22 @@ class NetworkedTaskExchange:
         head: NetworkNode,
         retry_interval_s: float = 0.5,
         max_retries: int = 5,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         if retry_interval_s <= 0 or max_retries < 0:
             raise TaskError("retry_interval_s > 0 and max_retries >= 0 required")
         self.world = world
         self.head = head
         self.retry_interval_s = retry_interval_s
-        self.max_retries = max_retries
+        # Default is a degenerate fixed-interval policy reproducing the
+        # historical retry timing exactly (no rng draws, no growth).
+        self.backoff = (
+            backoff
+            if backoff is not None
+            else BackoffPolicy.fixed(retry_interval_s, max_retries=max_retries)
+        )
+        self.max_retries = self.backoff.max_retries
+        self._retry_rng = world.rng.fork(f"offload-retry/{head.node_id}")
         self._exchanges: Dict[str, OffloadResult] = {}
         self._workers: Dict[str, NetworkNode] = {}
         head.on(MessageKind.TASK, self._head_handler)
@@ -171,8 +181,10 @@ class NetworkedTaskExchange:
         record.assign_transmissions += 1
         self.head.send(worker_id, assign)
         # Retransmit unless the result arrives in time.  The timer spans
-        # the expected compute, so only genuinely lost frames retry.
-        expected = record.task.work_mi / 500.0 + self.retry_interval_s
+        # the expected compute plus a backoff-governed wait, so only
+        # genuinely lost frames retry, and repeated losses space out.
+        wait = self.backoff.delay_for(attempt, self._retry_rng)
+        expected = record.task.work_mi / 500.0 + wait
         self.world.engine.schedule(
             expected,
             lambda: self._send_assign(record, worker_id, attempt + 1),

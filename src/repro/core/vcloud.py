@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..faults.recovery import BackoffPolicy, WorkerLeases
 from ..mobility.vehicle import Vehicle
-from ..sim.engine import EventHandle
+from ..sim.engine import EventHandle, PeriodicTask
 from ..sim.world import World
 from .handover import CheckpointHandoverPolicy, HandoverPolicy
 from .membership import MembershipManager
@@ -28,7 +29,6 @@ from .resources import Reservation, ResourceOffer, ResourcePool
 from .scheduler import (
     Allocator,
     GreedyResourceAllocator,
-    WorkerCandidate,
     candidates_from_pool,
 )
 from .tasks import Task, TaskRecord, TaskState
@@ -135,6 +135,10 @@ class CloudStats:
     completion_latencies_s: List[float] = field(default_factory=list)
     deadline_hits: int = 0
     deadline_misses: int = 0
+    worker_crashes: int = 0
+    worker_stalls: int = 0
+    worker_reboots: int = 0
+    lease_evictions: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -166,6 +170,7 @@ class _Execution:
     started_at: float
     runtime_s: float
     completion_handle: EventHandle
+    crashed_at: Optional[float] = None
 
 
 class VehicularCloud:
@@ -185,10 +190,13 @@ class VehicularCloud:
         head_id: Optional[str] = None,
         max_members: int = 64,
         max_assignment_retries: int = 120,
+        retry_backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         # Retries model queueing while workers are busy or coordination is
         # down; deadline-carrying tasks fail via their deadline first, so
         # the retry budget is a backstop for deadline-free tasks.
+        # ``retry_backoff`` replaces the fixed RETRY_INTERVAL_S with
+        # exponential backoff + jitter; None keeps the legacy fixed timer.
         self.world = world
         self.cloud_id = cloud_id
         self.allocator = allocator if allocator is not None else GreedyResourceAllocator()
@@ -206,6 +214,11 @@ class VehicularCloud:
         self.records: List[TaskRecord] = []
         self._executions: Dict[str, _Execution] = {}  # task_id -> execution
         self._retries: Dict[str, int] = {}
+        self.retry_backoff = retry_backoff
+        self._retry_rng = world.rng.fork(f"{cloud_id}/retry")
+        self.leases: Optional[WorkerLeases] = None
+        self._lease_task: Optional[PeriodicTask] = None
+        self._crashed: set = set()
         self.membership.on_leave(self._on_member_left)
 
     # -- membership ------------------------------------------------------------
@@ -239,6 +252,9 @@ class VehicularCloud:
                     self.stats.auth_failures += 1
                     return False
         self.membership.join(vehicle_id, self.world.now, vehicle.position)
+        self._crashed.discard(vehicle_id)
+        if self.leases is not None:
+            self.leases.grant(vehicle_id, self.world.now)
         resolved_offer = (
             offer
             if offer is not None
@@ -255,6 +271,8 @@ class VehicularCloud:
 
     def _on_member_left(self, vehicle_id: str) -> None:
         self.pool.remove_member(vehicle_id)
+        if self.leases is not None:
+            self.leases.revoke(vehicle_id)
         if vehicle_id == self.head_id:
             remaining = self.membership.member_ids()
             self.head_id = remaining[0] if remaining else None
@@ -340,8 +358,12 @@ class VehicularCloud:
             self.stats.failed += 1
             return
         self._retries[record.task.task_id] = retries + 1
+        if self.retry_backoff is not None:
+            delay = self.retry_backoff.delay_for(retries, self._retry_rng)
+        else:
+            delay = self.RETRY_INTERVAL_S
         self.world.engine.schedule(
-            self.RETRY_INTERVAL_S, lambda: self._try_assign(record), label="task-retry"
+            delay, lambda: self._try_assign(record), label="task-retry"
         )
 
     def _complete(self, task_id: str) -> None:
@@ -380,9 +402,13 @@ class VehicularCloud:
         execution.completion_handle.cancel()
         self._executions.pop(record.task.task_id, None)
         self.pool.release(execution.reservation)
-        # Progress achieved so far on this worker.
+        # Progress achieved so far on this worker; a crashed worker
+        # stopped making progress at the crash instant, not at detection.
         if record.state is TaskState.RUNNING:
-            elapsed = max(0.0, self.world.now - execution.started_at)
+            worked_until = (
+                execution.crashed_at if execution.crashed_at is not None else self.world.now
+            )
+            elapsed = max(0.0, worked_until - execution.started_at)
             fraction_of_run = min(1.0, elapsed / execution.runtime_s) if execution.runtime_s > 0 else 1.0
             new_progress = record.progress + (1.0 - record.progress) * fraction_of_run
             record.checkpoint(min(1.0, new_progress))
@@ -399,6 +425,138 @@ class VehicularCloud:
             self.world.engine.schedule(
                 delay, lambda: self._try_assign(record), label="task-requeue"
             )
+
+    # -- process faults ------------------------------------------------------------
+
+    def mark_worker_crashed(self, vehicle_id: str) -> int:
+        """Crash-stop a worker: it silently stops computing.
+
+        No departure event fires — the coordinator only learns of the
+        crash when the worker's lease lapses (see
+        :meth:`enable_worker_leases`).  Executions on the worker stop
+        making progress and will never complete on their own.  Returns
+        the number of executions frozen.
+        """
+        self._crashed.add(vehicle_id)
+        frozen = 0
+        for execution in self._executions.values():
+            if (
+                execution.record.worker_id == vehicle_id
+                and execution.crashed_at is None
+            ):
+                execution.crashed_at = self.world.now
+                execution.completion_handle.cancel()
+                frozen += 1
+        self.stats.worker_crashes += 1
+        self.world.metrics.increment(f"{self.cloud_id}/worker_crashes")
+        return frozen
+
+    def stall_worker(self, vehicle_id: str, duration_s: float) -> int:
+        """Stall a worker (slow node): completions shift by ``duration_s``.
+
+        Returns the number of executions postponed.
+        """
+        stalled = 0
+        for execution in self._executions.values():
+            record = execution.record
+            if record.worker_id != vehicle_id or execution.crashed_at is not None:
+                continue
+            old = execution.completion_handle
+            if old.cancelled:
+                continue
+            old.cancel()
+            task_id = record.task.task_id
+            execution.completion_handle = self.world.engine.schedule_at(
+                max(old.time + duration_s, self.world.now),
+                lambda tid=task_id: self._complete(tid),
+                label="task-complete",
+            )
+            execution.runtime_s += duration_s
+            stalled += 1
+        self.stats.worker_stalls += 1
+        self.world.metrics.increment(f"{self.cloud_id}/worker_stalls")
+        return stalled
+
+    def reboot_worker(self, vehicle_id: str, downtime_s: float) -> int:
+        """Reboot a worker with state loss: its in-flight work restarts.
+
+        Tasks running there lose all progress (memory state is gone) and
+        requeue into the allocator after ``downtime_s``.  The worker
+        stays a member — a reboot is not a departure.  Returns the number
+        of executions lost.
+        """
+        affected = [
+            execution
+            for execution in self._executions.values()
+            if execution.record.worker_id == vehicle_id
+        ]
+        for execution in affected:
+            record = execution.record
+            execution.completion_handle.cancel()
+            self._executions.pop(record.task.task_id, None)
+            self.pool.release(execution.reservation)
+            if record.state in (TaskState.ASSIGNED, TaskState.RUNNING):
+                record.drop()
+                self.stats.drops += 1
+                self.stats.wasted_work_mi += record.wasted_work_mi
+                record.wasted_work_mi = 0.0
+                self.world.engine.schedule(
+                    max(downtime_s, 1e-6),
+                    lambda r=record: self._try_assign(r),
+                    label="task-requeue",
+                )
+        self.stats.worker_reboots += 1
+        self.world.metrics.increment(f"{self.cloud_id}/worker_reboots")
+        return len(affected)
+
+    # -- lease-based liveness ------------------------------------------------------
+
+    def enable_worker_leases(
+        self, lease_duration_s: float = 5.0, sweep_interval_s: float = 1.0
+    ) -> WorkerLeases:
+        """Turn on lease-based worker liveness.
+
+        Members renew automatically each sweep while alive; a crashed
+        worker stops renewing, its lease lapses, and its tasks flow into
+        the configured :class:`~repro.core.handover.HandoverPolicy` via
+        the normal member-departure path.  Detection latency is bounded
+        by ``lease_duration_s``.
+        """
+        self.leases = WorkerLeases(lease_duration_s)
+        now = self.world.now
+        for member_id in self.membership.member_ids():
+            self.leases.grant(member_id, now)
+        if self._lease_task is None:
+            self._lease_task = self.world.engine.call_every(
+                sweep_interval_s, self._lease_sweep, label=f"{self.cloud_id}/lease-sweep"
+            )
+        return self.leases
+
+    def disable_worker_leases(self) -> None:
+        """Stop the liveness sweep and drop all leases."""
+        if self._lease_task is not None:
+            self._lease_task.stop()
+            self._lease_task = None
+        self.leases = None
+
+    def heartbeat(self, vehicle_id: str) -> None:
+        """Explicitly renew one member's lease (external liveness signal)."""
+        if self.leases is not None and vehicle_id in self.membership:
+            self.leases.renew(vehicle_id, self.world.now)
+
+    def _lease_sweep(self) -> None:
+        if self.leases is None:
+            return
+        now = self.world.now
+        for member_id in self.membership.member_ids():
+            if member_id not in self._crashed:
+                self.leases.renew(member_id, now)
+        for member_id in self.leases.expired(now):
+            self.leases.revoke(member_id)
+            if member_id in self.membership:
+                self.stats.lease_evictions += 1
+                self.world.metrics.increment(f"{self.cloud_id}/lease_evictions")
+                self.member_leave(member_id)
 
     # -- introspection -------------------------------------------------------------
 

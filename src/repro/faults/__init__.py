@@ -1,0 +1,36 @@
+"""Unified fault-injection & failure-recovery subsystem (§III.A, §V).
+
+Three seeded, reproducible fault families scheduled by one
+:class:`FaultPlan`/:class:`FaultInjector` pair:
+
+* **process** — vehicle crash-stop, stall (slow node), reboot with state
+  loss (``repro.faults.process``);
+* **network** — correlated packet-loss bursts, bidirectional partitions,
+  delay-jitter spikes, frame duplication, implemented as
+  :class:`~repro.net.channel.WirelessChannel` interceptors
+  (``repro.faults.network``);
+* **infrastructure** — RSU flapping and staggered repair, generalizing
+  :class:`~repro.infra.damage.DisasterModel` into a schedulable fault
+  source (``repro.faults.infrastructure``).
+
+Recovery counterparts live in ``repro.faults.recovery``:
+:class:`BackoffPolicy` (exponential backoff + jitter) and
+:class:`WorkerLeases` (lease-based worker liveness).
+"""
+
+from .injector import FaultInjector
+from .network import FrameDuplicator, JitterSpike, LossBurst, Partition
+from .plan import FaultPlan, FaultSpec
+from .recovery import BackoffPolicy, WorkerLeases
+
+__all__ = [
+    "BackoffPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FrameDuplicator",
+    "JitterSpike",
+    "LossBurst",
+    "Partition",
+    "WorkerLeases",
+]

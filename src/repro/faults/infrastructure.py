@@ -1,0 +1,70 @@
+"""Infrastructure faults: RSU flapping, disasters, staggered repair.
+
+Generalizes :class:`~repro.infra.damage.DisasterModel` from a one-shot
+scripted disaster into a schedulable fault source: the executor can flap
+individual RSUs (repeated damage/repair cycles, the "unreliable
+infrastructure" regime) and run disasters whose repair is staggered one
+node at a time, producing the partial-capacity recovery ramps the
+paper's dependability argument (§V.A) turns on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..infra.damage import Damageable, DisasterModel
+from ..sim.world import World
+
+
+class InfrastructureFaultExecutor:
+    """Applies infrastructure faults to a set of damageable nodes."""
+
+    def __init__(self, world: World, infrastructure: Sequence[Damageable]) -> None:
+        self.world = world
+        self.infrastructure = list(infrastructure)
+        self.disasters = DisasterModel(world, self.infrastructure)
+
+    def _resolve(self, target: Optional[str]) -> Damageable:
+        if not self.infrastructure:
+            raise ConfigurationError("no infrastructure registered for faults")
+        if target is None:
+            return self.infrastructure[0]
+        for node in self.infrastructure:
+            if node.node_id == target:
+                return node
+        raise ConfigurationError(f"unknown infrastructure target: {target!r}")
+
+    def flap(
+        self, target: Optional[str], cycles: int, down_s: float, up_s: float
+    ) -> None:
+        """Start a damage/repair flapping cycle on one node, now.
+
+        The node goes down immediately, comes back ``down_s`` later,
+        and repeats for ``cycles`` full periods.
+        """
+        node = self._resolve(target)
+        period = down_s + up_s
+        for cycle in range(cycles):
+            offset = cycle * period
+            self.world.engine.schedule(offset, node.damage, label="fault:rsu-down")
+            self.world.engine.schedule(
+                offset + down_s, node.repair, label="fault:rsu-up"
+            )
+        self.world.metrics.increment("faults/rsu_flaps")
+
+    def disaster(
+        self,
+        fraction: float,
+        repair_start_s: Optional[float],
+        repair_interval_s: float,
+    ) -> None:
+        """Strike now; optionally schedule (staggered) repair."""
+        self.disasters.strike(fraction)
+        if repair_start_s is None:
+            return
+        repair_at = self.world.now + repair_start_s
+        if repair_interval_s > 0:
+            self.disasters.schedule_staggered_repair(repair_at, repair_interval_s)
+        else:
+            self.disasters.schedule_repair(repair_at)

@@ -1,0 +1,212 @@
+"""Schedules a :class:`~repro.faults.plan.FaultPlan` onto a running world.
+
+The injector resolves each spec against the targets it was given —
+``cloud`` for process faults, ``channel`` for network faults,
+``infrastructure`` for RSU/disaster faults — and schedules one engine
+event per fault.  Targets left unspecified in the plan (e.g. "crash a
+random member") are resolved at fire time from the injector's own seeded
+RNG substream, so the full fault sequence is reproducible from
+``(world seed, plan seed)`` alone.  Every injection is ledgered in the
+metrics registry (``faults/injected``, ``faults/<kind>``) and in
+:attr:`FaultInjector.ledger`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.world import World
+from .infrastructure import InfrastructureFaultExecutor
+from .network import FrameDuplicator, JitterSpike, LossBurst, Partition
+from .plan import (
+    INFRASTRUCTURE_FAULTS,
+    NETWORK_FAULTS,
+    PROCESS_FAULTS,
+    FaultPlan,
+    FaultSpec,
+)
+from .process import NodeLookup, ProcessFaultExecutor
+
+
+class FaultInjector:
+    """Binds one fault plan to one simulation run."""
+
+    def __init__(
+        self,
+        world: World,
+        plan: FaultPlan,
+        cloud=None,
+        channel=None,
+        infrastructure: Optional[Sequence] = None,
+        node_lookup: Optional[NodeLookup] = None,
+    ) -> None:
+        self.world = world
+        self.plan = plan
+        self.cloud = cloud
+        self.channel = channel
+        self.rng = world.rng.fork(f"fault-injector/{plan.seed}")
+        self._process = (
+            ProcessFaultExecutor(world, cloud, node_lookup) if cloud is not None else None
+        )
+        self._infra = (
+            InfrastructureFaultExecutor(world, infrastructure)
+            if infrastructure is not None
+            else None
+        )
+        #: (time, kind, target) per injected fault, in injection order.
+        self.ledger: List[Tuple[float, str, str]] = []
+        self.skipped = 0
+        self._armed = False
+
+    # -- arming ----------------------------------------------------------------
+
+    def arm(self) -> int:
+        """Schedule every fault in the plan; returns the fault count."""
+        if self._armed:
+            raise ConfigurationError("injector is already armed")
+        self._armed = True
+        specs = self.plan.schedule()
+        for spec in specs:
+            self._validate_targets(spec)
+        for index, spec in enumerate(specs):
+            self.world.engine.schedule_at(
+                spec.at,
+                lambda s=spec, i=index: self._fire(s, i),
+                label=f"fault:{spec.kind}",
+            )
+        return len(specs)
+
+    def _validate_targets(self, spec: FaultSpec) -> None:
+        if spec.kind in PROCESS_FAULTS and self._process is None:
+            raise ConfigurationError(f"{spec.kind!r} fault needs a cloud target")
+        if spec.kind in NETWORK_FAULTS and self.channel is None:
+            raise ConfigurationError(f"{spec.kind!r} fault needs a channel target")
+        if spec.kind in INFRASTRUCTURE_FAULTS and self._infra is None:
+            raise ConfigurationError(f"{spec.kind!r} fault needs infrastructure targets")
+
+    # -- firing ----------------------------------------------------------------
+
+    def _fire(self, spec: FaultSpec, index: int) -> None:
+        target = self._dispatch(spec, index)
+        if target is None:
+            self.skipped += 1
+            self.world.metrics.increment("faults/skipped")
+            return
+        self.ledger.append((self.world.now, spec.kind, target))
+        self.world.metrics.increment("faults/injected")
+        self.world.metrics.increment(f"faults/{spec.kind}")
+        self.world.metrics.observe_at("faults/timeline", self.world.now, 1.0)
+
+    def _dispatch(self, spec: FaultSpec, index: int) -> Optional[str]:
+        if spec.kind in PROCESS_FAULTS:
+            return self._fire_process(spec, index)
+        if spec.kind in NETWORK_FAULTS:
+            return self._fire_network(spec, index)
+        return self._fire_infrastructure(spec)
+
+    # -- process ---------------------------------------------------------------
+
+    def _pick_member(self, spec: FaultSpec, index: int) -> Optional[str]:
+        target = spec.param("target")
+        if target is not None:
+            return str(target)
+        members = [
+            member_id
+            for member_id in self.cloud.membership.member_ids()
+            if member_id != self.cloud.head_id
+        ]
+        if not members:
+            return None
+        rng = self.rng.fork(f"target/{index}")
+        return rng.choice(sorted(members))
+
+    def _fire_process(self, spec: FaultSpec, index: int) -> Optional[str]:
+        victim = self._pick_member(spec, index)
+        if victim is None:
+            return None
+        if spec.kind == "crash":
+            self._process.crash(victim)
+        elif spec.kind == "stall":
+            self._process.stall(victim, float(spec.param("duration_s")))
+        else:  # reboot
+            self._process.reboot(victim, float(spec.param("downtime_s")))
+        return victim
+
+    # -- network ---------------------------------------------------------------
+
+    def _fire_network(self, spec: FaultSpec, index: int) -> Optional[str]:
+        now = self.world.now
+        duration = float(spec.param("duration_s"))
+        rng = self.rng.fork(f"network/{index}")
+        if spec.kind == "loss_burst":
+            node_ids = spec.param("node_ids")
+            fault = LossBurst(
+                self.world,
+                now,
+                duration,
+                float(spec.param("drop_probability")),
+                node_ids=node_ids,
+                rng=rng,
+            )
+        elif spec.kind == "partition":
+            group_a, group_b = self._partition_groups(spec, rng)
+            if not group_a or not group_b:
+                return None
+            fault = Partition(self.world, now, duration, group_a, group_b)
+        elif spec.kind == "jitter_spike":
+            fault = JitterSpike(
+                self.world, now, duration, float(spec.param("max_extra_delay_s")), rng=rng
+            )
+        else:  # duplication
+            fault = FrameDuplicator(
+                self.world,
+                now,
+                duration,
+                float(spec.param("probability")),
+                copies=int(spec.param("copies", 1)),
+                rng=rng,
+            )
+        self.channel.add_interceptor(fault)
+        # Detach once the window closes; lingering inactive interceptors
+        # would slow every later dispatch.
+        self.world.engine.schedule(
+            duration,
+            lambda: self.channel.remove_interceptor(fault),
+            label=f"fault:{spec.kind}-end",
+        )
+        return spec.kind
+
+    def _partition_groups(self, spec: FaultSpec, rng) -> Tuple[List[str], List[str]]:
+        group_a = spec.param("group_a")
+        group_b = spec.param("group_b")
+        if group_a is not None and group_b is not None:
+            return list(group_a), list(group_b)
+        node_ids = sorted(node.node_id for node in self.channel.nodes())
+        cut = round(len(node_ids) * float(spec.param("fraction", 0.5)))
+        if cut <= 0 or cut >= len(node_ids):
+            return [], []
+        side_a = sorted(rng.sample(node_ids, cut))
+        side_b = [node_id for node_id in node_ids if node_id not in set(side_a)]
+        return side_a, side_b
+
+    # -- infrastructure ----------------------------------------------------------
+
+    def _fire_infrastructure(self, spec: FaultSpec) -> Optional[str]:
+        if spec.kind == "rsu_flap":
+            target = spec.param("target")
+            self._infra.flap(
+                str(target) if target is not None else None,
+                int(spec.param("cycles")),
+                float(spec.param("down_s")),
+                float(spec.param("up_s")),
+            )
+            return str(target) if target is not None else "rsu"
+        # disaster
+        repair_start = spec.param("repair_start_s")
+        self._infra.disaster(
+            float(spec.param("fraction")),
+            float(repair_start) if repair_start is not None else None,
+            float(spec.param("repair_interval_s", 0.0)),
+        )
+        return "infrastructure"

@@ -1,0 +1,278 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries built either
+explicitly (``plan.crash(at=30.0, target="veh-3")``) or generatively
+(``plan.random_crashes(count=5, window=(10, 120))``), with every random
+draw flowing through the plan's own :class:`~repro.sim.rng.SeededRng` —
+the same seed always yields a byte-identical schedule
+(:meth:`FaultPlan.describe`).  The plan is pure data; scheduling it onto
+a running simulation is :class:`~repro.faults.injector.FaultInjector`'s
+job, so one plan can be replayed against different worlds, recovery
+configurations and architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.rng import SeededRng
+
+#: Fault kinds grouped by family.
+PROCESS_FAULTS = ("crash", "stall", "reboot")
+NETWORK_FAULTS = ("loss_burst", "partition", "jitter_spike", "duplication")
+INFRASTRUCTURE_FAULTS = ("rsu_flap", "disaster")
+ALL_FAULT_KINDS = PROCESS_FAULTS + NETWORK_FAULTS + INFRASTRUCTURE_FAULTS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: kind, fire time, and frozen parameters."""
+
+    kind: str
+    at: float
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ConfigurationError(f"unknown fault kind: {self.kind!r}")
+        if self.at < 0:
+            raise ConfigurationError("fault time must be non-negative")
+
+    def param(self, name: str, default: object = None) -> object:
+        """Return one parameter value (or ``default``)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def family(self) -> str:
+        """The fault family this spec belongs to."""
+        if self.kind in PROCESS_FAULTS:
+            return "process"
+        if self.kind in NETWORK_FAULTS:
+            return "network"
+        return "infrastructure"
+
+    def describe(self) -> str:
+        """Canonical one-line rendering (stable across runs)."""
+        rendered = " ".join(f"{key}={value!r}" for key, value in self.params)
+        return f"t={self.at:.6f} {self.kind} {rendered}".rstrip()
+
+
+def _params(**kwargs: object) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted((k, v) for k, v in kwargs.items() if v is not None))
+
+
+class FaultPlan:
+    """A seeded, composable fault schedule."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self.rng = SeededRng(self.seed, "fault-plan")
+        self._specs: List[FaultSpec] = []
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def _add(self, kind: str, at: float, **kwargs: object) -> "FaultPlan":
+        self._specs.append(FaultSpec(kind=kind, at=float(at), params=_params(**kwargs)))
+        return self
+
+    # -- process faults ------------------------------------------------------
+
+    def crash(self, at: float, target: Optional[str] = None) -> "FaultPlan":
+        """Crash-stop one worker (random member when ``target`` is None)."""
+        return self._add("crash", at, target=target)
+
+    def stall(
+        self, at: float, duration_s: float, target: Optional[str] = None
+    ) -> "FaultPlan":
+        """Stall a worker for ``duration_s`` (slow-node fault)."""
+        if duration_s <= 0:
+            raise ConfigurationError("stall duration_s must be positive")
+        return self._add("stall", at, duration_s=duration_s, target=target)
+
+    def reboot(
+        self, at: float, downtime_s: float, target: Optional[str] = None
+    ) -> "FaultPlan":
+        """Reboot a worker with state loss; back after ``downtime_s``."""
+        if downtime_s <= 0:
+            raise ConfigurationError("reboot downtime_s must be positive")
+        return self._add("reboot", at, downtime_s=downtime_s, target=target)
+
+    def random_crashes(
+        self,
+        count: int,
+        window: Tuple[float, float],
+        targets: Optional[Sequence[str]] = None,
+    ) -> "FaultPlan":
+        """Crash ``count`` workers at seeded-uniform times in ``window``.
+
+        With ``targets`` given, distinct victims are drawn now (and show
+        up in :meth:`describe`); otherwise each crash picks a random live
+        member at fire time.
+        """
+        start, end = self._check_window(window)
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        times = sorted(self.rng.uniform(start, end) for _ in range(count))
+        victims: List[Optional[str]] = [None] * count
+        if targets is not None:
+            if count > len(targets):
+                raise ConfigurationError("more crashes than candidate targets")
+            victims = self.rng.sample(list(targets), count)
+        for at, victim in zip(times, victims):
+            self.crash(at, target=victim)
+        return self
+
+    # -- network faults ------------------------------------------------------
+
+    def loss_burst(
+        self,
+        at: float,
+        duration_s: float,
+        drop_probability: float,
+        node_ids: Optional[Sequence[str]] = None,
+    ) -> "FaultPlan":
+        """Correlated packet loss: drop frames with ``drop_probability``.
+
+        With ``node_ids`` given only frames touching those nodes are
+        affected (a localized interference burst).
+        """
+        self._check_duration(duration_s)
+        self._check_probability(drop_probability)
+        nodes = tuple(node_ids) if node_ids is not None else None
+        return self._add(
+            "loss_burst",
+            at,
+            duration_s=duration_s,
+            drop_probability=drop_probability,
+            node_ids=nodes,
+        )
+
+    def partition(
+        self,
+        at: float,
+        duration_s: float,
+        fraction: float = 0.5,
+        group_a: Optional[Sequence[str]] = None,
+        group_b: Optional[Sequence[str]] = None,
+    ) -> "FaultPlan":
+        """Bidirectional partition between two node groups.
+
+        Explicit groups win; otherwise a seeded ``fraction`` of the
+        attached nodes is split off at fire time.
+        """
+        self._check_duration(duration_s)
+        self._check_probability(fraction)
+        return self._add(
+            "partition",
+            at,
+            duration_s=duration_s,
+            fraction=fraction,
+            group_a=tuple(group_a) if group_a is not None else None,
+            group_b=tuple(group_b) if group_b is not None else None,
+        )
+
+    def jitter_spike(
+        self, at: float, duration_s: float, max_extra_delay_s: float
+    ) -> "FaultPlan":
+        """Delay-jitter spike: frames gain uniform extra delay."""
+        self._check_duration(duration_s)
+        if max_extra_delay_s <= 0:
+            raise ConfigurationError("max_extra_delay_s must be positive")
+        return self._add(
+            "jitter_spike", at, duration_s=duration_s, max_extra_delay_s=max_extra_delay_s
+        )
+
+    def duplication(
+        self, at: float, duration_s: float, probability: float, copies: int = 1
+    ) -> "FaultPlan":
+        """Frame duplication: frames are delivered ``1 + copies`` times."""
+        self._check_duration(duration_s)
+        self._check_probability(probability)
+        if copies < 1:
+            raise ConfigurationError("copies must be >= 1")
+        return self._add(
+            "duplication", at, duration_s=duration_s, probability=probability, copies=copies
+        )
+
+    # -- infrastructure faults -----------------------------------------------
+
+    def rsu_flap(
+        self,
+        at: float,
+        cycles: int,
+        down_s: float,
+        up_s: float,
+        target: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Flap an RSU: ``cycles`` × (down ``down_s``, up ``up_s``)."""
+        if cycles < 1:
+            raise ConfigurationError("cycles must be >= 1")
+        if down_s <= 0 or up_s <= 0:
+            raise ConfigurationError("down_s and up_s must be positive")
+        return self._add(
+            "rsu_flap", at, cycles=cycles, down_s=down_s, up_s=up_s, target=target
+        )
+
+    def disaster(
+        self,
+        at: float,
+        fraction: float,
+        repair_start_s: Optional[float] = None,
+        repair_interval_s: float = 0.0,
+    ) -> "FaultPlan":
+        """Disaster strike on ``fraction`` of the infrastructure.
+
+        With ``repair_start_s`` set, repair begins that many seconds
+        after the strike; ``repair_interval_s > 0`` staggers it one node
+        at a time instead of repairing everything at once.
+        """
+        self._check_probability(fraction)
+        if repair_start_s is not None and repair_start_s <= 0:
+            raise ConfigurationError("repair_start_s must be positive when given")
+        if repair_interval_s < 0:
+            raise ConfigurationError("repair_interval_s must be non-negative")
+        return self._add(
+            "disaster",
+            at,
+            fraction=fraction,
+            repair_start_s=repair_start_s,
+            repair_interval_s=repair_interval_s,
+        )
+
+    # -- reading the plan ------------------------------------------------------
+
+    def schedule(self) -> List[FaultSpec]:
+        """All specs sorted by (time, insertion order) — the firing order."""
+        order = sorted(range(len(self._specs)), key=lambda i: (self._specs[i].at, i))
+        return [self._specs[i] for i in order]
+
+    def describe(self) -> str:
+        """Canonical multi-line rendering; byte-identical for one seed."""
+        lines = [f"FaultPlan(seed={self.seed}, faults={len(self._specs)})"]
+        lines.extend(spec.describe() for spec in self.schedule())
+        return "\n".join(lines)
+
+    # -- validation helpers ----------------------------------------------------
+
+    @staticmethod
+    def _check_window(window: Tuple[float, float]) -> Tuple[float, float]:
+        start, end = window
+        if start < 0 or end < start:
+            raise ConfigurationError("window must satisfy 0 <= start <= end")
+        return start, end
+
+    @staticmethod
+    def _check_duration(duration_s: float) -> None:
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+
+    @staticmethod
+    def _check_probability(value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError("probability/fraction must be in [0, 1]")

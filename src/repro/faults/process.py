@@ -1,0 +1,57 @@
+"""Process faults: crash-stop, stall, reboot-with-state-loss.
+
+The executor drives a :class:`~repro.core.vcloud.VehicularCloud`'s fault
+surface (``mark_worker_crashed`` / ``stall_worker`` / ``reboot_worker``)
+and, when a channel-node lookup is provided, mirrors each fault onto the
+radio (a crashed vehicle also goes silent on the air).  The cloud is
+duck-typed so this module stays import-cycle-free with ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.world import World
+
+#: Maps a vehicle id to its channel node (or None when it has no radio).
+NodeLookup = Callable[[str], Optional[object]]
+
+
+class ProcessFaultExecutor:
+    """Applies process faults to cloud workers."""
+
+    def __init__(
+        self,
+        world: World,
+        cloud,
+        node_lookup: Optional[NodeLookup] = None,
+    ) -> None:
+        self.world = world
+        self.cloud = cloud
+        self.node_lookup = node_lookup
+
+    def _node_of(self, vehicle_id: str):
+        if self.node_lookup is None:
+            return None
+        return self.node_lookup(vehicle_id)
+
+    def crash(self, vehicle_id: str) -> None:
+        """Crash-stop: the worker halts silently; radio goes dark."""
+        self.cloud.mark_worker_crashed(vehicle_id)
+        node = self._node_of(vehicle_id)
+        if node is not None:
+            node.go_offline()
+
+    def stall(self, vehicle_id: str, duration_s: float) -> None:
+        """Stall (slow node): in-flight completions shift by ``duration_s``."""
+        self.cloud.stall_worker(vehicle_id, duration_s)
+
+    def reboot(self, vehicle_id: str, downtime_s: float) -> None:
+        """Reboot with state loss; the worker returns after ``downtime_s``."""
+        self.cloud.reboot_worker(vehicle_id, downtime_s)
+        node = self._node_of(vehicle_id)
+        if node is not None:
+            node.go_offline()
+            self.world.engine.schedule(
+                downtime_s, node.go_online, label="fault:reboot-online"
+            )

@@ -1,0 +1,118 @@
+"""Recovery primitives paired with fault injection.
+
+Two building blocks used across the stack:
+
+* :class:`BackoffPolicy` — exponential backoff with bounded multiplicative
+  jitter, replacing fixed retry intervals so retry storms de-synchronize
+  (the classic thundering-herd fix); a degenerate fixed-interval variant
+  keeps legacy behaviour byte-identical where callers don't opt in.
+* :class:`WorkerLeases` — lease-based liveness: a worker that stops
+  renewing its lease is declared dead after ``lease_duration_s``, which is
+  how a coordinator distinguishes a crash-stop (silence) from a clean
+  departure (explicit leave).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    Delay for retry ``attempt`` (0-based) is::
+
+        min(max_delay_s, base_delay_s * multiplier ** attempt)
+            * (1 + uniform(-jitter_fraction, +jitter_fraction))
+
+    With ``multiplier=1`` and ``jitter_fraction=0`` this degenerates to a
+    fixed interval (see :meth:`fixed`), drawing nothing from the RNG.
+    """
+
+    base_delay_s: float = 0.5
+    multiplier: float = 2.0
+    max_delay_s: float = 8.0
+    jitter_fraction: float = 0.1
+    max_retries: int = 5
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s <= 0:
+            raise ConfigurationError("base_delay_s must be positive")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+
+    @staticmethod
+    def fixed(interval_s: float, max_retries: int) -> "BackoffPolicy":
+        """A constant-interval policy with no jitter (legacy behaviour)."""
+        return BackoffPolicy(
+            base_delay_s=interval_s,
+            multiplier=1.0,
+            max_delay_s=interval_s,
+            jitter_fraction=0.0,
+            max_retries=max_retries,
+        )
+
+    def delay_for(self, attempt: int, rng=None) -> float:
+        """Return the delay before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ConfigurationError("attempt must be non-negative")
+        delay = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        if rng is not None and self.jitter_fraction > 0:
+            delay *= 1.0 + rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return max(delay, 1e-9)
+
+
+class WorkerLeases:
+    """Lease table for worker liveness.
+
+    The sweep loop renews leases for workers known to be alive and calls
+    :meth:`expired` to find the silent ones.  Detection latency is
+    bounded by ``lease_duration_s``.
+    """
+
+    def __init__(self, lease_duration_s: float) -> None:
+        if lease_duration_s <= 0:
+            raise ConfigurationError("lease_duration_s must be positive")
+        self.lease_duration_s = lease_duration_s
+        self._expiry: Dict[str, float] = {}
+        self.renewals = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._expiry)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._expiry
+
+    def grant(self, worker_id: str, now: float) -> None:
+        """Grant (or re-grant) a lease expiring ``lease_duration_s`` out."""
+        self._expiry[worker_id] = now + self.lease_duration_s
+
+    def renew(self, worker_id: str, now: float) -> None:
+        """Renew a held lease; unknown workers get a fresh grant."""
+        self._expiry[worker_id] = now + self.lease_duration_s
+        self.renewals += 1
+
+    def revoke(self, worker_id: str) -> None:
+        """Drop a lease (clean departure or post-expiry cleanup)."""
+        self._expiry.pop(worker_id, None)
+
+    def expires_at(self, worker_id: str) -> Optional[float]:
+        """Expiry time of a held lease, None if not held."""
+        return self._expiry.get(worker_id)
+
+    def expired(self, now: float) -> List[str]:
+        """Ids whose lease has lapsed, in deterministic sorted order."""
+        lapsed = sorted(wid for wid, expiry in self._expiry.items() if expiry < now)
+        self.expirations += len(lapsed)
+        return lapsed

@@ -9,7 +9,7 @@ what each architecture loses when the infrastructure goes away.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError
 from ..sim.world import World
@@ -55,11 +55,41 @@ class DisasterModel:
             node.repair()
             self.damaged_nodes.remove(node)
             count += 1
+        self.world.metrics.increment("disaster/nodes_repaired", count)
         return count
+
+    def repair_one(self) -> Optional[Damageable]:
+        """Repair the longest-damaged node; None when nothing is damaged."""
+        if not self.damaged_nodes:
+            return None
+        node = self.damaged_nodes.pop(0)
+        node.repair()
+        self.world.metrics.increment("disaster/nodes_repaired")
+        return node
 
     def schedule_repair(self, at_time: float) -> None:
         """Repair all damaged nodes at virtual ``at_time``."""
         self.world.engine.schedule_at(at_time, self.repair_all, label="disaster-repair")
+
+    def schedule_staggered_repair(self, at_time: float, interval_s: float) -> None:
+        """Repair damaged nodes one at a time from ``at_time`` onward.
+
+        One node returns to service every ``interval_s`` seconds — the
+        partial-capacity recovery ramp real repair crews produce, as
+        opposed to :meth:`schedule_repair`'s instantaneous restoration.
+        The set of nodes to repair is whatever is damaged when the ramp
+        starts.
+        """
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+
+        def _begin() -> None:
+            for index in range(len(self.damaged_nodes)):
+                self.world.engine.schedule(
+                    index * interval_s, self.repair_one, label="disaster-staggered-repair"
+                )
+
+        self.world.engine.schedule_at(at_time, _begin, label="disaster-repair-start")
 
     @property
     def live_fraction(self) -> float:

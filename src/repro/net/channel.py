@@ -57,6 +57,7 @@ class InterceptAction(enum.Enum):
     DROP = "drop"
     DELAY = "delay"
     REPLACE = "replace"
+    DUPLICATE = "duplicate"
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,7 @@ class InterceptVerdict:
     action: InterceptAction = InterceptAction.PASS
     delay_s: float = 0.0
     replacement: Optional[Message] = None
+    copies: int = 0
 
     @staticmethod
     def passthrough() -> "InterceptVerdict":
@@ -82,6 +84,13 @@ class InterceptVerdict:
     @staticmethod
     def replace(message: Message) -> "InterceptVerdict":
         return InterceptVerdict(InterceptAction.REPLACE, replacement=message)
+
+    @staticmethod
+    def duplicate(copies: int = 1) -> "InterceptVerdict":
+        """Deliver the frame ``1 + copies`` times (duplication fault)."""
+        if copies < 1:
+            raise NetworkError("duplicate verdict needs copies >= 1")
+        return InterceptVerdict(InterceptAction.DUPLICATE, copies=copies)
 
 
 class Tap(Protocol):
@@ -245,6 +254,7 @@ class WirelessChannel:
             return
         message = frame.message
         extra_delay = 0.0
+        transmissions = 1
         if verdict.action is InterceptAction.DELAY:
             extra_delay = verdict.delay_s
             self.world.metrics.increment("channel/frames_delayed")
@@ -253,11 +263,12 @@ class WirelessChannel:
                 raise NetworkError("REPLACE verdict without a replacement message")
             message = verdict.replacement
             self.world.metrics.increment("channel/frames_tampered")
+        elif verdict.action is InterceptAction.DUPLICATE:
+            transmissions += verdict.copies
+            self.world.metrics.increment("channel/frames_duplicated", verdict.copies)
 
         distance = src.position.distance_to(dst.position)
-        if self.rng.chance(self._loss_probability(distance)):
-            self.world.metrics.increment("channel/frames_lost")
-            return
+        loss_probability = self._loss_probability(distance)
         delay = self.latency(distance, message.total_bytes, self.neighbor_count(src.node_id))
         delivered = message
         from_id = frame.src_id
@@ -272,4 +283,11 @@ class WirelessChannel:
             self.world.metrics.observe("channel/delivery_latency_s", delay + extra_delay)
             target.deliver(delivered, from_id)
 
-        self.world.engine.schedule(delay + extra_delay, _deliver, label="frame-delivery")
+        # Each (possibly duplicated) transmission faces the link loss
+        # independently; the common single-transmission path draws from
+        # the RNG exactly once, as before.
+        for _ in range(transmissions):
+            if self.rng.chance(loss_probability):
+                self.world.metrics.increment("channel/frames_lost")
+                continue
+            self.world.engine.schedule(delay + extra_delay, _deliver, label="frame-delivery")

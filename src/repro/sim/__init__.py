@@ -7,14 +7,16 @@ from .config import (
     ScenarioConfig,
     SecurityConfig,
 )
-from .engine import Engine, EventHandle, PeriodicTask
+from .engine import ERROR_POLICIES, CallbackFailure, Engine, EventHandle, PeriodicTask
 from .metrics import MetricsRegistry, SeriesSummary, percentile, summarize
 from .rng import SeededRng, derive_seed
 from .world import World
 
 __all__ = [
+    "CallbackFailure",
     "ChannelConfig",
     "CloudConfig",
+    "ERROR_POLICIES",
     "Engine",
     "EventHandle",
     "MetricsRegistry",

@@ -120,12 +120,19 @@ class CloudConfig:
 
 @dataclass(frozen=True)
 class ScenarioConfig:
-    """Top-level configuration for one simulation scenario."""
+    """Top-level configuration for one simulation scenario.
+
+    ``error_policy`` governs how the engine treats raising callbacks:
+    ``"raise"`` aborts the run (unit-test behaviour), ``"record"`` keeps
+    running and ledgers every failure in the metrics registry,
+    ``"suppress"`` keeps running and only counts them.
+    """
 
     seed: int = 42
     duration_s: float = 120.0
     vehicle_count: int = 50
     area_m: Tuple[float, float] = (2000.0, 2000.0)
+    error_policy: str = "raise"
     channel: ChannelConfig = field(default_factory=ChannelConfig)
     mobility: MobilityConfig = field(default_factory=MobilityConfig)
     security: SecurityConfig = field(default_factory=SecurityConfig)
@@ -136,6 +143,10 @@ class ScenarioConfig:
         _require(self.vehicle_count > 0, "vehicle_count must be positive")
         _require(
             self.area_m[0] > 0 and self.area_m[1] > 0, "area dimensions must be positive"
+        )
+        _require(
+            self.error_policy in ("raise", "record", "suppress"),
+            "error_policy must be 'raise', 'record' or 'suppress'",
         )
 
     def with_overrides(self, **kwargs: object) -> "ScenarioConfig":

@@ -9,6 +9,16 @@ execution order is fully deterministic.
 "Stringent time constraints" from the paper are modelled as virtual-clock
 deadlines: a security handshake that costs 12 ms of simulated crypto time
 finishes 0.012 simulated seconds later, regardless of host wall-clock.
+
+Error handling is governed by an :data:`ErrorPolicy`:
+
+* ``"raise"`` (default) — a raising callback aborts the run, exactly the
+  behaviour a unit test wants;
+* ``"record"`` — the failure is appended to :attr:`Engine.failures`,
+  counted per label in :attr:`Engine.failure_counts`, reported to
+  listeners, and the run continues (what a 10k-event experiment wants);
+* ``"suppress"`` — the failure is counted and reported to listeners but
+  no detailed record is kept.
 """
 
 from __future__ import annotations
@@ -16,11 +26,29 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SimulationError
 
 EventCallback = Callable[[], Any]
+
+#: Accepted engine error policies.
+ERROR_POLICIES = ("raise", "record", "suppress")
+
+#: Queue-compaction kicks in once this many cancelled events linger.
+_COMPACT_THRESHOLD = 64
+
+
+@dataclass(frozen=True)
+class CallbackFailure:
+    """One callback exception captured under a non-raising error policy."""
+
+    time: float
+    label: str
+    error: str
+
+    def __str__(self) -> str:
+        return f"t={self.time:.6f} [{self.label}] {self.error}"
 
 
 @dataclass(order=True)
@@ -32,15 +60,17 @@ class _QueuedEvent:
     callback: EventCallback = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by ``schedule`` allowing cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _QueuedEvent) -> None:
+    def __init__(self, event: _QueuedEvent, engine: "Engine") -> None:
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -59,18 +89,33 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing; idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._engine._note_cancellation()
 
 
 class Engine:
     """A deterministic discrete-event simulation engine."""
 
-    def __init__(self) -> None:
+    def __init__(self, error_policy: str = "raise") -> None:
+        if error_policy not in ERROR_POLICIES:
+            raise SimulationError(
+                f"error_policy must be one of {ERROR_POLICIES}, got {error_policy!r}"
+            )
         self._now = 0.0
         self._queue: List[_QueuedEvent] = []
         self._sequence = itertools.count()
         self._events_executed = 0
+        self._cancelled_pending = 0
         self._running = False
+        self.error_policy = error_policy
+        #: Detailed failure records (populated under the "record" policy).
+        self.failures: List[CallbackFailure] = []
+        #: Per-label failure counts (populated under "record" and "suppress").
+        self.failure_counts: Dict[str, int] = {}
+        self._failure_listeners: List[Callable[[CallbackFailure], None]] = []
 
     # -- clock -------------------------------------------------------------
 
@@ -86,8 +131,47 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued.
+
+        Cancelled events may linger in the heap until lazily compacted,
+        but they are excluded from this count, so the property reports
+        real pending work.
+        """
+        return len(self._queue) - self._cancelled_pending
+
+    # -- error handling ------------------------------------------------------
+
+    def on_callback_failure(self, listener: Callable[[CallbackFailure], None]) -> None:
+        """Register a listener fired for every non-raised callback failure."""
+        self._failure_listeners.append(listener)
+
+    def record_failure(self, exc: BaseException, label: str) -> CallbackFailure:
+        """Ledger a callback failure per the current error policy.
+
+        Used internally by the event loop and :class:`PeriodicTask`;
+        exposed so components that run user callbacks outside the event
+        loop can feed the same ledger.
+        """
+        failure = CallbackFailure(
+            time=self._now,
+            label=label or "<unlabelled>",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self.failure_counts[failure.label] = self.failure_counts.get(failure.label, 0) + 1
+        if self.error_policy == "record":
+            self.failures.append(failure)
+        for listener in self._failure_listeners:
+            listener(failure)
+        return failure
+
+    def _run_callback(self, callback: EventCallback, label: str) -> None:
+        if self.error_policy == "raise":
+            callback()
+            return
+        try:
+            callback()
+        except Exception as exc:  # noqa: BLE001 - the policy decides
+            self.record_failure(exc, label)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -105,7 +189,7 @@ class Engine:
             )
         event = _QueuedEvent(when, next(self._sequence), callback, label)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def call_every(
         self,
@@ -129,6 +213,31 @@ class Engine:
         task._arm(first)
         return task
 
+    # -- cancellation bookkeeping ---------------------------------------------
+
+    def _note_cancellation(self) -> None:
+        self._cancelled_pending += 1
+        # Lazy compaction: once cancelled events dominate the heap,
+        # rebuild it so long runs with heavy cancellation stay O(live).
+        if (
+            self._cancelled_pending > _COMPACT_THRESHOLD
+            and self._cancelled_pending * 2 >= len(self._queue)
+        ):
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
+
+    def _pop_live_event(self) -> Optional[_QueuedEvent]:
+        """Pop the next non-cancelled event, or None if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            event.fired = True
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            return event
+        return None
+
     # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
@@ -136,15 +245,13 @@ class Engine:
 
         Returns True if an event ran, False if the queue is empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_executed += 1
-            event.callback()
-            return True
-        return False
+        event = self._pop_live_event()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_executed += 1
+        self._run_callback(event.callback, event.label)
+        return True
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Run events until the clock would pass ``end_time``.
@@ -163,12 +270,14 @@ class Engine:
             if event.time > end_time:
                 break
             heapq.heappop(self._queue)
+            event.fired = True
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._events_executed += 1
             executed += 1
-            event.callback()
+            self._run_callback(event.callback, event.label)
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} before t={end_time}"
@@ -191,7 +300,14 @@ class Engine:
 
 
 class PeriodicTask:
-    """A repeating event created by :meth:`Engine.call_every`."""
+    """A repeating event created by :meth:`Engine.call_every`.
+
+    A raising callback no longer silently kills the task: under the
+    engine's ``"record"``/``"suppress"`` policies the failure is ledgered
+    and the task re-arms; under ``"raise"`` the task is explicitly marked
+    :attr:`failed` before the exception propagates, so the death is
+    visible to whoever owns the handle.
+    """
 
     def __init__(
         self,
@@ -211,6 +327,7 @@ class PeriodicTask:
         self._handle: Optional[EventHandle] = None
         self._stopped = False
         self.firings = 0
+        self.failed = False
 
     @property
     def stopped(self) -> bool:
@@ -227,7 +344,14 @@ class PeriodicTask:
         if self._stopped:
             return
         self.firings += 1
-        self._callback()
+        try:
+            self._callback()
+        except Exception as exc:  # noqa: BLE001 - the policy decides
+            if self._engine.error_policy == "raise":
+                self.failed = True
+                self._stopped = True
+                raise
+            self._engine.record_failure(exc, self._label or "periodic")
         if not self._stopped:
             self._arm(self._interval)
 

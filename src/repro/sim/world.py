@@ -12,7 +12,7 @@ from typing import Dict, Iterator, List, Optional, TypeVar
 
 from ..errors import SimulationError
 from .config import ScenarioConfig
-from .engine import Engine
+from .engine import CallbackFailure, Engine
 from .metrics import MetricsRegistry
 from .rng import SeededRng
 
@@ -24,10 +24,17 @@ class World:
 
     def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
         self.config = config if config is not None else ScenarioConfig()
-        self.engine = Engine()
+        self.engine = Engine(error_policy=self.config.error_policy)
         self.rng = SeededRng(self.config.seed)
         self.metrics = MetricsRegistry()
+        self.engine.on_callback_failure(self._ledger_callback_failure)
         self._entities: Dict[str, object] = {}
+
+    def _ledger_callback_failure(self, failure: CallbackFailure) -> None:
+        """Surface engine callback failures in the metrics registry."""
+        self.metrics.increment("engine/callback_failures")
+        self.metrics.increment(f"engine/callback_failures/{failure.label}")
+        self.metrics.observe_at("engine/callback_failures", failure.time, 1.0)
 
     @property
     def now(self) -> float:

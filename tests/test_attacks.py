@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.attacks import (
     CollusionRing,
     DelaySuppressAttacker,
@@ -30,7 +28,7 @@ from repro.net import (
     WirelessChannel,
     data_message,
 )
-from repro.security.crypto import KeyPair, SignatureScheme, serialize_for_signing
+from repro.security.crypto import KeyPair, SignatureScheme
 from repro.sim import ChannelConfig, ScenarioConfig, World
 from repro.trust.events import EventKind, GroundTruthEvent
 
@@ -347,7 +345,6 @@ class TestTracking:
         for service in services:
             service.start()
         world.run_for(20.0)
-        owner_map = {a.node_id: a.node_id, b.node_id: b.node_id}
         # Static identities: each vehicle is one identity, trivially one track.
         assert len(tracker.tracks) == 2
 

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.errors import MembershipError, ResourceError, TaskError
 from repro.geometry import Vec2
-from repro.mobility import AutomationLevel, OnboardEquipment, SensorKind
+from repro.mobility import OnboardEquipment, SensorKind
 from repro.core import (
     BrokerCandidate,
     BrokerElection,

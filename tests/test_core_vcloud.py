@@ -5,10 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
-    CheckpointHandoverPolicy,
     DropPolicy,
     DynamicVCloud,
-    GreedyResourceAllocator,
     InfrastructureVCloud,
     RsuCoordination,
     StationaryVCloud,
@@ -24,7 +22,6 @@ from repro.mobility import (
     HighwayModel,
     ParkingLotModel,
     StationaryModel,
-    Vehicle,
 )
 from repro.net import WirelessChannel
 from repro.security import TrustedAuthority

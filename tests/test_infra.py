@@ -203,3 +203,60 @@ class TestDisasterModel:
         disaster.strike(1.0)
         assert disaster.repair_all() == 4
         assert disaster.repair_all() == 0
+
+
+class TestDisasterRepairPaths:
+    def _deploy(self, world):
+        channel = WirelessChannel(world)
+        return deploy_rsus_on_highway(world, channel, Highway(length_m=4000), 1000)
+
+    def test_repair_one_restores_longest_damaged_first(self, world):
+        rsus = self._deploy(world)
+        disaster = DisasterModel(world, rsus)
+        first = disaster.strike(0.5)
+        disaster.strike(1.0)  # remaining intact nodes
+        repaired = disaster.repair_one()
+        assert repaired is first[0]
+        assert not repaired.damaged
+        assert len(disaster.damaged_nodes) == 3
+
+    def test_repair_one_empty_returns_none(self, world):
+        disaster = DisasterModel(world, self._deploy(world))
+        assert disaster.repair_one() is None
+
+    def test_repair_metric_counted(self, world):
+        disaster = DisasterModel(world, self._deploy(world))
+        disaster.strike(1.0)
+        disaster.repair_one()
+        disaster.repair_all()
+        assert world.metrics.counter("disaster/nodes_repaired") == 4
+
+    def test_staggered_repair_ramps_capacity(self, world):
+        rsus = self._deploy(world)
+        disaster = DisasterModel(world, rsus)
+        disaster.strike(1.0)
+        disaster.schedule_staggered_repair(at_time=10.0, interval_s=5.0)
+        world.run_for(9.0)
+        assert disaster.live_fraction == 0.0
+        world.run_for(1.5)  # t=10.5: first node back
+        assert disaster.live_fraction == 0.25
+        world.run_for(5.0)  # t=15.5: second node back
+        assert disaster.live_fraction == 0.5
+        world.run_for(20.0)
+        assert disaster.live_fraction == 1.0
+
+    def test_staggered_repair_validates_interval(self, world):
+        from repro.errors import ConfigurationError
+
+        disaster = DisasterModel(world, self._deploy(world))
+        with pytest.raises(ConfigurationError):
+            disaster.schedule_staggered_repair(at_time=1.0, interval_s=0.0)
+
+    def test_staggered_repair_only_covers_nodes_damaged_at_start(self, world):
+        rsus = self._deploy(world)
+        disaster = DisasterModel(world, rsus)
+        disaster.strike(0.5)
+        disaster.schedule_staggered_repair(at_time=5.0, interval_s=1.0)
+        world.run_for(20.0)
+        assert disaster.live_fraction == 1.0
+        assert world.metrics.counter("disaster/nodes_repaired") == 2

@@ -22,7 +22,7 @@ from repro.core import (
 from repro.geometry import Vec2
 from repro.mobility import Highway, HighwayModel
 from repro.net import BeaconService, VehicleNode, WirelessChannel
-from repro.security import RealIdentity, TrustedAuthority
+from repro.security import TrustedAuthority
 from repro.security.access import AuditLog, AuditRecord
 from repro.security.protocols import PseudonymAuthProtocol
 from repro.sim import ChannelConfig, ScenarioConfig, World

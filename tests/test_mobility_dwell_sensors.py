@@ -15,7 +15,6 @@ from repro.mobility import (
     MobilityTrace,
     SensorKind,
     SensorSuite,
-    StationaryModel,
     TraceRecorder,
     Vehicle,
     link_lifetime,

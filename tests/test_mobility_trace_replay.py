@@ -5,13 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.geometry import Vec2
 from repro.mobility import (
     HighwayModel,
     MobilityTrace,
     TraceRecorder,
     TraceReplayModel,
-    Vehicle,
 )
 from repro.sim import ScenarioConfig, World
 

@@ -153,7 +153,7 @@ class TestMovingZoneRouting:
             Vehicle(position=Vec2(i * 100.0, 10), speed_mps=25, heading_rad=3.14159)
             for i in range(4)
         ]
-        nodes = [VehicleNode(world, channel, v) for v in eastbound + westbound]
+        _nodes = [VehicleNode(world, channel, v) for v in eastbound + westbound]
         protocol = MovingZoneRouting(zone_range_m=500)
         protocol.prepare(NetworkView(channel), eastbound + westbound)
         east_zones = {protocol.zone_index_of(v.vehicle_id) for v in eastbound}
@@ -253,7 +253,6 @@ class TestCarryForwardRouting:
     def test_carries_across_a_partition(self):
         """A gap a greedy packet dies in is crossed by a moving carrier."""
         from repro.net.routing import CarryForwardRouting
-        import math
 
         world = lossless_world()
         channel = WirelessChannel(world)

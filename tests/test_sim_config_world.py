@@ -117,3 +117,42 @@ class TestWorld:
         a = World(ScenarioConfig(seed=5))
         b = World(ScenarioConfig(seed=5))
         assert a.rng.random() == b.rng.random()
+
+
+class TestWorldErrorPolicy:
+    def test_config_validates_policy(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(error_policy="ignore")
+
+    def test_world_passes_policy_to_engine(self):
+        world = World(ScenarioConfig(seed=1, error_policy="record"))
+        assert world.engine.error_policy == "record"
+
+    def test_record_policy_run_completes_with_failure_in_metrics(self):
+        """Regression: an injected callback exception under "record" must
+        not abort the run, and the failure must be visible in the metrics
+        ledger."""
+        world = World(ScenarioConfig(seed=1, error_policy="record"))
+
+        def boom():
+            raise RuntimeError("injected")
+
+        finished = []
+        world.engine.schedule(1.0, boom, label="experiment-step")
+        world.engine.schedule(2.0, lambda: finished.append(world.now))
+        world.run_for(5.0)
+        assert finished == [2.0]
+        assert world.metrics.counter("engine/callback_failures") == 1
+        assert world.metrics.counter("engine/callback_failures/experiment-step") == 1
+        assert len(world.engine.failures) == 1
+        assert "RuntimeError: injected" in world.engine.failures[0].error
+
+    def test_default_policy_still_raises(self):
+        world = World(ScenarioConfig(seed=1))
+
+        def boom():
+            raise RuntimeError("injected")
+
+        world.engine.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            world.run_for(5.0)

@@ -183,3 +183,137 @@ class TestPeriodicTask:
         task = engine.call_every(1.0, lambda: None)
         engine.run_until(3.0)
         assert task.firings == 3
+
+
+class TestPendingEvents:
+    def test_counts_only_live_events(self):
+        engine = Engine()
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        assert engine.pending_events == 2
+        drop.cancel()
+        assert engine.pending_events == 1
+        drop.cancel()  # idempotent: no double decrement
+        assert engine.pending_events == 1
+        keep.cancel()
+        assert engine.pending_events == 0
+
+    def test_count_correct_after_cancelled_events_pass(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:5]:
+            handle.cancel()
+        engine.run_until(20.0)
+        assert engine.pending_events == 0
+        assert engine.events_executed == 5
+
+    def test_cancel_after_fire_is_a_noop(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run_until(2.0)
+        handle.cancel()
+        assert engine.pending_events == 0
+
+    def test_heavy_cancellation_compacts_queue(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1000.0, lambda: None)
+        doomed = [engine.schedule(2000.0, lambda: None) for _ in range(500)]
+        for handle in doomed:
+            handle.cancel()
+        # Compaction kicked in: the heap holds (close to) only live events.
+        assert engine.pending_events == 5
+        assert len(engine._queue) < 100
+        engine.run_until(3000.0)
+        assert engine.events_executed == 5
+
+
+class TestErrorPolicy:
+    def _boom(self):
+        raise ValueError("boom")
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(error_policy="ignore")
+
+    def test_raise_policy_propagates(self):
+        engine = Engine(error_policy="raise")
+        engine.schedule(1.0, self._boom, label="bad")
+        with pytest.raises(ValueError):
+            engine.run_until(2.0)
+
+    def test_record_policy_continues_and_ledgers(self):
+        engine = Engine(error_policy="record")
+        fired = []
+        engine.schedule(1.0, self._boom, label="bad")
+        engine.schedule(2.0, lambda: fired.append(engine.now))
+        executed = engine.run_until(3.0)
+        assert executed == 2
+        assert fired == [2.0]
+        assert len(engine.failures) == 1
+        assert engine.failures[0].label == "bad"
+        assert "ValueError: boom" in engine.failures[0].error
+        assert engine.failure_counts == {"bad": 1}
+
+    def test_suppress_policy_counts_without_records(self):
+        engine = Engine(error_policy="suppress")
+        engine.schedule(1.0, self._boom, label="bad")
+        engine.run_until(2.0)
+        assert engine.failures == []
+        assert engine.failure_counts == {"bad": 1}
+
+    def test_failure_listeners_notified(self):
+        engine = Engine(error_policy="record")
+        seen = []
+        engine.on_callback_failure(seen.append)
+        engine.schedule(1.0, self._boom, label="bad")
+        engine.run_until(2.0)
+        assert len(seen) == 1
+        assert seen[0].time == 1.0
+
+    def test_unlabelled_failures_get_placeholder(self):
+        engine = Engine(error_policy="record")
+        engine.schedule(1.0, self._boom)
+        engine.run_until(2.0)
+        assert engine.failure_counts == {"<unlabelled>": 1}
+
+
+class TestPeriodicTaskFailure:
+    def test_raise_policy_marks_failed_and_stops(self):
+        engine = Engine(error_policy="raise")
+
+        def boom():
+            raise RuntimeError("dead")
+
+        task = engine.call_every(1.0, boom, label="beat")
+        with pytest.raises(RuntimeError):
+            engine.run_until(5.0)
+        assert task.failed
+        assert task.stopped
+
+    def test_record_policy_keeps_task_alive(self):
+        engine = Engine(error_policy="record")
+        count = [0]
+
+        def flaky():
+            count[0] += 1
+            if count[0] % 2 == 1:
+                raise RuntimeError("flaky")
+
+        task = engine.call_every(1.0, flaky, label="beat")
+        engine.run_until(6.5)
+        assert task.firings == 6
+        assert not task.failed
+        assert not task.stopped
+        assert engine.failure_counts["beat"] == 3
+
+    def test_callback_stopping_own_task_does_not_rearm(self):
+        engine = Engine(error_policy="record")
+        holder = {}
+
+        def once():
+            holder["task"].stop()
+
+        holder["task"] = engine.call_every(1.0, once)
+        engine.run_until(10.0)
+        assert holder["task"].firings == 1

@@ -332,7 +332,6 @@ class TestReputationStore:
         store = ReputationStore(decay_per_s=0.1)
         for _ in range(10):
             store.observe("x", good=True, now=0.0)
-        confident = store.score("x")
         store.observe("x", good=True, now=1000.0)  # long gap decays history
         assert store.record_of("x").evidence < 11
 
