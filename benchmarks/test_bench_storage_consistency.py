@@ -1,0 +1,459 @@
+"""Experiment E12 — storage consistency: quorum configuration vs churn.
+
+The paper's dependability section (§III.A) asks how a v-cloud keeps
+shared data not just *available* (E9, E11b) but *correct* while members
+crash, reboot and partition mid-operation.  The rebuilt
+``repro.core.replication`` store answers with versioned replicas,
+configurable quorums, read-repair, hinted handoff and anti-entropy; the
+``repro.faults.consistency`` checker is the oracle:
+
+* **E12a** — quorum sweep (k=3) under one seeded fault schedule with
+  ≥30 % member churn plus two network partitions.  Read-overlapping
+  quorums (R+W > k) must show **zero** stale reads, write-overlapping
+  quorums (2W > k) **zero** lost updates — so the majority config is
+  fully violation-free — while best-effort R=W=1 shows a nonzero
+  violation count on the *same* schedule.  The W=1, R=k config is the
+  teaching row: read overlap alone still loses split-brain updates.
+* **E12b** — anti-entropy period sweep on the best-effort store with
+  hinted handoff disabled: divergence left by a partition persists
+  without the sweep and is repaired by it, with failed transfers to
+  crashed holders retried under exponential backoff.
+* **E12c** — the three Fig. 4 architectures running a majority-quorum
+  cloud store under their natural fault regime (crashes / RSU flapping):
+  operations degrade to rejections while quorum is unreachable, but the
+  history stays violation-free.
+
+Everything is reproducible from the module seeds: one plan seed drives
+byte-identical fault schedules across all configurations of a sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    BackoffPolicy,
+    DynamicVCloud,
+    FileStore,
+    InfrastructureVCloud,
+    QuorumConfig,
+    ReplicationManager,
+    StationaryVCloud,
+    StoredFile,
+)
+from repro.errors import ResourceError
+from repro.faults import ConsistencyChecker, FaultPlan, FaultInjector, StorageFaultDriver
+from repro.infra import deploy_rsus_on_highway
+from repro.mobility import ParkingLotModel
+from repro.net import WirelessChannel
+from repro.sim import Engine, SeededRng
+
+from helpers import highway_world
+
+MEMBERS = 10
+FILES = 12
+K = 3
+WRITE_FRACTION = 0.3
+OP_INTERVAL_S = 0.25
+CHURN = 0.4  # 4 of 10 members crash: >= 30 % churn
+PLAN_SEED = 1201
+RUN_SEED = 1202
+AE_BACKOFF = BackoffPolicy(
+    base_delay_s=0.5, multiplier=2.0, max_delay_s=8.0, jitter_fraction=0.1, max_retries=6
+)
+
+QUORUMS = (
+    ("best-effort", QuorumConfig(write_quorum=1, read_quorum=1)),
+    ("majority", QuorumConfig.majority(K)),
+    ("write-all", QuorumConfig(write_quorum=K, read_quorum=1)),
+    ("read-all", QuorumConfig(write_quorum=1, read_quorum=K)),
+)
+
+
+# ---------------------------------------------------------------------------
+# E12a — quorum configuration sweep under churn + partitions
+# ---------------------------------------------------------------------------
+
+
+def _fault_plan(members):
+    """One schedule for every configuration: crashes + two partitions."""
+    plan = FaultPlan(PLAN_SEED)
+    plan.random_crashes(round(CHURN * MEMBERS), (10.0, 60.0), targets=members)
+    plan.partition(at=25.0, duration_s=12.0, fraction=0.5)
+    plan.partition(at=55.0, duration_s=12.0, fraction=0.5)
+    return plan
+
+
+def _run_consistency(
+    quorum,
+    anti_entropy_period=None,
+    hinted=True,
+    workload_end_s=90.0,
+    horizon_s=100.0,
+):
+    engine = Engine()
+    manager = ReplicationManager(
+        SeededRng(RUN_SEED, "store"),
+        quorum=quorum,
+        clock=lambda: engine.now,
+        hinted_handoff=hinted,
+    )
+    members = [f"v{i:02d}" for i in range(MEMBERS)]
+    for member_id in members:
+        manager.add_store(FileStore(member_id, 10**9))
+    files = [f"file-{i:02d}" for i in range(FILES)]
+    for file_id in files:
+        manager.store_file(StoredFile(file_id, 10**6, K))
+    checker = ConsistencyChecker().attach(manager)
+
+    StorageFaultDriver(
+        engine, manager, _fault_plan(members), crash_downtime_s=15.0
+    ).arm()
+    if anti_entropy_period is not None:
+        manager.start_anti_entropy(engine, anti_entropy_period, backoff=AE_BACKOFF)
+
+    workload_rng = SeededRng(RUN_SEED, "workload")
+
+    def _tick():
+        # Fixed draw count per tick: the op stream is identical across
+        # every configuration sharing RUN_SEED.
+        if engine.now > workload_end_s:
+            return
+        file_id = workload_rng.choice(files)
+        is_write = workload_rng.chance(WRITE_FRACTION)
+        online = manager.online_member_ids()
+        if not online:
+            return
+        origin = workload_rng.choice(online)
+        try:
+            if is_write:
+                manager.write(file_id, writer=origin, origin=origin)
+            else:
+                manager.read_file(file_id, origin=origin)
+        except ResourceError:
+            pass  # quorum unreachable: the op is rejected, not wrong
+
+    workload = engine.call_every(OP_INTERVAL_S, _tick, label="workload")
+    engine.run_until(horizon_s)
+    workload.stop()
+
+    report = checker.report()
+    return {
+        "report": report,
+        "stale_reads": report.stale_reads,
+        "lost_updates": report.lost_updates,
+        "violations": report.violations,
+        "reads": report.reads,
+        "writes": report.writes,
+        "rejected": report.failed_reads + report.failed_writes,
+        "divergent_end": len(manager.divergent_files()),
+        "read_repairs": manager.read_repairs,
+        "hints_delivered": manager.hints_delivered,
+        "anti_entropy_repairs": manager.anti_entropy_repairs,
+        "anti_entropy_failed_transfers": manager.anti_entropy_failed_transfers,
+    }
+
+
+@pytest.fixture(scope="module")
+def quorum_sweep():
+    return {name: _run_consistency(quorum) for name, quorum in QUORUMS}
+
+
+def test_bench_quorum_sweep_table(quorum_sweep, record_table, benchmark):
+    rows = []
+    for name, quorum in QUORUMS:
+        row = quorum_sweep[name]
+        rows.append(
+            [
+                name,
+                quorum.write_quorum,
+                quorum.read_quorum,
+                "yes" if quorum.is_safe_for(K) else "no",
+                "yes" if quorum.prevents_lost_updates(K) else "no",
+                row["reads"],
+                row["writes"],
+                row["rejected"],
+                row["stale_reads"],
+                row["lost_updates"],
+                row["read_repairs"],
+            ]
+        )
+    table = render_table(
+        [
+            "config",
+            "W",
+            "R",
+            "R+W>k",
+            "2W>k",
+            "reads ok",
+            "writes ok",
+            "rejected",
+            "stale reads",
+            "lost updates",
+            "read repairs",
+        ],
+        rows,
+        title=(
+            f"E12a — quorum sweep, k={K}, {CHURN:.0%} churn + 2 partitions "
+            f"(plan seed {PLAN_SEED})"
+        ),
+    )
+    record_table("E12_storage_consistency", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_overlapping_quorums_have_zero_violations(quorum_sweep, benchmark):
+    """Acceptance: each overlap kills its anomaly; majority kills both."""
+    for name, quorum in QUORUMS:
+        row = quorum_sweep[name]
+        if quorum.is_safe_for(K):
+            assert row["stale_reads"] == 0, name
+        if quorum.prevents_lost_updates(K):
+            assert row["lost_updates"] == 0, name
+    assert quorum_sweep["majority"]["violations"] == 0
+    assert quorum_sweep["write-all"]["violations"] == 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_best_effort_violates_on_same_schedule(quorum_sweep, benchmark):
+    """Acceptance: R=W=1 shows nonzero violations under the same faults."""
+    row = quorum_sweep["best-effort"]
+    assert row["violations"] > 0
+    assert row["stale_reads"] > 0
+    assert row["lost_updates"] > 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_safe_configs_trade_rejections_for_correctness(quorum_sweep, benchmark):
+    # The safe configs pay in rejected operations, never in wrong answers.
+    assert quorum_sweep["majority"]["rejected"] >= 0
+    assert quorum_sweep["best-effort"]["rejected"] <= quorum_sweep["write-all"]["rejected"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# E12b — anti-entropy period sweep (hinted handoff disabled)
+# ---------------------------------------------------------------------------
+
+AE_PERIODS = (None, 8.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def anti_entropy_sweep():
+    # Workload stops just before the last partition heals, so convergence
+    # after the heal is attributable to anti-entropy alone (hints off,
+    # R=1 reads repair nothing).
+    return {
+        period: _run_consistency(
+            QuorumConfig(1, 1),
+            anti_entropy_period=period,
+            hinted=False,
+            workload_end_s=66.0,
+            horizon_s=100.0,
+        )
+        for period in AE_PERIODS
+    }
+
+
+def test_bench_anti_entropy_table(anti_entropy_sweep, record_table, benchmark):
+    rows = []
+    for period in AE_PERIODS:
+        row = anti_entropy_sweep[period]
+        rows.append(
+            [
+                "off" if period is None else f"{period:.0f}s",
+                row["divergent_end"],
+                row["anti_entropy_repairs"],
+                row["anti_entropy_failed_transfers"],
+                row["stale_reads"],
+            ]
+        )
+    table = render_table(
+        [
+            "anti-entropy period",
+            "divergent files at end",
+            "ae repairs",
+            "ae failed transfers",
+            "stale reads",
+        ],
+        rows,
+        title="E12b — anti-entropy period vs residual divergence (R=W=1, hints off)",
+    )
+    record_table("E12_storage_consistency", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_anti_entropy_repairs_partition_divergence(anti_entropy_sweep, benchmark):
+    without = anti_entropy_sweep[None]
+    fast = anti_entropy_sweep[2.0]
+    assert without["divergent_end"] > 0  # divergence persists with no sweep
+    assert fast["divergent_end"] == 0  # the sweep converges every replica
+    assert fast["anti_entropy_repairs"] > 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# E12c — architectures running a majority-quorum cloud store under faults
+# ---------------------------------------------------------------------------
+
+ARCH_FILES = 8
+ARCH_PLAN_SEED = 1211
+ARCH_HORIZON_S = 120.0
+
+
+def _attach_store(cloud):
+    storage = cloud.enable_replicated_storage(
+        quorum=QuorumConfig.majority(K),
+        anti_entropy_period_s=5.0,
+        anti_entropy_backoff=AE_BACKOFF,
+    )
+    checker = ConsistencyChecker().attach(storage)
+    files = [f"shared-{i:02d}" for i in range(ARCH_FILES)]
+    for file_id in files:
+        cloud.store_put(file_id, 1000, target_replicas=K)
+    return checker, files
+
+
+def _drive_store(world, cloud, files, seed):
+    rng = SeededRng(seed, "arch-workload")
+
+    def _tick():
+        if world.now > ARCH_HORIZON_S - 10.0:
+            return
+        file_id = rng.choice(files)
+        if rng.chance(WRITE_FRACTION):
+            cloud.store_write(file_id, writer=cloud.head_id or "head")
+        else:
+            cloud.store_read(file_id)
+
+    world.engine.call_every(0.5, _tick, label="store-workload")
+
+
+def _arch_row(label, regime, cloud, checker):
+    report = checker.report()
+    return {
+        "label": label,
+        "regime": regime,
+        "reads": cloud.stats.storage_reads,
+        "writes": cloud.stats.storage_writes,
+        "degraded": cloud.stats.storage_degraded,
+        "violations": report.violations,
+        "repair_transfers": cloud.storage.repair_transfers,
+        "repair_failures": cloud.storage.repair_failures,
+    }
+
+
+def _enable_recovery(cloud):
+    cloud.retry_backoff = AE_BACKOFF
+    cloud.enable_worker_leases(lease_duration_s=4.0, sweep_interval_s=1.0)
+
+
+def _run_arch_stationary(seed):
+    from repro.sim import ScenarioConfig, World
+
+    world = World(ScenarioConfig(seed=seed))
+    lot = ParkingLotModel(world, departure_rate_per_hour=20.0)
+    lot.populate(20)
+    lot.start()
+    arch = StationaryVCloud(world, lot)
+    arch.start()
+    _enable_recovery(arch.cloud)
+    checker, files = _attach_store(arch.cloud)
+    targets = [m for m in arch.cloud.membership.member_ids() if m != arch.cloud.head_id]
+    plan = FaultPlan(ARCH_PLAN_SEED).random_crashes(
+        round(len(targets) / 3), (10.0, 60.0), targets=targets
+    )
+    FaultInjector(world, plan, cloud=arch.cloud).arm()
+    _drive_store(world, arch.cloud, files, seed)
+    world.run_for(ARCH_HORIZON_S)
+    return _arch_row("stationary", "member crashes", arch.cloud, checker)
+
+
+def _run_arch_infrastructure(seed):
+    world, model, highway = highway_world(seed, vehicle_count=30, length_m=3000)
+    channel = WirelessChannel(world)
+    rsus = deploy_rsus_on_highway(world, channel, highway, spacing_m=1500)
+    arch = InfrastructureVCloud(world, rsus[0], model)
+    arch.start()
+    _enable_recovery(arch.cloud)
+    checker, files = _attach_store(arch.cloud)
+    plan = FaultPlan(ARCH_PLAN_SEED).rsu_flap(
+        20.0, cycles=2, down_s=8.0, up_s=12.0, target=rsus[0].node_id
+    )
+    FaultInjector(world, plan, infrastructure=[rsus[0]]).arm()
+    _drive_store(world, arch.cloud, files, seed)
+    world.run_for(ARCH_HORIZON_S)
+    return _arch_row("infrastructure", "rsu flapping", arch.cloud, checker)
+
+
+def _run_arch_dynamic(seed):
+    world, model, _highway = highway_world(seed, vehicle_count=30, length_m=3000)
+    arch = DynamicVCloud(world, model)
+    arch.start()
+    _enable_recovery(arch.cloud)
+    checker, files = _attach_store(arch.cloud)
+    targets = [m for m in arch.cloud.membership.member_ids() if m != arch.cloud.head_id]
+    plan = FaultPlan(ARCH_PLAN_SEED).random_crashes(
+        max(1, round(len(targets) / 3)), (10.0, 60.0), targets=targets
+    )
+    FaultInjector(world, plan, cloud=arch.cloud).arm()
+    _drive_store(world, arch.cloud, files, seed)
+    world.run_for(ARCH_HORIZON_S)
+    return _arch_row("dynamic", "member crashes", arch.cloud, checker)
+
+
+@pytest.fixture(scope="module")
+def arch_storage():
+    return [
+        _run_arch_stationary(1221),
+        _run_arch_infrastructure(1222),
+        _run_arch_dynamic(1223),
+    ]
+
+
+def test_bench_arch_storage_table(arch_storage, record_table, benchmark):
+    rows = [
+        [
+            row["label"],
+            row["regime"],
+            row["reads"],
+            row["writes"],
+            row["degraded"],
+            row["violations"],
+            row["repair_transfers"],
+        ]
+        for row in arch_storage
+    ]
+    table = render_table(
+        [
+            "architecture",
+            "fault regime",
+            "reads ok",
+            "writes ok",
+            "degraded ops",
+            "violations",
+            "repair transfers",
+        ],
+        rows,
+        title="E12c — majority-quorum cloud store across architectures",
+    )
+    record_table("E12_storage_consistency", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_architectures_serve_storage_without_violations(arch_storage, benchmark):
+    for row in arch_storage:
+        assert row["violations"] == 0, row["label"]
+        assert row["reads"] > 0 and row["writes"] > 0, row["label"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_consistency_run_runtime(benchmark):
+    """End-to-end timing of one majority-quorum consistency run."""
+    result = benchmark.pedantic(
+        lambda: _run_consistency(QuorumConfig.majority(K)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result["violations"] == 0

@@ -29,7 +29,16 @@ from .handover import (
 )
 from .membership import MemberInfo, MembershipManager
 from .modes import ModeManager, ModePolicy, ModePropagation, DEFAULT_POLICIES
-from .replication import FileStore, ReplicationManager, StoredFile
+from .replication import (
+    FileStore,
+    QuorumConfig,
+    ReadResult,
+    ReplicationManager,
+    StoredFile,
+    VersionStamp,
+    WriteResult,
+    ZERO_STAMP,
+)
 from .resources import Reservation, ResourceKind, ResourceOffer, ResourcePool
 from .scheduler import (
     AllocationChoice,
@@ -94,10 +103,15 @@ __all__ = [
     "ModePolicy",
     "ModePropagation",
     "PartialResult",
+    "QuorumConfig",
     "RandomAllocator",
+    "ReadResult",
     "Reservation",
     "ResourceDirectory",
     "ReplicationManager",
+    "VersionStamp",
+    "WriteResult",
+    "ZERO_STAMP",
     "ResourceKind",
     "ResourceOffer",
     "ResourcePool",

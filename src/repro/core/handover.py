@@ -16,6 +16,8 @@ vehicles."  Two policies make the trade-off measurable:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
+
 from ..errors import TaskError
 from .tasks import TaskRecord
 
@@ -28,6 +30,8 @@ class HandoverOutcome:
     overhead_s: float
     overhead_bytes: int
     requeue: bool  # True = task goes back to the allocator
+    #: Checkpoint version carried by this transfer (0 = no checkpoint).
+    version: int = 0
 
 
 class HandoverPolicy:
@@ -62,6 +66,12 @@ class CheckpointHandoverPolicy(HandoverPolicy):
     completed; ``transfer_bps`` is the effective V2V transfer rate;
     ``reauth_latency_s`` models the security handshake with the next
     worker (0 when no auth protocol is in force).
+
+    Each successful handover mints a new checkpoint *version* per task,
+    and :meth:`accept_checkpoint` rejects checkpoints older than the
+    newest already transferred — the storage-layer versioning argument
+    applied to task state: a stale copy surfacing after churn (a slow
+    worker replaying an old transfer) must not roll progress back.
     """
 
     name = "checkpoint-handover"
@@ -81,11 +91,34 @@ class CheckpointHandoverPolicy(HandoverPolicy):
         self.transfer_bps = transfer_bps
         self.reauth_latency_s = reauth_latency_s
         self.min_progress_to_handover = min_progress_to_handover
+        self._versions: Dict[str, int] = {}  # task_id -> newest version
+        self._progress_seen: Dict[str, float] = {}
+        self.stale_checkpoints_rejected = 0
 
     def checkpoint_bytes(self, record: TaskRecord) -> int:
         """Size of the serialized partial state."""
         completed_mi = record.task.work_mi * record.progress
         return int(self.state_bytes_per_mi * completed_mi) + record.task.input_bytes
+
+    def checkpoint_version(self, task_id: str) -> int:
+        """Newest checkpoint version minted for one task (0 = none)."""
+        return self._versions.get(task_id, 0)
+
+    def accept_checkpoint(self, task_id: str, version: int, progress: float) -> bool:
+        """Whether an arriving checkpoint copy may be applied.
+
+        A copy older than the newest transferred version is stale and
+        rejected (counted in :attr:`stale_checkpoints_rejected`); the
+        current version is accepted only if it does not regress the
+        progress recorded at transfer time.
+        """
+        newest = self._versions.get(task_id, 0)
+        if version < newest or (
+            version == newest and progress < self._progress_seen.get(task_id, 0.0)
+        ):
+            self.stale_checkpoints_rejected += 1
+            return False
+        return True
 
     def on_worker_departed(self, record: TaskRecord, now: float) -> HandoverOutcome:
         if record.progress < self.min_progress_to_handover:
@@ -96,9 +129,14 @@ class CheckpointHandoverPolicy(HandoverPolicy):
         overhead_bytes = self.checkpoint_bytes(record)
         overhead_s = overhead_bytes * 8 / self.transfer_bps + self.reauth_latency_s
         record.hand_over()
+        task_id = record.task.task_id
+        version = self._versions.get(task_id, 0) + 1
+        self._versions[task_id] = version
+        self._progress_seen[task_id] = preserved
         return HandoverOutcome(
             preserved_progress=preserved,
             overhead_s=overhead_s,
             overhead_bytes=overhead_bytes,
             requeue=True,
+            version=version,
         )

@@ -1,19 +1,136 @@
-"""File replication for availability (§III.A).
+"""Quorum-consistent file replication with anti-entropy repair (§III.A).
 
 "How many copies of a shared file should be distributed in v-cloud so
 that other vehicles can keep accessing this file even if many vehicles
-are offline at the same time" — experiment E9's question.  The manager
-places ``k`` replicas on distinct members, serves reads from any online
-holder, and can optionally re-replicate when departures push a file
-below its target.
+are offline at the same time" — experiment E9's availability question,
+extended by E12 to *correctness*: under the churn, crashes and
+partitions that :mod:`repro.faults` injects, a best-effort store can
+serve stale data or silently lose updates.  This module makes the
+store dependable:
+
+* every replica carries a :class:`VersionStamp` ``(counter, writer)``;
+  writes advance the counter past the newest stamp they can observe, so
+  concurrent writes on opposite sides of a partition produce *visible*
+  conflicts instead of silent clobbering;
+* reads and writes are quorum-configurable (:class:`QuorumConfig`):
+  ``R = W = 1`` is the legacy best-effort mode, ``R + W > k`` guarantees
+  every read observes the newest acknowledged write;
+* divergent replicas observed by a read are repaired in-line
+  (read-repair), targets unreachable at write time receive hinted
+  handoff, and a periodic anti-entropy sweep reconciles holder pairs by
+  Merkle-style digest comparison, retrying transfers to offline holders
+  with a :class:`~repro.faults.recovery.BackoffPolicy`.
+
+The ``repro.faults.consistency`` checker records every operation the
+manager performs and proves which configurations are safe under a
+seeded :class:`~repro.faults.plan.FaultPlan` (experiment E12).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from ..errors import ResourceError
+from ..errors import ConfigurationError, QuorumUnreachableError, ReplicaPlacementError, ResourceError
+
+if TYPE_CHECKING:
+    # Runtime imports here would be circular: ``repro.faults`` re-exports
+    # the consistency checker, which imports this module.
+    from ..faults.recovery import BackoffPolicy
+    from ..sim.engine import Engine, PeriodicTask
+    from ..sim.metrics import MetricsRegistry
+    from ..sim.rng import SeededRng
+
+#: Number of digest buckets in the two-level Merkle-style comparison.
+_DIGEST_BUCKETS = 16
+
+
+class StoreListener(Protocol):
+    """Observer of the manager's read/write history.
+
+    :class:`repro.faults.consistency.ConsistencyChecker` is the
+    canonical implementation.
+    """
+
+    def on_write(self, file_id: str, stamp: Optional["VersionStamp"], acked: bool, time: float) -> None:
+        ...
+
+    def on_read(self, file_id: str, stamp: Optional["VersionStamp"], ok: bool, time: float) -> None:
+        ...
+
+
+@dataclass(frozen=True, order=True)
+class VersionStamp:
+    """A replica version: a monotone counter with a writer tiebreak.
+
+    Ordering is lexicographic on ``(counter, writer)`` — last-writer-wins
+    with a deterministic tiebreak, so conflict resolution is total and
+    reproducible.
+    """
+
+    counter: int
+    writer: str = "origin"
+
+    def describe(self) -> str:
+        """Canonical compact rendering, e.g. ``3@v7``."""
+        return f"{self.counter}@{self.writer}"
+
+
+#: The stamp of a never-written replica.
+ZERO_STAMP = VersionStamp(0, "")
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """Read/write quorum sizes; ``R = W = 1`` is best-effort."""
+
+    write_quorum: int = 1
+    read_quorum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.write_quorum < 1 or self.read_quorum < 1:
+            raise ConfigurationError("quorum sizes must be >= 1")
+
+    @staticmethod
+    def majority(replicas: int) -> "QuorumConfig":
+        """The classic safe configuration for ``replicas`` copies."""
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        quorum = replicas // 2 + 1
+        return QuorumConfig(write_quorum=quorum, read_quorum=quorum)
+
+    def is_safe_for(self, replicas: int) -> bool:
+        """Whether read/write sets must overlap (``R + W > k``).
+
+        Read overlap guarantees every read observes the newest
+        acknowledged write — no stale reads.  It does *not* by itself
+        prevent lost updates; see :meth:`prevents_lost_updates`.
+        """
+        return self.read_quorum + self.write_quorum > replicas
+
+    def prevents_lost_updates(self, replicas: int) -> bool:
+        """Whether two write sets must overlap (``2W > k``).
+
+        Write overlap forces every write to observe the counter of the
+        previous acknowledged write, so two acknowledged writes can
+        never mint the same version — no lost updates.  ``R + W > k``
+        alone (e.g. W=1, R=k) still lets writers on opposite sides of a
+        partition collide.
+        """
+        return 2 * self.write_quorum > replicas
 
 
 @dataclass(frozen=True)
@@ -25,14 +142,46 @@ class StoredFile:
     target_replicas: int
 
 
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of one quorum read."""
+
+    file_id: str
+    holder: str  # the replica the value was served from
+    stamp: VersionStamp
+    contacted: Tuple[str, ...]
+    repaired: int  # stale contacted replicas fixed by read-repair
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of one quorum write."""
+
+    file_id: str
+    stamp: VersionStamp
+    replicas_updated: int
+    hinted: int  # unreachable holders queued for hinted handoff
+
+
 @dataclass
-class _HolderSet:
+class _ReplicatedFile:
     file: StoredFile
     holders: Set[str] = field(default_factory=set)
 
 
+def _bucket_of(file_id: str) -> int:
+    return hashlib.sha256(file_id.encode()).digest()[0] % _DIGEST_BUCKETS
+
+
+def _digest_entries(entries: Iterable[Tuple[str, VersionStamp]]) -> str:
+    digest = hashlib.sha256()
+    for file_id, stamp in sorted(entries):
+        digest.update(f"{file_id}:{stamp.counter}:{stamp.writer};".encode())
+    return digest.hexdigest()
+
+
 class FileStore:
-    """One member's bounded local storage."""
+    """One member's bounded local storage with per-file version stamps."""
 
     def __init__(self, owner_id: str, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
@@ -40,22 +189,28 @@ class FileStore:
         self.owner_id = owner_id
         self.capacity_bytes = capacity_bytes
         self._files: Dict[str, int] = {}  # file_id -> size
+        self._stamps: Dict[str, VersionStamp] = {}
+        # Running counter maintained by put/drop: used_bytes sits on the
+        # replication hot path, so it must not re-sum on every call.
+        self._used_bytes = 0
 
     @property
     def used_bytes(self) -> int:
-        """Bytes currently stored."""
-        return sum(self._files.values())
+        """Bytes currently stored (O(1) running counter)."""
+        return self._used_bytes
 
     @property
     def free_bytes(self) -> int:
         """Remaining capacity."""
-        return self.capacity_bytes - self.used_bytes
+        return self.capacity_bytes - self._used_bytes
 
     def can_store(self, size_bytes: int) -> bool:
         """Whether a file of this size fits."""
         return size_bytes <= self.free_bytes
 
-    def put(self, file_id: str, size_bytes: int) -> None:
+    def put(
+        self, file_id: str, size_bytes: int, stamp: Optional[VersionStamp] = None
+    ) -> None:
         """Store a replica; raises when capacity is exceeded."""
         if file_id in self._files:
             return
@@ -64,127 +219,638 @@ class FileStore:
                 f"{self.owner_id!r}: {self.free_bytes} bytes free, need {size_bytes}"
             )
         self._files[file_id] = size_bytes
+        self._used_bytes += size_bytes
+        self._stamps[file_id] = stamp if stamp is not None else ZERO_STAMP
+
+    def apply(self, file_id: str, size_bytes: int, stamp: VersionStamp) -> bool:
+        """Upsert a versioned replica; returns True when state advanced.
+
+        A missing file is stored (capacity permitting); a held file only
+        moves forward — an older or equal stamp is ignored, which makes
+        read-repair, hinted handoff and anti-entropy pushes idempotent.
+        """
+        if file_id not in self._files:
+            self.put(file_id, size_bytes, stamp)
+            return True
+        if stamp > self._stamps[file_id]:
+            self._stamps[file_id] = stamp
+            return True
+        return False
 
     def drop(self, file_id: str) -> None:
         """Remove a replica (no-op if absent)."""
-        self._files.pop(file_id, None)
+        size = self._files.pop(file_id, None)
+        if size is not None:
+            self._used_bytes -= size
+        self._stamps.pop(file_id, None)
 
     def holds(self, file_id: str) -> bool:
         """Whether a replica is present."""
         return file_id in self._files
 
+    def stamp_of(self, file_id: str) -> VersionStamp:
+        """The held replica's stamp (:data:`ZERO_STAMP` when absent)."""
+        return self._stamps.get(file_id, ZERO_STAMP)
+
+    def file_ids(self) -> List[str]:
+        """Ids of all held replicas, sorted."""
+        return sorted(self._files)
+
+    # -- digests (anti-entropy) -------------------------------------------------
+
+    def _entries(self, file_ids: Optional[Iterable[str]]) -> List[Tuple[str, VersionStamp]]:
+        ids = self._files.keys() if file_ids is None else file_ids
+        return [(fid, self._stamps[fid]) for fid in ids if fid in self._files]
+
+    def digest(self, file_ids: Optional[Iterable[str]] = None) -> str:
+        """Root digest over (file, stamp) pairs — cheap equality probe."""
+        return _digest_entries(self._entries(file_ids))
+
+    def bucket_digests(self, file_ids: Optional[Iterable[str]] = None) -> Dict[int, str]:
+        """Per-bucket digests, the second Merkle level."""
+        buckets: Dict[int, List[Tuple[str, VersionStamp]]] = {}
+        for file_id, stamp in self._entries(file_ids):
+            buckets.setdefault(_bucket_of(file_id), []).append((file_id, stamp))
+        return {bucket: _digest_entries(entries) for bucket, entries in buckets.items()}
+
 
 class ReplicationManager:
-    """Places and repairs file replicas across cloud members."""
+    """Places, versions, and repairs file replicas across cloud members.
 
-    def __init__(self, rng, repair: bool = True) -> None:
+    The manager is the coordinator-side view of the storage fabric:
+    stores register/depart with membership, crash-stopped members are
+    marked offline (their stale replicas survive and return), and an
+    active network partition restricts which holders an operation's
+    ``origin`` can reach.
+    """
+
+    def __init__(
+        self,
+        rng: "SeededRng",
+        repair: bool = True,
+        quorum: Optional[QuorumConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        listener: Optional["StoreListener"] = None,
+        hinted_handoff: bool = True,
+        metrics: Optional["MetricsRegistry"] = None,
+        metric_prefix: str = "storage",
+    ) -> None:
         self.rng = rng
         self.repair = repair
+        self.quorum = quorum if quorum is not None else QuorumConfig()
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        #: Consistency listener with ``on_write``/``on_read`` hooks (see
+        #: :class:`repro.faults.consistency.ConsistencyChecker`).
+        self.listener = listener
+        self.hinted_handoff = hinted_handoff
+        self.metrics = metrics
+        self.metric_prefix = metric_prefix
         self._stores: Dict[str, FileStore] = {}
-        self._files: Dict[str, _HolderSet] = {}
+        self._offline: Set[str] = set()
+        self._partition: Optional[Tuple[FrozenSet[str], FrozenSet[str]]] = None
+        self._files: Dict[str, _ReplicatedFile] = {}
+        self._hints: Dict[str, Dict[str, VersionStamp]] = {}  # target -> file -> stamp
+        # Anti-entropy machinery (armed by start_anti_entropy).
+        self._engine: Optional["Engine"] = None
+        self._backoff: Optional["BackoffPolicy"] = None
+        self._ae_rng: Optional["SeededRng"] = None
+        self._ae_task: Optional["PeriodicTask"] = None
+        self._pending_retries: Set[Tuple[str, str]] = set()
+        # Counters.
         self.replicas_placed = 0
         self.repair_transfers = 0
+        self.repair_failures = 0
         self.failed_reads = 0
         self.successful_reads = 0
+        self.failed_writes = 0
+        self.successful_writes = 0
+        self.read_repairs = 0
+        self.hints_stored = 0
+        self.hints_delivered = 0
+        self.hints_dropped = 0
+        self.anti_entropy_rounds = 0
+        self.anti_entropy_repairs = 0
+        self.anti_entropy_failed_transfers = 0
+
+    def _emit(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(f"{self.metric_prefix}/{name}", amount)
 
     # -- membership ------------------------------------------------------------
 
     def add_store(self, store: FileStore) -> None:
-        """Register a member's storage."""
+        """Register a member's storage (online)."""
         self._stores[store.owner_id] = store
+        self._offline.discard(store.owner_id)
 
     def remove_store(self, owner_id: str) -> List[str]:
         """Handle a member departure; returns files that lost a replica.
 
         With ``repair`` enabled, lost replicas are re-placed on surviving
-        members immediately (each repair costs one transfer).
+        members immediately (each repair costs one transfer).  A repair
+        that finds no placement is counted in :attr:`repair_failures`
+        rather than raised — departure handling must not crash the cloud.
         """
         store = self._stores.pop(owner_id, None)
         if store is None:
             return []
+        self._offline.discard(owner_id)
+        self._hints.pop(owner_id, None)
         degraded = []
-        for file_id, holder_set in self._files.items():
-            if owner_id in holder_set.holders:
-                holder_set.holders.discard(owner_id)
+        for file_id, replicated in self._files.items():
+            if owner_id in replicated.holders:
+                replicated.holders.discard(owner_id)
                 degraded.append(file_id)
                 if self.repair:
-                    self._repair(holder_set)
+                    try:
+                        self.repair_file(file_id)
+                    except ResourceError:
+                        self.repair_failures += 1
+                        self._emit("repair_failures")
         return degraded
 
     def member_ids(self) -> List[str]:
         """Members currently contributing storage."""
         return list(self._stores)
 
+    def online_member_ids(self) -> List[str]:
+        """Members whose store is currently reachable, sorted."""
+        return sorted(owner for owner in self._stores if owner not in self._offline)
+
+    def is_online(self, owner_id: str) -> bool:
+        """Whether a member's store is present and reachable."""
+        return owner_id in self._stores and owner_id not in self._offline
+
+    def set_offline(self, owner_id: str) -> None:
+        """Mark a member unreachable (crash-stop); its replicas survive."""
+        if owner_id in self._stores:
+            self._offline.add(owner_id)
+
+    def set_online(self, owner_id: str) -> None:
+        """Bring a member back; queued hints are delivered immediately."""
+        if owner_id in self._stores and owner_id in self._offline:
+            self._offline.discard(owner_id)
+            self.deliver_hints(owner_id)
+
+    # -- partitions --------------------------------------------------------------
+
+    def set_partition(self, group_a: Sequence[str], group_b: Sequence[str]) -> None:
+        """Split reachability: members of opposite groups cannot talk."""
+        self._partition = (frozenset(group_a), frozenset(group_b))
+
+    def clear_partition(self) -> None:
+        """Heal the partition and flush hints to every online target."""
+        self._partition = None
+        self.deliver_hints()
+
+    def _can_reach(self, origin: Optional[str], target: str) -> bool:
+        if self._partition is None or origin is None:
+            return True
+        side_a, side_b = self._partition
+        if origin in side_a and target in side_b:
+            return False
+        if origin in side_b and target in side_a:
+            return False
+        return True
+
     # -- placement ----------------------------------------------------------------
 
-    def store_file(self, file: StoredFile) -> int:
+    def store_file(self, file: StoredFile, writer: str = "origin") -> int:
         """Place the file's replicas; returns the replica count achieved."""
         if file.target_replicas < 1:
             raise ResourceError("target_replicas must be >= 1")
         if file.file_id in self._files:
             raise ResourceError(f"file already stored: {file.file_id!r}")
-        holder_set = _HolderSet(file=file)
-        self._files[file.file_id] = holder_set
-        self._place(holder_set, file.target_replicas)
-        return len(holder_set.holders)
+        replicated = _ReplicatedFile(file=file)
+        self._files[file.file_id] = replicated
+        self._place(replicated, file.target_replicas, VersionStamp(1, writer))
+        return len(replicated.holders)
 
-    def _candidates(self, holder_set: _HolderSet) -> List[FileStore]:
+    def _candidates(
+        self, replicated: _ReplicatedFile, reachable_from: Optional[str] = None
+    ) -> List[FileStore]:
+        # Offline members are skipped *before* capacity checks: an
+        # unreachable store can never accept a transfer, regardless of
+        # how much space it advertises.
         return [
             store
             for owner, store in self._stores.items()
-            if owner not in holder_set.holders
-            and store.can_store(holder_set.file.size_bytes)
+            if owner not in replicated.holders
+            and owner not in self._offline
+            and self._can_reach(reachable_from, owner)
+            and store.can_store(replicated.file.size_bytes)
         ]
 
-    def _place(self, holder_set: _HolderSet, count: int) -> None:
+    def _place(
+        self,
+        replicated: _ReplicatedFile,
+        count: int,
+        stamp: VersionStamp,
+        reachable_from: Optional[str] = None,
+    ) -> int:
+        placed = 0
         for _ in range(count):
-            candidates = self._candidates(holder_set)
+            candidates = self._candidates(replicated, reachable_from)
             if not candidates:
                 break
             # Spread load: prefer the emptiest store, break ties randomly.
             best_free = max(c.free_bytes for c in candidates)
             emptiest = [c for c in candidates if c.free_bytes == best_free]
             chosen = self.rng.choice(emptiest)
-            chosen.put(holder_set.file.file_id, holder_set.file.size_bytes)
-            holder_set.holders.add(chosen.owner_id)
+            chosen.put(replicated.file.file_id, replicated.file.size_bytes, stamp)
+            replicated.holders.add(chosen.owner_id)
             self.replicas_placed += 1
+            placed += 1
+        return placed
 
-    def _repair(self, holder_set: _HolderSet) -> None:
-        missing = holder_set.file.target_replicas - len(holder_set.holders)
-        if missing <= 0 or not holder_set.holders:
-            return  # nothing to copy from once the last replica is gone
-        before = len(holder_set.holders)
-        self._place(holder_set, missing)
-        self.repair_transfers += len(holder_set.holders) - before
+    def repair_file(self, file_id: str) -> int:
+        """Re-replicate one file back to its target count.
+
+        Returns the number of replicas created.  Raises
+        :class:`~repro.errors.ReplicaPlacementError` when replicas are
+        missing but no placement exists — no online source replica to
+        copy from, or no online member with capacity — so callers can
+        degrade instead of crash.
+        """
+        replicated = self._files.get(file_id)
+        if replicated is None:
+            raise ResourceError(f"unknown file: {file_id!r}")
+        missing = replicated.file.target_replicas - len(replicated.holders)
+        if missing <= 0:
+            return 0
+        source = self._newest_online_holder(replicated)
+        if source is None:
+            raise ReplicaPlacementError(
+                f"no online source replica for {file_id!r}"
+            )
+        source_id, stamp = source
+        if not self._candidates(replicated, reachable_from=source_id):
+            raise ReplicaPlacementError(
+                f"no placement for {file_id!r}: need {missing} replicas"
+            )
+        placed = self._place(replicated, missing, stamp, reachable_from=source_id)
+        self.repair_transfers += placed
+        self._emit("repair_transfers", placed)
+        return placed
+
+    def _newest_online_holder(
+        self, replicated: _ReplicatedFile
+    ) -> Optional[Tuple[str, VersionStamp]]:
+        """The online holder carrying the newest stamp, or None."""
+        best: Optional[Tuple[str, VersionStamp]] = None
+        for owner in sorted(replicated.holders):
+            if not self.is_online(owner):
+                continue
+            stamp = self._stores[owner].stamp_of(replicated.file.file_id)
+            if best is None or stamp > best[1]:
+                best = (owner, stamp)
+        return best
 
     # -- reads -------------------------------------------------------------------------
 
-    def is_available(self, file_id: str) -> bool:
-        """Whether at least one replica is on a present member."""
-        holder_set = self._files.get(file_id)
-        if holder_set is None:
-            return False
-        return any(owner in self._stores for owner in holder_set.holders)
+    def _reachable_holders(
+        self, replicated: _ReplicatedFile, origin: Optional[str]
+    ) -> List[str]:
+        return [
+            owner
+            for owner in sorted(replicated.holders)
+            if self.is_online(owner) and self._can_reach(origin, owner)
+        ]
 
-    def read(self, file_id: str) -> Optional[str]:
-        """Serve a read; returns the holder used, or None on failure."""
-        holder_set = self._files.get(file_id)
-        if holder_set is None:
+    def is_available(self, file_id: str) -> bool:
+        """Whether at least one replica is on an online member."""
+        replicated = self._files.get(file_id)
+        if replicated is None:
+            return False
+        return any(self.is_online(owner) for owner in replicated.holders)
+
+    def read_file(self, file_id: str, origin: Optional[str] = None) -> ReadResult:
+        """Quorum read: contact ``R`` reachable replicas, serve the newest.
+
+        Divergent contacted replicas are repaired in-line (read-repair).
+        Raises :class:`~repro.errors.QuorumUnreachableError` when fewer
+        than ``R`` replicas are reachable from ``origin``.
+        """
+        now = self.clock()
+        replicated = self._files.get(file_id)
+        if replicated is None:
             self.failed_reads += 1
-            return None
-        live = sorted(owner for owner in holder_set.holders if owner in self._stores)
-        if not live:
+            self._emit("failed_reads")
+            self._notify_read(file_id, None, False, now)
+            raise ResourceError(f"unknown file: {file_id!r}")
+        live = self._reachable_holders(replicated, origin)
+        wanted = self.quorum.read_quorum
+        if len(live) < wanted:
             self.failed_reads += 1
-            return None
+            self._emit("failed_reads")
+            self._notify_read(file_id, None, False, now)
+            raise QuorumUnreachableError(
+                f"read quorum unreachable for {file_id!r}: "
+                f"{len(live)} live < R={wanted}"
+            )
+        contacted = sorted(live) if wanted >= len(live) else sorted(self.rng.sample(live, wanted))
+        stamps = {owner: self._stores[owner].stamp_of(file_id) for owner in contacted}
+        newest = max(stamps.values())
+        holder = min(owner for owner, stamp in stamps.items() if stamp == newest)
+        repaired = 0
+        for owner, stamp in stamps.items():
+            if stamp < newest:
+                if self._stores[owner].apply(file_id, replicated.file.size_bytes, newest):
+                    repaired += 1
+                    self.read_repairs += 1
+                    self._emit("read_repairs")
         self.successful_reads += 1
-        return self.rng.choice(live)
+        self._emit("reads")
+        self._notify_read(file_id, newest, True, now)
+        return ReadResult(
+            file_id=file_id,
+            holder=holder,
+            stamp=newest,
+            contacted=tuple(contacted),
+            repaired=repaired,
+        )
+
+    def read(self, file_id: str, origin: Optional[str] = None) -> Optional[str]:
+        """Legacy read: returns the serving holder, or None on failure."""
+        try:
+            return self.read_file(file_id, origin=origin).holder
+        except ResourceError:
+            return None
+
+    # -- writes -------------------------------------------------------------------------
+
+    def write(
+        self, file_id: str, writer: str, origin: Optional[str] = None
+    ) -> WriteResult:
+        """Quorum write: advance the version on every reachable replica.
+
+        The new stamp's counter is one past the newest counter observed
+        at the reachable replicas, so two writers separated by a
+        partition mint *conflicting* stamps — which the consistency
+        checker counts as a lost update when both get acknowledged.
+        Raises :class:`~repro.errors.QuorumUnreachableError` (mutating
+        nothing) when fewer than ``W`` replicas are reachable.
+        """
+        now = self.clock()
+        replicated = self._files.get(file_id)
+        if replicated is None:
+            self.failed_writes += 1
+            self._emit("failed_writes")
+            self._notify_write(file_id, None, False, now)
+            raise ResourceError(f"unknown file: {file_id!r}")
+        contactable = self._reachable_holders(replicated, origin)
+        wanted = self.quorum.write_quorum
+        if len(contactable) < wanted:
+            self.failed_writes += 1
+            self._emit("failed_writes")
+            self._notify_write(file_id, None, False, now)
+            raise QuorumUnreachableError(
+                f"write quorum unreachable for {file_id!r}: "
+                f"{len(contactable)} live < W={wanted}"
+            )
+        counter = max(self._stores[o].stamp_of(file_id).counter for o in contactable) + 1
+        stamp = VersionStamp(counter, writer)
+        updated = 0
+        for owner in contactable:
+            if self._stores[owner].apply(file_id, replicated.file.size_bytes, stamp):
+                updated += 1
+        hinted = 0
+        if self.hinted_handoff:
+            for owner in sorted(replicated.holders):
+                if owner in contactable or owner not in self._stores:
+                    continue
+                queue = self._hints.setdefault(owner, {})
+                if stamp > queue.get(file_id, ZERO_STAMP):
+                    queue[file_id] = stamp
+                    hinted += 1
+                    self.hints_stored += 1
+                    self._emit("hints_stored")
+        self.successful_writes += 1
+        self._emit("writes")
+        self._notify_write(file_id, stamp, True, now)
+        return WriteResult(
+            file_id=file_id, stamp=stamp, replicas_updated=updated, hinted=hinted
+        )
+
+    def deliver_hints(self, target: Optional[str] = None) -> int:
+        """Flush queued hints to online targets; returns hints applied."""
+        targets = [target] if target is not None else sorted(self._hints)
+        delivered = 0
+        for owner in targets:
+            if not self.is_online(owner):
+                continue
+            queue = self._hints.pop(owner, None)
+            if not queue:
+                continue
+            store = self._stores[owner]
+            for file_id, stamp in sorted(queue.items()):
+                replicated = self._files.get(file_id)
+                if replicated is None or owner not in replicated.holders:
+                    continue
+                try:
+                    if store.apply(file_id, replicated.file.size_bytes, stamp):
+                        delivered += 1
+                        self.hints_delivered += 1
+                        self._emit("hints_delivered")
+                except ResourceError:
+                    self.hints_dropped += 1
+                    self._emit("hints_dropped")
+        return delivered
+
+    # -- anti-entropy ----------------------------------------------------------------
+
+    def start_anti_entropy(
+        self,
+        engine: "Engine",
+        period_s: float,
+        backoff: Optional["BackoffPolicy"] = None,
+        rng: Optional["SeededRng"] = None,
+        label: str = "storage/anti-entropy",
+    ) -> "PeriodicTask":
+        """Run :meth:`anti_entropy_round` as a sim periodic task.
+
+        ``backoff`` (a :class:`~repro.faults.recovery.BackoffPolicy`)
+        enables retrying failed transfers to offline holders; without it
+        those holders wait for hinted handoff or their next revival.
+        Returns the :class:`~repro.sim.engine.PeriodicTask`.
+        """
+        if period_s <= 0:
+            raise ConfigurationError("period_s must be positive")
+        self._engine = engine
+        self._backoff = backoff
+        if rng is not None:
+            self._ae_rng = rng
+        elif self._ae_rng is None:
+            self._ae_rng = self.rng.fork("anti-entropy")
+        self._ae_task = engine.call_every(period_s, self.anti_entropy_round, label=label)
+        return self._ae_task
+
+    def stop_anti_entropy(self) -> None:
+        """Stop the periodic sweep (pending retries still fire)."""
+        if self._ae_task is not None:
+            self._ae_task.stop()
+            self._ae_task = None
+
+    def anti_entropy_round(self) -> int:
+        """One sweep: reconcile holder pairs by digest comparison.
+
+        Each file's online holders form a deterministic ring and every
+        holder syncs with its successor, so one round closes the full
+        cycle and converges all replicas of a file.  Pairs sharing many
+        files are compared in one digest exchange: the root digest
+        short-circuits identical pairs, bucket digests narrow divergent
+        ones.  Stale offline holders are counted as failed transfers and
+        scheduled for backoff retries when a backoff policy is armed.
+        Returns the number of replicas repaired now.
+        """
+        self.anti_entropy_rounds += 1
+        self._emit("anti_entropy_rounds")
+        pair_files: Dict[Tuple[str, str], Set[str]] = {}
+        for file_id, replicated in self._files.items():
+            holders = sorted(h for h in replicated.holders if self.is_online(h))
+            if len(holders) < 2:
+                continue
+            for index, owner in enumerate(holders):
+                if len(holders) == 2 and index == 1:
+                    break
+                partner = holders[(index + 1) % len(holders)]
+                if not self._can_reach(owner, partner):
+                    continue
+                pair_files.setdefault((owner, partner), set()).add(file_id)
+        repairs = 0
+        for owner, partner in sorted(pair_files):
+            repairs += self._sync_pair(owner, partner, sorted(pair_files[(owner, partner)]))
+        self._schedule_offline_repairs()
+        return repairs
+
+    def _sync_pair(self, a: str, b: str, common: List[str]) -> int:
+        store_a, store_b = self._stores[a], self._stores[b]
+        if store_a.digest(common) == store_b.digest(common):
+            return 0
+        digests_a = store_a.bucket_digests(common)
+        digests_b = store_b.bucket_digests(common)
+        repairs = 0
+        for bucket in sorted(set(digests_a) | set(digests_b)):
+            if digests_a.get(bucket) == digests_b.get(bucket):
+                continue
+            for file_id in common:
+                if _bucket_of(file_id) != bucket:
+                    continue
+                stamp_a = store_a.stamp_of(file_id)
+                stamp_b = store_b.stamp_of(file_id)
+                if stamp_a == stamp_b:
+                    continue
+                target = store_b if stamp_a > stamp_b else store_a
+                if self._push(file_id, target, max(stamp_a, stamp_b)):
+                    repairs += 1
+                    self.anti_entropy_repairs += 1
+                    self._emit("anti_entropy_repairs")
+        return repairs
+
+    def _push(self, file_id: str, target: FileStore, stamp: VersionStamp) -> bool:
+        replicated = self._files.get(file_id)
+        if replicated is None:
+            return False
+        try:
+            return target.apply(file_id, replicated.file.size_bytes, stamp)
+        except ResourceError:
+            self.repair_failures += 1
+            self._emit("repair_failures")
+            return False
+
+    def _schedule_offline_repairs(self) -> None:
+        if self._engine is None or self._backoff is None:
+            return
+        for file_id in sorted(self._files):
+            replicated = self._files[file_id]
+            newest = self._newest_online_holder(replicated)
+            if newest is None:
+                continue
+            _, stamp = newest
+            for owner in sorted(replicated.holders):
+                if owner not in self._offline or owner not in self._stores:
+                    continue
+                if self._stores[owner].stamp_of(file_id) >= stamp:
+                    continue
+                key = (owner, file_id)
+                if key in self._pending_retries:
+                    continue
+                self._pending_retries.add(key)
+                self.anti_entropy_failed_transfers += 1
+                self._emit("anti_entropy_failed_transfers")
+                delay = self._backoff.delay_for(0, self._ae_rng)
+                self._engine.schedule(
+                    delay,
+                    lambda k=key: self._retry_transfer(k, 1),
+                    label="storage/ae-retry",
+                )
+
+    def _retry_transfer(self, key: Tuple[str, str], attempt: int) -> None:
+        owner, file_id = key
+        replicated = self._files.get(file_id)
+        store = self._stores.get(owner)
+        if replicated is None or store is None or owner not in replicated.holders:
+            self._pending_retries.discard(key)
+            return
+        newest = self._newest_online_holder(replicated)
+        if newest is None:
+            self._pending_retries.discard(key)
+            return
+        _, stamp = newest
+        if owner not in self._offline:
+            self._pending_retries.discard(key)
+            if store.stamp_of(file_id) < stamp and self._push(file_id, store, stamp):
+                self.anti_entropy_repairs += 1
+                self._emit("anti_entropy_repairs")
+            return
+        if self._backoff is None or self._engine is None or attempt > self._backoff.max_retries:
+            self._pending_retries.discard(key)
+            return
+        self.anti_entropy_failed_transfers += 1
+        self._emit("anti_entropy_failed_transfers")
+        delay = self._backoff.delay_for(attempt, self._ae_rng)
+        self._engine.schedule(
+            delay,
+            lambda k=key, a=attempt + 1: self._retry_transfer(k, a),
+            label="storage/ae-retry",
+        )
+
+    # -- introspection -------------------------------------------------------------
 
     def replica_count(self, file_id: str) -> int:
-        """Live replica count of one file."""
-        holder_set = self._files.get(file_id)
-        if holder_set is None:
+        """Online replica count of one file."""
+        replicated = self._files.get(file_id)
+        if replicated is None:
             return 0
-        return sum(1 for owner in holder_set.holders if owner in self._stores)
+        return sum(1 for owner in replicated.holders if self.is_online(owner))
+
+    def holders_of(self, file_id: str) -> List[str]:
+        """Assigned holders of one file, sorted (offline included)."""
+        replicated = self._files.get(file_id)
+        if replicated is None:
+            return []
+        return sorted(replicated.holders)
+
+    def stamp_of(self, file_id: str) -> VersionStamp:
+        """Newest stamp held by any online replica of one file."""
+        replicated = self._files.get(file_id)
+        if replicated is None:
+            return ZERO_STAMP
+        newest = self._newest_online_holder(replicated)
+        return newest[1] if newest is not None else ZERO_STAMP
+
+    def divergent_files(self) -> List[str]:
+        """Files whose online replicas disagree on the version, sorted."""
+        divergent = []
+        for file_id, replicated in sorted(self._files.items()):
+            stamps = {
+                self._stores[owner].stamp_of(file_id)
+                for owner in replicated.holders
+                if self.is_online(owner)
+            }
+            if len(stamps) > 1:
+                divergent.append(file_id)
+        return divergent
 
     def availability(self) -> float:
         """Fraction of stored files currently readable."""
@@ -192,3 +858,17 @@ class ReplicationManager:
             return 0.0
         available = sum(1 for fid in self._files if self.is_available(fid))
         return available / len(self._files)
+
+    # -- listener plumbing ---------------------------------------------------------
+
+    def _notify_read(
+        self, file_id: str, stamp: Optional[VersionStamp], ok: bool, time: float
+    ) -> None:
+        if self.listener is not None:
+            self.listener.on_read(file_id, stamp, ok, time)
+
+    def _notify_write(
+        self, file_id: str, stamp: Optional[VersionStamp], acked: bool, time: float
+    ) -> None:
+        if self.listener is not None:
+            self.listener.on_write(file_id, stamp, acked, time)

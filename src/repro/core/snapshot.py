@@ -32,6 +32,8 @@ class TopologySnapshot:
     time: float
     positions: Dict[str, Vec2]
     links: Tuple[Tuple[str, str], ...]
+    #: Monotone sequence number assigned by the recorder (0 = unversioned).
+    version: int = 0
 
     def nodes_in_area(self, center: Vec2, radius_m: float) -> List[str]:
         """Pseudonyms observed inside a circular area."""
@@ -63,6 +65,7 @@ class TopologyRecorder:
         self.interval_s = interval_s
         self.retention = retention
         self.snapshots: List[TopologySnapshot] = []
+        self._version = 0
         self._task = None
 
     def start(self) -> None:
@@ -91,8 +94,9 @@ class TopologyRecorder:
             for b in identities[index + 1 :]
             if positions[a].distance_to(positions[b]) <= self.link_range_m
         )
+        self._version += 1
         snapshot = TopologySnapshot(
-            time=self.world.now, positions=positions, links=links
+            time=self.world.now, positions=positions, links=links, version=self._version
         )
         self.snapshots.append(snapshot)
         if len(self.snapshots) > self.retention:
@@ -102,6 +106,38 @@ class TopologyRecorder:
     def window(self, start: float, end: float) -> List[TopologySnapshot]:
         """Snapshots within a half-open time window [start, end)."""
         return [s for s in self.snapshots if start <= s.time < end]
+
+    @property
+    def latest_version(self) -> int:
+        """Version of the newest snapshot taken (0 = none yet)."""
+        return self._version
+
+    def delta_since(self, version: int) -> List[TopologySnapshot]:
+        """Retained snapshots newer than ``version``, oldest first.
+
+        This is the versioned-state-transfer primitive: a recorder
+        migrating to a new coordinator ships only the suffix the
+        receiver has not seen, not the whole retention buffer.
+        """
+        return [s for s in self.snapshots if s.version > version]
+
+    def ingest(self, snapshots: List[TopologySnapshot]) -> int:
+        """Merge transferred snapshots; returns how many were applied.
+
+        Duplicates and versions at or below what this recorder already
+        holds are discarded, so replaying the same delta is idempotent —
+        the same newest-wins rule the replicated file store applies.
+        """
+        applied = 0
+        for snapshot in sorted(snapshots, key=lambda s: s.version):
+            if snapshot.version <= self._version:
+                continue
+            self.snapshots.append(snapshot)
+            self._version = snapshot.version
+            applied += 1
+        while len(self.snapshots) > self.retention:
+            self.snapshots.pop(0)
+        return applied
 
     @property
     def storage_records(self) -> int:

@@ -19,12 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..errors import QuorumUnreachableError, ResourceError
 from ..faults.recovery import BackoffPolicy, WorkerLeases
 from ..mobility.vehicle import Vehicle
 from ..sim.engine import EventHandle, PeriodicTask
 from ..sim.world import World
 from .handover import CheckpointHandoverPolicy, HandoverPolicy
 from .membership import MembershipManager
+from .replication import (
+    FileStore,
+    QuorumConfig,
+    ReadResult,
+    ReplicationManager,
+    StoredFile,
+    WriteResult,
+)
 from .resources import Reservation, ResourceOffer, ResourcePool
 from .scheduler import (
     Allocator,
@@ -139,6 +148,9 @@ class CloudStats:
     worker_stalls: int = 0
     worker_reboots: int = 0
     lease_evictions: int = 0
+    storage_reads: int = 0
+    storage_writes: int = 0
+    storage_degraded: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -219,6 +231,8 @@ class VehicularCloud:
         self.leases: Optional[WorkerLeases] = None
         self._lease_task: Optional[PeriodicTask] = None
         self._crashed: set = set()
+        self.storage: Optional[ReplicationManager] = None
+        self._storage_capacity_bytes = 0
         self.membership.on_leave(self._on_member_left)
 
     # -- membership ------------------------------------------------------------
@@ -261,6 +275,8 @@ class VehicularCloud:
             else ResourceOffer.from_equipment(vehicle_id, vehicle.equipment, lend_fraction)
         )
         self.pool.add_offer(resolved_offer)
+        if self.storage is not None and vehicle_id not in self.storage.member_ids():
+            self.storage.add_store(FileStore(vehicle_id, self._storage_capacity_bytes))
         if self.head_id is None:
             self.head_id = vehicle_id
         return True
@@ -273,6 +289,8 @@ class VehicularCloud:
         self.pool.remove_member(vehicle_id)
         if self.leases is not None:
             self.leases.revoke(vehicle_id)
+        if self.storage is not None:
+            self.storage.remove_store(vehicle_id)
         if vehicle_id == self.head_id:
             remaining = self.membership.member_ids()
             self.head_id = remaining[0] if remaining else None
@@ -447,6 +465,8 @@ class VehicularCloud:
                 execution.crashed_at = self.world.now
                 execution.completion_handle.cancel()
                 frozen += 1
+        if self.storage is not None:
+            self.storage.set_offline(vehicle_id)
         self.stats.worker_crashes += 1
         self.world.metrics.increment(f"{self.cloud_id}/worker_crashes")
         return frozen
@@ -505,9 +525,110 @@ class VehicularCloud:
                     lambda r=record: self._try_assign(r),
                     label="task-requeue",
                 )
+        if self.storage is not None:
+            self.storage.set_offline(vehicle_id)
+            self.world.engine.schedule(
+                max(downtime_s, 1e-6),
+                lambda v=vehicle_id: self._storage_revive(v),
+                label="storage-revive",
+            )
         self.stats.worker_reboots += 1
         self.world.metrics.increment(f"{self.cloud_id}/worker_reboots")
         return len(affected)
+
+    # -- replicated storage --------------------------------------------------------
+
+    def enable_replicated_storage(
+        self,
+        capacity_bytes: int = 512_000_000,
+        quorum: Optional[QuorumConfig] = None,
+        anti_entropy_period_s: Optional[float] = None,
+        anti_entropy_backoff: Optional[BackoffPolicy] = None,
+        hinted_handoff: bool = True,
+    ) -> ReplicationManager:
+        """Turn on quorum-replicated member storage (§III.A).
+
+        Every current and future member contributes ``capacity_bytes``
+        of storage; crashes take a member's replicas offline until the
+        lease sweep evicts it (or a reboot revives it), departures
+        trigger re-replication onto survivors.  With
+        ``anti_entropy_period_s`` set, a periodic digest sweep repairs
+        divergent replicas, retrying offline holders with
+        ``anti_entropy_backoff``.
+        """
+        self._storage_capacity_bytes = capacity_bytes
+        self.storage = ReplicationManager(
+            rng=self.world.rng.fork(f"{self.cloud_id}/storage"),
+            repair=True,
+            quorum=quorum,
+            clock=lambda: self.world.now,
+            hinted_handoff=hinted_handoff,
+            metrics=self.world.metrics,
+            metric_prefix=f"{self.cloud_id}/storage",
+        )
+        for member_id in self.membership.member_ids():
+            self.storage.add_store(FileStore(member_id, capacity_bytes))
+        if anti_entropy_period_s is not None:
+            self.storage.start_anti_entropy(
+                self.world.engine,
+                anti_entropy_period_s,
+                backoff=anti_entropy_backoff,
+                label=f"{self.cloud_id}/anti-entropy",
+            )
+        return self.storage
+
+    def _storage_revive(self, vehicle_id: str) -> None:
+        if (
+            self.storage is not None
+            and vehicle_id in self.membership
+            and vehicle_id not in self._crashed
+        ):
+            self.storage.set_online(vehicle_id)
+
+    def store_put(
+        self, file_id: str, size_bytes: int, target_replicas: int = 3
+    ) -> int:
+        """Place a new shared file; returns the replica count achieved."""
+        if self.storage is None:
+            raise ResourceError("replicated storage not enabled")
+        return self.storage.store_file(
+            StoredFile(file_id=file_id, size_bytes=size_bytes, target_replicas=target_replicas)
+        )
+
+    def store_write(
+        self, file_id: str, writer: str, origin: Optional[str] = None
+    ) -> Optional[WriteResult]:
+        """Quorum-write a shared file; degrades to None when unreachable.
+
+        A write that cannot assemble its quorum (partition, mass crash,
+        coordination loss) is *rejected*, not half-applied: the caller
+        sees None, ``stats.storage_degraded`` counts the rejection, and
+        no replica state changes — the degradation contract that keeps
+        the store consistent while the cloud is impaired.
+        """
+        if self.storage is None:
+            raise ResourceError("replicated storage not enabled")
+        try:
+            result = self.storage.write(file_id, writer, origin=origin)
+        except QuorumUnreachableError:
+            self.stats.storage_degraded += 1
+            return None
+        self.stats.storage_writes += 1
+        return result
+
+    def store_read(
+        self, file_id: str, origin: Optional[str] = None
+    ) -> Optional[ReadResult]:
+        """Quorum-read a shared file; degrades to None when unreachable."""
+        if self.storage is None:
+            raise ResourceError("replicated storage not enabled")
+        try:
+            result = self.storage.read_file(file_id, origin=origin)
+        except QuorumUnreachableError:
+            self.stats.storage_degraded += 1
+            return None
+        self.stats.storage_reads += 1
+        return result
 
     # -- lease-based liveness ------------------------------------------------------
 

@@ -56,6 +56,19 @@ class ResourceError(VCloudError):
     """A resource pool could not satisfy a reservation."""
 
 
+class ReplicaPlacementError(ResourceError):
+    """Re-replication found no eligible member to host a replica.
+
+    Raised instead of a generic :class:`ResourceError` so callers can
+    degrade (serve from the surviving replicas, retry later) rather than
+    treat the condition as an unrecoverable crash.
+    """
+
+
+class QuorumUnreachableError(ResourceError):
+    """A quorum read/write could not reach enough live replicas."""
+
+
 class TaskError(VCloudError):
     """Task allocation, execution, or handover failed."""
 

@@ -16,15 +16,27 @@ Three seeded, reproducible fault families scheduled by one
 Recovery counterparts live in ``repro.faults.recovery``:
 :class:`BackoffPolicy` (exponential backoff + jitter) and
 :class:`WorkerLeases` (lease-based worker liveness).
+
+Storage dependability (experiment E12) adds
+:class:`~repro.faults.consistency.ConsistencyChecker` — the oracle that
+records the replicated store's operation history and flags stale reads,
+lost updates and replica divergence — and
+:class:`~repro.faults.storage.StorageFaultDriver`, which replays a
+plan's process/partition faults directly onto a
+:class:`~repro.core.replication.ReplicationManager`.
 """
 
+from .consistency import ConsistencyChecker, ConsistencyReport, ReadEvent, WriteEvent
 from .injector import FaultInjector
 from .network import FrameDuplicator, JitterSpike, LossBurst, Partition
 from .plan import FaultPlan, FaultSpec
 from .recovery import BackoffPolicy, WorkerLeases
+from .storage import StorageFaultDriver
 
 __all__ = [
     "BackoffPolicy",
+    "ConsistencyChecker",
+    "ConsistencyReport",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -32,5 +44,8 @@ __all__ = [
     "JitterSpike",
     "LossBurst",
     "Partition",
+    "ReadEvent",
+    "StorageFaultDriver",
     "WorkerLeases",
+    "WriteEvent",
 ]

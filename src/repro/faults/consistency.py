@@ -1,0 +1,163 @@
+"""Consistency oracle for the replicated store (experiment E12).
+
+The checker observes every read and write the
+:class:`~repro.core.replication.ReplicationManager` performs — it is
+attached as the manager's ``listener`` — and keeps a linear history of
+the acknowledged operations.  From that history it detects the two
+client-visible anomalies the paper's dependability section worries
+about, plus the internal symptom that precedes them:
+
+* **stale read** — a successful read returned a version older than the
+  newest write acknowledged before it;
+* **lost update** — two acknowledged writes minted the same version
+  counter, so last-writer-wins resolution silently discards one of
+  them (the signature of a split-brain write under ``W=1``);
+* **replica divergence** — online holders of a file disagree on its
+  version (queried live from the manager, not from history).
+
+Under ``R + W > k`` quorums the first two counts are provably zero;
+under best-effort ``R = W = 1`` the same fault schedule produces
+nonzero counts — E12's acceptance criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.replication import ReplicationManager, VersionStamp
+from ..sim.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One write as observed by the checker."""
+
+    file_id: str
+    stamp: Optional[VersionStamp]
+    acked: bool
+    time: float
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """One read as observed by the checker."""
+
+    file_id: str
+    stamp: Optional[VersionStamp]
+    ok: bool
+    time: float
+    stale: bool
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Violation totals extracted from a recorded history."""
+
+    reads: int
+    writes: int
+    failed_reads: int
+    failed_writes: int
+    stale_reads: int
+    lost_updates: int
+    divergent_files: Tuple[str, ...]
+
+    @property
+    def violations(self) -> int:
+        """Client-visible anomalies (stale reads + lost updates)."""
+        return self.stale_reads + self.lost_updates
+
+    def describe(self) -> str:
+        """One-line summary for logs and benchmark tables."""
+        return (
+            f"reads={self.reads} writes={self.writes} "
+            f"stale={self.stale_reads} lost={self.lost_updates} "
+            f"divergent={len(self.divergent_files)}"
+        )
+
+
+@dataclass
+class ConsistencyChecker:
+    """Records the store's operation history and flags anomalies.
+
+    Detection is online: each acked write advances the per-file maximum
+    acknowledged counter; a later successful read below that maximum is
+    stale the moment it happens, and a second acked write reusing an
+    already-acked counter is a lost update.  ``metrics`` (optional
+    :class:`~repro.sim.metrics.MetricsRegistry`) receives
+    ``consistency/*`` counters as violations are found.
+    """
+
+    metrics: Optional[MetricsRegistry] = None
+    metric_prefix: str = "consistency"
+    write_history: List[WriteEvent] = field(default_factory=list)
+    read_history: List[ReadEvent] = field(default_factory=list)
+    stale_reads: int = 0
+    lost_updates: int = 0
+    _max_acked: Dict[str, int] = field(default_factory=dict)
+    _acked_counters: Dict[str, Set[int]] = field(default_factory=dict)
+    _manager: Optional[ReplicationManager] = None
+
+    def attach(self, manager: ReplicationManager) -> "ConsistencyChecker":
+        """Register as ``manager.listener``; returns self for chaining."""
+        manager.listener = self
+        self._manager = manager
+        return self
+
+    def _emit(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(f"{self.metric_prefix}/{name}", amount)
+
+    # -- listener protocol (called by ReplicationManager) ----------------------
+
+    def on_write(
+        self, file_id: str, stamp: Optional[VersionStamp], acked: bool, time: float
+    ) -> None:
+        """Record one write; detect counter collisions among acked writes."""
+        self.write_history.append(WriteEvent(file_id, stamp, acked, time))
+        if not acked or stamp is None:
+            self._emit("failed_writes")
+            return
+        self._emit("writes")
+        seen = self._acked_counters.setdefault(file_id, set())
+        if stamp.counter in seen:
+            # Two acknowledged writes minted the same version: exactly one
+            # survives last-writer-wins resolution — the other is lost.
+            self.lost_updates += 1
+            self._emit("lost_updates")
+        seen.add(stamp.counter)
+        if stamp.counter > self._max_acked.get(file_id, 0):
+            self._max_acked[file_id] = stamp.counter
+
+    def on_read(
+        self, file_id: str, stamp: Optional[VersionStamp], ok: bool, time: float
+    ) -> None:
+        """Record one read; flag it stale if it trails an acked write."""
+        stale = False
+        if ok and stamp is not None:
+            if stamp.counter < self._max_acked.get(file_id, 0):
+                stale = True
+                self.stale_reads += 1
+                self._emit("stale_reads")
+            else:
+                self._emit("reads")
+        else:
+            self._emit("failed_reads")
+        self.read_history.append(ReadEvent(file_id, stamp, ok, time, stale))
+
+    # -- reporting --------------------------------------------------------------
+
+    def report(self) -> ConsistencyReport:
+        """Summarise the history (divergence queried from the manager)."""
+        divergent: Tuple[str, ...] = ()
+        if self._manager is not None:
+            divergent = tuple(self._manager.divergent_files())
+        return ConsistencyReport(
+            reads=sum(1 for e in self.read_history if e.ok),
+            writes=sum(1 for e in self.write_history if e.acked),
+            failed_reads=sum(1 for e in self.read_history if not e.ok),
+            failed_writes=sum(1 for e in self.write_history if not e.acked),
+            stale_reads=self.stale_reads,
+            lost_updates=self.lost_updates,
+            divergent_files=divergent,
+        )

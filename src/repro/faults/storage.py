@@ -1,0 +1,133 @@
+"""Maps a :class:`~repro.faults.plan.FaultPlan` onto the replicated store.
+
+:class:`~repro.faults.injector.FaultInjector` drives faults through a
+full :class:`~repro.core.vcloud.VehicularCloud`; experiment E12 also
+needs to stress a bare :class:`~repro.core.replication.ReplicationManager`
+without standing up membership, allocation and networking.
+:class:`StorageFaultDriver` translates the process and partition specs
+of a plan directly into manager state:
+
+* ``crash``   → holder offline for ``crash_downtime_s``, then revived
+  (hinted handoff fires at revival);
+* ``stall``   → holder offline for the stall's ``duration_s``;
+* ``reboot``  → holder offline for ``downtime_s``;
+* ``partition`` → :meth:`ReplicationManager.set_partition` over the
+  spec's groups (or a seeded ``fraction`` split), cleared after
+  ``duration_s``.
+
+Network-layer kinds (``loss_burst``, ``jitter_spike``, ``duplication``)
+and infrastructure kinds have no storage-level analogue here and are
+skipped; unspecified targets are drawn from the plan's seed so the same
+seed yields the same storage schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.replication import ReplicationManager
+from ..sim.engine import Engine
+from ..sim.rng import SeededRng
+from .plan import FaultPlan, FaultSpec
+
+
+class StorageFaultDriver:
+    """Schedules a plan's process/partition faults onto a manager."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        manager: ReplicationManager,
+        plan: FaultPlan,
+        crash_downtime_s: float = 20.0,
+    ) -> None:
+        self.engine = engine
+        self.manager = manager
+        self.plan = plan
+        self.crash_downtime_s = crash_downtime_s
+        self.rng = SeededRng(plan.seed, "storage-faults")
+        self.ledger: List[Tuple[float, str, str]] = []
+        self.skipped: List[FaultSpec] = []
+        self._armed = False
+
+    def arm(self) -> int:
+        """Schedule every applicable spec; returns the number armed."""
+        if self._armed:
+            return 0
+        self._armed = True
+        armed = 0
+        for spec in self.plan.schedule():
+            if spec.kind in ("crash", "stall", "reboot"):
+                self.engine.schedule_at(
+                    spec.at,
+                    lambda s=spec: self._fire_outage(s),
+                    label=f"storage-fault/{spec.kind}",
+                )
+                armed += 1
+            elif spec.kind == "partition":
+                self.engine.schedule_at(
+                    spec.at,
+                    lambda s=spec: self._fire_partition(s),
+                    label="storage-fault/partition",
+                )
+                armed += 1
+            else:
+                self.skipped.append(spec)
+        return armed
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.ledger.append((self.engine.now, kind, detail))
+
+    def _pick_target(self, spec: FaultSpec) -> Optional[str]:
+        target = spec.param("target")
+        if target is not None:
+            return str(target)
+        online = self.manager.online_member_ids()
+        if not online:
+            return None
+        return self.rng.choice(online)
+
+    def _fire_outage(self, spec: FaultSpec) -> None:
+        target = self._pick_target(spec)
+        if target is None:
+            self._record(spec.kind, "no online target")
+            return
+        if spec.kind == "crash":
+            downtime = self.crash_downtime_s
+        elif spec.kind == "stall":
+            downtime = float(spec.param("duration_s", 5.0))  # type: ignore[arg-type]
+        else:
+            downtime = float(spec.param("downtime_s", 5.0))  # type: ignore[arg-type]
+        self.manager.set_offline(target)
+        self._record(spec.kind, f"{target} down {downtime:.1f}s")
+        self.engine.schedule(
+            downtime,
+            lambda t=target: self._revive(t),
+            label=f"storage-fault/{spec.kind}-revive",
+        )
+
+    def _revive(self, target: str) -> None:
+        self.manager.set_online(target)
+        self._record("revive", target)
+
+    def _fire_partition(self, spec: FaultSpec) -> None:
+        group_a = spec.param("group_a")
+        group_b = spec.param("group_b")
+        if group_a is None or group_b is None:
+            members = self.manager.online_member_ids()
+            if len(members) < 2:
+                self._record("partition", "too few members")
+                return
+            fraction = float(spec.param("fraction", 0.5))  # type: ignore[arg-type]
+            cut = max(1, min(len(members) - 1, round(len(members) * fraction)))
+            side_a = self.rng.sample(members, cut)
+            group_a = tuple(sorted(side_a))
+            group_b = tuple(sorted(set(members) - set(side_a)))
+        self.manager.set_partition(tuple(group_a), tuple(group_b))  # type: ignore[arg-type]
+        duration = float(spec.param("duration_s", 10.0))  # type: ignore[arg-type]
+        self._record("partition", f"{group_a}|{group_b} for {duration:.1f}s")
+        self.engine.schedule(duration, self._heal, label="storage-fault/heal")
+
+    def _heal(self) -> None:
+        self.manager.clear_partition()
+        self._record("heal", "partition cleared")

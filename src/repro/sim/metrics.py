@@ -101,6 +101,21 @@ class MetricsRegistry:
         """Return the counter value, 0 if never incremented."""
         return self.counters.get(name, 0.0)
 
+    def counters_under(self, prefix: str) -> Dict[str, float]:
+        """All counters below a ``/``-separated prefix, keyed by suffix.
+
+        ``counters_under("storage")`` returns ``{"stale_reads": 2.0, ...}``
+        for every counter named ``storage/<suffix>`` — how experiments
+        pull one subsystem's counters (e.g. the replicated store's
+        stale-read/repair family) out of a shared registry.
+        """
+        lead = prefix.rstrip("/") + "/"
+        return {
+            name[len(lead):]: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith(lead)
+        }
+
     # -- gauges ---------------------------------------------------------------
 
     def set_gauge(self, name: str, value: float) -> None:

@@ -1,0 +1,221 @@
+"""Tests for the consistency checker and storage fault driver (E12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FileStore,
+    QuorumConfig,
+    ReplicationManager,
+    ResourceOffer,
+    StoredFile,
+    VehicularCloud,
+    VersionStamp,
+)
+from repro.errors import QuorumUnreachableError, ResourceError
+from repro.faults import ConsistencyChecker, FaultPlan, StorageFaultDriver
+from repro.geometry import Vec2
+from repro.mobility import StationaryModel
+from repro.sim import Engine, ScenarioConfig, SeededRng, World
+
+
+def make_manager(members=3, quorum=None, **kwargs):
+    manager = ReplicationManager(SeededRng(21, "cons"), quorum=quorum, **kwargs)
+    for index in range(members):
+        manager.add_store(FileStore(f"v{index}", 10_000))
+    return manager
+
+
+class TestConsistencyChecker:
+    def test_clean_history_has_no_violations(self):
+        manager = make_manager(quorum=QuorumConfig.majority(3))
+        checker = ConsistencyChecker().attach(manager)
+        manager.store_file(StoredFile("f1", 100, 3))
+        for round_no in range(5):
+            manager.write("f1", writer=f"w{round_no}")
+            manager.read_file("f1")
+        report = checker.report()
+        assert report.reads == 5 and report.writes == 5
+        assert report.violations == 0
+        assert report.divergent_files == ()
+
+    def test_stale_read_is_flagged(self):
+        manager = make_manager(quorum=QuorumConfig(1, 1), hinted_handoff=False)
+        checker = ConsistencyChecker().attach(manager)
+        manager.store_file(StoredFile("f1", 100, 3))
+        holders = manager.holders_of("f1")
+        manager.set_partition([holders[0]], holders[1:])
+        manager.write("f1", writer="w", origin=holders[1])
+        manager.read_file("f1", origin=holders[0])  # sees the old version
+        assert checker.stale_reads == 1
+        assert checker.report().violations == 1
+        assert checker.read_history[-1].stale
+
+    def test_lost_update_is_flagged_on_counter_collision(self):
+        manager = make_manager(quorum=QuorumConfig(1, 1), hinted_handoff=False)
+        checker = ConsistencyChecker().attach(manager)
+        manager.store_file(StoredFile("f1", 100, 3))
+        holders = manager.holders_of("f1")
+        manager.set_partition([holders[0]], holders[1:])
+        manager.write("f1", writer="wa", origin=holders[0])
+        manager.write("f1", writer="wb", origin=holders[1])
+        assert checker.lost_updates == 1
+        assert checker.report().lost_updates == 1
+
+    def test_failed_operations_recorded_not_violations(self):
+        manager = make_manager(quorum=QuorumConfig.majority(3))
+        checker = ConsistencyChecker().attach(manager)
+        manager.store_file(StoredFile("f1", 100, 3))
+        for owner in manager.holders_of("f1")[:2]:
+            manager.set_offline(owner)
+        with pytest.raises(QuorumUnreachableError):
+            manager.write("f1", writer="w")
+        with pytest.raises(QuorumUnreachableError):
+            manager.read_file("f1")
+        report = checker.report()
+        assert report.failed_reads == 1 and report.failed_writes == 1
+        assert report.violations == 0
+
+    def test_divergence_surfaces_in_report(self):
+        manager = make_manager(quorum=QuorumConfig(1, 1))
+        checker = ConsistencyChecker().attach(manager)
+        manager.store_file(StoredFile("f1", 100, 3))
+        holders = manager.holders_of("f1")
+        manager._stores[holders[0]].apply("f1", 100, VersionStamp(9, "x"))
+        assert checker.report().divergent_files == ("f1",)
+
+    def test_describe(self):
+        report = ConsistencyChecker().report()
+        assert "stale=0" in report.describe()
+
+
+class TestStorageFaultDriver:
+    def _driven(self, plan, quorum=None, **kwargs):
+        engine = Engine()
+        manager = make_manager(members=4, quorum=quorum, **kwargs)
+        manager.store_file(StoredFile("f1", 100, 3))
+        driver = StorageFaultDriver(engine, manager, plan, crash_downtime_s=5.0)
+        return engine, manager, driver
+
+    def test_crash_takes_member_offline_then_revives(self):
+        plan = FaultPlan(seed=7).crash(at=1.0, target="v0")
+        engine, manager, driver = self._driven(plan)
+        assert driver.arm() == 1
+        engine.run_until(2.0)
+        assert not manager.is_online("v0")
+        engine.run_until(7.0)
+        assert manager.is_online("v0")
+        kinds = [kind for _, kind, _ in driver.ledger]
+        assert kinds == ["crash", "revive"]
+
+    def test_partition_splits_and_heals(self):
+        plan = FaultPlan(seed=7).partition(at=1.0, duration_s=3.0, fraction=0.5)
+        engine, manager, driver = self._driven(plan)
+        driver.arm()
+        engine.run_until(2.0)
+        assert manager._partition is not None
+        engine.run_until(5.0)
+        assert manager._partition is None
+
+    def test_explicit_groups_respected(self):
+        plan = FaultPlan(seed=7).partition(
+            at=1.0, duration_s=3.0, group_a=["v0"], group_b=["v1", "v2", "v3"]
+        )
+        engine, manager, driver = self._driven(plan)
+        driver.arm()
+        engine.run_until(2.0)
+        assert not manager._can_reach("v0", "v1")
+        assert manager._can_reach("v1", "v2")
+
+    def test_network_only_faults_are_skipped(self):
+        plan = FaultPlan(seed=7).loss_burst(at=1.0, duration_s=2.0, drop_probability=0.5)
+        plan.jitter_spike(at=2.0, duration_s=2.0, max_extra_delay_s=0.1)
+        engine, manager, driver = self._driven(plan)
+        assert driver.arm() == 0
+        assert len(driver.skipped) == 2
+
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed).random_crashes(count=2, window=(1.0, 8.0))
+            engine, manager, driver = self._driven(plan)
+            driver.arm()
+            engine.run_until(20.0)
+            return driver.ledger
+
+        assert run(13) == run(13)
+        assert run(13) != run(14)
+
+
+def make_cloud(world, members=5):
+    model = StationaryModel(world, positions=[Vec2(i * 30.0, 0) for i in range(members)])
+    vehicles = model.populate(members)
+    cloud = VehicularCloud(world, "store-vc")
+    for vehicle in vehicles:
+        cloud.admit(vehicle, offer=ResourceOffer(vehicle.vehicle_id, 1000.0, 10**9, 1e6))
+    return vehicles, cloud
+
+
+class TestVehicularCloudStorage:
+    def test_requires_enable(self):
+        world = World(ScenarioConfig(seed=3))
+        _vehicles, cloud = make_cloud(world)
+        with pytest.raises(ResourceError):
+            cloud.store_put("f1", 100)
+
+    def test_put_write_read_roundtrip(self):
+        world = World(ScenarioConfig(seed=3))
+        _vehicles, cloud = make_cloud(world)
+        cloud.enable_replicated_storage(quorum=QuorumConfig.majority(3))
+        assert cloud.store_put("f1", 1000, target_replicas=3) == 3
+        written = cloud.store_write("f1", writer="head")
+        result = cloud.store_read("f1")
+        assert result is not None and result.stamp == written.stamp
+        assert cloud.stats.storage_reads == 1
+        assert cloud.stats.storage_writes == 1
+
+    def test_degrades_when_quorum_unreachable(self):
+        world = World(ScenarioConfig(seed=3))
+        _vehicles, cloud = make_cloud(world)
+        cloud.enable_replicated_storage(quorum=QuorumConfig.majority(3))
+        cloud.store_put("f1", 1000, target_replicas=3)
+        for owner in cloud.storage.holders_of("f1")[:2]:
+            cloud.mark_worker_crashed(owner)
+        assert cloud.store_write("f1", writer="head") is None
+        assert cloud.store_read("f1") is None
+        assert cloud.stats.storage_degraded == 2
+
+    def test_crash_eviction_triggers_re_replication(self):
+        world = World(ScenarioConfig(seed=3))
+        vehicles, cloud = make_cloud(world)
+        cloud.enable_replicated_storage(quorum=QuorumConfig.majority(3))
+        cloud.enable_worker_leases(lease_duration_s=2.0, sweep_interval_s=0.5)
+        cloud.store_put("f1", 1000, target_replicas=3)
+        victim = cloud.storage.holders_of("f1")[0]
+        world.run_for(1.0)
+        cloud.mark_worker_crashed(victim)
+        world.run_for(5.0)  # lease lapses -> eviction -> repair
+        assert victim not in cloud.membership
+        assert victim not in cloud.storage.holders_of("f1")
+        assert len(cloud.storage.holders_of("f1")) == 3
+        assert cloud.store_read("f1") is not None
+
+    def test_reboot_revives_storage(self):
+        world = World(ScenarioConfig(seed=3))
+        _vehicles, cloud = make_cloud(world)
+        cloud.enable_replicated_storage(quorum=QuorumConfig.majority(3))
+        cloud.store_put("f1", 1000, target_replicas=3)
+        victim = cloud.storage.holders_of("f1")[0]
+        cloud.reboot_worker(victim, downtime_s=2.0)
+        assert not cloud.storage.is_online(victim)
+        world.run_for(3.0)
+        assert cloud.storage.is_online(victim)
+
+    def test_new_member_contributes_storage(self):
+        world = World(ScenarioConfig(seed=3))
+        _vehicles, cloud = make_cloud(world, members=2)
+        cloud.enable_replicated_storage(quorum=QuorumConfig(1, 1))
+        model = StationaryModel(world, positions=[Vec2(500.0, 0)])
+        (late,) = model.populate(1)
+        cloud.admit(late, offer=ResourceOffer(late.vehicle_id, 1000.0, 10**9, 1e6))
+        assert late.vehicle_id in cloud.storage.member_ids()

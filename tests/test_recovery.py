@@ -65,7 +65,59 @@ class TestBackoffPolicy:
             BackoffPolicy().delay_for(-1)
 
 
+class TestBackoffDeterminism:
+    def test_delay_sequence_identical_for_one_seed(self):
+        policy = BackoffPolicy(
+            base_delay_s=0.25, multiplier=2.0, max_delay_s=6.0, jitter_fraction=0.3
+        )
+        runs = []
+        for _ in range(3):
+            rng = SeededRng(42, "backoff")
+            runs.append([policy.delay_for(a, rng) for a in range(8)])
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_different_seeds_diverge(self):
+        policy = BackoffPolicy(jitter_fraction=0.3)
+        seq_a = [policy.delay_for(a, SeededRng(1, "b")) for a in range(6)]
+        seq_b = [policy.delay_for(a, SeededRng(2, "b")) for a in range(6)]
+        assert seq_a != seq_b
+
+    def test_cap_bounds_jittered_delays(self):
+        policy = BackoffPolicy(
+            base_delay_s=1.0, multiplier=3.0, max_delay_s=5.0, jitter_fraction=0.25
+        )
+        rng = SeededRng(9, "cap")
+        for attempt in range(20, 40):
+            delay = policy.delay_for(attempt, rng)
+            # Jitter applies around the capped nominal, never beyond it.
+            assert 5.0 * 0.75 <= delay <= 5.0 * 1.25
+
+    def test_cap_without_jitter_is_exact(self):
+        policy = BackoffPolicy(
+            base_delay_s=1.0, multiplier=2.0, max_delay_s=3.0, jitter_fraction=0.0
+        )
+        assert [policy.delay_for(a) for a in range(2, 10)] == [3.0] * 8
+
+
 class TestWorkerLeases:
+    def test_expiry_boundary_tick_is_not_expired(self):
+        # A lease granted at t=0 with duration 5 expires *after* t=5.0:
+        # the boundary tick itself still counts as leased (strict <).
+        leases = WorkerLeases(lease_duration_s=5.0)
+        leases.grant("w1", now=0.0)
+        assert leases.expires_at("w1") == 5.0
+        assert leases.expired(4.999) == []
+        assert leases.expired(5.0) == []
+        assert leases.expired(5.000001) == ["w1"]
+
+    def test_renewal_moves_the_boundary(self):
+        leases = WorkerLeases(lease_duration_s=5.0)
+        leases.grant("w1", now=0.0)
+        leases.renew("w1", now=3.0)
+        assert leases.expired(8.0) == []
+        assert leases.expired(8.5) == ["w1"]
+
+
     def test_grant_renew_expire(self):
         leases = WorkerLeases(lease_duration_s=5.0)
         leases.grant("w1", now=0.0)

@@ -1,0 +1,371 @@
+"""Tests for the quorum-consistent replicated store (tentpole, E12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FileStore,
+    QuorumConfig,
+    ReplicationManager,
+    StoredFile,
+    VersionStamp,
+    ZERO_STAMP,
+)
+from repro.core.replication import ReadResult, WriteResult
+from repro.errors import (
+    ConfigurationError,
+    QuorumUnreachableError,
+    ReplicaPlacementError,
+    ResourceError,
+)
+from repro.faults import BackoffPolicy
+from repro.sim import Engine, SeededRng
+
+
+def make_manager(members=5, capacity=1000, quorum=None, **kwargs):
+    manager = ReplicationManager(SeededRng(11, "repl"), quorum=quorum, **kwargs)
+    for index in range(members):
+        manager.add_store(FileStore(f"v{index}", capacity))
+    return manager
+
+
+def stamps_of(manager, file_id):
+    return {
+        owner: manager._stores[owner].stamp_of(file_id)
+        for owner in manager.holders_of(file_id)
+    }
+
+
+class TestVersionStamp:
+    def test_ordering_is_counter_then_writer(self):
+        assert VersionStamp(2, "a") > VersionStamp(1, "z")
+        assert VersionStamp(2, "b") > VersionStamp(2, "a")
+        assert ZERO_STAMP < VersionStamp(1, "")
+
+    def test_describe(self):
+        assert VersionStamp(3, "v7").describe() == "3@v7"
+
+
+class TestQuorumConfig:
+    def test_majority(self):
+        assert QuorumConfig.majority(3) == QuorumConfig(2, 2)
+        assert QuorumConfig.majority(5) == QuorumConfig(3, 3)
+
+    def test_safety_predicate(self):
+        assert QuorumConfig.majority(3).is_safe_for(3)
+        assert not QuorumConfig(1, 1).is_safe_for(3)
+        assert QuorumConfig(3, 1).is_safe_for(3)
+
+    def test_lost_update_prevention_needs_write_overlap(self):
+        assert QuorumConfig.majority(3).prevents_lost_updates(3)
+        assert QuorumConfig(3, 1).prevents_lost_updates(3)
+        # Read overlap alone (W=1, R=k) does not protect writes.
+        assert QuorumConfig(1, 3).is_safe_for(3)
+        assert not QuorumConfig(1, 3).prevents_lost_updates(3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuorumConfig(0, 1)
+        with pytest.raises(ConfigurationError):
+            QuorumConfig.majority(0)
+
+
+class TestVersionedFileStore:
+    def test_running_used_bytes_counter(self):
+        store = FileStore("v0", 100)
+        store.put("a", 40)
+        store.put("b", 30)
+        assert store.used_bytes == 70 and store.free_bytes == 30
+        store.drop("a")
+        assert store.used_bytes == 30
+        store.drop("a")  # idempotent
+        assert store.used_bytes == 30
+
+    def test_apply_moves_only_forward(self):
+        store = FileStore("v0", 100)
+        store.put("a", 10, VersionStamp(2, "x"))
+        assert not store.apply("a", 10, VersionStamp(1, "y"))
+        assert not store.apply("a", 10, VersionStamp(2, "x"))
+        assert store.apply("a", 10, VersionStamp(3, "y"))
+        assert store.stamp_of("a") == VersionStamp(3, "y")
+
+    def test_digest_equality_tracks_stamps(self):
+        a, b = FileStore("a", 100), FileStore("b", 100)
+        for store in (a, b):
+            store.put("f1", 10, VersionStamp(1))
+            store.put("f2", 10, VersionStamp(1))
+        assert a.digest() == b.digest()
+        b.apply("f2", 10, VersionStamp(2, "w"))
+        assert a.digest() != b.digest()
+        assert a.digest(["f1"]) == b.digest(["f1"])
+
+    def test_bucket_digests_narrow_divergence(self):
+        a, b = FileStore("a", 10_000), FileStore("b", 10_000)
+        files = [f"f{i}" for i in range(40)]
+        for fid in files:
+            a.put(fid, 10, VersionStamp(1))
+            b.put(fid, 10, VersionStamp(1))
+        b.apply("f7", 10, VersionStamp(2, "w"))
+        digests_a, digests_b = a.bucket_digests(files), b.bucket_digests(files)
+        differing = [k for k in digests_a if digests_a[k] != digests_b.get(k)]
+        assert len(differing) == 1
+
+
+class TestQuorumReadWrite:
+    def test_write_advances_all_reachable_replicas(self):
+        manager = make_manager(quorum=QuorumConfig.majority(3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        result = manager.write("f1", writer="v9")
+        assert isinstance(result, WriteResult)
+        assert result.stamp.counter == 2  # initial placement stamped 1
+        assert set(stamps_of(manager, "f1").values()) == {result.stamp}
+
+    def test_read_serves_newest_and_repairs_stale(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(3, 3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        holders = manager.holders_of("f1")
+        # Force divergence directly on one replica.
+        manager._stores[holders[0]].apply("f1", 100, VersionStamp(5, "x"))
+        result = manager.read_file("f1")
+        assert isinstance(result, ReadResult)
+        assert result.stamp == VersionStamp(5, "x")
+        assert result.repaired == 2
+        assert manager.read_repairs == 2
+        assert len(set(stamps_of(manager, "f1").values())) == 1
+
+    def test_write_below_quorum_raises_and_mutates_nothing(self):
+        manager = make_manager(members=3, quorum=QuorumConfig.majority(3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        before = stamps_of(manager, "f1")
+        for owner in manager.holders_of("f1")[:2]:
+            manager.set_offline(owner)
+        with pytest.raises(QuorumUnreachableError):
+            manager.write("f1", writer="w")
+        assert manager.failed_writes == 1
+        assert stamps_of(manager, "f1") == before
+
+    def test_read_below_quorum_raises(self):
+        manager = make_manager(members=3, quorum=QuorumConfig.majority(3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        for owner in manager.holders_of("f1")[:2]:
+            manager.set_offline(owner)
+        with pytest.raises(QuorumUnreachableError):
+            manager.read_file("f1")
+
+    def test_unknown_file(self):
+        manager = make_manager()
+        with pytest.raises(ResourceError):
+            manager.read_file("nope")
+        with pytest.raises(ResourceError):
+            manager.write("nope", writer="w")
+
+    def test_legacy_read_returns_holder_or_none(self):
+        manager = make_manager(members=3)
+        manager.store_file(StoredFile("f1", 100, 2))
+        assert manager.read("f1") in manager.holders_of("f1")
+        for owner in manager.holders_of("f1"):
+            manager.set_offline(owner)
+        assert manager.read("f1") is None
+
+    def test_quorum_overlap_prevents_stale_read(self):
+        # R + W > k: after any write, every read must see its stamp.
+        manager = make_manager(members=5, quorum=QuorumConfig.majority(3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        for round_no in range(10):
+            written = manager.write("f1", writer=f"w{round_no}").stamp
+            assert manager.read_file("f1").stamp == written
+
+
+class TestPartitions:
+    def _split(self, manager, file_id):
+        holders = manager.holders_of(file_id)
+        minority, majority = [holders[0]], holders[1:]
+        manager.set_partition(minority, majority + [
+            m for m in manager.member_ids() if m not in holders
+        ])
+        return minority[0], majority
+
+    def test_best_effort_minority_read_is_stale(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(1, 1), hinted_handoff=False)
+        manager.store_file(StoredFile("f1", 100, 3))
+        minority, majority = self._split(manager, "f1")
+        manager.write("f1", writer="w", origin=majority[0])
+        stale = manager._stores[minority].stamp_of("f1")
+        assert stale.counter == 1  # minority replica missed the write
+        result = manager.read_file("f1", origin=minority)
+        assert result.stamp == stale
+
+    def test_best_effort_split_brain_collides_counters(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(1, 1), hinted_handoff=False)
+        manager.store_file(StoredFile("f1", 100, 3))
+        minority, majority = self._split(manager, "f1")
+        a = manager.write("f1", writer="wa", origin=minority)
+        b = manager.write("f1", writer="wb", origin=majority[0])
+        assert a.stamp.counter == b.stamp.counter  # the lost-update signature
+
+    def test_majority_quorum_rejects_minority_side(self):
+        manager = make_manager(members=3, quorum=QuorumConfig.majority(3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        minority, majority = self._split(manager, "f1")
+        with pytest.raises(QuorumUnreachableError):
+            manager.write("f1", writer="w", origin=minority)
+        assert manager.write("f1", writer="w", origin=majority[0]).replicas_updated == 2
+
+    def test_heal_delivers_hints(self):
+        manager = make_manager(members=3, quorum=QuorumConfig.majority(3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        minority, majority = self._split(manager, "f1")
+        written = manager.write("f1", writer="w", origin=majority[0])
+        assert written.hinted == 1
+        manager.clear_partition()
+        assert manager.hints_delivered == 1
+        assert manager._stores[minority].stamp_of("f1") == written.stamp
+
+
+class TestHintedHandoff:
+    def test_offline_holder_catches_up_at_revival(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(2, 2))
+        manager.store_file(StoredFile("f1", 100, 3))
+        victim = manager.holders_of("f1")[0]
+        manager.set_offline(victim)
+        written = manager.write("f1", writer="w")
+        assert written.hinted == 1 and manager.hints_stored == 1
+        assert manager._stores[victim].stamp_of("f1").counter == 1
+        manager.set_online(victim)
+        assert manager.hints_delivered == 1
+        assert manager._stores[victim].stamp_of("f1") == written.stamp
+
+    def test_hints_disabled(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(2, 2), hinted_handoff=False)
+        manager.store_file(StoredFile("f1", 100, 3))
+        victim = manager.holders_of("f1")[0]
+        manager.set_offline(victim)
+        manager.write("f1", writer="w")
+        manager.set_online(victim)
+        assert manager.hints_stored == 0
+        assert manager._stores[victim].stamp_of("f1").counter == 1
+
+
+class TestRepairAndPlacement:
+    def test_offline_members_skipped_before_capacity(self):
+        manager = ReplicationManager(SeededRng(3, "r"))
+        manager.add_store(FileStore("big-offline", 10_000))
+        manager.add_store(FileStore("small-online", 200))
+        manager.set_offline("big-offline")
+        placed = manager.store_file(StoredFile("f1", 100, 2))
+        assert placed == 1
+        assert manager.holders_of("f1") == ["small-online"]
+
+    def test_repair_file_raises_typed_error_without_placement(self):
+        manager = make_manager(members=2, capacity=100)
+        manager.store_file(StoredFile("f1", 80, 2))
+        # Departure leaves one holder; the other member has no room.
+        survivor, gone = manager.holders_of("f1")[0], manager.holders_of("f1")[1]
+        manager.remove_store(gone)
+        assert manager.repair_failures == 1  # departure repair already failed
+        with pytest.raises(ReplicaPlacementError):
+            manager.repair_file("f1")
+        # The typed error is still a ResourceError for legacy handlers.
+        with pytest.raises(ResourceError):
+            manager.repair_file("f1")
+        assert manager.holders_of("f1") == [survivor]
+
+    def test_repair_file_raises_without_online_source(self):
+        manager = make_manager(members=4)
+        manager.store_file(StoredFile("f1", 100, 2))
+        holders = manager.holders_of("f1")
+        for owner in holders:
+            manager.set_offline(owner)
+        manager.remove_store(holders[0])
+        with pytest.raises(ReplicaPlacementError):
+            manager.repair_file("f1")
+
+    def test_departure_repair_copies_newest_version(self):
+        manager = make_manager(members=4, quorum=QuorumConfig.majority(3))
+        manager.store_file(StoredFile("f1", 100, 3))
+        written = manager.write("f1", writer="w")
+        victim = manager.holders_of("f1")[0]
+        manager.remove_store(victim)
+        assert len(manager.holders_of("f1")) == 3
+        assert set(stamps_of(manager, "f1").values()) == {written.stamp}
+        assert manager.repair_transfers == 1
+
+
+class TestAntiEntropy:
+    def test_round_reconciles_divergent_holders(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(1, 1))
+        manager.store_file(StoredFile("f1", 100, 3))
+        holders = manager.holders_of("f1")
+        manager._stores[holders[0]].apply("f1", 100, VersionStamp(7, "x"))
+        assert manager.divergent_files() == ["f1"]
+        engine = Engine()
+        manager.start_anti_entropy(engine, period_s=1.0)
+        engine.run_until(3.5)
+        assert manager.divergent_files() == []
+        assert manager.anti_entropy_repairs >= 1
+        assert set(stamps_of(manager, "f1").values()) == {VersionStamp(7, "x")}
+
+    def test_offline_holder_retried_with_backoff_until_revival(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(2, 2), hinted_handoff=False)
+        manager.store_file(StoredFile("f1", 100, 3))
+        victim = manager.holders_of("f1")[0]
+        manager.set_offline(victim)
+        written = manager.write("f1", writer="w")
+        engine = Engine()
+        backoff = BackoffPolicy(
+            base_delay_s=0.5, multiplier=2.0, max_delay_s=4.0,
+            jitter_fraction=0.0, max_retries=10,
+        )
+        manager.start_anti_entropy(engine, period_s=1.0, backoff=backoff)
+        engine.schedule_at(2.6, lambda: manager.set_online(victim))
+        engine.run_until(10.0)
+        assert manager.anti_entropy_failed_transfers >= 1
+        assert manager._stores[victim].stamp_of("f1") == written.stamp
+        assert manager.divergent_files() == []
+
+    def test_retry_chain_is_bounded(self):
+        manager = make_manager(members=3, quorum=QuorumConfig(2, 2), hinted_handoff=False)
+        manager.store_file(StoredFile("f1", 100, 3))
+        victim = manager.holders_of("f1")[0]
+        manager.set_offline(victim)
+        manager.write("f1", writer="w")
+        engine = Engine()
+        backoff = BackoffPolicy(
+            base_delay_s=0.1, multiplier=1.0, max_delay_s=0.1,
+            jitter_fraction=0.0, max_retries=2,
+        )
+        manager.start_anti_entropy(engine, period_s=100.0)
+        manager._backoff = backoff
+        manager.anti_entropy_round()
+        manager.stop_anti_entropy()
+        engine.drain(max_events=10_000)
+        # One initial failure per sweep plus max_retries retry failures.
+        assert manager.anti_entropy_failed_transfers == 3
+
+    def test_validation(self):
+        manager = make_manager()
+        with pytest.raises(ConfigurationError):
+            manager.start_anti_entropy(Engine(), period_s=0.0)
+
+
+class TestMetricsEmission:
+    def test_counters_flow_into_registry_under_prefix(self):
+        from repro.sim import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        manager = ReplicationManager(
+            SeededRng(5, "m"), metrics=metrics, metric_prefix="vc/storage"
+        )
+        for index in range(3):
+            manager.add_store(FileStore(f"v{index}", 1000))
+        manager.store_file(StoredFile("f1", 100, 3))
+        manager.write("f1", writer="w")
+        manager.read_file("f1")
+        flat = metrics.counters_under("vc/storage")
+        assert flat["writes"] == 1.0
+        assert flat["reads"] == 1.0
+        assert metrics.counters_under("vc") == {
+            "storage/reads": 1.0,
+            "storage/writes": 1.0,
+        }
