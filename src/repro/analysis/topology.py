@@ -17,20 +17,41 @@ import networkx as nx
 
 from ..errors import ConfigurationError
 from ..mobility.vehicle import Vehicle
+from ..sim.spatial import SpatialGrid
 
 
-def radio_graph(vehicles: Sequence[Vehicle], range_m: float) -> "nx.Graph":
-    """Build the unit-disc radio graph of a vehicle snapshot."""
+def radio_graph(
+    vehicles: Sequence[Vehicle], range_m: float, use_index: bool = True
+) -> "nx.Graph":
+    """Build the unit-disc radio graph of a vehicle snapshot.
+
+    Edges are discovered through a :class:`SpatialGrid` (O(n·k)) rather
+    than the O(n²) pairwise scan; the resulting graph is identical —
+    same node set, same edge set, same insertion order.  Snapshots with
+    duplicate vehicle ids (which collapse to one graph node anyway) fall
+    back to the brute-force path.
+    """
     if range_m <= 0:
         raise ConfigurationError("range_m must be positive")
     graph = nx.Graph()
     ordered = list(vehicles)
     for vehicle in ordered:
         graph.add_node(vehicle.vehicle_id)
-    for index, a in enumerate(ordered):
-        for b in ordered[index + 1 :]:
-            if a.distance_to(b) <= range_m:
-                graph.add_edge(a.vehicle_id, b.vehicle_id)
+    if not use_index or graph.number_of_nodes() != len(ordered):
+        for index, a in enumerate(ordered):
+            for b in ordered[index + 1 :]:
+                if a.distance_to(b) <= range_m:
+                    graph.add_edge(a.vehicle_id, b.vehicle_id)
+        return graph
+    grid: "SpatialGrid[str]" = SpatialGrid(cell_size_m=range_m)
+    index_of: Dict[str, int] = {}
+    for index, vehicle in enumerate(ordered):
+        grid.insert(vehicle.vehicle_id, vehicle.position)
+        index_of[vehicle.vehicle_id] = index
+    for index, vehicle in enumerate(ordered):
+        for other_id in grid.within(vehicle.position, range_m):
+            if index_of[other_id] > index:
+                graph.add_edge(vehicle.vehicle_id, other_id)
     return graph
 
 
@@ -81,20 +102,29 @@ def partition_risk(vehicles: Sequence[Vehicle], range_m: float) -> Dict[str, flo
 
     The complement of head-placement quality: electing an articulation
     point as captain risks losing half the cloud when it leaves.
+
+    The graph is built once and each departure is evaluated on a
+    node-removed view with :func:`nx.connected_components`; only
+    component sizes matter here, so the diameter and articulation-point
+    work :func:`topology_stats` would do per departure is skipped.
     """
-    baseline = topology_stats(vehicles, range_m)
-    if baseline.nodes <= 1:
+    graph = radio_graph(vehicles, range_m)
+    node_count = graph.number_of_nodes()
+    if node_count <= 1:
         return {v.vehicle_id: 0.0 for v in vehicles}
+    baseline_giant = max(len(c) for c in nx.connected_components(graph))
+    baseline_fraction = baseline_giant / node_count
+    # Damage = how much of the (relative) giant component vanished
+    # beyond the departed node itself.
+    expected = (baseline_fraction * node_count - 1) / max(1, node_count - 1)
     risks: Dict[str, float] = {}
     for vehicle in vehicles:
-        remaining = [v for v in vehicles if v.vehicle_id != vehicle.vehicle_id]
-        after = topology_stats(remaining, range_m)
-        # Damage = how much of the (relative) giant component vanished
-        # beyond the departed node itself.
-        expected = (baseline.giant_fraction * baseline.nodes - 1) / max(
-            1, baseline.nodes - 1
+        view = nx.restricted_view(graph, [vehicle.vehicle_id], [])
+        giant_after = max(
+            (len(c) for c in nx.connected_components(view)), default=0
         )
-        risks[vehicle.vehicle_id] = max(0.0, expected - after.giant_fraction)
+        after_fraction = giant_after / (node_count - 1)
+        risks[vehicle.vehicle_id] = max(0.0, expected - after_fraction)
     return risks
 
 

@@ -10,7 +10,7 @@ kinematic state once per interval, and receivers keep a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError
 from ..geometry import Vec2
@@ -36,13 +36,28 @@ class NeighborEntry:
 
 
 class NeighborTable:
-    """Beacon-derived view of nearby nodes with timeout-based expiry."""
+    """Beacon-derived view of nearby nodes with timeout-based expiry.
 
-    def __init__(self, timeout_s: float) -> None:
+    When constructed with a ``clock`` (a zero-argument callable returning
+    the current time), stale entries are also expired on every read, so a
+    node whose *own* beaconing stopped (crash, stall) cannot serve an
+    ever-frozen table: expiry used to run only inside the owner's beacon
+    callback, which a crashed beaconer never executes again.  Without a
+    clock, expiry remains explicit via :meth:`expire`.
+    """
+
+    def __init__(
+        self, timeout_s: float, clock: Optional[Callable[[], float]] = None
+    ) -> None:
         if timeout_s <= 0:
             raise ConfigurationError("timeout_s must be positive")
         self.timeout_s = timeout_s
+        self._clock = clock
         self._entries: Dict[str, NeighborEntry] = {}
+
+    def _expire_on_read(self) -> None:
+        if self._clock is not None:
+            self.expire(self._clock())
 
     def update_from_hello(self, message: Message, now: float) -> NeighborEntry:
         """Insert or refresh an entry from a HELLO message."""
@@ -78,20 +93,25 @@ class NeighborTable:
 
     def get(self, node_id: str) -> Optional[NeighborEntry]:
         """Return the entry for ``node_id`` if fresh enough to exist."""
+        self._expire_on_read()
         return self._entries.get(node_id)
 
     def entries(self) -> List[NeighborEntry]:
         """Return all current entries."""
+        self._expire_on_read()
         return list(self._entries.values())
 
     def ids(self) -> List[str]:
         """Return all current neighbor ids."""
+        self._expire_on_read()
         return list(self._entries)
 
     def __len__(self) -> int:
+        self._expire_on_read()
         return len(self._entries)
 
     def __contains__(self, node_id: str) -> bool:
+        self._expire_on_read()
         return node_id in self._entries
 
 
@@ -116,7 +136,7 @@ class BeaconService:
         self.node = node
         self.interval_s = interval_s if interval_s is not None else cloud_cfg.beacon_interval_s
         timeout = timeout_s if timeout_s is not None else cloud_cfg.neighbor_timeout_s
-        self.table = NeighborTable(timeout)
+        self.table = NeighborTable(timeout, clock=lambda: self.world.now)
         self.identity_provider = identity_provider
         self._task = None
         node.on(MessageKind.HELLO, self._on_hello)

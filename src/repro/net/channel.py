@@ -10,6 +10,15 @@ That last term makes dense scenes slower, which is how DoS flooding and
 density sweeps exert the time pressure the paper's "stringent time
 constraints" arguments turn on.
 
+Range queries (``neighbors_of``, ``broadcast`` receiver sets, tap
+audibility) run through the world's :class:`~repro.sim.spatial.SpatialGrid`
+rather than brute-force pairwise scans.  A per-tick neighbor cache —
+invalidated on movement (detected by an identity-compare sweep of node
+positions), attach and detach — keeps repeated queries within one event
+free.  Construct with ``use_spatial_index=False`` to get the original
+full-scan implementation; it is kept as the correctness oracle and the
+"before" baseline of experiment E13, and returns byte-identical results.
+
 Attack hooks: *taps* passively observe frames near an adversary
 (eavesdropping, traffic-flow analysis); *interceptors* may drop, delay
 or replace frames in flight (MITM, delay/suppression).
@@ -22,10 +31,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol
 
 from ..errors import NetworkError
-from ..geometry import Vec2
+from ..geometry import ORIGIN, Vec2
 from ..sim.config import ChannelConfig
+from ..sim.spatial import SpatialGrid
 from ..sim.world import World
 from .messages import Message
+
+#: Below this many taps a linear audibility scan beats grid upkeep.
+_TAP_INDEX_THRESHOLD = 8
 
 
 class ChannelNode(Protocol):
@@ -111,13 +124,24 @@ Interceptor = Callable[[Frame], InterceptVerdict]
 class WirelessChannel:
     """Shared broadcast medium connecting all radio-equipped nodes."""
 
-    def __init__(self, world: World, config: Optional[ChannelConfig] = None) -> None:
+    def __init__(
+        self,
+        world: World,
+        config: Optional[ChannelConfig] = None,
+        use_spatial_index: bool = True,
+    ) -> None:
         self.world = world
         self.config = config if config is not None else world.config.channel
         self.rng = world.rng.fork("channel")
         self._nodes: Dict[str, ChannelNode] = {}
         self._taps: List[Tap] = []
         self._interceptors: List[Interceptor] = []
+        self._grid: Optional["SpatialGrid[str]"] = (
+            world.claim_spatial_grid(self) if use_spatial_index else None
+        )
+        self._neighbor_cache: Dict[str, List[ChannelNode]] = {}
+        self._tap_grid: Optional["SpatialGrid[int]"] = None
+        self._tap_reach_m = 0.0
 
     # -- membership --------------------------------------------------------
 
@@ -126,10 +150,22 @@ class WirelessChannel:
         if node.node_id in self._nodes:
             raise NetworkError(f"node already attached: {node.node_id!r}")
         self._nodes[node.node_id] = node
+        if self._grid is not None:
+            try:
+                position = node.position
+            except Exception:
+                # Subclass constructors attach before their position
+                # backing field exists; the pre-query sweep corrects it.
+                position = ORIGIN
+            self._grid.insert(node.node_id, position)
+            self._neighbor_cache.clear()
 
     def detach(self, node_id: str) -> None:
         """Detach a node; pending deliveries to it are lost."""
         self._nodes.pop(node_id, None)
+        if self._grid is not None:
+            self._grid.remove(node_id)
+            self._neighbor_cache.clear()
 
     def is_attached(self, node_id: str) -> bool:
         """Return True if the node is currently attached."""
@@ -152,14 +188,50 @@ class WirelessChannel:
         """True if ``a`` can reach ``b`` with its own radio range."""
         return a.position.distance_to(b.position) <= a.radio_range_m
 
-    def neighbors_of(self, node_id: str) -> List[ChannelNode]:
-        """Return nodes reachable from ``node_id`` (excluding itself)."""
+    def _sync_index(self) -> None:
+        """Bring the grid in line with live node positions.
+
+        Entities mutate their positions directly (mobility models, fault
+        teleports, tests), so before any indexed query we sweep the
+        attached nodes and re-bucket the ones that moved.  Unmoved nodes
+        keep the same ``Vec2`` object, making the common case one
+        identity comparison; any detected movement invalidates the
+        per-tick neighbor cache.
+        """
+        grid = self._grid
+        assert grid is not None
+        moved = False
+        for node_id, node in self._nodes.items():
+            if grid.move_if_changed(node_id, node.position):
+                moved = True
+        if moved:
+            self._neighbor_cache.clear()
+
+    def _scan_neighbors(self, node_id: str) -> List[ChannelNode]:
+        """Brute-force neighbor scan (the pre-index reference path)."""
         node = self.node(node_id)
         return [
             other
             for other in self._nodes.values()
             if other.node_id != node_id and self.in_range(node, other)
         ]
+
+    def neighbors_of(self, node_id: str) -> List[ChannelNode]:
+        """Return nodes reachable from ``node_id`` (excluding itself)."""
+        if self._grid is None:
+            return self._scan_neighbors(node_id)
+        node = self.node(node_id)
+        self._sync_index()
+        cached = self._neighbor_cache.get(node_id)
+        if cached is None:
+            nodes = self._nodes
+            cached = [
+                nodes[other_id]
+                for other_id in self._grid.within(node.position, node.radio_range_m)
+                if other_id != node_id and other_id in nodes
+            ]
+            self._neighbor_cache[node_id] = cached
+        return list(cached)
 
     def neighbor_count(self, node_id: str) -> int:
         """Return the number of reachable neighbors."""
@@ -170,10 +242,12 @@ class WirelessChannel:
     def add_tap(self, tap: Tap) -> None:
         """Register a passive eavesdropper."""
         self._taps.append(tap)
+        self._tap_grid = None
 
     def remove_tap(self, tap: Tap) -> None:
         """Remove a previously registered tap."""
         self._taps.remove(tap)
+        self._tap_grid = None
 
     def add_interceptor(self, interceptor: Interceptor) -> None:
         """Register an in-path interceptor (MITM / delay / suppression)."""
@@ -213,16 +287,57 @@ class WirelessChannel:
         self.world.metrics.increment("channel/frames_sent")
         self.world.metrics.increment("channel/bytes_sent", message.total_bytes)
         receivers = self.neighbors_of(src_id)
+        # The contention term depends only on the *source's* neighborhood,
+        # so compute it once per frame instead of once per receiver (the
+        # seed recomputed the full scan inside ``_dispatch`` for every
+        # receiver, making a broadcast quadratic).  The legacy full-scan
+        # mode keeps the per-receiver recompute as the E13 baseline.
+        contention = len(receivers) if self._grid is not None else None
         for dst in receivers:
-            self._dispatch(Frame(src_id, dst.node_id, message, self.world.now), src, dst)
+            self._dispatch(
+                Frame(src_id, dst.node_id, message, self.world.now),
+                src,
+                dst,
+                contention=contention,
+            )
         return len(receivers)
 
     # -- internals ------------------------------------------------------------------
 
     def _offer_to_taps(self, frame: Frame, src: ChannelNode) -> None:
-        for tap in self._taps:
+        taps = self._taps
+        if not taps:
+            return
+        if self._grid is None or len(taps) < _TAP_INDEX_THRESHOLD:
+            for tap in taps:
+                if tap.position.distance_to(src.position) <= tap.listen_range_m:
+                    tap.on_frame(frame)
+            return
+        self._sync_taps()
+        assert self._tap_grid is not None
+        for index in self._tap_grid.within(src.position, self._tap_reach_m):
+            tap = taps[index]
             if tap.position.distance_to(src.position) <= tap.listen_range_m:
                 tap.on_frame(frame)
+
+    def _sync_taps(self) -> None:
+        """(Re)index tap positions; taps can ride on moving adversaries.
+
+        The grid is queried with the *largest* listen range, then every
+        candidate is re-checked against its own range, so per-tap ranges
+        (and range changes) stay exact.
+        """
+        assert self._grid is not None
+        grid = self._tap_grid
+        if grid is None:
+            grid = SpatialGrid(cell_size_m=self._grid.cell_size_m)
+            for index, tap in enumerate(self._taps):
+                grid.insert(index, tap.position)
+            self._tap_grid = grid
+        else:
+            for index, tap in enumerate(self._taps):
+                grid.move_if_changed(index, tap.position)
+        self._tap_reach_m = max(tap.listen_range_m for tap in self._taps)
 
     def _run_interceptors(self, frame: Frame) -> InterceptVerdict:
         for interceptor in self._interceptors:
@@ -236,7 +351,9 @@ class WirelessChannel:
             self.config.base_loss_probability
             + self.config.loss_per_100m * distance_m / 100.0
         )
-        return min(0.95, loss)
+        # Clamp both ends: a pathological config or rounding at very
+        # short distances must never yield a negative probability.
+        return min(0.95, max(0.0, loss))
 
     def latency(self, distance_m: float, size_bytes: int, neighbor_count: int) -> float:
         """Return the modelled one-hop latency for a frame."""
@@ -247,7 +364,13 @@ class WirelessChannel:
             + self.config.contention_delay_per_neighbor_s * neighbor_count
         )
 
-    def _dispatch(self, frame: Frame, src: ChannelNode, dst: ChannelNode) -> None:
+    def _dispatch(
+        self,
+        frame: Frame,
+        src: ChannelNode,
+        dst: ChannelNode,
+        contention: Optional[int] = None,
+    ) -> None:
         verdict = self._run_interceptors(frame)
         if verdict.action is InterceptAction.DROP:
             self.world.metrics.increment("channel/frames_suppressed")
@@ -269,7 +392,9 @@ class WirelessChannel:
 
         distance = src.position.distance_to(dst.position)
         loss_probability = self._loss_probability(distance)
-        delay = self.latency(distance, message.total_bytes, self.neighbor_count(src.node_id))
+        if contention is None:
+            contention = self.neighbor_count(src.node_id)
+        delay = self.latency(distance, message.total_bytes, contention)
         delivered = message
         from_id = frame.src_id
         dst_id = dst.node_id

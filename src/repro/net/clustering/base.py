@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from ...errors import ConfigurationError
 from ...geometry import Vec2, centroid
 from ...mobility.vehicle import Vehicle
+from ...sim.spatial import SpatialGrid
 
 
 @dataclass
@@ -111,18 +112,39 @@ class ClusteringAlgorithm:
 
 
 def neighbors_within(
-    vehicles: Sequence[Vehicle], range_m: float
+    vehicles: Sequence[Vehicle], range_m: float, use_index: bool = True
 ) -> Dict[str, List[Vehicle]]:
-    """Return the unit-disc adjacency of a vehicle snapshot."""
+    """Return the unit-disc adjacency of a vehicle snapshot.
+
+    Indexed through a throw-away :class:`SpatialGrid` (O(n·k) for k
+    local neighbors) instead of the O(n²) pairwise scan; both paths
+    return identical adjacency, including list order (neighbors appear
+    in snapshot order).  ``use_index=False`` forces the brute-force
+    reference path; snapshots with duplicate vehicle ids fall back to it
+    automatically because a grid keys items by id.
+    """
     if range_m <= 0:
         raise ConfigurationError("range_m must be positive")
-    adjacency: Dict[str, List[Vehicle]] = {v.vehicle_id: [] for v in vehicles}
     ordered = list(vehicles)
-    for i, a in enumerate(ordered):
-        for b in ordered[i + 1 :]:
-            if a.distance_to(b) <= range_m:
-                adjacency[a.vehicle_id].append(b)
-                adjacency[b.vehicle_id].append(a)
+    adjacency: Dict[str, List[Vehicle]] = {v.vehicle_id: [] for v in ordered}
+    if not use_index or len(adjacency) != len(ordered):
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                if a.distance_to(b) <= range_m:
+                    adjacency[a.vehicle_id].append(b)
+                    adjacency[b.vehicle_id].append(a)
+        return adjacency
+    grid: "SpatialGrid[str]" = SpatialGrid(cell_size_m=range_m)
+    by_id: Dict[str, Vehicle] = {}
+    for vehicle in ordered:
+        grid.insert(vehicle.vehicle_id, vehicle.position)
+        by_id[vehicle.vehicle_id] = vehicle
+    for vehicle in ordered:
+        adjacency[vehicle.vehicle_id] = [
+            by_id[other_id]
+            for other_id in grid.within(vehicle.position, range_m)
+            if other_id != vehicle.vehicle_id
+        ]
     return adjacency
 
 

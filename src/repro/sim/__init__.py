@@ -10,6 +10,7 @@ from .config import (
 from .engine import ERROR_POLICIES, CallbackFailure, Engine, EventHandle, PeriodicTask
 from .metrics import MetricsRegistry, SeriesSummary, percentile, summarize
 from .rng import SeededRng, derive_seed
+from .spatial import SpatialGrid, grid_from_positions
 from .world import World
 
 __all__ = [
@@ -26,8 +27,10 @@ __all__ = [
     "SecurityConfig",
     "SeededRng",
     "SeriesSummary",
+    "SpatialGrid",
     "World",
     "derive_seed",
+    "grid_from_positions",
     "percentile",
     "summarize",
 ]

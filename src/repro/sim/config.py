@@ -48,6 +48,23 @@ class ChannelConfig:
             "base_loss_probability must be in [0, 1)",
         )
         _require(self.loss_per_100m >= 0, "loss_per_100m must be non-negative")
+        _require(
+            self.propagation_delay_s_per_km >= 0,
+            "propagation_delay_s_per_km must be non-negative",
+        )
+        _require(
+            self.base_transmit_delay_s >= 0,
+            "base_transmit_delay_s must be non-negative",
+        )
+        _require(
+            self.contention_delay_per_neighbor_s >= 0,
+            "contention_delay_per_neighbor_s must be non-negative",
+        )
+        _require(
+            self.wired_backhaul_delay_s >= 0,
+            "wired_backhaul_delay_s must be non-negative",
+        )
+        _require(self.wan_delay_s >= 0, "wan_delay_s must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ from .config import ScenarioConfig
 from .engine import CallbackFailure, Engine
 from .metrics import MetricsRegistry
 from .rng import SeededRng
+from .spatial import SpatialGrid
 
 T = TypeVar("T")
 
@@ -29,6 +30,24 @@ class World:
         self.metrics = MetricsRegistry()
         self.engine.on_callback_failure(self._ledger_callback_failure)
         self._entities: Dict[str, object] = {}
+        # Shared spatial index for radio-range queries.  Cell size tracks
+        # the dominant (V2V) radio range so a typical range query touches
+        # at most a 3x3 block of cells.
+        self.spatial = SpatialGrid(cell_size_m=self.config.channel.v2v_range_m)
+        self._spatial_owner: Optional[object] = None
+
+    def claim_spatial_grid(self, owner: object) -> SpatialGrid:
+        """Return the world's spatial grid, claiming it for ``owner``.
+
+        The first claimant (normally the one wireless channel a scenario
+        builds) gets the shared :attr:`spatial` grid; any later distinct
+        claimant receives a private grid with the same cell size, so two
+        channels on one world can never collide over item ids.
+        """
+        if self._spatial_owner is None or self._spatial_owner is owner:
+            self._spatial_owner = owner
+            return self.spatial
+        return SpatialGrid(cell_size_m=self.spatial.cell_size_m)
 
     def _ledger_callback_failure(self, failure: CallbackFailure) -> None:
         """Surface engine callback failures in the metrics registry."""

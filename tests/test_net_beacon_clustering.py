@@ -123,6 +123,39 @@ class TestBeaconService:
         world.run_for(5.0)
         assert world.metrics.counter("beacon/sent") == sent_before
 
+    def test_crashed_beaconer_does_not_keep_frozen_table(self):
+        """Expiry used to run only inside ``_beacon``: a node whose own
+        beaconing crashed/stalled (``repro.faults`` style) served an
+        ever-stale table forever.  Reads must expire on their own."""
+        world = lossless_world()
+        channel = WirelessChannel(world)
+        a = VehicleNode(world, channel, Vehicle(position=Vec2(0, 0)))
+        b = VehicleNode(world, channel, Vehicle(position=Vec2(100, 0)))
+        service_a = BeaconService(world, a)
+        service_b = BeaconService(world, b)
+        service_a.start()
+        service_b.start()
+        world.run_for(5.0)
+        assert b.node_id in service_a.table.ids()
+        # A crashes (its periodic beacon — and with it the old expiry
+        # hook — never runs again); B simultaneously goes silent.
+        service_a.stop()
+        service_b.stop()
+        b.go_offline()
+        world.run_for(30.0)  # far beyond the neighbor timeout
+        assert service_a.table.ids() == []
+        assert service_a.table.get(b.node_id) is None
+        assert b.node_id not in service_a.table
+        assert len(service_a.table) == 0
+
+    def test_table_without_clock_keeps_explicit_expiry_contract(self):
+        table = NeighborTable(timeout_s=2.0)
+        table.update_from_hello(hello_message("veh-x", (0, 0), 10, 0, 0.0), now=0.0)
+        # No clock: reads do not expire on their own...
+        assert "veh-x" in table
+        # ...until expire() is called explicitly.
+        assert table.expire(now=10.0) == ["veh-x"]
+
 
 class TestNeighborsWithin:
     def test_adjacency_symmetric(self):

@@ -307,6 +307,98 @@ class TestTaps:
         assert Tap.frames == []
 
 
+class TestLossProbabilityClamp:
+    def test_loss_clamped_to_non_negative(self):
+        world = make_world()
+        channel = WirelessChannel(world)
+        # Forge a config that slipped past validation (e.g. built by
+        # mutation in older code): the channel must still clamp.
+        object.__setattr__(channel.config, "base_loss_probability", -0.5)
+        assert channel._loss_probability(0.0) == 0.0
+        assert channel._loss_probability(100.0) == 0.0
+
+    def test_loss_clamped_to_upper_bound(self):
+        world = World(ScenarioConfig(seed=7))  # default lossy channel
+        channel = WirelessChannel(world)
+        assert channel._loss_probability(1e9) == 0.95
+
+
+class TestSpatialIndexRegression:
+    """The index swap must not change any seeded channel metric."""
+
+    def _beacon_scene(self, use_index):
+        from repro.net import BeaconService
+
+        world = World(
+            ScenarioConfig(
+                seed=314,
+                channel=ChannelConfig(base_loss_probability=0.05, loss_per_100m=0.01),
+            )
+        )
+        channel = WirelessChannel(world, use_spatial_index=use_index)
+        nodes = [
+            VehicleNode(
+                world,
+                channel,
+                Vehicle(
+                    vehicle_id=f"r{i}",
+                    position=Vec2((i % 6) * 120.0, (i // 6) * 120.0),
+                    speed_mps=20.0,
+                ),
+            )
+            for i in range(18)
+        ]
+        for node in nodes:
+            BeaconService(world, node).start()
+        # Direct position churn between event batches, as mobility does.
+        for step in range(4):
+            world.run_for(2.0)
+            for index, node in enumerate(nodes):
+                node.vehicle.position = node.vehicle.position + Vec2(
+                    10.0 * ((index % 3) - 1), 5.0
+                )
+        world.run_for(2.0)
+        return world.metrics
+
+    def test_latency_metrics_unchanged_by_index_and_contention_fix(self):
+        indexed = self._beacon_scene(True)
+        legacy = self._beacon_scene(False)
+        assert indexed.counter("channel/frames_delivered") == legacy.counter(
+            "channel/frames_delivered"
+        )
+        assert indexed.counter("channel/frames_lost") == legacy.counter(
+            "channel/frames_lost"
+        )
+        # Byte-identical latency samples: same receivers, same contention
+        # term (computed once per frame vs once per receiver), same RNG.
+        assert indexed.samples("channel/delivery_latency_s") == legacy.samples(
+            "channel/delivery_latency_s"
+        )
+        assert indexed.samples("channel/delivery_latency_s")  # non-trivial scene
+
+    def test_broadcast_computes_contention_once_per_frame(self):
+        world = make_world()
+        channel = WirelessChannel(world)
+        center = vehicle_node(world, channel, 0, 0)
+        for i in range(5):
+            vehicle_node(world, channel, 40.0 * (i + 1), 0)
+        calls = {"n": 0}
+        original = channel.neighbor_count
+
+        def counting(node_id):
+            calls["n"] += 1
+            return original(node_id)
+
+        channel.neighbor_count = counting
+        receivers = channel.broadcast(
+            center.node_id, hello_message(center.node_id, (0, 0), 0, 0, 0.0)
+        )
+        assert receivers == 5
+        # The contention term is passed down from the receiver set; no
+        # per-receiver recomputation of the source's neighbor scan.
+        assert calls["n"] == 0
+
+
 class TestFixedNode:
     def test_position_is_static(self):
         world = make_world()

@@ -41,6 +41,20 @@ class TestConfigs:
         with pytest.raises(ConfigurationError):
             ChannelConfig(v2v_range_m=-1)
 
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "propagation_delay_s_per_km",
+            "base_transmit_delay_s",
+            "contention_delay_per_neighbor_s",
+            "wired_backhaul_delay_s",
+            "wan_delay_s",
+        ],
+    )
+    def test_channel_negative_delays_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(**{field: -0.001})
+
     def test_mobility_speed_bounds(self):
         with pytest.raises(ConfigurationError):
             MobilityConfig(min_speed_mps=30, max_speed_mps=20)
