@@ -7,11 +7,18 @@ members' on-board compute, and executes a stream of offloaded tasks —
 handing unfinished work over when a member drives out of range.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_TRACE_EXPORT=<path>`` to run the same scenario with causal
+tracing + profiling enabled and export the trace as JSONL to ``<path>``
+(plus a JSON run report next to it) — seeded results are identical
+either way, which CI's smoke job asserts.
 """
 
 from __future__ import annotations
 
-from repro import ScenarioConfig, World
+import os
+
+from repro import ScenarioConfig, World, write_json_report
 from repro.analysis import render_table
 from repro.core import DynamicVCloud, Task, TaskState
 from repro.mobility import Highway, HighwayModel
@@ -20,6 +27,10 @@ from repro.mobility import Highway, HighwayModel
 def main() -> None:
     # 1. A world: engine + seeded RNG + metrics, all from one config.
     world = World(ScenarioConfig(seed=7, vehicle_count=30))
+    trace_path = os.environ.get("REPRO_TRACE_EXPORT")
+    obs = None
+    if trace_path:
+        obs = world.enable_observability(profile=True)
 
     # 2. Mobility substrate: vehicles on a highway.
     model = HighwayModel(world, Highway(length_m=4000))
@@ -58,6 +69,19 @@ def main() -> None:
     ]
     print(render_table(["metric", "value"], rows, title="Dynamic v-cloud quickstart"))
     assert arch.cloud.stats.infra_messages == 0, "dynamic v-cloud must be RSU-free"
+
+    if obs is not None and obs.tracer is not None and trace_path:
+        exported = obs.tracer.export_jsonl(trace_path)
+        write_json_report(
+            trace_path + ".report.json",
+            metrics=world.metrics,
+            tracer=obs.tracer,
+            events=obs.events,
+            profiler=obs.profiler,
+            meta={"example": "quickstart", "seed": 7},
+        )
+        print(f"exported {exported} spans to {trace_path}")
+        assert exported > 0, "traced run must produce spans"
 
 
 if __name__ == "__main__":

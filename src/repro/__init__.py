@@ -48,6 +48,15 @@ from .errors import (
     VCloudError,
 )
 from .geometry import Vec2
+from .obs import (
+    EventLog,
+    Observability,
+    Profiler,
+    Tracer,
+    json_report,
+    prometheus_text,
+    write_json_report,
+)
 from .sim import (
     ChannelConfig,
     CloudConfig,
@@ -70,10 +79,13 @@ __all__ = [
     "ConfigurationError",
     "CryptoError",
     "Engine",
+    "EventLog",
     "MembershipError",
     "MetricsRegistry",
     "MobilityConfig",
     "NetworkError",
+    "Observability",
+    "Profiler",
     "ResourceError",
     "RevocationError",
     "RoutingError",
@@ -83,9 +95,13 @@ __all__ = [
     "SeededRng",
     "SimulationError",
     "TaskError",
+    "Tracer",
     "TrustError",
     "VCloudError",
     "Vec2",
     "World",
     "__version__",
+    "json_report",
+    "prometheus_text",
+    "write_json_report",
 ]

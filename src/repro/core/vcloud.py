@@ -17,7 +17,7 @@ latency is charged to the join.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..errors import QuorumUnreachableError, ResourceError
 from ..faults.recovery import BackoffPolicy, WorkerLeases
@@ -41,6 +41,9 @@ from .scheduler import (
     candidates_from_pool,
 )
 from .tasks import Task, TaskRecord, TaskState
+
+if TYPE_CHECKING:
+    from ..obs import Span
 
 
 class CoordinationAdapter:
@@ -183,6 +186,7 @@ class _Execution:
     runtime_s: float
     completion_handle: EventHandle
     crashed_at: Optional[float] = None
+    span: Optional["Span"] = None
 
 
 class VehicularCloud:
@@ -233,7 +237,32 @@ class VehicularCloud:
         self._crashed: set = set()
         self.storage: Optional[ReplicationManager] = None
         self._storage_capacity_bytes = 0
+        #: task_id -> root span of the task's causal trace (traced runs).
+        self._task_spans: Dict[str, "Span"] = {}
         self.membership.on_leave(self._on_member_left)
+
+    # -- observability hooks -------------------------------------------------------
+
+    def _emit(self, name: str, severity: str = "info", **attrs: Any) -> None:
+        """Emit a structured event for this cloud (no-op when untelemetered)."""
+        events = self.world.events
+        if events is not None:
+            events.emit("vcloud", name, severity=severity, cloud=self.cloud_id, **attrs)
+
+    def task_span(self, task_id: str) -> Optional["Span"]:
+        """The root span of a task's trace, when the run is traced."""
+        return self._task_spans.get(task_id)
+
+    def _end_task_span(
+        self, record: TaskRecord, status: str, link_faults: bool = False, **attrs: Any
+    ) -> None:
+        tracer = self.world.tracer
+        span = self._task_spans.pop(record.task.task_id, None)
+        if tracer is None or span is None:
+            return
+        if link_faults:
+            tracer.link_active_faults(span)
+        tracer.end_span(span, status, attrs)
 
     # -- membership ------------------------------------------------------------
 
@@ -306,10 +335,28 @@ class VehicularCloud:
     # -- task lifecycle ------------------------------------------------------------
 
     def submit(self, task: Task) -> TaskRecord:
-        """Submit a task for execution in this cloud."""
+        """Submit a task for execution in this cloud.
+
+        On a traced run the submission roots a new causal trace; every
+        assignment, retry, handover and fault the task meets hangs off
+        this span, so ``tracer.render_trace`` replays its whole journey.
+        """
         record = TaskRecord(task=task, submitted_at=self.world.now)
         self.records.append(record)
         self.stats.submitted += 1
+        tracer = self.world.tracer
+        if tracer is not None:
+            self._task_spans[task.task_id] = tracer.start_span(
+                "task.lifecycle",
+                subsystem="core",
+                attrs={
+                    "task_id": task.task_id,
+                    "cloud": self.cloud_id,
+                    "work_mi": task.work_mi,
+                    "deadline_s": task.deadline_s,
+                },
+            )
+        self._emit("task_submitted", task_id=task.task_id)
         self._try_assign(record)
         return record
 
@@ -325,6 +372,11 @@ class VehicularCloud:
         if deadline is not None and self.world.now > deadline:
             record.fail()
             self.stats.failed += 1
+            self._end_task_span(record, "failed", link_faults=True, reason="deadline")
+            self._emit(
+                "task_failed", severity="warning",
+                task_id=record.task.task_id, reason="deadline",
+            )
             return
         if not self.coordination.available():
             self._schedule_retry(record, reason="coordination unavailable")
@@ -357,12 +409,26 @@ class VehicularCloud:
         self.world.engine.schedule_at(
             start_at, lambda: self._start_if_assigned(record), label="task-start"
         )
+        exec_span: Optional["Span"] = None
+        tracer = self.world.tracer
+        if tracer is not None:
+            exec_span = tracer.start_span(
+                "task.execute",
+                subsystem="core",
+                parent=self._task_spans.get(record.task.task_id),
+                attrs={
+                    "worker": choice.vehicle_id,
+                    "transfer_s": transfer,
+                    "runtime_s": runtime,
+                },
+            )
         self._executions[record.task.task_id] = _Execution(
             record=record,
             reservation=reservation,
             started_at=start_at,
             runtime_s=runtime,
             completion_handle=handle,
+            span=exec_span,
         )
 
     def _start_if_assigned(self, record: TaskRecord) -> None:
@@ -371,9 +437,21 @@ class VehicularCloud:
 
     def _schedule_retry(self, record: TaskRecord, reason: str) -> None:
         retries = self._retries.get(record.task.task_id, 0)
+        tracer = self.world.tracer
+        if tracer is not None:
+            span = self._task_spans.get(record.task.task_id)
+            if span is not None:
+                tracer.add_event(span, "assignment_retry", reason=reason, attempt=retries + 1)
         if retries >= self.max_assignment_retries:
             record.fail()
             self.stats.failed += 1
+            self._end_task_span(
+                record, "failed", link_faults=True, reason="retries_exhausted"
+            )
+            self._emit(
+                "task_failed", severity="warning",
+                task_id=record.task.task_id, reason="retries_exhausted",
+            )
             return
         self._retries[record.task.task_id] = retries + 1
         if self.retry_backoff is not None:
@@ -401,6 +479,10 @@ class VehicularCloud:
             self.coordination.infra_messages_per_task // 2
         )
 
+        tracer = self.world.tracer
+        if tracer is not None and execution.span is not None:
+            tracer.end_span(execution.span, "ok")
+
         def _finish() -> None:
             record.complete(self.world.now)
             self.stats.completed += 1
@@ -412,6 +494,12 @@ class VehicularCloud:
                 self.stats.deadline_hits += 1
             elif met is False:
                 self.stats.deadline_misses += 1
+            self._end_task_span(
+                record, "ok", latency_s=latency, met_deadline=met
+            )
+            self._emit(
+                "task_completed", task_id=record.task.task_id, latency_s=latency
+            )
 
         self.world.engine.schedule(return_latency, _finish, label="task-result")
 
@@ -431,13 +519,36 @@ class VehicularCloud:
             new_progress = record.progress + (1.0 - record.progress) * fraction_of_run
             record.checkpoint(min(1.0, new_progress))
         outcome = self.handover_policy.on_worker_departed(record, self.world.now)
-        if record.state is TaskState.HANDED_OVER:
+        handed_over = record.state is TaskState.HANDED_OVER
+        if handed_over:
             self.stats.handovers += 1
         else:
             self.stats.drops += 1
             self.stats.wasted_work_mi += record.task.work_mi * outcome.preserved_progress
         self.stats.wasted_work_mi += record.wasted_work_mi
         record.wasted_work_mi = 0.0
+        tracer = self.world.tracer
+        if tracer is not None and execution.span is not None:
+            # The fault (crash, partition…) that felled the worker is
+            # still an open window — link it so the trace answers
+            # "which fault interrupted this execution".
+            tracer.link_active_faults(execution.span)
+            tracer.end_span(
+                execution.span,
+                "handover" if handed_over else "dropped",
+                {
+                    "preserved_progress": outcome.preserved_progress,
+                    "requeue": outcome.requeue,
+                },
+            )
+        self._emit(
+            "task_handover" if handed_over else "task_dropped",
+            severity="info" if handed_over else "warning",
+            task_id=record.task.task_id,
+            worker=record.worker_id,
+        )
+        if not outcome.requeue:
+            self._end_task_span(record, "dropped", link_faults=True, reason="no_requeue")
         if outcome.requeue:
             delay = max(outcome.overhead_s, 1e-6)
             self.world.engine.schedule(
@@ -456,6 +567,7 @@ class VehicularCloud:
         the number of executions frozen.
         """
         self._crashed.add(vehicle_id)
+        tracer = self.world.tracer
         frozen = 0
         for execution in self._executions.values():
             if (
@@ -465,10 +577,16 @@ class VehicularCloud:
                 execution.crashed_at = self.world.now
                 execution.completion_handle.cancel()
                 frozen += 1
+                if tracer is not None and execution.span is not None:
+                    tracer.add_event(execution.span, "worker_crashed", worker=vehicle_id)
+                    tracer.link_active_faults(execution.span)
         if self.storage is not None:
             self.storage.set_offline(vehicle_id)
         self.stats.worker_crashes += 1
         self.world.metrics.increment(f"{self.cloud_id}/worker_crashes")
+        self._emit(
+            "worker_crashed", severity="warning", worker=vehicle_id, frozen_tasks=frozen
+        )
         return frozen
 
     def stall_worker(self, vehicle_id: str, duration_s: float) -> int:
@@ -493,8 +611,18 @@ class VehicularCloud:
             )
             execution.runtime_s += duration_s
             stalled += 1
+            tracer = self.world.tracer
+            if tracer is not None and execution.span is not None:
+                tracer.add_event(
+                    execution.span, "worker_stalled",
+                    worker=vehicle_id, extra_s=duration_s,
+                )
         self.stats.worker_stalls += 1
         self.world.metrics.increment(f"{self.cloud_id}/worker_stalls")
+        self._emit(
+            "worker_stalled", severity="warning",
+            worker=vehicle_id, duration_s=duration_s, stalled_tasks=stalled,
+        )
         return stalled
 
     def reboot_worker(self, vehicle_id: str, downtime_s: float) -> int:
@@ -510,11 +638,17 @@ class VehicularCloud:
             for execution in self._executions.values()
             if execution.record.worker_id == vehicle_id
         ]
+        tracer = self.world.tracer
         for execution in affected:
             record = execution.record
             execution.completion_handle.cancel()
             self._executions.pop(record.task.task_id, None)
             self.pool.release(execution.reservation)
+            if tracer is not None and execution.span is not None:
+                tracer.link_active_faults(execution.span)
+                tracer.end_span(
+                    execution.span, "dropped", {"reason": "worker_reboot"}
+                )
             if record.state in (TaskState.ASSIGNED, TaskState.RUNNING):
                 record.drop()
                 self.stats.drops += 1
@@ -534,6 +668,10 @@ class VehicularCloud:
             )
         self.stats.worker_reboots += 1
         self.world.metrics.increment(f"{self.cloud_id}/worker_reboots")
+        self._emit(
+            "worker_rebooted", severity="warning",
+            worker=vehicle_id, downtime_s=downtime_s, lost_tasks=len(affected),
+        )
         return len(affected)
 
     # -- replicated storage --------------------------------------------------------
@@ -585,15 +723,46 @@ class VehicularCloud:
         ):
             self.storage.set_online(vehicle_id)
 
+    def _storage_span(self, operation: str, file_id: str) -> Optional["Span"]:
+        tracer = self.world.tracer
+        if tracer is None:
+            return None
+        return tracer.start_span(
+            f"storage.{operation}",
+            subsystem="core",
+            attrs={"cloud": self.cloud_id, "file_id": file_id},
+        )
+
+    def _storage_degraded(self, span: Optional["Span"], operation: str, file_id: str) -> None:
+        """Ledger a quorum rejection: link the fault that caused it."""
+        self.stats.storage_degraded += 1
+        tracer = self.world.tracer
+        if tracer is not None and span is not None:
+            # The partition/crash window responsible is still open at
+            # rejection time; linking it here is what lets an E12-style
+            # post-mortem walk a stale/failed read back to its fault.
+            tracer.link_active_faults(span)
+            tracer.end_span(span, "degraded", {"reason": "quorum_unreachable"})
+        self._emit(
+            "storage_degraded", severity="error", operation=operation, file_id=file_id
+        )
+
     def store_put(
         self, file_id: str, size_bytes: int, target_replicas: int = 3
     ) -> int:
         """Place a new shared file; returns the replica count achieved."""
         if self.storage is None:
             raise ResourceError("replicated storage not enabled")
-        return self.storage.store_file(
+        span = self._storage_span("put", file_id)
+        replicas = self.storage.store_file(
             StoredFile(file_id=file_id, size_bytes=size_bytes, target_replicas=target_replicas)
         )
+        tracer = self.world.tracer
+        if tracer is not None and span is not None:
+            tracer.end_span(
+                span, "ok", {"replicas": replicas, "target": target_replicas}
+            )
+        return replicas
 
     def store_write(
         self, file_id: str, writer: str, origin: Optional[str] = None
@@ -604,16 +773,30 @@ class VehicularCloud:
         coordination loss) is *rejected*, not half-applied: the caller
         sees None, ``stats.storage_degraded`` counts the rejection, and
         no replica state changes — the degradation contract that keeps
-        the store consistent while the cloud is impaired.
+        the store consistent while the cloud is impaired.  On traced
+        runs the rejection span links to the active fault window, so
+        the trace answers *which* partition or crash caused it.
         """
         if self.storage is None:
             raise ResourceError("replicated storage not enabled")
+        span = self._storage_span("write", file_id)
         try:
             result = self.storage.write(file_id, writer, origin=origin)
         except QuorumUnreachableError:
-            self.stats.storage_degraded += 1
+            self._storage_degraded(span, "write", file_id)
             return None
         self.stats.storage_writes += 1
+        tracer = self.world.tracer
+        if tracer is not None and span is not None:
+            tracer.end_span(
+                span,
+                "ok",
+                {
+                    "version": result.stamp.counter,
+                    "replicas_updated": result.replicas_updated,
+                    "hinted": result.hinted,
+                },
+            )
         return result
 
     def store_read(
@@ -622,12 +805,25 @@ class VehicularCloud:
         """Quorum-read a shared file; degrades to None when unreachable."""
         if self.storage is None:
             raise ResourceError("replicated storage not enabled")
+        span = self._storage_span("read", file_id)
         try:
             result = self.storage.read_file(file_id, origin=origin)
         except QuorumUnreachableError:
-            self.stats.storage_degraded += 1
+            self._storage_degraded(span, "read", file_id)
             return None
         self.stats.storage_reads += 1
+        tracer = self.world.tracer
+        if tracer is not None and span is not None:
+            tracer.end_span(
+                span,
+                "ok",
+                {
+                    "holder": result.holder,
+                    "version": result.stamp.counter,
+                    "contacted": len(result.contacted),
+                    "repaired": result.repaired,
+                },
+            )
         return result
 
     # -- lease-based liveness ------------------------------------------------------
@@ -677,6 +873,7 @@ class VehicularCloud:
             if member_id in self.membership:
                 self.stats.lease_evictions += 1
                 self.world.metrics.increment(f"{self.cloud_id}/lease_evictions")
+                self._emit("lease_evicted", severity="warning", worker=member_id)
                 self.member_leave(member_id)
 
     # -- introspection -------------------------------------------------------------

@@ -88,15 +88,68 @@ class FaultInjector:
     # -- firing ----------------------------------------------------------------
 
     def _fire(self, spec: FaultSpec, index: int) -> None:
+        # The fault span must open *before* the executor runs: executors
+        # cascade synchronously (a crash freezes executions, a partition
+        # installs interceptors), and any span degraded by that cascade
+        # links to whatever fault windows are active at that instant.
+        tracer = self.world.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                f"fault.{spec.kind}",
+                subsystem="faults",
+                attrs={"index": index, **dict(spec.params)},
+            )
+            tracer.activate_fault(span, until=self._fault_window_end(spec))
         target = self._dispatch(spec, index)
         if target is None:
             self.skipped += 1
             self.world.metrics.increment("faults/skipped")
+            if tracer is not None and span is not None:
+                tracer.deactivate_fault(span)
+                tracer.end_span(span, "skipped")
             return
         self.ledger.append((self.world.now, spec.kind, target))
         self.world.metrics.increment("faults/injected")
         self.world.metrics.increment(f"faults/{spec.kind}")
         self.world.metrics.observe_at("faults/timeline", self.world.now, 1.0)
+        if tracer is not None and span is not None:
+            tracer.end_span(span, "injected", {"target": target})
+        if self.world.events is not None:
+            # Spec params may themselves contain a "target" key (an
+            # explicitly targeted fault); the resolved victim wins.
+            attrs = dict(spec.params)
+            attrs["target"] = target
+            self.world.events.emit(
+                "faults",
+                spec.kind,
+                severity="warning",
+                trace_id=span.trace_id if span is not None else None,
+                **attrs,
+            )
+
+    def _fault_window_end(self, spec: FaultSpec) -> Optional[float]:
+        """When the fault's causal window closes (None = open-ended).
+
+        Expiry is evaluated lazily by the tracer against sim time, so
+        no engine events are scheduled on tracing's behalf and seeded
+        runs stay byte-identical with tracing on.
+        """
+        now = self.world.now
+        duration = spec.param("duration_s")
+        if duration is not None:
+            return now + float(duration)
+        downtime = spec.param("downtime_s")
+        if downtime is not None:
+            return now + float(downtime)
+        if spec.kind == "rsu_flap":
+            cycles = float(spec.param("cycles"))
+            return now + cycles * (
+                float(spec.param("down_s")) + float(spec.param("up_s"))
+            )
+        # Crashes and disasters have no intrinsic end: the window stays
+        # open until recovery closes it out of band.
+        return None
 
     def _dispatch(self, spec: FaultSpec, index: int) -> Optional[str]:
         if spec.kind in PROCESS_FAULTS:

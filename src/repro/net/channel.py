@@ -22,6 +22,14 @@ full-scan implementation; it is kept as the correctness oracle and the
 Attack hooks: *taps* passively observe frames near an adversary
 (eavesdropping, traffic-flow analysis); *interceptors* may drop, delay
 or replace frames in flight (MITM, delay/suppression).
+
+Observability: with a tracer attached to the world, the channel emits
+message-lifecycle spans — sent → delivered (with the modelled latency)
+or dropped (with the reason: unreachable, intercepted, loss, departed).
+Which frames get spans is the tracer's ``channel_frames`` policy;
+the default traces only messages carrying a trace context, so beacon
+storms stay span-free.  Span bookkeeping never touches the RNG or the
+engine queue, so traced runs keep byte-identical seeded metrics.
 """
 
 from __future__ import annotations
@@ -273,10 +281,14 @@ class WirelessChannel:
         self._offer_to_taps(frame, src)
         self.world.metrics.increment("channel/frames_sent")
         self.world.metrics.increment("channel/bytes_sent", message.total_bytes)
+        tracer = self.world.tracer
+        span = self._frame_span("msg.unicast", message, src_id, dst_id)
         if dst is None or not self.in_range(src, dst):
             self.world.metrics.increment("channel/frames_unreachable")
+            if span is not None and tracer is not None:
+                tracer.end_span(span, "dropped", {"reason": "unreachable"})
             return False
-        self._dispatch(frame, src, dst)
+        self._dispatch(frame, src, dst, span=span)
         return True
 
     def broadcast(self, src_id: str, message: Message) -> int:
@@ -293,16 +305,49 @@ class WirelessChannel:
         # receiver, making a broadcast quadratic).  The legacy full-scan
         # mode keeps the per-receiver recompute as the E13 baseline.
         contention = len(receivers) if self._grid is not None else None
+        parent_span = self._frame_span("msg.broadcast", message, src_id, None)
+        tracer = self.world.tracer
         for dst in receivers:
+            child = None
+            if parent_span is not None and tracer is not None:
+                child = tracer.start_span(
+                    "msg.delivery",
+                    subsystem="net",
+                    parent=parent_span,
+                    attrs={"dst": dst.node_id},
+                )
             self._dispatch(
                 Frame(src_id, dst.node_id, message, self.world.now),
                 src,
                 dst,
                 contention=contention,
+                span=child,
             )
+        if parent_span is not None and tracer is not None:
+            tracer.end_span(parent_span, "ok", {"receivers": len(receivers)})
         return len(receivers)
 
     # -- internals ------------------------------------------------------------------
+
+    def _frame_span(
+        self, name: str, message: Message, src_id: str, dst_id: Optional[str]
+    ):
+        """Open a lifecycle span for a frame, or None when untraced."""
+        tracer = self.world.tracer
+        if tracer is None or not tracer.wants_frame(message):
+            return None
+        return tracer.start_span(
+            name,
+            subsystem="net",
+            parent=message.trace_ctx,
+            attrs={
+                "msg_id": message.msg_id,
+                "kind": message.kind.value,
+                "src": src_id,
+                "dst": dst_id,
+                "bytes": message.total_bytes,
+            },
+        )
 
     def _offer_to_taps(self, frame: Frame, src: ChannelNode) -> None:
         taps = self._taps
@@ -370,10 +415,15 @@ class WirelessChannel:
         src: ChannelNode,
         dst: ChannelNode,
         contention: Optional[int] = None,
+        span=None,
     ) -> None:
+        tracer = self.world.tracer if span is not None else None
         verdict = self._run_interceptors(frame)
         if verdict.action is InterceptAction.DROP:
             self.world.metrics.increment("channel/frames_suppressed")
+            if tracer is not None:
+                tracer.link_active_faults(span)
+                tracer.end_span(span, "dropped", {"reason": "intercepted"})
             return
         message = frame.message
         extra_delay = 0.0
@@ -381,14 +431,20 @@ class WirelessChannel:
         if verdict.action is InterceptAction.DELAY:
             extra_delay = verdict.delay_s
             self.world.metrics.increment("channel/frames_delayed")
+            if tracer is not None:
+                tracer.add_event(span, "delayed", extra_s=extra_delay)
         elif verdict.action is InterceptAction.REPLACE:
             if verdict.replacement is None:
                 raise NetworkError("REPLACE verdict without a replacement message")
             message = verdict.replacement
             self.world.metrics.increment("channel/frames_tampered")
+            if tracer is not None:
+                tracer.add_event(span, "tampered", replacement=message.msg_id)
         elif verdict.action is InterceptAction.DUPLICATE:
             transmissions += verdict.copies
             self.world.metrics.increment("channel/frames_duplicated", verdict.copies)
+            if tracer is not None:
+                tracer.add_event(span, "duplicated", copies=verdict.copies)
 
         distance = src.position.distance_to(dst.position)
         loss_probability = self._loss_probability(distance)
@@ -403,16 +459,35 @@ class WirelessChannel:
             target = self._nodes.get(dst_id)
             if target is None:
                 self.world.metrics.increment("channel/frames_to_departed")
+                if tracer is not None:
+                    tracer.end_span(span, "dropped", {"reason": "departed"})
                 return
             self.world.metrics.increment("channel/frames_delivered")
             self.world.metrics.observe("channel/delivery_latency_s", delay + extra_delay)
+            if tracer is not None:
+                # The first delivery closes the span; duplicates land as
+                # events on the already-closed span (end_span is first-
+                # close-wins).
+                if span.ended:
+                    tracer.add_event(span, "duplicate_delivered")
+                else:
+                    tracer.end_span(
+                        span, "delivered", {"latency_s": delay + extra_delay}
+                    )
             target.deliver(delivered, from_id)
 
         # Each (possibly duplicated) transmission faces the link loss
         # independently; the common single-transmission path draws from
         # the RNG exactly once, as before.
+        scheduled = 0
         for _ in range(transmissions):
             if self.rng.chance(loss_probability):
                 self.world.metrics.increment("channel/frames_lost")
+                if tracer is not None:
+                    tracer.add_event(span, "lost")
                 continue
             self.world.engine.schedule(delay + extra_delay, _deliver, label="frame-delivery")
+            scheduled += 1
+        if tracer is not None and scheduled == 0:
+            tracer.link_active_faults(span)
+            tracer.end_span(span, "dropped", {"reason": "loss"})

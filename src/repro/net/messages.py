@@ -69,6 +69,12 @@ class Message:
     msg_id: str = field(default_factory=next_message_id)
     path: Tuple[str, ...] = ()
     envelope: Optional[SecurityEnvelope] = None
+    #: Causal-trace context ``(trace_id, span_id)`` stamped by whoever
+    #: originated the message's journey.  ``forwarded_by``/``replace``
+    #: copies preserve it, so the same trace id survives multi-hop
+    #: routing and task handovers — how the observability layer stitches
+    #: a message's whole lifecycle into one trace.
+    trace_ctx: Optional[Tuple[str, str]] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -94,6 +100,15 @@ class Message:
     def forwarded_by(self, node_id: str) -> "Message":
         """Return a copy with ``node_id`` appended to the relay path."""
         return replace(self, path=self.path + (node_id,), ttl_hops=self.ttl_hops - 1)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The causal trace this message belongs to, if traced."""
+        return self.trace_ctx[0] if self.trace_ctx is not None else None
+
+    def with_trace(self, ctx: Optional[Tuple[str, str]]) -> "Message":
+        """Return a copy stamped with a ``(trace_id, span_id)`` context."""
+        return replace(self, trace_ctx=ctx)
 
     def with_envelope(self, envelope: SecurityEnvelope) -> "Message":
         """Return a copy carrying the given security envelope."""

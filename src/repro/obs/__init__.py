@@ -1,0 +1,80 @@
+"""Observability: causal tracing, structured events, exporters, profiling.
+
+The dependability story of the paper (Sec. V) needs more than aggregate
+counters — it needs to *explain* a degraded run.  This package provides
+the four tools the rest of the stack hooks into:
+
+* :class:`Tracer` — causal spans in simulated time, with trace ids
+  threaded through message metadata so one task's journey survives
+  routing hops and handovers, and fault links so a stale read walks
+  back to the partition that caused it;
+* :class:`EventLog` — bounded structured event records with subsystem,
+  severity and attributes, exportable as JSONL;
+* exporters — Prometheus text format and a combined JSON run report;
+* :class:`Profiler` — wall-clock cost per engine event label, strictly
+  separated from deterministic sim time.
+
+Everything is opt-in: a world without observability attached pays one
+``is None`` check per hook, and a world *with* it attached produces
+byte-identical seeded metrics, because no obs component ever touches
+the engine queue, the RNG, or the metrics registry.
+
+Attach via :meth:`repro.sim.world.World.enable_observability`::
+
+    obs = world.enable_observability(profile=True)
+    ...run...
+    print(obs.tracer.render_trace(trace_id))
+    obs.tracer.export_jsonl("trace.jsonl")
+    print(prometheus_text(world.metrics))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .events import SEVERITIES, EventLog, EventRecord
+from .exporters import (
+    json_report,
+    prometheus_text,
+    sanitize_metric_name,
+    write_json_report,
+)
+from .profiler import LabelProfile, Profiler
+from .tracer import (
+    CHANNEL_FRAME_MODES,
+    Span,
+    SpanEvent,
+    TraceContext,
+    Tracer,
+    trace_context_of,
+)
+
+
+@dataclass
+class Observability:
+    """The bundle a world hands back from ``enable_observability``."""
+
+    tracer: Optional[Tracer] = None
+    events: Optional[EventLog] = None
+    profiler: Optional[Profiler] = None
+
+
+__all__ = [
+    "CHANNEL_FRAME_MODES",
+    "SEVERITIES",
+    "EventLog",
+    "EventRecord",
+    "LabelProfile",
+    "Observability",
+    "Profiler",
+    "Span",
+    "SpanEvent",
+    "TraceContext",
+    "Tracer",
+    "json_report",
+    "prometheus_text",
+    "sanitize_metric_name",
+    "trace_context_of",
+    "write_json_report",
+]

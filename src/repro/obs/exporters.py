@@ -1,0 +1,145 @@
+"""Render run telemetry into standard formats.
+
+Two exporters:
+
+* :func:`prometheus_text` — the Prometheus text exposition format,
+  rendered from a :class:`~repro.sim.metrics.MetricsRegistry`: counters
+  and gauges as-is, sample series as summary quantiles with ``_count``
+  and ``_sum``, timelines as gauges stamped with their last sim-time.
+* :func:`json_report` / :func:`write_json_report` — one structured JSON
+  document combining the metrics snapshot with trace summaries, event
+  statistics and the wall-clock profile, i.e. everything a run produced.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LEAD_RE = re.compile(r"^[^a-zA-Z_:]")
+
+#: The quantiles rendered for every sample series.
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str, namespace: str = "") -> str:
+    """Coerce a registry name into a legal Prometheus metric name."""
+    flat = _NAME_RE.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if _LEAD_RE.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(metrics: Any, namespace: str = "repro") -> str:
+    """Render a metrics registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(metrics.counters):
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(metrics.counters[name])}")
+    for name in sorted(metrics.gauges):
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(metrics.gauges[name])}")
+    for name in sorted(metrics.series):
+        summary = metrics.summary(name)
+        if summary is None:
+            continue
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} summary")
+        stats = summary.as_dict()
+        for quantile, key in SUMMARY_QUANTILES:
+            lines.append(f'{flat}{{quantile="{quantile}"}} {repr(stats[key])}')
+        lines.append(f"{flat}_sum {repr(summary.mean * summary.count)}")
+        lines.append(f"{flat}_count {summary.count}")
+    for name in sorted(metrics.timelines):
+        points = metrics.timelines[name]
+        if not points:
+            continue
+        flat = sanitize_metric_name(name, namespace) + "_last"
+        last_time, last_value = points[-1]
+        # Prometheus timestamps are integer milliseconds; sim seconds
+        # map 1:1 onto them so relative spacing survives scraping.
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(last_value)} {int(last_time * 1000)}")
+    return "\n".join(lines) + "\n"
+
+
+def json_report(
+    metrics: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    events: Optional[Any] = None,
+    profiler: Optional[Any] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one structured report from whatever telemetry exists."""
+    report: Dict[str, Any] = {"meta": dict(meta) if meta else {}}
+    if metrics is not None:
+        report["metrics"] = {
+            "counters": {k: metrics.counters[k] for k in sorted(metrics.counters)},
+            "gauges": {k: metrics.gauges[k] for k in sorted(metrics.gauges)},
+            "series": {
+                name: summary.as_dict()
+                for name in sorted(metrics.series)
+                for summary in [metrics.summary(name)]
+                if summary is not None
+            },
+            "timelines": {
+                name: [list(point) for point in metrics.timelines[name]]
+                for name in sorted(metrics.timelines)
+            },
+            "truncations": dict(getattr(metrics, "truncations", {})),
+        }
+    if tracer is not None:
+        report["traces"] = {
+            "spans": len(tracer),
+            "dropped_spans": tracer.dropped_spans,
+            "summaries": tracer.trace_summaries(),
+        }
+    if events is not None:
+        report["events"] = {
+            "records": len(events),
+            "evicted": events.evicted,
+            "suppressed": events.suppressed,
+            "by_severity": events.count_by_severity(),
+        }
+    if profiler is not None:
+        report["profile"] = profiler.as_dict()
+    return report
+
+
+def write_json_report(
+    path: str,
+    metrics: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    events: Optional[Any] = None,
+    profiler: Optional[Any] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write :func:`json_report` to ``path``; returns the report dict."""
+    report = json_report(
+        metrics=metrics, tracer=tracer, events=events, profiler=profiler, meta=meta
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+__all__: Sequence[str] = (
+    "SUMMARY_QUANTILES",
+    "json_report",
+    "prometheus_text",
+    "sanitize_metric_name",
+    "write_json_report",
+)

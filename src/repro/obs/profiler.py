@@ -1,0 +1,129 @@
+"""Wall-clock profiling of engine event labels.
+
+A :class:`Profiler` aggregates *host* (wall-clock) time per event label.
+It is deliberately the one observability component that measures real
+time: the engine wraps every callback dispatch in ``perf_counter`` when
+a profiler is attached, so after a run you can see which event family —
+beacons, frame deliveries, anti-entropy sweeps — actually burned the
+host's CPU.
+
+Wall-clock readings never feed back into the simulation: the profiler
+writes only its own tables, so seeded runs remain byte-identical with
+profiling on or off (the timestamps differ run to run; the sim does
+not).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+
+@dataclass
+class LabelProfile:
+    """Aggregate wall-clock cost of one event label."""
+
+    label: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall seconds per event (0 when never fired)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_s / self.count
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable flat view of the profile."""
+        return {
+            "label": self.label,
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+class Profiler:
+    """Accumulates per-label wall-clock timings."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, LabelProfile] = {}
+
+    def record(self, label: str, seconds: float) -> None:
+        """Fold one timed interval into the label's aggregate."""
+        profile = self._profiles.get(label)
+        if profile is None:
+            profile = LabelProfile(label=label)
+            self._profiles[label] = profile
+        profile.count += 1
+        profile.total_s += seconds
+        if seconds > profile.max_s:
+            profile.max_s = seconds
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Time a block of host code under ``label``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(label, time.perf_counter() - started)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def profile(self, label: str) -> LabelProfile:
+        """The aggregate for one label (zeroed if never recorded)."""
+        return self._profiles.get(label, LabelProfile(label=label))
+
+    def profiles(self) -> List[LabelProfile]:
+        """All aggregates, heaviest total first (ties by label)."""
+        return sorted(
+            self._profiles.values(), key=lambda p: (-p.total_s, p.label)
+        )
+
+    @property
+    def total_wall_s(self) -> float:
+        """Total measured wall seconds across all labels."""
+        return sum(p.total_s for p in self._profiles.values())
+
+    @property
+    def total_events(self) -> int:
+        """Total measured intervals across all labels."""
+        return sum(p.count for p in self._profiles.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable report of every label's aggregate."""
+        return {
+            "total_wall_s": self.total_wall_s,
+            "total_events": self.total_events,
+            "labels": [p.as_dict() for p in self.profiles()],
+        }
+
+    def render(self, top: int = 15) -> str:
+        """An aligned text table of the ``top`` heaviest labels."""
+        rows: List[Tuple[str, ...]] = [("label", "count", "total (s)", "mean (µs)", "max (µs)")]
+        for profile in self.profiles()[:top]:
+            rows.append(
+                (
+                    profile.label,
+                    str(profile.count),
+                    f"{profile.total_s:.4f}",
+                    f"{profile.mean_s * 1e6:.1f}",
+                    f"{profile.max_s * 1e6:.1f}",
+                )
+            )
+        widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+        lines = [" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows]
+        lines.insert(1, "-+-".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+__all__: Sequence[str] = ("LabelProfile", "Profiler")

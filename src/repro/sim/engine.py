@@ -19,12 +19,20 @@ Error handling is governed by an :data:`ErrorPolicy`:
   listeners, and the run continues (what a 10k-event experiment wants);
 * ``"suppress"`` — the failure is counted and reported to listeners but
   no detailed record is kept.
+
+Observability hooks: an attached :attr:`Engine.profiler` wall-clock
+times every dispatched callback by label, and an attached
+:attr:`Engine.tracer` receives a span per ledgered failure.  Both are
+``None`` by default (one attribute test per event) and neither touches
+the queue, the clock, or any RNG — seeded runs are byte-identical with
+or without them.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -116,6 +124,13 @@ class Engine:
         #: Per-label failure counts (populated under "record" and "suppress").
         self.failure_counts: Dict[str, int] = {}
         self._failure_listeners: List[Callable[[CallbackFailure], None]] = []
+        #: Optional wall-clock profiler (duck-typed: needs ``record(label, s)``).
+        #: Timings are host time and never feed back into the sim, so a
+        #: profiled seeded run stays byte-identical to an unprofiled one.
+        self.profiler: Optional[Any] = None
+        #: Optional tracer (duck-typed: needs ``add_event``-style hooks via
+        #: :meth:`record_failure`); attached by ``World.enable_observability``.
+        self.tracer: Optional[Any] = None
 
     # -- clock -------------------------------------------------------------
 
@@ -160,11 +175,29 @@ class Engine:
         self.failure_counts[failure.label] = self.failure_counts.get(failure.label, 0) + 1
         if self.error_policy == "record":
             self.failures.append(failure)
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "engine.failure",
+                subsystem="engine",
+                attrs={"label": failure.label, "error": failure.error},
+            )
+            self.tracer.end_span(span, status="error")
         for listener in self._failure_listeners:
             listener(failure)
         return failure
 
     def _run_callback(self, callback: EventCallback, label: str) -> None:
+        profiler = self.profiler
+        if profiler is None:
+            self._dispatch_callback(callback, label)
+            return
+        started = time.perf_counter()
+        try:
+            self._dispatch_callback(callback, label)
+        finally:
+            profiler.record(label or "<unlabelled>", time.perf_counter() - started)
+
+    def _dispatch_callback(self, callback: EventCallback, label: str) -> None:
         if self.error_policy == "raise":
             callback()
             return

@@ -84,12 +84,27 @@ def summarize(values: List[float]) -> SeriesSummary:
 
 @dataclass
 class MetricsRegistry:
-    """Named counters, gauges and sample series for one simulation run."""
+    """Named counters, gauges and sample series for one simulation run.
+
+    ``max_samples_per_series`` (None = unbounded, the default) caps how
+    many samples each series *and* timeline retains, so million-event
+    runs cannot hoard memory silently: once a series is full, further
+    samples are dropped (keeping the earliest observations) and the drop
+    is counted per series in :attr:`truncations` — explicit, never
+    silent.
+    """
 
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     series: Dict[str, List[float]] = field(default_factory=dict)
     timelines: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    max_samples_per_series: Optional[int] = None
+    #: Per-series/timeline count of samples dropped by the cap.
+    truncations: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_samples_per_series is not None and self.max_samples_per_series < 1:
+            raise ValueError("max_samples_per_series must be >= 1 (or None)")
 
     # -- counters -----------------------------------------------------------
 
@@ -128,17 +143,38 @@ class MetricsRegistry:
 
     # -- series ---------------------------------------------------------------
 
+    def _note_truncation(self, name: str) -> None:
+        self.truncations[name] = self.truncations.get(name, 0) + 1
+
     def observe(self, name: str, value: float) -> None:
-        """Append a sample to the named series."""
-        self.series.setdefault(name, []).append(value)
+        """Append a sample to the named series (subject to the cap)."""
+        values = self.series.setdefault(name, [])
+        cap = self.max_samples_per_series
+        if cap is not None and len(values) >= cap:
+            self._note_truncation(name)
+            return
+        values.append(value)
 
     def observe_at(self, name: str, time: float, value: float) -> None:
-        """Append a timestamped sample to the named timeline."""
-        self.timelines.setdefault(name, []).append((time, value))
+        """Append a timestamped sample to the named timeline (subject to the cap)."""
+        points = self.timelines.setdefault(name, [])
+        cap = self.max_samples_per_series
+        if cap is not None and len(points) >= cap:
+            self._note_truncation(name)
+            return
+        points.append((time, value))
 
     def samples(self, name: str) -> List[float]:
         """Return the raw samples of a series (empty list if absent)."""
         return self.series.get(name, [])
+
+    def timeline(self, name: str) -> List[Tuple[float, float]]:
+        """Return the raw (time, value) points of a timeline (empty if absent)."""
+        return self.timelines.get(name, [])
+
+    def truncated(self, name: str) -> int:
+        """How many samples the cap dropped from one series/timeline."""
+        return self.truncations.get(name, 0)
 
     def summary(self, name: str) -> Optional[SeriesSummary]:
         """Return summary stats for a series, or None if it is empty."""
@@ -166,10 +202,17 @@ class MetricsRegistry:
                 result.series.setdefault(name, []).extend(values)
             for name, points in source.timelines.items():
                 result.timelines.setdefault(name, []).extend(points)
+            for name, count in source.truncations.items():
+                result.truncations[name] = result.truncations.get(name, 0) + count
         return result
 
     def snapshot(self) -> Mapping[str, object]:
-        """Return a read-only flat snapshot usable in reports."""
+        """Return a read-only flat snapshot usable in reports.
+
+        Timelines export their full (time, value) point lists — a
+        timestamped series would otherwise be invisible in reports —
+        and any cap-dropped samples appear under ``truncated/<name>``.
+        """
         flat: Dict[str, object] = {}
         for name, value in sorted(self.counters.items()):
             flat[f"counter/{name}"] = value
@@ -179,4 +222,10 @@ class MetricsRegistry:
             summary = self.summary(name)
             if summary is not None:
                 flat[f"series/{name}"] = summary.as_dict()
+        for name in sorted(self.timelines):
+            points = self.timelines[name]
+            if points:
+                flat[f"timeline/{name}"] = [tuple(point) for point in points]
+        for name, count in sorted(self.truncations.items()):
+            flat[f"truncated/{name}"] = count
         return flat

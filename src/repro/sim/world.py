@@ -8,7 +8,7 @@ short and makes the wiring explicit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, TypeVar
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, TypeVar
 
 from ..errors import SimulationError
 from .config import ScenarioConfig
@@ -16,6 +16,9 @@ from .engine import CallbackFailure, Engine
 from .metrics import MetricsRegistry
 from .rng import SeededRng
 from .spatial import SpatialGrid
+
+if TYPE_CHECKING:
+    from ..obs import EventLog, Observability, Profiler, Tracer
 
 T = TypeVar("T")
 
@@ -35,6 +38,67 @@ class World:
         # at most a 3x3 block of cells.
         self.spatial = SpatialGrid(cell_size_m=self.config.channel.v2v_range_m)
         self._spatial_owner: Optional[object] = None
+        # Observability is opt-in (enable_observability); components
+        # guard every hook with an ``is None`` check, so an unattached
+        # world pays one attribute test and seeded runs stay identical.
+        self.tracer: Optional["Tracer"] = None
+        self.events: Optional["EventLog"] = None
+        self.profiler: Optional["Profiler"] = None
+
+    def enable_observability(
+        self,
+        trace: bool = True,
+        events: bool = True,
+        profile: bool = False,
+        max_spans: int = 100_000,
+        max_events: int = 100_000,
+        channel_frames: str = "tagged",
+        min_severity: str = "debug",
+    ) -> "Observability":
+        """Attach tracing / event telemetry / profiling to this world.
+
+        Everything is keyed to *sim* time except the profiler, which is
+        the one deliberately wall-clock component.  ``channel_frames``
+        picks which frames get message-lifecycle spans: ``"tagged"``
+        (only messages carrying a trace context), ``"all"``, or
+        ``"off"``.  Returns the :class:`~repro.obs.Observability`
+        bundle; the parts are also reachable as :attr:`tracer`,
+        :attr:`events` and :attr:`profiler`.
+        """
+        from ..obs import EventLog, Observability, Profiler, Tracer
+
+        bundle = Observability()
+        if trace:
+            self.tracer = Tracer(
+                clock=lambda: self.engine.now,
+                max_spans=max_spans,
+                channel_frames=channel_frames,
+            )
+            self.engine.tracer = self.tracer
+            bundle.tracer = self.tracer
+        if events:
+            self.events = EventLog(
+                clock=lambda: self.engine.now,
+                max_events=max_events,
+                min_severity=min_severity,
+            )
+            self.engine.on_callback_failure(self._emit_failure_event)
+            bundle.events = self.events
+        if profile:
+            self.profiler = Profiler()
+            self.engine.profiler = self.profiler
+            bundle.profiler = self.profiler
+        return bundle
+
+    def _emit_failure_event(self, failure: CallbackFailure) -> None:
+        if self.events is not None:
+            self.events.emit(
+                "engine",
+                "callback_failure",
+                severity="error",
+                label=failure.label,
+                error=failure.error,
+            )
 
     def claim_spatial_grid(self, owner: object) -> SpatialGrid:
         """Return the world's spatial grid, claiming it for ``owner``.

@@ -116,6 +116,19 @@ class TestPercentile:
     def test_invalid_fraction_raises(self):
         with pytest.raises(ValueError):
             percentile([1], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1], -0.1)
+
+    def test_single_sample_any_fraction(self):
+        for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert percentile([7.5], fraction) == 7.5
+
+    def test_result_clamped_into_data(self):
+        # Values chosen so naive interpolation accumulates float error;
+        # the clamp guarantees the result never escapes [min, max].
+        ordered = sorted([0.1 + 1e-17, 0.1, 0.1])
+        result = percentile(ordered, 0.9999999)
+        assert ordered[0] <= result <= ordered[-1]
 
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
     def test_within_bounds(self, values):
@@ -139,6 +152,26 @@ class TestSummarize:
     def test_as_dict_keys(self):
         keys = set(summarize([1.0]).as_dict())
         assert {"count", "mean", "std", "min", "max", "p50", "p95"} <= keys
+
+    def test_single_sample_collapses_every_stat(self):
+        summary = summarize([4.25])
+        assert summary.count == 1
+        assert summary.std == 0.0
+        assert (
+            summary.mean
+            == summary.minimum
+            == summary.maximum
+            == summary.p50
+            == summary.p90
+            == summary.p95
+            == summary.p99
+            == 4.25
+        )
+
+    def test_quantiles_never_escape_the_data(self):
+        summary = summarize([1.0, 1.0, 1.0 + 1e-15])
+        for value in (summary.p50, summary.p90, summary.p95, summary.p99):
+            assert summary.minimum <= value <= summary.maximum
 
 
 class TestMetricsRegistry:
@@ -186,6 +219,53 @@ class TestMetricsRegistry:
         assert merged.counter("n") == 3
         assert merged.samples("s") == [1.0, 3.0]
 
+    def test_counters_under_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.increment("storage/stale_reads", 2)
+        metrics.increment("storage/repairs", 1)
+        metrics.increment("storageother", 9)  # shares the prefix string only
+        assert metrics.counters_under("storage") == {"stale_reads": 2.0, "repairs": 1.0}
+
+    def test_counters_under_trailing_slash_equivalent(self):
+        metrics = MetricsRegistry()
+        metrics.increment("faults/injected", 3)
+        assert metrics.counters_under("faults/") == metrics.counters_under("faults")
+
+    def test_counters_under_nested_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.increment("cloud/storage/reads", 4)
+        metrics.increment("cloud/tasks/completed", 2)
+        assert metrics.counters_under("cloud") == {
+            "storage/reads": 4.0,
+            "tasks/completed": 2.0,
+        }
+        assert metrics.counters_under("cloud/storage") == {"reads": 4.0}
+
+    def test_merged_preserves_timelines(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe_at("queue", 1.0, 5.0)
+        b.observe_at("queue", 2.0, 7.0)
+        b.observe_at("faults", 0.5, 1.0)
+        merged = a.merged(b)
+        assert merged.timeline("queue") == [(1.0, 5.0), (2.0, 7.0)]
+        assert merged.timeline("faults") == [(0.5, 1.0)]
+        # The sources are untouched.
+        assert a.timeline("queue") == [(1.0, 5.0)]
+        assert b.timeline("queue") == [(2.0, 7.0)]
+
+    def test_merged_sums_truncation_counts(self):
+        a = MetricsRegistry(max_samples_per_series=1)
+        b = MetricsRegistry(max_samples_per_series=1)
+        for registry in (a, b):
+            registry.observe("s", 1.0)
+            registry.observe("s", 2.0)
+        merged = a.merged(b)
+        assert merged.truncated("s") == 2
+
+    def test_timeline_accessor_defaults_empty(self):
+        metrics = MetricsRegistry()
+        assert metrics.timeline("missing") == []
+
     def test_snapshot_is_flat(self):
         metrics = MetricsRegistry()
         metrics.increment("a")
@@ -195,3 +275,44 @@ class TestMetricsRegistry:
         assert snapshot["counter/a"] == 1.0
         assert snapshot["gauge/g"] == 1.0
         assert isinstance(snapshot["series/s"], dict)
+
+    def test_snapshot_includes_timelines(self):
+        metrics = MetricsRegistry()
+        metrics.observe_at("queue", 1.0, 5.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["timeline/queue"] == [(1.0, 5.0)]
+
+
+class TestMetricsSampleCap:
+    def test_series_cap_drops_newest_and_counts(self):
+        metrics = MetricsRegistry(max_samples_per_series=2)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            metrics.observe("lat", value)
+        assert metrics.samples("lat") == [1.0, 2.0]
+        assert metrics.truncated("lat") == 2
+
+    def test_timeline_cap_counts_separately(self):
+        metrics = MetricsRegistry(max_samples_per_series=1)
+        metrics.observe_at("queue", 0.0, 1.0)
+        metrics.observe_at("queue", 1.0, 2.0)
+        metrics.observe("queue", 9.0)  # series shares the name, not the cap slot
+        assert metrics.timeline("queue") == [(0.0, 1.0)]
+        assert metrics.samples("queue") == [9.0]
+        assert metrics.truncated("queue") == 1
+
+    def test_unbounded_by_default(self):
+        metrics = MetricsRegistry()
+        for value in range(1000):
+            metrics.observe("s", float(value))
+        assert len(metrics.samples("s")) == 1000
+        assert metrics.truncations == {}
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_samples_per_series=0)
+
+    def test_truncations_surface_in_snapshot(self):
+        metrics = MetricsRegistry(max_samples_per_series=1)
+        metrics.observe("s", 1.0)
+        metrics.observe("s", 2.0)
+        assert metrics.snapshot()["truncated/s"] == 1
