@@ -1,0 +1,85 @@
+"""Reproducer bundles: everything needed to replay a failure.
+
+When a chaos run violates an invariant, the runner captures the run
+seed, the generated plan, the first violation, the ddmin-minimized
+fault subset and (when observability is on) the causal trace excerpt
+explaining the chain of events, into a :class:`ReproducerBundle`.
+The bundle is self-describing — :meth:`ReproducerBundle.describe`
+prints the replay recipe, :meth:`ReproducerBundle.to_dict` serializes
+it for CI artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..faults.plan import FaultSpec
+from .invariants import Violation
+
+
+@dataclass(frozen=True)
+class ReproducerBundle:
+    """A minimal, deterministic recipe for replaying one failure."""
+
+    #: Seed of the failing run; replaying it regenerates the same plan.
+    seed: int
+    run_length_s: float
+    #: Name of the first violated invariant (the minimization target).
+    invariant: str
+    #: The first violation observed in the original full run.
+    violation: Violation
+    #: Number of specs in the full generated schedule.
+    schedule_size: int
+    #: Original schedule positions that survived minimization, sorted.
+    minimized_indices: Tuple[int, ...]
+    #: The fault specs at those positions.
+    minimized_specs: Tuple[FaultSpec, ...]
+    #: Distinct scenario re-runs ddmin needed.
+    minimize_runs: int
+    #: ``Tracer.explain`` lines for the span nearest the violation
+    #: (empty when the reproducing run had observability off).
+    trace_excerpt: Tuple[str, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        """Human-readable reproducer report."""
+        lines: List[str] = [
+            f"invariant violated : {self.invariant}",
+            f"first violation    : {self.violation.describe()}",
+            f"seed               : {self.seed}",
+            f"run length         : {self.run_length_s:g}s",
+            f"schedule           : {self.schedule_size} fault(s), minimized to "
+            f"{len(self.minimized_specs)} in {self.minimize_runs} re-run(s)",
+            "minimal fault set  :",
+        ]
+        for index, spec in zip(self.minimized_indices, self.minimized_specs):
+            lines.append(f"  [{index:3d}] {spec.describe()}")
+        lines.append(
+            f"replay             : runner.run_seed({self.seed}, "
+            f"only_indices={list(self.minimized_indices)})"
+        )
+        if self.trace_excerpt:
+            lines.append("causal trace       :")
+            lines.extend(f"  {line}" for line in self.trace_excerpt)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for CI artifacts."""
+        return {
+            "seed": self.seed,
+            "run_length_s": self.run_length_s,
+            "invariant": self.invariant,
+            "violation": {
+                "invariant": self.violation.invariant,
+                "time": self.violation.time,
+                "message": self.violation.message,
+            },
+            "schedule_size": self.schedule_size,
+            "minimized_indices": list(self.minimized_indices),
+            "minimized_specs": [
+                {"kind": spec.kind, "at": spec.at, "params": dict(spec.params)}
+                for spec in self.minimized_specs
+            ],
+            "minimize_runs": self.minimize_runs,
+            "trace_excerpt": list(self.trace_excerpt),
+        }

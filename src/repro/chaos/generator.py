@@ -1,0 +1,241 @@
+"""Randomized, seeded fault-campaign generation.
+
+A :class:`ChaosProfile` is a weighted grammar over every fault kind the
+framework knows (:data:`~repro.faults.plan.ALL_FAULT_KINDS`);
+:func:`generate_plan` samples it into an ordinary
+:class:`~repro.faults.plan.FaultPlan`, scaled to the world size
+(member count) and the run length.  Every draw flows through the plan's
+own :class:`~repro.sim.rng.SeededRng`, so one ``(seed, profile,
+run length, targets)`` tuple always yields a byte-identical schedule —
+the property the chaos runner's reproducer capture and delta-debugging
+replay depend on.
+
+Fault times are quantized to a 0.1 s grid.  That makes generated
+schedules readable and deliberately produces identical-timestamp specs,
+exercising the :class:`FaultPlan` tie-break contract (insertion order)
+instead of hiding it behind continuous draws.
+
+Families whose targets are absent from the scenario (no members, no
+channel, no infrastructure) are *dropped from the grammar* — an explicit,
+documented no-op per kind — and a grammar left empty after dropping
+raises :class:`~repro.errors.ConfigurationError`, so a zero-vehicle
+world cannot silently generate an empty campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..faults.plan import (
+    ALL_FAULT_KINDS,
+    NETWORK_FAULTS,
+    PROCESS_FAULTS,
+    FaultPlan,
+)
+
+#: Default kind weights: crashes and partitions dominate (they are the
+#: faults the paper's dependability section worries about most), the
+#: rest provide background noise.
+DEFAULT_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("crash", 3.0),
+    ("stall", 2.0),
+    ("reboot", 2.0),
+    ("loss_burst", 2.0),
+    ("partition", 3.0),
+    ("jitter_spike", 1.0),
+    ("duplication", 1.0),
+    ("rsu_flap", 2.0),
+    ("disaster", 1.0),
+)
+
+#: Reference member count at which the campaign intensity scale is 1.0.
+_REFERENCE_MEMBERS = 12
+
+
+def _grid(value: float) -> float:
+    """Quantize to the 0.1 s schedule grid."""
+    return round(value, 1)
+
+
+@dataclass(frozen=True)
+class ChaosTargets:
+    """What the scenario under test offers each fault family to bite on."""
+
+    members: int = 0
+    has_channel: bool = False
+    infrastructure: int = 0
+
+    def __post_init__(self) -> None:
+        if self.members < 0 or self.infrastructure < 0:
+            raise ConfigurationError("target counts must be non-negative")
+
+    def accepts(self, kind: str) -> bool:
+        """Whether this scenario can host a fault of ``kind``."""
+        if kind in PROCESS_FAULTS:
+            return self.members > 0
+        if kind in NETWORK_FAULTS:
+            return self.has_channel
+        return self.infrastructure > 0
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Weighted fault grammar plus parameter ranges for each kind."""
+
+    weights: Tuple[Tuple[str, float], ...] = DEFAULT_WEIGHTS
+    #: Mean sim-seconds between faults at the reference world size.
+    mean_interval_s: float = 6.0
+    #: No faults before this point — the scenario settles first.
+    warmup_s: float = 5.0
+    #: Fraction of the run tail kept fault-free so effects can surface.
+    cooldown_fraction: float = 0.15
+    min_faults: int = 1
+    max_faults: int = 48
+    stall_s: Tuple[float, float] = (2.0, 8.0)
+    reboot_downtime_s: Tuple[float, float] = (2.0, 8.0)
+    burst_s: Tuple[float, float] = (2.0, 10.0)
+    drop_probability: Tuple[float, float] = (0.4, 0.9)
+    partition_s: Tuple[float, float] = (4.0, 12.0)
+    partition_fraction: Tuple[float, float] = (0.25, 0.5)
+    jitter_s: Tuple[float, float] = (2.0, 8.0)
+    max_extra_delay_s: Tuple[float, float] = (0.05, 0.4)
+    duplication_s: Tuple[float, float] = (2.0, 8.0)
+    duplication_probability: Tuple[float, float] = (0.2, 0.8)
+    copies: Tuple[int, int] = (1, 2)
+    rsu_cycles: Tuple[int, int] = (1, 3)
+    rsu_down_s: Tuple[float, float] = (2.0, 6.0)
+    rsu_up_s: Tuple[float, float] = (2.0, 6.0)
+    disaster_fraction: Tuple[float, float] = (0.25, 0.75)
+    disaster_repair_s: Tuple[float, float] = (4.0, 10.0)
+
+    def __post_init__(self) -> None:
+        if self.mean_interval_s <= 0:
+            raise ConfigurationError("mean_interval_s must be positive")
+        if self.warmup_s < 0:
+            raise ConfigurationError("warmup_s must be non-negative")
+        if not 0.0 <= self.cooldown_fraction < 1.0:
+            raise ConfigurationError("cooldown_fraction must be in [0, 1)")
+        if not 0 <= self.min_faults <= self.max_faults:
+            raise ConfigurationError("need 0 <= min_faults <= max_faults")
+        if not self.weights:
+            raise ConfigurationError("profile needs at least one weighted kind")
+        for kind, weight in self.weights:
+            if kind not in ALL_FAULT_KINDS:
+                raise ConfigurationError(f"unknown fault kind in weights: {kind!r}")
+            if weight < 0:
+                raise ConfigurationError(f"negative weight for {kind!r}")
+
+    def only(self, *kinds: str) -> "ChaosProfile":
+        """A copy keeping only the named kinds."""
+        kept = tuple((k, w) for k, w in self.weights if k in kinds)
+        return replace(self, weights=kept)
+
+    def without(self, *kinds: str) -> "ChaosProfile":
+        """A copy with the named kinds removed from the grammar."""
+        kept = tuple((k, w) for k, w in self.weights if k not in kinds)
+        return replace(self, weights=kept)
+
+    def applicable_weights(
+        self, targets: ChaosTargets
+    ) -> Tuple[List[str], List[float]]:
+        """Kinds/weights this scenario can host (positive weight only)."""
+        kinds: List[str] = []
+        weights: List[float] = []
+        for kind, weight in self.weights:
+            if weight > 0 and targets.accepts(kind):
+                kinds.append(kind)
+                weights.append(weight)
+        return kinds, weights
+
+
+def campaign_size(
+    profile: ChaosProfile, run_length_s: float, members: int
+) -> int:
+    """Fault count for one run, scaled to run length and world size."""
+    horizon = run_length_s * (1.0 - profile.cooldown_fraction)
+    active_s = max(0.0, horizon - profile.warmup_s)
+    scale = max(0.5, min(2.0, members / _REFERENCE_MEMBERS)) if members else 1.0
+    raw = round(active_s / profile.mean_interval_s * scale)
+    return max(profile.min_faults, min(profile.max_faults, raw))
+
+
+def generate_plan(
+    seed: int,
+    run_length_s: float,
+    targets: ChaosTargets,
+    profile: ChaosProfile = ChaosProfile(),
+) -> FaultPlan:
+    """Sample one seeded campaign into a :class:`FaultPlan`.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the run is too
+    short to fit any fault after warmup/cooldown, or when no weighted
+    kind has a target in this scenario (e.g. a zero-vehicle world with a
+    process-only grammar).
+    """
+    horizon = _grid(run_length_s * (1.0 - profile.cooldown_fraction))
+    if horizon <= profile.warmup_s:
+        raise ConfigurationError(
+            f"run of {run_length_s}s leaves no fault window after "
+            f"{profile.warmup_s}s warmup and {profile.cooldown_fraction:.0%} cooldown"
+        )
+    kinds, weights = profile.applicable_weights(targets)
+    if not kinds:
+        raise ConfigurationError(
+            "no weighted fault kind has a target in this scenario "
+            f"(members={targets.members}, channel={targets.has_channel}, "
+            f"infrastructure={targets.infrastructure})"
+        )
+    count = campaign_size(profile, run_length_s, targets.members)
+    plan = FaultPlan(seed)
+    rng = plan.rng
+    for _ in range(count):
+        kind = rng.weighted_choice(kinds, weights)
+        at = _grid(rng.uniform(profile.warmup_s, horizon))
+        if kind == "crash":
+            plan.crash(at)
+        elif kind == "stall":
+            plan.stall(at, duration_s=_grid(rng.uniform(*profile.stall_s)))
+        elif kind == "reboot":
+            plan.reboot(at, downtime_s=_grid(rng.uniform(*profile.reboot_downtime_s)))
+        elif kind == "loss_burst":
+            plan.loss_burst(
+                at,
+                duration_s=_grid(rng.uniform(*profile.burst_s)),
+                drop_probability=round(rng.uniform(*profile.drop_probability), 3),
+            )
+        elif kind == "partition":
+            plan.partition(
+                at,
+                duration_s=_grid(rng.uniform(*profile.partition_s)),
+                fraction=round(rng.uniform(*profile.partition_fraction), 3),
+            )
+        elif kind == "jitter_spike":
+            plan.jitter_spike(
+                at,
+                duration_s=_grid(rng.uniform(*profile.jitter_s)),
+                max_extra_delay_s=round(rng.uniform(*profile.max_extra_delay_s), 3),
+            )
+        elif kind == "duplication":
+            plan.duplication(
+                at,
+                duration_s=_grid(rng.uniform(*profile.duplication_s)),
+                probability=round(rng.uniform(*profile.duplication_probability), 3),
+                copies=rng.randint(*profile.copies),
+            )
+        elif kind == "rsu_flap":
+            plan.rsu_flap(
+                at,
+                cycles=rng.randint(*profile.rsu_cycles),
+                down_s=_grid(rng.uniform(*profile.rsu_down_s)),
+                up_s=_grid(rng.uniform(*profile.rsu_up_s)),
+            )
+        else:  # disaster
+            plan.disaster(
+                at,
+                fraction=round(rng.uniform(*profile.disaster_fraction), 3),
+                repair_start_s=_grid(rng.uniform(*profile.disaster_repair_s)),
+                repair_interval_s=1.0,
+            )
+    return plan

@@ -1,0 +1,93 @@
+"""Delta debugging (ddmin) over fault-schedule indices.
+
+Given a failing campaign, :func:`ddmin` shrinks the set of schedule
+positions that must be armed for the failure to reproduce.  The test
+function receives a tuple of *original* schedule indices — the caller
+re-runs the scenario arming only those positions
+(:meth:`~repro.faults.injector.FaultInjector.arm` with ``only_indices``),
+which preserves every spec's RNG fork key so a subset resolves the same
+victims as the full plan.
+
+This is Zeller & Hildebrandt's classic algorithm: try removing chunks,
+then complements, then double the granularity; stop when single-spec
+granularity yields no further reduction.  The result is 1-minimal —
+removing any single remaining index makes the failure vanish.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+TestFn = Callable[[Tuple[int, ...]], bool]
+
+
+def _chunks(items: Sequence[int], n: int) -> List[Tuple[int, ...]]:
+    """Split ``items`` into ``n`` contiguous, near-equal chunks."""
+    out: List[Tuple[int, ...]] = []
+    size, extra = divmod(len(items), n)
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        if end > start:
+            out.append(tuple(items[start:end]))
+        start = end
+    return out
+
+
+def ddmin(indices: Sequence[int], test: TestFn) -> Tuple[List[int], int]:
+    """Shrink ``indices`` to a 1-minimal subset for which ``test`` holds.
+
+    ``test(subset)`` must return True when the failure reproduces with
+    only that subset armed; it is memoized, so the returned run count is
+    the number of *distinct* subsets actually executed.  ``test(())`` is
+    never called — an empty schedule trivially cannot fail.
+
+    Returns ``(minimal_indices, runs_executed)``.
+    """
+    cache: Dict[Tuple[int, ...], bool] = {}
+    runs = 0
+
+    def check(subset: Tuple[int, ...]) -> bool:
+        nonlocal runs
+        if not subset:
+            return False
+        if subset not in cache:
+            runs += 1
+            cache[subset] = test(subset)
+        return cache[subset]
+
+    current: Tuple[int, ...] = tuple(sorted(indices))
+    if not check(current):
+        raise ValueError("ddmin: the full index set does not reproduce the failure")
+
+    granularity = 2
+    while len(current) >= 2:
+        chunks = _chunks(current, granularity)
+        reduced = False
+        # Pass 1: does any single chunk suffice?
+        for chunk in chunks:
+            if check(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # Pass 2: does dropping any single chunk keep the failure?
+        if granularity > 2:
+            for chunk in chunks:
+                drop = set(chunk)
+                complement = tuple(i for i in current if i not in drop)
+                if check(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if reduced:
+                continue
+        # Pass 3: refine granularity or stop.
+        if granularity >= len(current):
+            break
+        granularity = min(len(current), granularity * 2)
+
+    return list(current), runs

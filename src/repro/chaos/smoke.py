@@ -1,0 +1,82 @@
+"""CI chaos smoke: fixed seeds, bounded runtime, fails loud.
+
+Run as ``python -m repro.chaos.smoke``.  Two phases:
+
+1. **Hardened must hold** — a fixed-seed campaign per architecture with
+   the full recovery stack; any invariant violation fails the build and
+   prints the ddmin-minimized reproducer bundle.
+2. **Weakened must break** — a short campaign against the
+   recovery-stripped stationary cloud; at least one seed must violate
+   (otherwise the harness has lost its teeth) and its reproducer must
+   minimize to a handful of faults and replay deterministically.
+
+Seeds and run lengths are pinned so the job is deterministic and stays
+within a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .runner import ChaosRunner
+from .scenarios import (
+    dynamic_scenario,
+    infrastructure_scenario,
+    stationary_scenario,
+)
+
+HARDENED_SEEDS = range(101, 107)
+WEAKENED_SEEDS = range(7001, 7011)
+RUN_LENGTH_S = 45.0
+MAX_MINIMIZED_SPECS = 3
+
+
+def main() -> int:
+    failures = 0
+
+    print("== phase 1: hardened architectures must satisfy every invariant ==")
+    for factory in (stationary_scenario, dynamic_scenario, infrastructure_scenario):
+        runner = ChaosRunner(factory, run_length_s=RUN_LENGTH_S)
+        campaign = runner.run_campaign(HARDENED_SEEDS)
+        print(f"  {campaign.describe()}")
+        for seed in campaign.failing_seeds:
+            failures += 1
+            print(f"!! {campaign.label} seed {seed} violated an invariant; reproducer:")
+            print(runner.capture_reproducer(seed).describe())
+
+    print("== phase 2: weakened configuration must break, minimally ==")
+    weak = ChaosRunner(
+        lambda seed: stationary_scenario(seed, hardened=False),
+        run_length_s=RUN_LENGTH_S,
+    )
+    campaign = weak.run_campaign(WEAKENED_SEEDS)
+    print(f"  {campaign.describe()}")
+    if not campaign.failing_seeds:
+        failures += 1
+        print("!! weakened campaign found no violations — harness has lost its teeth")
+    else:
+        seed = campaign.failing_seeds[0]
+        bundle = weak.capture_reproducer(seed)
+        print(bundle.describe())
+        if len(bundle.minimized_specs) > MAX_MINIMIZED_SPECS:
+            failures += 1
+            print(
+                f"!! reproducer did not minimize: {len(bundle.minimized_specs)} "
+                f"specs > {MAX_MINIMIZED_SPECS}"
+            )
+        replay = weak.run_seed(seed, only_indices=list(bundle.minimized_indices))
+        if not any(v.invariant == bundle.invariant for v in replay.violations):
+            failures += 1
+            print("!! minimized reproducer did not replay deterministically")
+        else:
+            print("  minimized reproducer replayed deterministically")
+
+    if failures:
+        print(f"CHAOS SMOKE FAILED ({failures} problem(s))")
+        return 1
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

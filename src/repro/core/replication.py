@@ -331,6 +331,9 @@ class ReplicationManager:
         self.anti_entropy_rounds = 0
         self.anti_entropy_repairs = 0
         self.anti_entropy_failed_transfers = 0
+        self.anti_entropy_retries_exhausted = 0
+        #: (owner_id, file_id) pairs whose repair retries ran out for good.
+        self.exhausted_transfers: List[Tuple[str, str]] = []
 
     def _emit(self, name: str, amount: float = 1.0) -> None:
         if self.metrics is not None:
@@ -804,7 +807,13 @@ class ReplicationManager:
                 self._emit("anti_entropy_repairs")
             return
         if self._backoff is None or self._engine is None or attempt > self._backoff.max_retries:
+            # Retry budget is spent with the holder still offline: the
+            # transfer is abandoned, but ledgered — a whole-run failure
+            # must be visible in stats, not silently dropped.
             self._pending_retries.discard(key)
+            self.anti_entropy_retries_exhausted += 1
+            self.exhausted_transfers.append(key)
+            self._emit("anti_entropy_retries_exhausted")
             return
         self.anti_entropy_failed_transfers += 1
         self._emit("anti_entropy_failed_transfers")

@@ -25,6 +25,18 @@ def next_task_id() -> str:
     return f"task-{next(_task_counter)}"
 
 
+def reset_task_ids() -> None:
+    """Rewind the process-global task id counter to ``task-1``.
+
+    Task ids feed sorted orders and RNG fork names, so byte-identical
+    cross-run replay (chaos reproducers, seeded benchmarks) must rewind
+    this counter before building each fresh world.  Never call it while
+    a world that already holds tasks is still in use.
+    """
+    global _task_counter
+    _task_counter = itertools.count(1)
+
+
 class TaskState(enum.Enum):
     """Life-cycle states of a cloud task."""
 

@@ -17,7 +17,7 @@ latency is charged to the join.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import QuorumUnreachableError, ResourceError
 from ..faults.recovery import BackoffPolicy, WorkerLeases
@@ -889,3 +889,50 @@ class VehicularCloud:
     def member_count(self) -> int:
         """Current member count."""
         return len(self.membership)
+
+    def accounting(self) -> Dict[str, int]:
+        """Task-stream conservation counters, surfaced for invariants.
+
+        ``stats`` counters and record states are updated atomically in
+        the same callbacks, so at any sim instant
+        ``submitted == records`` and
+        ``submitted == completed + failed + in_flight`` must hold; a
+        mismatch means a task was double-counted or silently lost.
+        """
+        completed = sum(1 for r in self.records if r.state is TaskState.COMPLETED)
+        failed = sum(1 for r in self.records if r.state is TaskState.FAILED)
+        return {
+            "submitted": self.stats.submitted,
+            "records": len(self.records),
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+            "records_completed": completed,
+            "records_failed": failed,
+            "records_in_flight": len(self.records) - completed - failed,
+            "executions": len(self._executions),
+        }
+
+    def execution_view(self) -> List[Tuple[str, str, str]]:
+        """``(task_id, worker_id, state)`` per live execution, sorted.
+
+        Live executions always have a bound worker; records in the
+        result-return window (completion output travelling back to the
+        coordinator) are RUNNING but no longer appear here.
+        """
+        return sorted(
+            (task_id, execution.record.worker_id or "", execution.record.state.value)
+            for task_id, execution in self._executions.items()
+        )
+
+    def crashed_executions(self) -> List[Tuple[str, str, float]]:
+        """``(task_id, worker_id, crashed_at)`` for crash-frozen executions.
+
+        These stopped making progress and will never complete on their
+        own; a recovery mechanism (lease eviction → handover) must pick
+        them up, which the chaos stranded-task invariant enforces.
+        """
+        return sorted(
+            (task_id, execution.record.worker_id or "", execution.crashed_at)
+            for task_id, execution in self._executions.items()
+            if execution.crashed_at is not None
+        )

@@ -75,3 +75,7 @@ class TaskError(VCloudError):
 
 class MembershipError(VCloudError):
     """A cloud membership operation (join/leave/merge/split) failed."""
+
+
+class ChaosError(VCloudError):
+    """A chaos campaign, reproducer capture, or replay failed."""

@@ -58,24 +58,45 @@ class FaultInjector:
         self.ledger: List[Tuple[float, str, str]] = []
         self.skipped = 0
         self._armed = False
+        self._storage_partition_seq = 0
 
     # -- arming ----------------------------------------------------------------
 
-    def arm(self) -> int:
-        """Schedule every fault in the plan; returns the fault count."""
+    def arm(self, only_indices: Optional[Sequence[int]] = None) -> int:
+        """Schedule faults from the plan; returns the scheduled count.
+
+        ``only_indices`` restricts arming to a subset of schedule
+        positions (as returned by :meth:`FaultPlan.schedule`) while
+        keeping each spec's *original* position as its RNG substream
+        key.  A subset therefore resolves every surviving fault to the
+        same victim / partition split as the full plan — the property
+        delta-debugging minimization depends on.
+        """
         if self._armed:
             raise ConfigurationError("injector is already armed")
         self._armed = True
         specs = self.plan.schedule()
-        for spec in specs:
-            self._validate_targets(spec)
+        if only_indices is not None:
+            keep = set(only_indices)
+            out_of_range = [i for i in keep if i < 0 or i >= len(specs)]
+            if out_of_range:
+                raise ConfigurationError(
+                    f"only_indices out of range for schedule of {len(specs)}: {sorted(out_of_range)}"
+                )
+        else:
+            keep = set(range(len(specs)))
+        armed = 0
         for index, spec in enumerate(specs):
+            if index not in keep:
+                continue
+            self._validate_targets(spec)
             self.world.engine.schedule_at(
                 spec.at,
                 lambda s=spec, i=index: self._fire(s, i),
                 label=f"fault:{spec.kind}",
             )
-        return len(specs)
+            armed += 1
+        return armed
 
     def _validate_targets(self, spec: FaultSpec) -> None:
         if spec.kind in PROCESS_FAULTS and self._process is None:
@@ -207,6 +228,7 @@ class FaultInjector:
             if not group_a or not group_b:
                 return None
             fault = Partition(self.world, now, duration, group_a, group_b)
+            self._mirror_partition_to_storage(group_a, group_b, duration)
         elif spec.kind == "jitter_spike":
             fault = JitterSpike(
                 self.world, now, duration, float(spec.param("max_extra_delay_s")), rng=rng
@@ -229,6 +251,32 @@ class FaultInjector:
             label=f"fault:{spec.kind}-end",
         )
         return spec.kind
+
+    def _mirror_partition_to_storage(
+        self, group_a: Sequence[str], group_b: Sequence[str], duration: float
+    ) -> None:
+        """Reflect a channel partition onto the cloud's replicated store.
+
+        Channel interceptors only cut frames; quorum reachability lives
+        in :class:`~repro.core.replication.ReplicationManager`.  When the
+        bound cloud has replicated storage, the same split is installed
+        there and cleared when the window closes.  The manager models a
+        single partition at a time, so overlapping windows follow
+        last-writer-wins: only the most recent split is cleared by its
+        own healing event.
+        """
+        storage = getattr(self.cloud, "storage", None) if self.cloud is not None else None
+        if storage is None:
+            return
+        storage.set_partition(group_a, group_b)
+        self._storage_partition_seq += 1
+        seq = self._storage_partition_seq
+
+        def heal() -> None:
+            if self._storage_partition_seq == seq:
+                storage.clear_partition()
+
+        self.world.engine.schedule(duration, heal, label="fault:partition-storage-end")
 
     def _partition_groups(self, spec: FaultSpec, rng) -> Tuple[List[str], List[str]]:
         group_a = spec.param("group_a")

@@ -67,12 +67,34 @@ def _params(**kwargs: object) -> Tuple[Tuple[str, object], ...]:
 
 
 class FaultPlan:
-    """A seeded, composable fault schedule."""
+    """A seeded, composable fault schedule.
+
+    Ordering contract: specs scheduled at the identical timestamp apply
+    in **insertion order** (the order the builder calls were made).
+    :meth:`schedule` sorts by ``(at, insertion index)`` and the engine
+    breaks same-time ties by scheduling order, so the contract holds end
+    to end — generated campaigns that quantize fault times rely on it.
+    """
 
     def __init__(self, seed: int) -> None:
         self.seed = int(seed)
         self.rng = SeededRng(self.seed, "fault-plan")
         self._specs: List[FaultSpec] = []
+
+    @classmethod
+    def from_specs(cls, seed: int, specs: Sequence[FaultSpec]) -> "FaultPlan":
+        """Rebuild a plan from already-materialized specs.
+
+        The specs are adopted in the given order, which becomes their
+        insertion (tie-break) order.  Used to replay recorded schedules
+        — e.g. a minimized reproducer — without re-running the builders.
+        """
+        plan = cls(seed)
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(f"expected FaultSpec, got {type(spec).__name__}")
+            plan._specs.append(spec)
+        return plan
 
     def __len__(self) -> int:
         return len(self._specs)
@@ -114,10 +136,24 @@ class FaultPlan:
         With ``targets`` given, distinct victims are drawn now (and show
         up in :meth:`describe`); otherwise each crash picks a random live
         member at fire time.
+
+        ``count == 0`` is an explicit no-op (the plan is returned
+        unchanged and the RNG is not advanced).  A zero-width window
+        (``start == end``) with ``count > 0`` and an empty ``targets``
+        pool both raise :class:`~repro.errors.ConfigurationError` rather
+        than silently degenerating.
         """
         start, end = self._check_window(window)
         if count < 0:
             raise ConfigurationError("count must be non-negative")
+        if count == 0:
+            return self
+        if end == start:
+            raise ConfigurationError(
+                "random_crashes needs a non-empty window (start < end) when count > 0"
+            )
+        if targets is not None and len(targets) == 0:
+            raise ConfigurationError("targets pool is empty; pass None for fire-time choice")
         times = sorted(self.rng.uniform(start, end) for _ in range(count))
         victims: List[Optional[str]] = [None] * count
         if targets is not None:
@@ -248,7 +284,12 @@ class FaultPlan:
     # -- reading the plan ------------------------------------------------------
 
     def schedule(self) -> List[FaultSpec]:
-        """All specs sorted by (time, insertion order) — the firing order."""
+        """All specs sorted by ``(time, insertion order)`` — the firing order.
+
+        Insertion order is the documented tie-break: two specs at the
+        identical timestamp fire in the order their builder calls were
+        made, and the engine preserves that order for same-time events.
+        """
         order = sorted(range(len(self._specs)), key=lambda i: (self._specs[i].at, i))
         return [self._specs[i] for i in order]
 

@@ -107,6 +107,15 @@ class WorkerLeases:
         """Drop a lease (clean departure or post-expiry cleanup)."""
         self._expiry.pop(worker_id, None)
 
+    def held(self) -> List[str]:
+        """Ids currently holding a lease, sorted.
+
+        Includes lapsed-but-unswept leases: between expiry and the next
+        sweep the coordinator still believes the worker is alive, which
+        is exactly the window liveness invariants must tolerate.
+        """
+        return sorted(self._expiry)
+
     def expires_at(self, worker_id: str) -> Optional[float]:
         """Expiry time of a held lease, None if not held."""
         return self._expiry.get(worker_id)

@@ -24,6 +24,18 @@ def next_vehicle_id() -> str:
     return f"veh-{next(_vehicle_counter)}"
 
 
+def reset_vehicle_ids() -> None:
+    """Rewind the process-global vehicle id counter to ``veh-1``.
+
+    Vehicle ids seed per-node RNG forks and sorted member orders, so
+    byte-identical cross-run replay must rewind this counter before each
+    fresh world.  Never call it while an existing world's vehicles are
+    still in use.
+    """
+    global _vehicle_counter
+    _vehicle_counter = itertools.count(1)
+
+
 @dataclass
 class Vehicle:
     """A single vehicle's physical state.

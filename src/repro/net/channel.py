@@ -417,6 +417,13 @@ class WirelessChannel:
         contention: Optional[int] = None,
         span=None,
     ) -> None:
+        # Conservation law (checked by chaos invariants): every dispatch
+        # accounts for all its transmissions exactly once —
+        #   frames_dispatched + frames_duplicated ==
+        #       frames_suppressed + frames_lost + frames_scheduled
+        # and frames_scheduled - frames_delivered - frames_to_departed is
+        # the number of frames still in flight (never negative).
+        self.world.metrics.increment("channel/frames_dispatched")
         tracer = self.world.tracer if span is not None else None
         verdict = self._run_interceptors(frame)
         if verdict.action is InterceptAction.DROP:
@@ -488,6 +495,8 @@ class WirelessChannel:
                 continue
             self.world.engine.schedule(delay + extra_delay, _deliver, label="frame-delivery")
             scheduled += 1
+        if scheduled:
+            self.world.metrics.increment("channel/frames_scheduled", scheduled)
         if tracer is not None and scheduled == 0:
             tracer.link_active_faults(span)
             tracer.end_span(span, "dropped", {"reason": "loss"})

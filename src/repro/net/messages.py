@@ -25,6 +25,16 @@ def next_message_id() -> str:
     return f"msg-{next(_message_counter)}"
 
 
+def reset_message_ids() -> None:
+    """Rewind the process-global message id counter to ``msg-1``.
+
+    Companion of :func:`repro.core.tasks.reset_task_ids` for
+    byte-identical cross-run replay; rewind only between fresh worlds.
+    """
+    global _message_counter
+    _message_counter = itertools.count(1)
+
+
 class MessageKind(enum.Enum):
     """Semantic categories of traffic on the v-cloud air interface."""
 

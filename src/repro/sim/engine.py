@@ -154,6 +154,20 @@ class Engine:
         """
         return len(self._queue) - self._cancelled_pending
 
+    def pending_labeled(self, label: str) -> int:
+        """Count live queued events carrying exactly this label.
+
+        A linear scan of the heap — meant for low-frequency callers such
+        as invariant checks reconciling in-flight work (e.g. pending
+        ``"frame-delivery"`` events against channel counters), not hot
+        paths.
+        """
+        return sum(
+            1
+            for event in self._queue
+            if not event.cancelled and not event.fired and event.label == label
+        )
+
     # -- error handling ------------------------------------------------------
 
     def on_callback_failure(self, listener: Callable[[CallbackFailure], None]) -> None:

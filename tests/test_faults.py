@@ -449,3 +449,152 @@ class TestFaultInjector:
         world.run_for(30.0)  # staggered repair finished
         assert all(not rsu.damaged for rsu in rsus)
         assert world.metrics.counter("disaster/nodes_repaired") == 4
+
+
+class TestPlanOrderingContract:
+    """Satellite: identical-timestamp specs apply in insertion order."""
+
+    def test_same_timestamp_schedule_preserves_insertion_order(self):
+        plan = (
+            FaultPlan(1)
+            .stall(5.0, duration_s=1.0)
+            .crash(5.0)
+            .reboot(5.0, downtime_s=1.0)
+            .crash(2.0)
+        )
+        kinds = [spec.kind for spec in plan.schedule()]
+        assert kinds == ["crash", "stall", "crash", "reboot"]
+
+    def test_same_timestamp_faults_fire_in_insertion_order(self):
+        world = lossless_world()
+        _vehicles, cloud = make_cloud(world, members=6)
+        plan = (
+            FaultPlan(2)
+            .stall(3.0, duration_s=1.0, target="veh-1")
+            .crash(3.0, target="veh-2")
+            .reboot(3.0, downtime_s=1.0, target="veh-3")
+        )
+        injector = FaultInjector(world, plan, cloud=cloud)
+        injector.arm()
+        world.run_for(5.0)
+        assert [kind for _t, kind, _v in injector.ledger] == ["stall", "crash", "reboot"]
+
+    def test_from_specs_preserves_order_and_validates(self):
+        source = FaultPlan(3).crash(4.0).stall(4.0, duration_s=2.0).crash(1.0)
+        rebuilt = FaultPlan.from_specs(9, source.schedule())
+        assert [s.kind for s in rebuilt.schedule()] == [
+            s.kind for s in source.schedule()
+        ]
+        assert rebuilt.seed == 9
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_specs(1, ["not-a-spec"])
+
+
+class TestRandomCrashesHardening:
+    """Satellite: degenerate generator inputs are typed errors or explicit no-ops."""
+
+    def test_zero_count_is_noop_and_preserves_rng_stream(self):
+        with_noop = (
+            FaultPlan(11)
+            .random_crashes(0, window=(5.0, 5.0))
+            .random_crashes(2, window=(1.0, 20.0))
+        )
+        without = FaultPlan(11).random_crashes(2, window=(1.0, 20.0))
+        assert with_noop.describe() == without.describe()
+        assert len(FaultPlan(1).random_crashes(0, window=(0.0, 10.0))) == 0
+
+    def test_empty_window_with_positive_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(1).random_crashes(2, window=(5.0, 5.0))
+
+    def test_empty_target_pool_raises(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(1).random_crashes(1, window=(0.0, 10.0), targets=[])
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(1).random_crashes(-1, window=(0.0, 10.0))
+
+
+class TestArmSubsetting:
+    """`arm(only_indices=...)` keeps RNG fork keys by schedule position."""
+
+    def _victims(self, only=None, targets=False):
+        # Vehicle ids come from a process-global counter and feed the
+        # fire-time victim sort; rewind for cross-run comparability.
+        from repro.mobility.vehicle import reset_vehicle_ids
+
+        reset_vehicle_ids()
+        world = lossless_world(seed=33)
+        vehicles, cloud = make_cloud(world, members=8)
+        pool = [v.vehicle_id for v in vehicles] if targets else None
+        plan = FaultPlan(17).random_crashes(4, window=(1.0, 20.0), targets=pool)
+        injector = FaultInjector(world, plan, cloud=cloud)
+        injector.arm(only)
+        world.run_for(30.0)
+        index = {v.vehicle_id: i for i, v in enumerate(vehicles)}
+        return [(t, index[victim]) for t, _kind, victim in injector.ledger]
+
+    def test_subset_run_is_deterministic(self):
+        assert self._victims(only=[1, 3]) == self._victims(only=[1, 3])
+
+    def test_subset_keeps_full_plan_fire_times(self):
+        full = self._victims()
+        subset = self._victims(only=[1, 3])
+        assert [t for t, _ in subset] == [full[1][0], full[3][0]]
+
+    def test_subset_of_pretargeted_specs_matches_full_plan(self):
+        # With targets drawn up front the victim is baked into the spec,
+        # so a subset must hit exactly the full plan's victims.
+        full = self._victims(targets=True)
+        subset = self._victims(only=[1, 3], targets=True)
+        assert subset == [full[1], full[3]]
+
+    def test_out_of_range_index_rejected(self):
+        world = lossless_world()
+        _vehicles, cloud = make_cloud(world)
+        injector = FaultInjector(world, FaultPlan(1).crash(1.0), cloud=cloud)
+        with pytest.raises(ConfigurationError):
+            injector.arm(only_indices=[5])
+
+    def test_empty_subset_arms_nothing(self):
+        world = lossless_world()
+        _vehicles, cloud = make_cloud(world)
+        injector = FaultInjector(world, FaultPlan(1).crash(1.0), cloud=cloud)
+        assert injector.arm(only_indices=[]) == 0
+        world.run_for(5.0)
+        assert injector.ledger == []
+
+
+class TestPartitionReachesStorage:
+    """A network partition must also split the cloud's replicated store."""
+
+    def _storage_cloud(self):
+        world = lossless_world(seed=51)
+        vehicles, cloud = make_cloud(world, members=6)
+        from repro.core import QuorumConfig
+
+        cloud.enable_replicated_storage(quorum=QuorumConfig.majority(3))
+        cloud.store_put("part-file", size_bytes=1000, target_replicas=3)
+        channel = WirelessChannel(world)
+        nodes = [VehicleNode(world, channel, v) for v in vehicles]
+        return world, cloud, channel, nodes
+
+    def test_partition_window_mirrors_into_replication_manager(self):
+        world, cloud, channel, _nodes = self._storage_cloud()
+        plan = FaultPlan(5).partition(2.0, duration_s=4.0, fraction=0.5)
+        FaultInjector(world, plan, cloud=cloud, channel=channel).arm()
+        world.run_for(3.0)
+        assert cloud.storage._partition is not None
+        world.run_for(5.0)
+        assert cloud.storage._partition is None
+
+    def test_no_storage_no_mirroring(self):
+        world = lossless_world()
+        channel = WirelessChannel(world)
+        _a, _b = make_pair(world, channel)
+        _vehicles, cloud = make_cloud(world)
+        plan = FaultPlan(5).partition(1.0, duration_s=2.0, fraction=0.5)
+        FaultInjector(world, plan, cloud=cloud, channel=channel).arm()
+        world.run_for(5.0)  # must not raise despite storage being disabled
+        assert cloud.storage is None

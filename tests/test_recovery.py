@@ -284,3 +284,77 @@ class TestLeaseLiveness:
         world.run_for(5.0)
         # The reboot cleared the crash flag: the member stays leased.
         assert victim.vehicle_id in cloud.membership
+
+
+class TestExhaustionLedgering:
+    """Whole-run retry failures are ledgered, never silently dropped."""
+
+    def test_assignment_retry_exhaustion_fails_task_into_stats(self):
+        world = World(ScenarioConfig(seed=4))
+        world.enable_observability(trace=False, events=True)
+        cloud = VehicularCloud(
+            world,
+            "exhaust-vc",
+            max_assignment_retries=5,
+            retry_backoff=BackoffPolicy(
+                base_delay_s=0.2, multiplier=1.0, max_delay_s=0.2, jitter_fraction=0.0
+            ),
+        )
+        record = cloud.submit(Task(work_mi=100))  # no members, ever
+        world.run_for(30.0)
+        assert record.state is TaskState.FAILED
+        assert cloud.stats.failed == 1
+        # Conservation holds after exhaustion: nothing stays in flight.
+        acc = cloud.accounting()
+        assert acc["submitted"] == acc["completed"] + acc["failed"] + acc["records_in_flight"]
+        assert acc["records_in_flight"] == 0
+        reasons = [
+            e.attrs.get("reason")
+            for e in world.events.records()
+            if e.name == "task_failed"
+        ]
+        assert "retries_exhausted" in reasons
+
+    def test_anti_entropy_exhaustion_is_counted_and_listed(self):
+        from repro.core import FileStore, QuorumConfig, ReplicationManager, StoredFile
+        from repro.sim import Engine
+
+        manager = ReplicationManager(
+            SeededRng(5, "exhaust"), quorum=QuorumConfig(2, 2), hinted_handoff=False
+        )
+        for index in range(3):
+            manager.add_store(FileStore(f"v{index}", 10_000))
+        manager.store_file(StoredFile("f1", 100, 3))
+        victim = manager.holders_of("f1")[0]
+        manager.set_offline(victim)
+        manager.write("f1", writer="w")
+        engine = Engine()
+        backoff = BackoffPolicy(
+            base_delay_s=0.1, multiplier=1.0, max_delay_s=0.1,
+            jitter_fraction=0.0, max_retries=2,
+        )
+        manager.start_anti_entropy(engine, period_s=100.0, backoff=backoff)
+        manager.anti_entropy_round()
+        manager.stop_anti_entropy()
+        engine.drain(max_events=10_000)
+        # The victim never came back: the retry chain must end in the
+        # exhaustion ledger, with no retry left pending.
+        assert manager.anti_entropy_retries_exhausted == 1
+        assert manager.exhausted_transfers == [(victim, "f1")]
+        assert manager._pending_retries == set()
+
+    def test_whole_run_quorum_outage_lands_in_storage_degraded(self):
+        from repro.core import QuorumConfig
+
+        world = World(ScenarioConfig(seed=6))
+        vehicles, cloud = make_cloud(world, members=3)
+        cloud.enable_replicated_storage(quorum=QuorumConfig(3, 3))
+        cloud.store_put("f1", size_bytes=100, target_replicas=3)
+        for vehicle in vehicles[:2]:
+            cloud.storage.set_offline(vehicle.vehicle_id)
+        attempts = 6
+        for _ in range(attempts):
+            assert cloud.store_write("f1", writer=vehicles[2].vehicle_id) is None
+            assert cloud.store_read("f1") is None
+        assert cloud.stats.storage_degraded == 2 * attempts
+        assert world.metrics.counter("vc/exhaust") == 0  # no stray counters
