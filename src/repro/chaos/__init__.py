@@ -46,6 +46,7 @@ from .invariants import (
     LeaseExclusivity,
     MembershipAgreement,
     QuorumSafety,
+    ServingConservation,
     SingleHead,
     StrandedTasks,
     TaskConservation,
@@ -63,6 +64,7 @@ from .scenarios import (
     CHAOS_BACKOFF,
     dynamic_scenario,
     infrastructure_scenario,
+    overload_scenario,
     stationary_scenario,
 )
 
@@ -84,6 +86,7 @@ __all__ = [
     "ReproducerBundle",
     "RunResult",
     "ScenarioFactory",
+    "ServingConservation",
     "SingleHead",
     "StrandedTasks",
     "TaskConservation",
@@ -93,5 +96,6 @@ __all__ = [
     "dynamic_scenario",
     "generate_plan",
     "infrastructure_scenario",
+    "overload_scenario",
     "stationary_scenario",
 ]

@@ -29,7 +29,11 @@ section (§V.A) asks of a vehicular cloud:
   conservation law and in-flight frames reconcile exactly against the
   engine queue;
 * :class:`StrandedTasks` — a crash-frozen execution is recovered within
-  a grace window instead of hanging forever.
+  a grace window instead of hanging forever;
+* :class:`ServingConservation` — the serving gateway's request stream
+  balances (``offered = admitted + rejected``;
+  ``admitted = completed + failed + shed + queued + in-flight``), so
+  load shedding and hedging never lose a request silently.
 """
 
 from __future__ import annotations
@@ -417,4 +421,43 @@ class StrandedTasks:
                     f"task {task_id} frozen on crashed worker {worker} for "
                     f"{age:.1f}s with no recovery (grace {self.grace_s:.1f}s)",
                 ))
+        return out
+
+
+class ServingConservation:
+    """No serving request leaks out of the gateway without a typed outcome.
+
+    The serving-layer extension of :class:`TaskConservation`: at any
+    instant ``offered = admitted + rejected`` and
+    ``admitted = completed + failed + shed + queued + in-flight``.  A
+    mismatch means a request was double-counted or dropped silently —
+    exactly the bug class load shedding and hedging can introduce (a
+    shed victim also dispatched, a hedge loser finalized twice).
+    """
+
+    name = "serving-conservation"
+
+    def __init__(self, gateway) -> None:
+        self.gateway = gateway
+
+    def check(self, now: float) -> List[Violation]:
+        acc = self.gateway.accounting()
+        out: List[Violation] = []
+        if acc["offered"] != acc["admitted"] + acc["rejected"]:
+            out.append(_violation(
+                self.name, now,
+                f"offered {acc['offered']} != admitted {acc['admitted']} "
+                f"+ rejected {acc['rejected']}",
+            ))
+        balance = (
+            acc["completed"] + acc["failed"] + acc["shed"]
+            + acc["queued"] + acc["inflight"]
+        )
+        if acc["admitted"] != balance:
+            out.append(_violation(
+                self.name, now,
+                f"admitted {acc['admitted']} != completed {acc['completed']} "
+                f"+ failed {acc['failed']} + shed {acc['shed']} "
+                f"+ queued {acc['queued']} + in-flight {acc['inflight']}",
+            ))
         return out

@@ -52,6 +52,7 @@ __all__ = [
     "stationary_scenario",
     "dynamic_scenario",
     "infrastructure_scenario",
+    "overload_scenario",
     "CHAOS_BACKOFF",
 ]
 
@@ -287,4 +288,91 @@ def infrastructure_scenario(seed: int, hardened: bool = True, vehicles: int = 14
         infrastructure=rsus,
         node_lookup=lookup,
         label="infrastructure",
+    )
+
+
+def overload_scenario(seed: int, hardened: bool = True, members: int = 8):
+    """A stationary cloud behind a protected serving gateway, overloaded.
+
+    Open-loop traffic at roughly twice the fleet's compute capacity
+    pushes the gateway into sustained admission rejection and load
+    shedding *while* the chaos campaign injects faults — the regime in
+    which request-accounting bugs (a shed victim also dispatched, a
+    hedge loser finalized twice) would surface.
+    :class:`~.invariants.ServingConservation` holds the gateway to its
+    conservation law throughout.
+    """
+    from ..serve import (
+        CircuitBreakerBoard,
+        CompositeAdmission,
+        DeadlineFeasibilityAdmission,
+        DeadlineLapseShedder,
+        HedgePolicy,
+        PoissonArrivals,
+        QueueDelayShedder,
+        ServiceGateway,
+        TenantFairShareAdmission,
+        TenantSpec,
+        WorkloadGenerator,
+    )
+    from .invariants import ServingConservation
+    from .runner import ChaosScenario
+
+    world = World(ScenarioConfig(seed=seed))
+    model = StationaryModel(
+        world, positions=[Vec2(i * 40.0, 0.0) for i in range(members)]
+    )
+    vehicles = model.populate(members)
+    channel, lookup = _attach_stack(world, vehicles)
+    cloud = VehicularCloud(
+        world, "chaos-overload-vc", handover_policy=CheckpointHandoverPolicy()
+    )
+    for vehicle in vehicles:
+        cloud.admit(
+            vehicle, offer=ResourceOffer(vehicle.vehicle_id, 100.0, 10**9, 1e6)
+        )
+    checker = _finish(cloud, hardened)
+    gateway = ServiceGateway(
+        world,
+        cloud,
+        name="chaos-overload",
+        queue_capacity=32,
+        admission=CompositeAdmission([
+            DeadlineFeasibilityAdmission(),
+            TenantFairShareAdmission(share=0.7),
+        ]),
+        shedders=[DeadlineLapseShedder(), QueueDelayShedder(max_delay_s=4.0)],
+        breakers=CircuitBreakerBoard(world, "chaos-overload"),
+        hedging=HedgePolicy(),
+    )
+    # ~2x the fleet's compute capacity: (members-1) workers x 100 MIPS
+    # against 200 MI tasks is (members-1)/2 tasks/s sustainable.
+    overload_rate = float(members - 1)
+    tenants = [
+        TenantSpec(
+            name="bulk",
+            arrivals=PoissonArrivals(overload_rate * 0.7),
+            work_mi_range=(150.0, 250.0),
+            deadline_s=8.0,
+            priority=2,
+        ),
+        TenantSpec(
+            name="interactive",
+            arrivals=PoissonArrivals(overload_rate * 0.3),
+            work_mi_range=(100.0, 200.0),
+            deadline_s=6.0,
+            priority=1,
+        ),
+    ]
+    WorkloadGenerator(world, gateway, tenants, horizon_s=600.0).start()
+    _storage_workload(world, cloud)
+    invariants = _standard_invariants(cloud, world, checker)
+    invariants.append(ServingConservation(gateway))
+    return ChaosScenario(
+        world=world,
+        invariants=invariants,
+        cloud=cloud,
+        channel=channel,
+        node_lookup=lookup,
+        label="overload",
     )

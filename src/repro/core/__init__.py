@@ -44,6 +44,7 @@ from .scheduler import (
     AllocationChoice,
     Allocator,
     DwellAwareAllocator,
+    GatedAllocator,
     GreedyResourceAllocator,
     RandomAllocator,
     WorkerCandidate,
@@ -93,6 +94,7 @@ __all__ = [
     "DynamicVCloud",
     "ElectionResult",
     "FileStore",
+    "GatedAllocator",
     "GreedyResourceAllocator",
     "HandoverOutcome",
     "HandoverPolicy",

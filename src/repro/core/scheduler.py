@@ -15,7 +15,7 @@ the group."  Three allocators bracket the design space:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..errors import TaskError
 from ..sim.rng import SeededRng
@@ -146,6 +146,35 @@ class DwellAwareAllocator(Allocator):
             return None
         best = max(eligible, key=lambda c: (c.free_mips, c.vehicle_id))
         return self._choice(task, best)
+
+
+class GatedAllocator(Allocator):
+    """Wraps an allocator, filtering candidates through a predicate gate.
+
+    The gate receives ``(task, candidate)`` and returns whether the
+    candidate may be considered for this assignment.  This is how
+    serving-layer policies (circuit breakers, hedge anti-affinity)
+    constrain dispatch without re-implementing allocation: the inner
+    allocator still ranks whatever survives the gate.
+    """
+
+    name = "gated"
+
+    def __init__(
+        self,
+        inner: Allocator,
+        gate: Callable[[Task, WorkerCandidate], bool],
+    ) -> None:
+        self.inner = inner
+        self.gate = gate
+
+    def choose(
+        self, task: Task, candidates: Sequence[WorkerCandidate]
+    ) -> Optional[AllocationChoice]:
+        admitted = [c for c in candidates if self.gate(task, c)]
+        if not admitted:
+            return None
+        return self.inner.choose(task, admitted)
 
 
 def candidates_from_pool(

@@ -43,6 +43,8 @@ class OffloadResult:
     assign_transmissions: int = 0
     result_transmissions: int = 0
     failed: bool = False
+    #: Typed reason for a failed exchange (None while live/successful).
+    failure_reason: Optional[str] = None
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -84,6 +86,7 @@ class NetworkedTaskExchange:
         self._retry_rng = world.rng.fork(f"offload-retry/{head.node_id}")
         self._exchanges: Dict[str, OffloadResult] = {}
         self._workers: Dict[str, NetworkNode] = {}
+        self._worker_mips: Dict[str, float] = {}
         head.on(MessageKind.TASK, self._head_handler)
 
     # -- worker registration ----------------------------------------------
@@ -93,6 +96,7 @@ class NetworkedTaskExchange:
         if mips <= 0:
             raise TaskError("worker mips must be positive")
         self._workers[node.node_id] = node
+        self._worker_mips[node.node_id] = mips
         seen: set = set()
         finished: Dict[str, Message] = {}
 
@@ -163,6 +167,15 @@ class NetworkedTaskExchange:
             return
         if attempt > self.max_retries:
             record.failed = True
+            record.failure_reason = "retries_exhausted"
+            self.world.metrics.increment("offload/retries_exhausted")
+            events = self.world.events
+            if events is not None:
+                events.emit(
+                    "task_protocol", "offload_failed", severity="warning",
+                    exchange_id=record.exchange_id, worker=worker_id,
+                    reason="retries_exhausted", attempts=record.assign_transmissions,
+                )
             return
         assign = Message(
             kind=MessageKind.TASK,
@@ -181,10 +194,13 @@ class NetworkedTaskExchange:
         record.assign_transmissions += 1
         self.head.send(worker_id, assign)
         # Retransmit unless the result arrives in time.  The timer spans
-        # the expected compute plus a backoff-governed wait, so only
-        # genuinely lost frames retry, and repeated losses space out.
+        # the expected compute on *this* worker's registered MIPS plus a
+        # backoff-governed wait, so only genuinely lost frames retry and
+        # repeated losses space out.  A fixed divisor here made fast
+        # workers wait far too long and slow workers retransmit while
+        # the compute was still legitimately running.
         wait = self.backoff.delay_for(attempt, self._retry_rng)
-        expected = record.task.work_mi / 500.0 + wait
+        expected = record.task.work_mi / self._worker_mips[worker_id] + wait
         self.world.engine.schedule(
             expected,
             lambda: self._send_assign(record, worker_id, attempt + 1),

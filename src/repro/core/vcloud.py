@@ -139,6 +139,9 @@ class CloudStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    #: Terminal failures broken down by typed reason (deadline,
+    #: retries_exhausted, cancelled, hedge_cancelled, ...).
+    failure_reasons: Dict[str, int] = field(default_factory=dict)
     handovers: int = 0
     drops: int = 0
     infra_messages: int = 0
@@ -239,7 +242,57 @@ class VehicularCloud:
         self._storage_capacity_bytes = 0
         #: task_id -> root span of the task's causal trace (traced runs).
         self._task_spans: Dict[str, "Span"] = {}
+        self._finish_listeners: List[Callable[[TaskRecord, str], None]] = []
+        self._lease_eviction_listeners: List[Callable[[str], None]] = []
         self.membership.on_leave(self._on_member_left)
+
+    # -- lifecycle hooks -----------------------------------------------------------
+
+    def on_task_finished(self, listener: Callable[[TaskRecord, str], None]) -> None:
+        """Register a listener fired at every terminal task outcome.
+
+        The listener receives ``(record, reason)`` where ``reason`` is
+        ``"completed"`` for successes and a typed failure reason
+        (``"deadline"``, ``"retries_exhausted"``, ``"cancelled"``, ...)
+        otherwise.  Serving layers use this to free dispatch slots and
+        feed circuit breakers without polling record states.
+        """
+        self._finish_listeners.append(listener)
+
+    def on_lease_eviction(self, listener: Callable[[str], None]) -> None:
+        """Register a listener fired when a worker's lease lapses.
+
+        Fires before the eviction drives the member-departure path, so
+        listeners (e.g. circuit breakers) see the worker id while its
+        executions are still attributable to it.
+        """
+        self._lease_eviction_listeners.append(listener)
+
+    def _notify_finished(self, record: TaskRecord, reason: str) -> None:
+        for listener in self._finish_listeners:
+            listener(record, reason)
+
+    def _fail_record(
+        self, record: TaskRecord, reason: str, link_faults: bool = True
+    ) -> None:
+        """Terminally fail a task with a typed, ledgered reason.
+
+        Every failure path funnels through here so no task can fail
+        silently: the reason lands in ``stats.failure_reasons``, the
+        metrics registry (``<cloud>/task_failures/<reason>``), the
+        structured event log, the task's trace span, and the finish
+        listeners.
+        """
+        record.fail()
+        self.stats.failed += 1
+        self.stats.failure_reasons[reason] = self.stats.failure_reasons.get(reason, 0) + 1
+        self.world.metrics.increment(f"{self.cloud_id}/task_failures/{reason}")
+        self._end_task_span(record, "failed", link_faults=link_faults, reason=reason)
+        self._emit(
+            "task_failed", severity="warning",
+            task_id=record.task.task_id, reason=reason,
+        )
+        self._notify_finished(record, reason)
 
     # -- observability hooks -------------------------------------------------------
 
@@ -370,13 +423,7 @@ class VehicularCloud:
             return
         deadline = self._deadline_at(record)
         if deadline is not None and self.world.now > deadline:
-            record.fail()
-            self.stats.failed += 1
-            self._end_task_span(record, "failed", link_faults=True, reason="deadline")
-            self._emit(
-                "task_failed", severity="warning",
-                task_id=record.task.task_id, reason="deadline",
-            )
+            self._fail_record(record, "deadline")
             return
         if not self.coordination.available():
             self._schedule_retry(record, reason="coordination unavailable")
@@ -443,15 +490,7 @@ class VehicularCloud:
             if span is not None:
                 tracer.add_event(span, "assignment_retry", reason=reason, attempt=retries + 1)
         if retries >= self.max_assignment_retries:
-            record.fail()
-            self.stats.failed += 1
-            self._end_task_span(
-                record, "failed", link_faults=True, reason="retries_exhausted"
-            )
-            self._emit(
-                "task_failed", severity="warning",
-                task_id=record.task.task_id, reason="retries_exhausted",
-            )
+            self._fail_record(record, "retries_exhausted")
             return
         self._retries[record.task.task_id] = retries + 1
         if self.retry_backoff is not None:
@@ -500,8 +539,35 @@ class VehicularCloud:
             self._emit(
                 "task_completed", task_id=record.task.task_id, latency_s=latency
             )
+            self._notify_finished(record, "completed")
 
         self.world.engine.schedule(return_latency, _finish, label="task-result")
+
+    def cancel(self, record: TaskRecord, reason: str = "cancelled") -> bool:
+        """Cancel a submitted task before it finishes.
+
+        Works on queued (pending/retrying) and executing tasks; returns
+        False when the task is already terminal or its result frame is
+        in flight back to the coordinator (too late to cancel).  The
+        cancellation is a terminal failure with the given typed reason,
+        so it lands in the failure ledger like any other failure —
+        hedged offload uses this to retire the losing replica as
+        ``hedge_cancelled`` rather than dropping it silently.
+        """
+        if record.state in (TaskState.COMPLETED, TaskState.FAILED):
+            return False
+        execution = self._executions.pop(record.task.task_id, None)
+        if execution is None and record.state is TaskState.RUNNING:
+            # Completion already fired; the output is travelling back.
+            return False
+        if execution is not None:
+            execution.completion_handle.cancel()
+            self.pool.release(execution.reservation)
+            tracer = self.world.tracer
+            if tracer is not None and execution.span is not None:
+                tracer.end_span(execution.span, "cancelled", {"reason": reason})
+        self._fail_record(record, reason, link_faults=False)
+        return True
 
     def _handle_worker_departure(self, execution: _Execution) -> None:
         record = execution.record
@@ -874,6 +940,8 @@ class VehicularCloud:
                 self.stats.lease_evictions += 1
                 self.world.metrics.increment(f"{self.cloud_id}/lease_evictions")
                 self._emit("lease_evicted", severity="warning", worker=member_id)
+                for listener in self._lease_eviction_listeners:
+                    listener(member_id)
                 self.member_leave(member_id)
 
     # -- introspection -------------------------------------------------------------

@@ -1,0 +1,570 @@
+"""The serving gateway: admission, queueing, dispatch, hedging.
+
+:class:`ServiceGateway` sits between open-loop clients and a
+:class:`~repro.core.vcloud.VehicularCloud` and is where overload
+protection lives:
+
+* every arrival passes the configured admission policy (typed
+  rejections — nothing is turned away silently);
+* admitted requests wait in a :class:`BoundedPriorityQueue` and are
+  *paced* into the cloud one per free worker slot, so the cloud's
+  retry loop never becomes an unbounded hidden queue;
+* shedding policies revisit the queue as conditions change;
+* per-worker circuit breakers and hedge anti-affinity constrain the
+  cloud's allocator through a :class:`~repro.core.scheduler.GatedAllocator`;
+* laggard primaries get a deadline-aware hedge replica on a different
+  worker — first result wins, the loser is cancelled through the
+  cloud's typed-failure ledger (``hedge_cancelled``).
+
+The *unprotected* configuration (:meth:`ServiceGateway.unprotected`)
+admits everything and dispatches immediately — the congestion-collapse
+baseline that experiment E16 contrasts with the protected stack.
+
+Accounting is conservation-checked (see :meth:`accounting`): at any
+instant ``offered == admitted + rejected`` and
+``admitted == completed + failed + shed + queued + in-flight``; the
+chaos invariant ``ServingConservation`` asserts exactly this while
+fault campaigns run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.scheduler import GatedAllocator, WorkerCandidate
+from ..core.tasks import Task, TaskRecord, TaskState
+from ..core.vcloud import VehicularCloud
+from ..errors import ConfigurationError
+from ..sim.engine import EventHandle, PeriodicTask
+from ..sim.metrics import percentile
+from ..sim.world import World
+from .admission import AdmissionPolicy, AdmitAll, SheddingPolicy
+from .breaker import CircuitBreakerBoard
+from .hedging import HedgePolicy, LatencyQuantileTracker
+from .queueing import BoundedPriorityQueue
+from .request import ServiceRequest
+
+
+@dataclass
+class ServeStats:
+    """Aggregate serving outcomes, conservation-checked.
+
+    ``offered = admitted + rejected`` always;
+    ``admitted = completed + failed + shed + queued + in-flight``.
+    Latencies are end-to-end from *arrival* (queue wait included), which
+    is what the client experiences and what the SLO is judged against.
+    """
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    slo_hits: int = 0
+    slo_misses: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
+    rejection_reasons: Dict[str, int] = field(default_factory=dict)
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    tenant_latencies_s: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def slo_miss_rate(self) -> float:
+        """Misses over all admitted requests that reached a terminal state.
+
+        Rejected requests are *not* SLO misses (the client was told no
+        immediately); failed and shed admitted requests are.
+        """
+        terminal = self.completed + self.failed + self.shed
+        if terminal == 0:
+            return 0.0
+        return (self.slo_misses + self.failed + self.shed) / terminal
+
+    @property
+    def goodput_completions(self) -> int:
+        """Completions that met their SLO (the goodput numerator)."""
+        return self.slo_hits
+
+    def p99_latency_s(self) -> float:
+        """99th percentile end-to-end latency (0 when empty)."""
+        if not self.latencies_s:
+            return 0.0
+        return percentile(sorted(self.latencies_s), 0.99)
+
+
+@dataclass
+class _Dispatch:
+    """One in-flight request: primary cloud task plus optional hedge."""
+
+    request: ServiceRequest
+    record: TaskRecord
+    dispatched_at: float
+    hedge_check: Optional[EventHandle] = None
+    hedge_record: Optional[TaskRecord] = None
+    primary_failed: bool = False
+    finalized: bool = False
+
+
+class ServiceGateway:
+    """Admission-controlled, load-shedding front door of one cloud."""
+
+    def __init__(
+        self,
+        world: World,
+        cloud: VehicularCloud,
+        name: str = "gateway",
+        queue_capacity: Optional[int] = 64,
+        admission: Optional[AdmissionPolicy] = None,
+        shedders: Sequence[SheddingPolicy] = (),
+        breakers: Optional[CircuitBreakerBoard] = None,
+        hedging: Optional[HedgePolicy] = None,
+        paced: bool = True,
+        max_dispatch_concurrency: Optional[int] = None,
+        tick_interval_s: float = 0.25,
+        propagate_deadline: bool = True,
+    ) -> None:
+        if tick_interval_s <= 0:
+            raise ConfigurationError("tick_interval_s must be positive")
+        self.world = world
+        self.cloud = cloud
+        self.name = name
+        self.queue = BoundedPriorityQueue(queue_capacity)
+        self.admission: AdmissionPolicy = admission if admission is not None else AdmitAll()
+        self.shedders = list(shedders)
+        self.breakers = breakers
+        self.hedging = hedging
+        self.paced = paced
+        self.max_dispatch_concurrency = max_dispatch_concurrency
+        self.tick_interval_s = tick_interval_s
+        self.propagate_deadline = propagate_deadline
+        self.stats = ServeStats()
+        self.latency_tracker = LatencyQuantileTracker()
+        self._inflight: Dict[str, _Dispatch] = {}  # primary task_id -> dispatch
+        self._hedge_index: Dict[str, str] = {}  # hedge task_id -> primary task_id
+        self._anti_affinity: Dict[str, set] = {}  # task_id -> banned worker ids
+        self._tenant_inflight: Dict[str, int] = {}
+        self._tick_task: Optional[PeriodicTask] = None
+        cloud.on_task_finished(self._on_cloud_finish)
+        if breakers is not None or hedging is not None:
+            cloud.allocator = GatedAllocator(cloud.allocator, self._gate)
+        if breakers is not None:
+            cloud.on_lease_eviction(lambda worker_id: breakers.trip(worker_id, "lease_expiry"))
+        if self.shedders or self.paced:
+            self._tick_task = world.engine.call_every(
+                tick_interval_s, self._tick, label=f"serve/{name}/tick"
+            )
+
+    # -- canned configurations ----------------------------------------------
+
+    @staticmethod
+    def unprotected(world: World, cloud: VehicularCloud, name: str = "gateway") -> "ServiceGateway":
+        """Admit everything, dispatch immediately — the collapse baseline.
+
+        Deadlines are *not* propagated to the cloud: deadline awareness
+        is a protected-stack feature, so the baseline burns capacity on
+        work that is already stale — the congestion-collapse mechanism.
+        """
+        return ServiceGateway(
+            world, cloud, name=name, queue_capacity=None,
+            admission=AdmitAll(), paced=False, propagate_deadline=False,
+        )
+
+    # -- capacity estimation -------------------------------------------------
+
+    def worker_ids(self) -> List[str]:
+        """Pool members eligible for work (the head does not self-assign)."""
+        members = self.cloud.pool.member_ids()
+        if self.cloud.head_id is not None and len(members) > 1:
+            return [m for m in members if m != self.cloud.head_id]
+        return members
+
+    def dispatch_slots(self) -> int:
+        """Concurrent dispatches the gateway will keep in flight."""
+        if self.max_dispatch_concurrency is not None:
+            return self.max_dispatch_concurrency
+        return max(1, len(self.worker_ids()))
+
+    def total_slots(self) -> int:
+        """Queue capacity plus dispatch slots (fair-share denominator)."""
+        capacity = self.queue.capacity if self.queue.capacity is not None else 0
+        return capacity + self.dispatch_slots()
+
+    def aggregate_capacity_mips(self) -> float:
+        """Offered compute across eligible workers."""
+        pool = self.cloud.pool
+        return sum(pool.offer_of(worker).compute_mips for worker in self.worker_ids())
+
+    def estimated_runtime_s(self, work_mi: float) -> float:
+        """Expected runtime of one task on a typical worker."""
+        workers = self.worker_ids()
+        if not workers:
+            return float("inf")
+        per_worker = self.aggregate_capacity_mips() / len(workers)
+        if per_worker <= 0:
+            return float("inf")
+        return work_mi / per_worker
+
+    def estimated_queue_delay_s(self) -> float:
+        """Standing delay implied by the queued work backlog."""
+        capacity = self.aggregate_capacity_mips()
+        if capacity <= 0:
+            return float("inf") if len(self.queue) else 0.0
+        return self.queue.queued_work_mi / capacity
+
+    def tenant_outstanding(self, tenant: str) -> int:
+        """Queued plus in-flight requests held by one tenant."""
+        return self.queue.tenant_depth(tenant) + self._tenant_inflight.get(tenant, 0)
+
+    # -- arrival path --------------------------------------------------------
+
+    def submit(self, request: ServiceRequest) -> bool:
+        """Offer one request; returns True when admitted."""
+        request.arrived_at = self.world.now
+        self.stats.offered += 1
+        self.world.metrics.increment(f"serve/{self.name}/offered")
+        reason = self.admission.review(request, self)
+        if reason is None and self.paced and self.queue.full:
+            reason = self._displace_for(request)
+        if reason is not None:
+            self._reject(request, reason)
+            return False
+        self.stats.admitted += 1
+        self.world.metrics.increment(f"serve/{self.name}/admitted")
+        if not self.paced:
+            self._dispatch(request)
+            return True
+        self.queue.push(request)
+        self._pump()
+        self._update_gauges()
+        return True
+
+    def _displace_for(self, request: ServiceRequest) -> Optional[str]:
+        """Full queue: shed a strictly less urgent victim or reject."""
+        victim = None
+        for queued in self.queue.items():
+            victim = queued  # items() is urgency-ordered; last is the tail
+        if victim is not None and victim.priority > request.priority:
+            evicted = self.queue.evict_tail()
+            if evicted is not None:
+                self._account_shed(evicted, "displaced")
+                return None
+        return "queue_full"
+
+    def _reject(self, request: ServiceRequest, reason: str) -> None:
+        self.stats.rejected += 1
+        self.stats.rejection_reasons[reason] = (
+            self.stats.rejection_reasons.get(reason, 0) + 1
+        )
+        self.world.metrics.increment(f"serve/{self.name}/rejected/{reason}")
+        events = self.world.events
+        if events is not None:
+            events.emit(
+                "serve", "request_rejected", severity="info",
+                gateway=self.name, request=request.request_id,
+                tenant=request.tenant, reason=reason,
+            )
+
+    # -- shedding ------------------------------------------------------------
+
+    def shed_queued(self, request: ServiceRequest, reason: str) -> bool:
+        """Shed one specific queued request with a typed reason."""
+        if not self.queue.remove(request):
+            return False
+        self._account_shed(request, reason)
+        return True
+
+    def shed_tail(self, reason: str) -> bool:
+        """Shed the least urgent, newest queued request."""
+        victim = self.queue.evict_tail()
+        if victim is None:
+            return False
+        self._account_shed(victim, reason)
+        return True
+
+    def _account_shed(self, request: ServiceRequest, reason: str) -> None:
+        self.stats.shed += 1
+        self.stats.shed_reasons[reason] = self.stats.shed_reasons.get(reason, 0) + 1
+        self.world.metrics.increment(f"serve/{self.name}/shed/{reason}")
+        events = self.world.events
+        if events is not None:
+            events.emit(
+                "serve", "request_shed", severity="warning",
+                gateway=self.name, request=request.request_id,
+                tenant=request.tenant, reason=reason,
+                waited_s=self.world.now - request.arrived_at,
+            )
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _gate(self, task: Task, candidate: WorkerCandidate) -> bool:
+        banned = self._anti_affinity.get(task.task_id)
+        if banned is not None and candidate.vehicle_id in banned:
+            return False
+        if self.breakers is not None and not self.breakers.allows(candidate.vehicle_id):
+            return False
+        return True
+
+    def _pump(self) -> None:
+        while len(self.queue) > 0 and len(self._inflight) < self.dispatch_slots():
+            request = self.queue.pop()
+            if request is None:
+                break
+            deadline = request.deadline_s
+            if deadline is not None:
+                remaining = request.arrived_at + deadline - self.world.now
+                if remaining <= 0:
+                    self._account_shed(request, "deadline_lapsed")
+                    continue
+            self._dispatch(request)
+
+    def _dispatch(self, request: ServiceRequest) -> None:
+        task = request.task
+        deadline = request.deadline_s
+        if not self.propagate_deadline:
+            if deadline is not None:
+                task = dataclasses.replace(task, deadline_s=None)
+        elif deadline is not None:
+            # The cloud enforces deadlines from *its* submission time;
+            # hand it the remaining budget so queue wait still counts.
+            remaining = max(request.arrived_at + deadline - self.world.now, 1e-6)
+            task = dataclasses.replace(task, deadline_s=remaining)
+        record = self.cloud.submit(task)
+        dispatch = _Dispatch(
+            request=request, record=record, dispatched_at=self.world.now
+        )
+        self._inflight[task.task_id] = dispatch
+        self._tenant_inflight[request.tenant] = (
+            self._tenant_inflight.get(request.tenant, 0) + 1
+        )
+        if self.breakers is not None and record.worker_id is not None:
+            self.breakers.note_dispatch(record.worker_id)
+        if self.hedging is not None:
+            delay = self.hedging.trigger_delay_s(
+                self.latency_tracker, self.estimated_runtime_s(task.work_mi)
+            )
+            dispatch.hedge_check = self.world.engine.schedule(
+                delay,
+                lambda tid=task.task_id: self._maybe_hedge(tid),
+                label="serve-hedge-check",
+            )
+        self._update_gauges()
+
+    # -- hedging -------------------------------------------------------------
+
+    def _hedges_inflight(self) -> int:
+        return len(self._hedge_index)
+
+    def _maybe_hedge(self, primary_id: str) -> None:
+        dispatch = self._inflight.get(primary_id)
+        if (
+            dispatch is None
+            or dispatch.finalized
+            or dispatch.hedge_record is not None
+            or self.hedging is None
+        ):
+            return
+        record = dispatch.record
+        if record.state in (TaskState.COMPLETED, TaskState.FAILED):
+            return
+        request = dispatch.request
+        deadline = request.deadline_s
+        remaining = (
+            None
+            if deadline is None
+            else request.arrived_at + deadline - self.world.now
+        )
+        expected = self.estimated_runtime_s(request.task.work_mi)
+        if not self.hedging.may_hedge(
+            inflight_hedges=self._hedges_inflight(),
+            queue_depth=len(self.queue),
+            remaining_deadline_s=remaining,
+            expected_runtime_s=expected,
+        ):
+            return
+        workers = self.worker_ids()
+        primary_worker = record.worker_id
+        if primary_worker is None or len(workers) < 2:
+            return
+        hedge_task = Task(
+            work_mi=request.task.work_mi,
+            input_bytes=request.task.input_bytes,
+            output_bytes=request.task.output_bytes,
+            deadline_s=max(remaining, 1e-6) if remaining is not None else None,
+            required_sensors=request.task.required_sensors,
+            submitter=request.tenant,
+        )
+        # Anti-affinity: the hedge must land on a *different* worker.
+        self._anti_affinity[hedge_task.task_id] = {primary_worker}
+        self._hedge_index[hedge_task.task_id] = primary_id
+        dispatch.hedge_record = self.cloud.submit(hedge_task)
+        self.stats.hedges_launched += 1
+        self.world.metrics.increment(f"serve/{self.name}/hedges_launched")
+        events = self.world.events
+        if events is not None:
+            events.emit(
+                "serve", "hedge_launched", severity="info",
+                gateway=self.name, request=request.request_id,
+                primary_worker=primary_worker, hedge_task=hedge_task.task_id,
+            )
+
+    # -- terminal outcomes ---------------------------------------------------
+
+    def _on_cloud_finish(self, record: TaskRecord, reason: str) -> None:
+        task_id = record.task.task_id
+        primary_id = self._hedge_index.get(task_id)
+        if primary_id is not None:
+            self._on_hedge_finish(primary_id, record, reason)
+            return
+        dispatch = self._inflight.get(task_id)
+        if dispatch is None:
+            return  # not a gateway task (direct cloud submission)
+        if dispatch.finalized:
+            if reason == "hedge_cancelled":
+                # The hedge won and the primary was retired.
+                self.stats.hedges_cancelled += 1
+                self.world.metrics.increment(f"serve/{self.name}/hedges_cancelled")
+            return
+        if reason == "completed":
+            self._finalize_success(dispatch, record, hedge_won=False)
+            return
+        if self.breakers is not None and record.worker_id is not None and reason in (
+            "retries_exhausted",
+        ):
+            self.breakers.record_outcome(record.worker_id, ok=False)
+        if dispatch.hedge_record is not None and dispatch.hedge_record.state not in (
+            TaskState.COMPLETED, TaskState.FAILED,
+        ):
+            # The hedge may still win; hold the request open.
+            dispatch.primary_failed = True
+            return
+        self._finalize_failure(dispatch, reason)
+
+    def _on_hedge_finish(self, primary_id: str, record: TaskRecord, reason: str) -> None:
+        task_id = record.task.task_id
+        self._hedge_index.pop(task_id, None)
+        self._anti_affinity.pop(task_id, None)
+        dispatch = self._inflight.get(primary_id)
+        if reason == "hedge_cancelled":
+            self.stats.hedges_cancelled += 1
+            self.world.metrics.increment(f"serve/{self.name}/hedges_cancelled")
+            return
+        if dispatch is None or dispatch.finalized:
+            return
+        if reason == "completed":
+            self._finalize_success(dispatch, record, hedge_won=True)
+            return
+        if self.breakers is not None and record.worker_id is not None and reason in (
+            "retries_exhausted",
+        ):
+            self.breakers.record_outcome(record.worker_id, ok=False)
+        if dispatch.primary_failed:
+            self._finalize_failure(dispatch, reason)
+        else:
+            dispatch.hedge_record = None  # primary is still live
+
+    def _finalize_success(
+        self, dispatch: _Dispatch, winner: TaskRecord, hedge_won: bool
+    ) -> None:
+        dispatch.finalized = True
+        request = dispatch.request
+        latency = self.world.now - request.arrived_at
+        self.stats.completed += 1
+        self.stats.latencies_s.append(latency)
+        self.stats.tenant_latencies_s.setdefault(request.tenant, []).append(latency)
+        self.latency_tracker.observe(latency)
+        self.world.metrics.increment(f"serve/{self.name}/completed")
+        self.world.metrics.observe(f"serve/{self.name}/latency_s", latency)
+        self.world.metrics.observe(
+            f"serve/{self.name}/latency_s/{request.tenant}", latency
+        )
+        deadline = request.deadline_s
+        if deadline is None or latency <= deadline:
+            self.stats.slo_hits += 1
+        else:
+            self.stats.slo_misses += 1
+            self.world.metrics.increment(f"serve/{self.name}/slo_miss")
+        if hedge_won:
+            self.stats.hedges_won += 1
+            self.world.metrics.increment(f"serve/{self.name}/hedges_won")
+        if self.breakers is not None and winner.worker_id is not None:
+            self.breakers.record_outcome(winner.worker_id, ok=True)
+        # Retire the loser through the typed ledger before cleanup.
+        loser = dispatch.record if hedge_won else dispatch.hedge_record
+        if loser is not None and loser is not winner:
+            self.cloud.cancel(loser, "hedge_cancelled")
+        self._cleanup(dispatch)
+
+    def _finalize_failure(self, dispatch: _Dispatch, reason: str) -> None:
+        dispatch.finalized = True
+        self.stats.failed += 1
+        self.world.metrics.increment(f"serve/{self.name}/failed/{reason}")
+        events = self.world.events
+        if events is not None:
+            events.emit(
+                "serve", "request_failed", severity="warning",
+                gateway=self.name, request=dispatch.request.request_id,
+                tenant=dispatch.request.tenant, reason=reason,
+            )
+        self._cleanup(dispatch)
+
+    def _cleanup(self, dispatch: _Dispatch) -> None:
+        task_id = dispatch.record.task.task_id
+        self._inflight.pop(task_id, None)
+        self._anti_affinity.pop(task_id, None)
+        tenant = dispatch.request.tenant
+        left = self._tenant_inflight.get(tenant, 0) - 1
+        if left <= 0:
+            self._tenant_inflight.pop(tenant, None)
+        else:
+            self._tenant_inflight[tenant] = left
+        if dispatch.hedge_check is not None:
+            dispatch.hedge_check.cancel()
+        if self.paced:
+            self._pump()
+        self._update_gauges()
+
+    # -- periodic maintenance ------------------------------------------------
+
+    def _tick(self) -> None:
+        for shedder in self.shedders:
+            shedder.shed(self)
+        if self.paced:
+            self._pump()
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        metrics = self.world.metrics
+        metrics.set_gauge(f"serve/{self.name}/queue_depth", float(len(self.queue)))
+        metrics.set_gauge(f"serve/{self.name}/inflight", float(len(self._inflight)))
+
+    def stop(self) -> None:
+        """Stop the maintenance tick (end of experiment)."""
+        if self._tick_task is not None:
+            self._tick_task.stop()
+            self._tick_task = None
+
+    # -- introspection -------------------------------------------------------
+
+    def accounting(self) -> Dict[str, int]:
+        """Request-stream conservation counters, surfaced for invariants.
+
+        At any sim instant ``offered == admitted + rejected`` and
+        ``admitted == completed + failed + shed + queued + inflight``
+        must hold; a mismatch means a request leaked out of the serving
+        path without a typed outcome.
+        """
+        return {
+            "offered": self.stats.offered,
+            "admitted": self.stats.admitted,
+            "rejected": self.stats.rejected,
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+            "shed": self.stats.shed,
+            "queued": len(self.queue),
+            "inflight": len(self._inflight),
+        }

@@ -1,0 +1,136 @@
+"""Bounded priority admission queue.
+
+A heap keyed by ``(priority, arrival sequence)`` — lower priority value
+is more urgent, ties break FIFO — with the extra surfaces a serving
+layer needs: per-tenant depth accounting for fair backpressure, queued
+work totals for delay estimation, and deterministic tail eviction
+(worst priority, newest first) for load shedding.  Everything is
+deterministic: no RNG, iteration orders fixed by the heap key.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .request import ServiceRequest
+
+
+class BoundedPriorityQueue:
+    """Priority FIFO with an optional capacity bound.
+
+    ``capacity=None`` means unbounded (the unprotected baseline).  The
+    queue never drops silently: :meth:`push` refuses when full and the
+    caller decides whether to reject the newcomer or evict a queued
+    victim via :meth:`evict_tail`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._seq = itertools.count(1)
+        self._heap: List[Tuple[int, int, ServiceRequest]] = []
+        self._removed: set = set()
+        self._live = 0
+        self._work_mi = 0.0
+        self._tenant_depth: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def full(self) -> bool:
+        """True when the queue is at capacity."""
+        return self.capacity is not None and self._live >= self.capacity
+
+    @property
+    def queued_work_mi(self) -> float:
+        """Total outstanding work queued, in million instructions."""
+        return self._work_mi
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Queued requests for one tenant."""
+        return self._tenant_depth.get(tenant, 0)
+
+    def push(self, request: ServiceRequest) -> bool:
+        """Enqueue; returns False (and changes nothing) when full."""
+        if self.full:
+            return False
+        entry = (request.priority, next(self._seq), request)
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        self._work_mi += request.task.work_mi
+        self._tenant_depth[request.tenant] = self._tenant_depth.get(request.tenant, 0) + 1
+        return True
+
+    def _account_removal(self, request: ServiceRequest) -> None:
+        self._live -= 1
+        self._work_mi -= request.task.work_mi
+        depth = self._tenant_depth.get(request.tenant, 0) - 1
+        if depth <= 0:
+            self._tenant_depth.pop(request.tenant, None)
+        else:
+            self._tenant_depth[request.tenant] = depth
+
+    def pop(self) -> Optional[ServiceRequest]:
+        """Dequeue the most urgent live request (None when empty)."""
+        while self._heap:
+            _, seq, request = heapq.heappop(self._heap)
+            if seq in self._removed:
+                self._removed.discard(seq)
+                continue
+            self._account_removal(request)
+            return request
+        return None
+
+    def evict_tail(self) -> Optional[ServiceRequest]:
+        """Remove and return the least urgent, newest queued request.
+
+        This is the shedding victim order: shedding hits the lowest
+        priority class first and, within a class, the request that has
+        waited least (it has sunk the least standing time).
+        """
+        victim_index = -1
+        victim_key: Optional[Tuple[int, int]] = None
+        for index, (priority, seq, _request) in enumerate(self._heap):
+            if seq in self._removed:
+                continue
+            key = (priority, seq)
+            if victim_key is None or key > victim_key:
+                victim_key = key
+                victim_index = index
+        if victim_key is None:
+            return None
+        request = self._heap[victim_index][2]
+        self._removed.add(victim_key[1])
+        self._account_removal(request)
+        self._compact()
+        return request
+
+    def remove(self, request: ServiceRequest) -> bool:
+        """Remove a specific queued request (e.g. its deadline lapsed)."""
+        for priority, seq, queued in self._heap:
+            if seq not in self._removed and queued is request:
+                self._removed.add(seq)
+                self._account_removal(request)
+                self._compact()
+                return True
+        return False
+
+    def _compact(self) -> None:
+        # Lazy deletion keeps pop O(log n); rebuild when tombstones win.
+        if len(self._removed) > 16 and len(self._removed) > self._live:
+            self._heap = [
+                entry for entry in self._heap if entry[1] not in self._removed
+            ]
+            heapq.heapify(self._heap)
+            self._removed.clear()
+
+    def items(self) -> Iterator[ServiceRequest]:
+        """Live queued requests in urgency order (allocation-free-ish)."""
+        for priority, seq, request in sorted(self._heap):
+            if seq not in self._removed:
+                yield request

@@ -1,0 +1,62 @@
+"""The unit of serving work: a tenant-attributed, prioritized task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.tasks import Task
+from ..errors import ConfigurationError
+
+
+@dataclass
+class ServiceRequest:
+    """One client request flowing through the serving stack.
+
+    Wraps the :class:`~repro.core.tasks.Task` that will run on the
+    vehicular cloud with the serving-layer attributes the cloud itself
+    does not know about: the owning tenant and the priority class
+    (lower value = more urgent).  ``arrived_at`` is stamped by the
+    gateway at submission; the SLO clock starts there, not at dispatch.
+    """
+
+    task: Task
+    tenant: str = "default"
+    priority: int = 1
+    arrived_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ConfigurationError("priority must be non-negative")
+
+    @property
+    def request_id(self) -> str:
+        """Stable id (the wrapped task's id)."""
+        return self.task.task_id
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        """Relative SLO deadline carried by the wrapped task."""
+        return self.task.deadline_s
+
+    @staticmethod
+    def build(
+        work_mi: float,
+        tenant: str = "default",
+        priority: int = 1,
+        deadline_s: Optional[float] = None,
+        input_bytes: int = 10_000,
+        output_bytes: int = 2_000,
+    ) -> "ServiceRequest":
+        """Construct a request with a fresh task in one call."""
+        return ServiceRequest(
+            task=Task(
+                work_mi=work_mi,
+                input_bytes=input_bytes,
+                output_bytes=output_bytes,
+                deadline_s=deadline_s,
+                submitter=tenant,
+            ),
+            tenant=tenant,
+            priority=priority,
+        )

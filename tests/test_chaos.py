@@ -255,3 +255,73 @@ class TestRunner:
             ChaosRunner(stationary_scenario, run_length_s=0.0)
         with pytest.raises(ChaosError):
             ChaosRunner(stationary_scenario, check_interval_s=-1.0)
+
+
+class TestServingConservation:
+    def _gateway(self, seed=11):
+        from repro.serve import PoissonArrivals, ServiceGateway, TenantSpec, WorkloadGenerator
+
+        world, _vehicles, cloud = small_cloud(seed=seed, members=6)
+        gateway = ServiceGateway(world, cloud, name="inv-gw", queue_capacity=8)
+        tenants = [
+            TenantSpec(
+                name="t", arrivals=PoissonArrivals(5.0),
+                work_mi_range=(200.0, 200.0), deadline_s=6.0,
+            )
+        ]
+        WorkloadGenerator(world, gateway, tenants, horizon_s=20.0).start()
+        return world, gateway
+
+    def test_clean_under_load_then_tampered(self):
+        from repro.chaos import ServingConservation
+
+        world, gateway = self._gateway()
+        inv = ServingConservation(gateway)
+        world.run_for(10.0)
+        assert gateway.stats.offered > 0
+        assert inv.check(world.now) == []
+        gateway.stats.completed += 1  # corrupt the ledger: a phantom completion
+        violations = inv.check(world.now)
+        assert violations and "admitted" in violations[0].message
+        gateway.stats.completed -= 1
+        gateway.stats.offered += 1  # now the door counters disagree
+        violations = inv.check(world.now)
+        assert violations and "offered" in violations[0].message
+
+    def test_detects_silent_drop(self):
+        """A request removed from the queue without a typed outcome is
+        exactly the leak the invariant exists to catch."""
+        from repro.chaos import ServingConservation
+
+        world, gateway = self._gateway(seed=12)
+        inv = ServingConservation(gateway)
+        world.run_for(3.0)
+        assert inv.check(world.now) == []
+        victim = next(iter(gateway.queue.items()), None)
+        if victim is None:
+            return  # queue drained at this instant; nothing to drop
+        gateway.queue.remove(victim)  # bypasses the typed shed path
+        assert inv.check(world.now)
+
+
+class TestOverloadScenario:
+    def test_campaign_under_overload_stays_conserved(self):
+        from repro.chaos import overload_scenario
+
+        runner = ChaosRunner(overload_scenario, run_length_s=30.0)
+        result = runner.run_seed(21)
+        assert result.ok, [v.describe() for v in result.violations]
+
+    def test_scenario_actually_overloads(self):
+        from repro.chaos import overload_scenario
+
+        scenario = overload_scenario(31)
+        scenario.world.run_until(40.0)
+        gateway_metrics = scenario.world.metrics
+        shed = sum(
+            gateway_metrics.counters_under("serve/chaos-overload/shed").values()
+        )
+        rejected = sum(
+            gateway_metrics.counters_under("serve/chaos-overload/rejected").values()
+        )
+        assert shed + rejected > 0, "2x load produced no shedding or rejection"

@@ -200,6 +200,27 @@ class TestAllocators:
         choice = allocator.choose(Task(work_mi=1000), candidates)
         assert choice.vehicle_id == "leaver"
 
+    def test_dwell_aware_fallback_picks_fastest_of_many(self):
+        """When no candidate passes the dwell gate, the optimistic
+        fallback degrades to the greedy pick — most free compute wins,
+        ties broken by id — rather than an arbitrary unsafe worker."""
+        allocator = DwellAwareAllocator(safety_factor=1.5, fallback_to_fastest=True)
+        candidates = [
+            WorkerCandidate("slow-leaver", free_mips=100, estimated_dwell_s=2),
+            WorkerCandidate("fast-leaver", free_mips=800, estimated_dwell_s=1),
+            WorkerCandidate("mid-leaver", free_mips=400, estimated_dwell_s=3),
+        ]
+        choice = allocator.choose(Task(work_mi=10_000), candidates)
+        assert choice.vehicle_id == "fast-leaver"
+        assert choice.expected_runtime_s == pytest.approx(10_000 / 800)
+        # Same roster, tie on free compute: lexicographically larger id wins
+        # (the deterministic max key), proving the tiebreak is not positional.
+        tied = [
+            WorkerCandidate("worker-a", free_mips=800, estimated_dwell_s=1),
+            WorkerCandidate("worker-b", free_mips=800, estimated_dwell_s=1),
+        ]
+        assert allocator.choose(Task(work_mi=10_000), tied).vehicle_id == "worker-b"
+
     def test_dwell_aware_prefers_safe_over_fast(self):
         allocator = DwellAwareAllocator(safety_factor=2.0)
         candidates = [

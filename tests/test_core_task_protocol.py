@@ -99,3 +99,62 @@ class TestOffloadExchange:
         world, _c, head, worker, exchange = build()
         with pytest.raises(TaskError):
             exchange.register_worker(worker, mips=0.0)
+
+
+class TestRetransmitTimer:
+    def test_slow_worker_gets_no_spurious_retransmits(self):
+        """The retransmit timer must span the *registered* worker's
+        compute time.  A 50-MIPS worker takes 10 s over 500 MI; the old
+        fixed ``work_mi / 500`` divisor fired the timer at ~1.5 s and
+        retransmitted while the compute was legitimately running."""
+        world, _c, _h, worker, exchange = build(worker_mips=50.0)
+        record = exchange.offload(worker.node_id, Task(work_mi=500))
+        world.run_for(30.0)
+        assert record.done
+        assert record.assign_transmissions == 1
+
+    def test_fast_worker_timer_scales_down(self):
+        """A fast worker's lost frame is re-sent on *its* compute scale,
+        not a fixed divisor: recovery happens within a couple of backoff
+        periods instead of waiting out a slow-worker estimate."""
+        world, _c, _h, worker, exchange = build(worker_mips=10_000.0)
+        worker.vehicle.position = Vec2(50_000, 0)  # every send fails
+        record = exchange.offload(worker.node_id, Task(work_mi=500))
+        # Attempts are spaced by the compute estimate (0.05 s) + 0.5 s
+        # backoff, so the whole budget of max_retries + 1 transmissions
+        # burns in ~3.3 s; the old ``work_mi / 500`` divisor spaced them
+        # 1.5 s apart and would still be mid-budget at 5 s.
+        world.run_for(5.0)
+        assert record.failed
+        assert record.assign_transmissions == exchange.max_retries + 1
+
+    def test_exhaustion_carries_typed_reason(self):
+        world, _c, _h, worker, exchange = build()
+        worker.vehicle.position = Vec2(50_000, 0)
+        record = exchange.offload(worker.node_id, Task(work_mi=100))
+        world.run_for(60.0)
+        assert record.failed
+        assert record.failure_reason == "retries_exhausted"
+        assert world.metrics.counter("offload/retries_exhausted") == 1.0
+
+    def test_live_and_completed_exchanges_have_no_reason(self):
+        world, _c, _h, worker, exchange = build()
+        record = exchange.offload(worker.node_id, Task(work_mi=100))
+        assert record.failure_reason is None
+        world.run_for(10.0)
+        assert record.done and record.failure_reason is None
+
+    def test_exhaustion_emits_structured_event(self):
+        world, _c, _h, worker, exchange = build()
+        worker.vehicle.position = Vec2(50_000, 0)
+        world.enable_observability(trace=False, events=True)
+        record = exchange.offload(worker.node_id, Task(work_mi=100))
+        world.run_for(60.0)
+        assert record.failed
+        assert world.events is not None
+        failures = [
+            e for e in world.events.records()
+            if e.name == "offload_failed" and e.subsystem == "task_protocol"
+        ]
+        assert len(failures) == 1
+        assert failures[0].attrs["reason"] == "retries_exhausted"

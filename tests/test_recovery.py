@@ -98,6 +98,32 @@ class TestBackoffDeterminism:
         )
         assert [policy.delay_for(a) for a in range(2, 10)] == [3.0] * 8
 
+    def test_jitter_bounds_hold_across_seeds_and_attempts(self):
+        """Property sweep: every draw stays inside
+        ``[base*(1-j), max*(1+j)]`` and each seed replays byte-identically."""
+        jitter = 0.3
+        policy = BackoffPolicy(
+            base_delay_s=0.5, multiplier=2.0, max_delay_s=6.0,
+            jitter_fraction=jitter, max_retries=50,
+        )
+        lo = 0.5 * (1.0 - jitter)
+        hi = 6.0 * (1.0 + jitter)
+        for seed in range(20):
+            draws = [
+                policy.delay_for(attempt, SeededRng(seed, "sweep"))
+                for attempt in range(12)
+            ]
+            replay = [
+                policy.delay_for(attempt, SeededRng(seed, "sweep"))
+                for attempt in range(12)
+            ]
+            assert draws == replay
+            for attempt, delay in enumerate(draws):
+                assert lo <= delay <= hi
+                # The per-attempt envelope is tighter than the global one.
+                nominal = min(6.0, 0.5 * 2.0**attempt)
+                assert nominal * (1 - jitter) <= delay <= nominal * (1 + jitter)
+
 
 class TestWorkerLeases:
     def test_expiry_boundary_tick_is_not_expired(self):
