@@ -10,8 +10,8 @@ modes; this package probes *unchosen* ones:
   run length;
 * :mod:`.invariants` defines cross-subsystem safety invariants (task
   conservation, lease exclusivity, single-head, quorum safety,
-  membership agreement, channel conservation, stranded tasks) checked
-  continuously while faults fire;
+  membership agreement, channel conservation, stranded tasks, DAG
+  conservation) checked continuously while faults fire;
 * :mod:`.runner` executes campaigns and, on violation, captures a
   reproducer bundle and delta-debugs (:mod:`.minimize`) the fault
   schedule down to a minimal failing subset that replays
@@ -41,6 +41,7 @@ from .generator import (
 from .invariants import (
     ChannelConservation,
     ClusterExclusivity,
+    DagConservation,
     Invariant,
     InvariantSuite,
     LeaseExclusivity,
@@ -77,6 +78,7 @@ __all__ = [
     "ChaosScenario",
     "ChaosTargets",
     "ClusterExclusivity",
+    "DagConservation",
     "DEFAULT_WEIGHTS",
     "Invariant",
     "InvariantSuite",

@@ -33,7 +33,12 @@ section (§V.A) asks of a vehicular cloud:
 * :class:`ServingConservation` — the serving gateway's request stream
   balances (``offered = admitted + rejected``;
   ``admitted = completed + failed + shed + queued + in-flight``), so
-  load shedding and hedging never lose a request silently.
+  load shedding and hedging never lose a request silently;
+* :class:`DagConservation` — the DAG scheduler's graph and replica
+  streams balance (every submitted graph is completed, failed or
+  running; every stage replica ever submitted is completed, failed or
+  live on the cloud), extending task conservation to subtasks so
+  replication and first-result-wins cancellation never leak work.
 """
 
 from __future__ import annotations
@@ -459,5 +464,73 @@ class ServingConservation:
                 f"admitted {acc['admitted']} != completed {acc['completed']} "
                 f"+ failed {acc['failed']} + shed {acc['shed']} "
                 f"+ queued {acc['queued']} + in-flight {acc['inflight']}",
+            ))
+        return out
+
+
+class DagConservation:
+    """No graph or stage replica leaks out of the DAG scheduler.
+
+    The subtask extension of :class:`TaskConservation`: at any instant
+    every submitted graph is completed, failed or running (counters
+    agreeing with record states), and every stage replica ever handed to
+    the cloud is completed, failed or still live — so k-of-n
+    replication, first-result-wins cancellation, whole-graph restarts
+    and lost-frontier re-execution cannot silently drop or double-count
+    a unit of work.
+    """
+
+    name = "dag-conservation"
+
+    def __init__(self, scheduler) -> None:
+        self.scheduler = scheduler
+
+    def check(self, now: float) -> List[Violation]:
+        acc = self.scheduler.accounting()
+        out: List[Violation] = []
+        if acc["graphs_submitted"] != acc["graph_records"]:
+            out.append(_violation(
+                self.name, now,
+                f"submitted counter {acc['graphs_submitted']} != ledgered "
+                f"graph records {acc['graph_records']}",
+            ))
+        if acc["graphs_completed"] != acc["records_completed"]:
+            out.append(_violation(
+                self.name, now,
+                f"completed counter {acc['graphs_completed']} != completed "
+                f"records {acc['records_completed']} (double completion or "
+                f"silent loss)",
+            ))
+        if acc["graphs_failed"] != acc["records_failed"]:
+            out.append(_violation(
+                self.name, now,
+                f"failed counter {acc['graphs_failed']} != failed records "
+                f"{acc['records_failed']}",
+            ))
+        graph_balance = (
+            acc["graphs_completed"] + acc["graphs_failed"] + acc["records_running"]
+        )
+        if acc["graphs_submitted"] != graph_balance:
+            out.append(_violation(
+                self.name, now,
+                f"graphs submitted {acc['graphs_submitted']} != completed "
+                f"{acc['graphs_completed']} + failed {acc['graphs_failed']} "
+                f"+ running {acc['records_running']}",
+            ))
+        replica_balance = (
+            acc["replicas_completed"] + acc["replicas_failed"] + acc["replicas_live"]
+        )
+        if acc["replicas_submitted"] != replica_balance:
+            out.append(_violation(
+                self.name, now,
+                f"replicas submitted {acc['replicas_submitted']} != completed "
+                f"{acc['replicas_completed']} + failed {acc['replicas_failed']} "
+                f"+ live {acc['replicas_live']}",
+            ))
+        if acc["replicas_live"] != acc["replica_index"]:
+            out.append(_violation(
+                self.name, now,
+                f"live replicas on stages {acc['replicas_live']} != replica "
+                f"index entries {acc['replica_index']}",
             ))
         return out

@@ -94,8 +94,13 @@ class TaskRecord:
 
     @property
     def remaining_work_mi(self) -> float:
-        """Work still to do given the preserved progress."""
-        return self.task.work_mi * (1.0 - self.progress)
+        """Work still to do given the preserved progress.
+
+        Clamped at zero: float rounding near full progress (e.g. a
+        checkpoint at ``1.0 - 1e-17``) must never surface as negative
+        remaining work, which would corrupt downstream runtime math.
+        """
+        return max(0.0, self.task.work_mi * (1.0 - self.progress))
 
     @property
     def completion_latency_s(self) -> Optional[float]:

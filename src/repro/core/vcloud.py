@@ -387,12 +387,15 @@ class VehicularCloud:
 
     # -- task lifecycle ------------------------------------------------------------
 
-    def submit(self, task: Task) -> TaskRecord:
+    def submit(self, task: Task, trace_parent: Optional["Span"] = None) -> TaskRecord:
         """Submit a task for execution in this cloud.
 
         On a traced run the submission roots a new causal trace; every
         assignment, retry, handover and fault the task meets hangs off
         this span, so ``tracer.render_trace`` replays its whole journey.
+        ``trace_parent`` nests the lifecycle under a caller-owned span
+        instead (the DAG scheduler parents each replica's lifecycle
+        under its ``dag.stage`` span).
         """
         record = TaskRecord(task=task, submitted_at=self.world.now)
         self.records.append(record)
@@ -402,6 +405,7 @@ class VehicularCloud:
             self._task_spans[task.task_id] = tracer.start_span(
                 "task.lifecycle",
                 subsystem="core",
+                parent=trace_parent,
                 attrs={
                     "task_id": task.task_id,
                     "cloud": self.cloud_id,

@@ -1,0 +1,112 @@
+"""Reliability-aware stage replication (k-of-n).
+
+The :class:`RedundancyPlanner` decides how many replicas a stage needs:
+given the survival probabilities of the best available workers, it grows
+the replica set until the predicted probability that at least ``k``
+replicas finish reaches the target — replicating exactly the stages most
+likely to be lost, and leaving reliable stages un-replicated so
+redundancy costs scale with risk, not with graph size.
+
+Success probability over a heterogeneous replica set is computed exactly
+with the standard Poisson-binomial dynamic program, so the plan is
+deterministic and auditable (``predicted_success`` is carried on the
+plan and into the stage's trace span).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+def success_probability(survival_ps: Sequence[float], k: int) -> float:
+    """P(at least ``k`` of the replicas survive), exactly.
+
+    Poisson-binomial tail via the O(n·k) dynamic program over
+    ``P(j successes among first i replicas)``.
+    """
+    if k <= 0:
+        return 1.0
+    if k > len(survival_ps):
+        return 0.0
+    # dist[j] = P(exactly j successes so far) for j < k; dist[k] absorbs
+    # P(at least k) — once the threshold is reached it can't be lost.
+    dist: List[float] = [1.0] + [0.0] * k
+    for p in survival_ps:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError("survival probabilities must be in [0, 1]")
+        dist[k] += dist[k - 1] * p
+        for j in range(k - 1, 0, -1):
+            dist[j] = dist[j] * (1.0 - p) + dist[j - 1] * p
+        dist[0] *= 1.0 - p
+    return dist[k]
+
+
+@dataclass(frozen=True)
+class RedundancyPlan:
+    """The planner's decision for one stage dispatch."""
+
+    replicas: int
+    k: int
+    predicted_success: float
+    #: Survival probabilities of the chosen replica slots, best first.
+    survival_ps: Tuple[float, ...]
+
+    @property
+    def redundant(self) -> bool:
+        """Whether the plan carries more replicas than strictly needed."""
+        return self.replicas > self.k
+
+
+class RedundancyPlanner:
+    """Grows a stage's replica set until completion probability suffices.
+
+    ``k`` is how many replicas must finish for the stage to count (1 =
+    first-result-wins); ``target_success`` is the per-stage completion
+    probability to aim for; ``max_replicas`` bounds the resources any
+    single stage may burn — when even the cap cannot reach the target
+    the planner returns the capped plan rather than refusing, because a
+    best-effort attempt still beats failing the graph outright.
+    """
+
+    def __init__(
+        self,
+        target_success: float = 0.95,
+        max_replicas: int = 3,
+        k: int = 1,
+    ) -> None:
+        if not 0.0 < target_success < 1.0:
+            raise ConfigurationError("target_success must be in (0, 1)")
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if max_replicas < k:
+            raise ConfigurationError("max_replicas must be >= k")
+        self.target_success = target_success
+        self.max_replicas = max_replicas
+        self.k = k
+
+    def plan(self, survival_ps: Sequence[float]) -> RedundancyPlan:
+        """Choose a replica count given candidate survival probabilities.
+
+        ``survival_ps`` should be sorted best-first (the scheduler hands
+        in the live candidates ranked by predicted survival); the
+        planner commits the strongest candidates first and adds weaker
+        ones only while the target is unmet.
+        """
+        ranked = sorted(survival_ps, reverse=True)
+        cap = min(self.max_replicas, len(ranked))
+        count = min(self.k, cap) if cap else 0
+        if count == 0:
+            return RedundancyPlan(0, self.k, 0.0, ())
+        predicted = success_probability(ranked[:count], self.k)
+        while predicted < self.target_success and count < cap:
+            count += 1
+            predicted = success_probability(ranked[:count], self.k)
+        return RedundancyPlan(
+            replicas=count,
+            k=self.k,
+            predicted_success=predicted,
+            survival_ps=tuple(ranked[:count]),
+        )

@@ -1,0 +1,106 @@
+"""Per-worker survival estimation from dwell margins and the failure ledger.
+
+"Decomposition Theory Meets Reliability Analysis" (PAPERS.md) schedules
+dependent subtasks over dynamic vehicle resources by predicting which
+workers will still be present when their stage finishes.  The
+:class:`ReliabilityEstimator` reproduces that signal from what the
+coordinator can actually observe:
+
+* the **dwell margin** — the mobility layer's estimate of how long the
+  worker remains in the cloud versus how long the stage needs; and
+* the **churn hazard** — the rate of unplanned losses (crash-stops,
+  lease evictions, departures) read from the cloud's failure ledger,
+  smoothed with a prior so a freshly-formed cloud is neither blindly
+  optimistic nor paralyzed.
+
+The estimator is strictly read-only over cloud state (no RNG draws, no
+engine events, no metrics writes), so attaching it never perturbs a
+seeded run — the same determinism contract the observability layer
+follows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..core.vcloud import VehicularCloud
+
+
+class ReliabilityEstimator:
+    """Predicts the probability a worker survives a stage's runtime.
+
+    ``dwell_safety`` scales the dwell requirement the same way the
+    :class:`~repro.core.scheduler.DwellAwareAllocator` does: a worker
+    whose estimated dwell does not cover ``runtime * dwell_safety`` is
+    discounted proportionally.  ``prior_events``/``prior_exposure_s``
+    form a pseudo-count prior over the churn rate: with no observed
+    churn the hazard starts at ``prior_events / prior_exposure_s`` and
+    converges to the observed rate as member-time accumulates.
+    """
+
+    def __init__(
+        self,
+        cloud: "VehicularCloud",
+        dwell_safety: float = 1.2,
+        prior_events: float = 1.0,
+        prior_exposure_s: float = 500.0,
+    ) -> None:
+        if dwell_safety <= 0:
+            raise ConfigurationError("dwell_safety must be positive")
+        if prior_events < 0 or prior_exposure_s <= 0:
+            raise ConfigurationError("priors must be non-negative / positive")
+        self.cloud = cloud
+        self.dwell_safety = dwell_safety
+        self.prior_events = prior_events
+        self.prior_exposure_s = prior_exposure_s
+
+    # -- ledger-derived hazard ----------------------------------------------
+
+    def observed_losses(self) -> int:
+        """Unplanned worker losses so far (crashes dominate departures).
+
+        ``membership.leaves`` already includes lease evictions (an
+        eviction drives the departure path), so crashes are the only
+        addition; the slight double-count of a crash that later evicts
+        is a deliberately pessimistic reading of the ledger.
+        """
+        stats = self.cloud.stats
+        return self.cloud.membership.leaves + stats.worker_crashes
+
+    def churn_hazard_per_s(self, now: float) -> float:
+        """Estimated per-worker loss rate (events per member-second)."""
+        exposure = max(now, 0.0) * max(1, self.cloud.member_count())
+        return (self.observed_losses() + self.prior_events) / (
+            exposure + self.prior_exposure_s
+        )
+
+    # -- per-worker survival -------------------------------------------------
+
+    def survival_probability(
+        self,
+        worker_id: str,
+        runtime_s: float,
+        now: float,
+        dwell_s: Optional[float] = None,
+    ) -> float:
+        """P(worker still present when a ``runtime_s`` stage finishes).
+
+        An exponential survival term from the churn hazard, discounted
+        when the worker's estimated dwell does not cover the runtime
+        with the safety margin — the paper's over-estimation failure
+        mode ("the vehicle may not be able to finish the task before
+        leaving the group") made quantitative.
+        """
+        if runtime_s < 0:
+            raise ConfigurationError("runtime_s must be non-negative")
+        if dwell_s is None:
+            dwell_s = self.cloud.dwell_lookup(worker_id)
+        survival = math.exp(-self.churn_hazard_per_s(now) * runtime_s)
+        required = runtime_s * self.dwell_safety
+        if required > 0 and dwell_s < required:
+            survival *= max(0.0, dwell_s / required)
+        return min(1.0, max(0.0, survival))

@@ -1,0 +1,130 @@
+"""Seeded DAG job templates for workload generation.
+
+A :class:`GraphTemplate` is the graph-shaped analogue of the workload
+generator's scalar task shape: a fixed topology whose per-stage work is
+drawn from ranges at instantiation time.  Every draw flows through the
+caller-provided :class:`~repro.sim.rng.SeededRng` (the generator hands
+in its per-tenant substream), so a tenant emitting DAG jobs is exactly
+as replayable as one emitting scalar requests.
+
+Shape helpers cover the structures the paper's workloads decompose
+into: :func:`pipeline_template` (sense → process → decide chains) and
+:func:`map_reduce_template` (fan-out analysis over sensor shards with a
+fusing reduce), the two idioms "Decomposition Theory Meets Reliability
+Analysis" schedules over vehicular resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.rng import SeededRng
+from .graph import StageSpec, TaskGraph
+
+
+@dataclass(frozen=True)
+class StageTemplate:
+    """One stage's shape: fixed wiring, ranged work."""
+
+    name: str
+    work_mi_range: Tuple[float, float]
+    deps: Tuple[str, ...] = ()
+    input_bytes: int = 10_000
+    output_bytes: int = 2_000
+
+    def __post_init__(self) -> None:
+        low, high = self.work_mi_range
+        if low <= 0 or high < low:
+            raise ConfigurationError(
+                f"stage {self.name!r}: work_mi_range must satisfy 0 < low <= high"
+            )
+
+    def draw(self, rng: SeededRng) -> StageSpec:
+        """Materialize one stage, drawing work from the range."""
+        low, high = self.work_mi_range
+        work = low if high == low else rng.uniform(low, high)
+        return StageSpec(
+            name=self.name,
+            work_mi=work,
+            deps=self.deps,
+            input_bytes=self.input_bytes,
+            output_bytes=self.output_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class GraphTemplate:
+    """A reusable graph shape; ``instantiate`` stamps out seeded jobs."""
+
+    stages: Tuple[StageTemplate, ...]
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError("a graph template needs at least one stage")
+        # Wiring errors should fail at template construction, not at the
+        # first arrival mid-run; a probe instantiation validates the
+        # topology through TaskGraph's own checks without consuming ids.
+        names = {t.name for t in self.stages}
+        if len(names) != len(self.stages):
+            raise ConfigurationError("template stage names must be unique")
+        for template in self.stages:
+            for dep in template.deps:
+                if dep not in names:
+                    raise ConfigurationError(
+                        f"stage {template.name!r} depends on unknown stage {dep!r}"
+                    )
+
+    def instantiate(self, rng: SeededRng, submitter: str = "") -> TaskGraph:
+        """Draw one concrete :class:`TaskGraph` from this template."""
+        return TaskGraph(
+            stages=tuple(t.draw(rng) for t in self.stages),
+            deadline_s=self.deadline_s,
+            submitter=submitter,
+        )
+
+    @property
+    def mean_total_work_mi(self) -> float:
+        """Expected total work (midpoint of every range)."""
+        return sum((t.work_mi_range[0] + t.work_mi_range[1]) / 2 for t in self.stages)
+
+
+def pipeline_template(
+    stage_work_mi: Sequence[Tuple[float, float]],
+    deadline_s: Optional[float] = None,
+    output_bytes: int = 2_000,
+) -> GraphTemplate:
+    """A linear pipeline template: each stage feeds the next."""
+    if not stage_work_mi:
+        raise ConfigurationError("pipeline needs at least one stage")
+    stages = []
+    prev: Tuple[str, ...] = ()
+    for index, work_range in enumerate(stage_work_mi):
+        name = f"s{index}"
+        stages.append(
+            StageTemplate(
+                name=name, work_mi_range=work_range, deps=prev, output_bytes=output_bytes
+            )
+        )
+        prev = (name,)
+    return GraphTemplate(stages=tuple(stages), deadline_s=deadline_s)
+
+
+def map_reduce_template(
+    mappers: int,
+    map_work_mi: Tuple[float, float],
+    reduce_work_mi: Tuple[float, float],
+    deadline_s: Optional[float] = None,
+) -> GraphTemplate:
+    """Fan-out over ``mappers`` parallel stages fused by one reduce."""
+    if mappers < 1:
+        raise ConfigurationError("mappers must be >= 1")
+    map_names = tuple(f"map{i}" for i in range(mappers))
+    stages = tuple(
+        StageTemplate(name=name, work_mi_range=map_work_mi) for name in map_names
+    ) + (
+        StageTemplate(name="reduce", work_mi_range=reduce_work_mi, deps=map_names),
+    )
+    return GraphTemplate(stages=stages, deadline_s=deadline_s)

@@ -24,6 +24,12 @@ package adds the serving-path defences between open-loop clients and a
   (``offered == admitted + rejected``;
   ``admitted == completed + failed + shed + queued + in-flight``).
 
+A gateway can also front DAG jobs: construct it with ``dag=`` (a
+:class:`~repro.dag.scheduler.DagScheduler` on the same cloud) and
+tenants whose :class:`~repro.serve.workload.TenantSpec` carries a
+``graph`` template emit dependency-structured jobs through
+``submit_graph`` instead of scalar requests.
+
 Experiment E16 (``benchmarks/test_bench_overload.py``) contrasts this
 protected stack with the unprotected baseline across offered loads on
 all three Fig. 4 architectures.

@@ -36,6 +36,8 @@ from typing import Dict, List, Optional, Sequence
 from ..core.scheduler import GatedAllocator, WorkerCandidate
 from ..core.tasks import Task, TaskRecord, TaskState
 from ..core.vcloud import VehicularCloud
+from ..dag.graph import TaskGraph
+from ..dag.scheduler import DagScheduler, GraphRecord
 from ..errors import ConfigurationError
 from ..sim.engine import EventHandle, PeriodicTask
 from ..sim.metrics import percentile
@@ -68,6 +70,11 @@ class ServeStats:
     hedges_launched: int = 0
     hedges_won: int = 0
     hedges_cancelled: int = 0
+    #: DAG jobs offered through the gateway's attached DagScheduler;
+    #: conservation over graphs lives in DagConservation, not here.
+    graphs_offered: int = 0
+    graphs_completed: int = 0
+    graphs_failed: int = 0
     rejection_reasons: Dict[str, int] = field(default_factory=dict)
     shed_reasons: Dict[str, int] = field(default_factory=dict)
     latencies_s: List[float] = field(default_factory=list)
@@ -127,6 +134,7 @@ class ServiceGateway:
         max_dispatch_concurrency: Optional[int] = None,
         tick_interval_s: float = 0.25,
         propagate_deadline: bool = True,
+        dag: Optional[DagScheduler] = None,
     ) -> None:
         if tick_interval_s <= 0:
             raise ConfigurationError("tick_interval_s must be positive")
@@ -149,6 +157,14 @@ class ServiceGateway:
         self._anti_affinity: Dict[str, set] = {}  # task_id -> banned worker ids
         self._tenant_inflight: Dict[str, int] = {}
         self._tick_task: Optional[PeriodicTask] = None
+        self.dag = dag
+        self._gateway_graphs: Dict[str, str] = {}  # graph_id -> tenant
+        if dag is not None:
+            if dag.cloud is not cloud:
+                raise ConfigurationError(
+                    "the DAG scheduler must execute on the gateway's cloud"
+                )
+            dag.on_graph_finished(self._on_graph_finish)
         cloud.on_task_finished(self._on_cloud_finish)
         if breakers is not None or hedging is not None:
             cloud.allocator = GatedAllocator(cloud.allocator, self._gate)
@@ -242,6 +258,43 @@ class ServiceGateway:
         self._pump()
         self._update_gauges()
         return True
+
+    def submit_graph(self, graph: TaskGraph, tenant: str = "") -> GraphRecord:
+        """Offer one DAG job to the attached dependable scheduler.
+
+        DAG jobs bypass the scalar request queue — the
+        :class:`~repro.dag.scheduler.DagScheduler` owns their pacing,
+        redundancy and recovery — but their outcomes are accounted on
+        the gateway (``graphs_offered/completed/failed``) so a serving
+        stack's dashboard sees both streams.
+        """
+        if self.dag is None:
+            raise ConfigurationError(
+                "gateway has no DAG scheduler attached (pass dag= at construction)"
+            )
+        self.stats.graphs_offered += 1
+        self.world.metrics.increment(f"serve/{self.name}/graphs_offered")
+        record = self.dag.submit(graph)
+        self._gateway_graphs[graph.graph_id] = tenant
+        return record
+
+    def _on_graph_finish(self, record: GraphRecord, reason: str) -> None:
+        tenant = self._gateway_graphs.pop(record.graph.graph_id, None)
+        if tenant is None:
+            return  # not a gateway graph (direct scheduler submission)
+        if reason == "completed":
+            self.stats.graphs_completed += 1
+            self.world.metrics.increment(f"serve/{self.name}/graphs_completed")
+            return
+        self.stats.graphs_failed += 1
+        self.world.metrics.increment(f"serve/{self.name}/graphs_failed/{reason}")
+        events = self.world.events
+        if events is not None:
+            events.emit(
+                "serve", "graph_failed", severity="warning",
+                gateway=self.name, graph=record.graph.graph_id,
+                tenant=tenant, reason=reason,
+            )
 
     def _displace_for(self, request: ServiceRequest) -> Optional[str]:
         """Full queue: shed a strictly less urgent victim or reject."""

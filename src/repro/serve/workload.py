@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Tuple
 
+from ..dag.templates import GraphTemplate
 from ..errors import ConfigurationError
 from ..sim.rng import SeededRng
 from ..sim.world import World
@@ -133,6 +134,12 @@ class TenantSpec:
     process rate independently is approximated by multiplying the drawn
     gap down by the population), letting per-tenant populations reach
     realistic sizes without one event per client.
+
+    A tenant with a ``graph`` template emits DAG jobs instead of scalar
+    requests: each arrival instantiates the template through the same
+    per-tenant substream and submits it via the gateway's attached
+    :class:`~repro.dag.scheduler.DagScheduler` — arrival times and stage
+    work draws stay a pure function of ``(seed, spec)``.
     """
 
     name: str
@@ -143,6 +150,7 @@ class TenantSpec:
     input_bytes: int = 10_000
     output_bytes: int = 2_000
     clients: int = 1
+    graph: Optional[GraphTemplate] = None
 
     def __post_init__(self) -> None:
         low, high = self.work_mi_range
@@ -216,6 +224,14 @@ class WorkloadGenerator:
 
     def _arrive(self, spec: TenantSpec) -> None:
         rng = self._rngs[spec.name]
+        if spec.graph is not None:
+            graph = spec.graph.instantiate(rng, submitter=spec.name)
+            load = self.loads[spec.name]
+            load.offered += 1
+            load.offered_work_mi += graph.total_work_mi
+            self.gateway.submit_graph(graph, tenant=spec.name)
+            self._schedule_next(spec)
+            return
         low, high = spec.work_mi_range
         work_mi = low if high == low else rng.uniform(low, high)
         request = ServiceRequest.build(

@@ -151,6 +151,48 @@ class TestTask:
         assert record.reassignments == 1
         assert record.workers_history == ["w1", "w2"]
 
+    def test_checkpoint_survives_repeated_handover(self):
+        """Progress checkpointed before each handover carries across workers."""
+        record = TaskRecord(task=Task(work_mi=100), submitted_at=0.0)
+        record.assign("w1", 0.0)
+        record.start()
+        record.checkpoint(0.3)
+        record.hand_over()
+        assert record.progress == pytest.approx(0.3)
+        record.assign("w2", 2.0)
+        record.start()
+        record.checkpoint(0.8)
+        record.hand_over()
+        assert record.progress == pytest.approx(0.8)
+        assert record.remaining_work_mi == pytest.approx(20.0)
+        # A later checkpoint may only move forward from the preserved point.
+        record.assign("w3", 4.0)
+        record.start()
+        with pytest.raises(TaskError):
+            record.checkpoint(0.5)
+        record.checkpoint(1.0)
+        assert record.remaining_work_mi == 0.0
+
+    def test_checkpoint_after_handover_cannot_regress(self):
+        record = TaskRecord(task=Task(work_mi=100), submitted_at=0.0)
+        record.assign("w1", 0.0)
+        record.start()
+        record.checkpoint(0.6)
+        record.hand_over()
+        with pytest.raises(TaskError):
+            record.checkpoint(0.2)
+        assert record.progress == pytest.approx(0.6)
+
+    def test_remaining_work_never_negative(self):
+        """Float drift past full progress must clamp, not go negative."""
+        record = TaskRecord(task=Task(work_mi=100), submitted_at=0.0)
+        record.checkpoint(1.0)
+        assert record.remaining_work_mi == 0.0
+        # Simulate accumulated float error pushing progress past 1.0 (the
+        # recovery path computes p + (1-p)*fraction incrementally).
+        record.progress = 1.0 + 1e-15
+        assert record.remaining_work_mi == 0.0
+
     def test_drop_discards_progress(self):
         record = TaskRecord(task=Task(work_mi=100), submitted_at=0.0)
         record.assign("w1", 0.0)

@@ -375,3 +375,70 @@ class TestGeometryCoordination:
         record = cloud.submit(Task(work_mi=500))
         world.run_for(10.0)
         assert record.state is TaskState.COMPLETED
+
+
+class TestCancelEdgeCases:
+    """`cancel(record, reason)` stays conserved on every edge path."""
+
+    @staticmethod
+    def _assert_conserved(cloud):
+        acc = cloud.accounting()
+        assert acc["submitted"] == acc["records"]
+        assert acc["completed"] == acc["records_completed"]
+        assert acc["failed"] == acc["records_failed"]
+        assert acc["submitted"] == (
+            acc["completed"] + acc["failed"] + acc["records_in_flight"]
+        )
+
+    def test_cancel_after_handover(self, world):
+        """A handed-over (requeued) task can still be cancelled typed."""
+        _m, _v, cloud = static_cloud(world, members=3, mips=100.0)
+        record = cloud.submit(Task(work_mi=1000))  # 10 s of work
+        world.run_for(3.0)
+        assert record.state is TaskState.RUNNING
+        cloud.member_leave(record.worker_id)
+        assert record.state is TaskState.HANDED_OVER
+        assert record.progress > 0.0
+        assert cloud.cancel(record, "caller_gone") is True
+        assert record.state is TaskState.FAILED
+        assert cloud.stats.failure_reasons == {"caller_gone": 1}
+        self._assert_conserved(cloud)
+        world.run_for(30.0)  # any stale retry events must be no-ops
+        assert record.state is TaskState.FAILED
+        assert cloud.stats.failure_reasons == {"caller_gone": 1}
+        self._assert_conserved(cloud)
+
+    def test_double_cancel_counts_once(self, world):
+        _m, _v, cloud = static_cloud(world, members=3, mips=100.0)
+        record = cloud.submit(Task(work_mi=1000))
+        world.run_for(1.0)
+        assert cloud.cancel(record, "first") is True
+        assert cloud.cancel(record, "second") is False
+        assert cloud.stats.failure_reasons == {"first": 1}
+        assert cloud.stats.failed == 1
+        self._assert_conserved(cloud)
+
+    def test_cancel_completed_record_is_refused(self, world):
+        _m, _v, cloud = static_cloud(world, members=3, mips=100.0)
+        record = cloud.submit(Task(work_mi=100))
+        world.run_for(10.0)
+        assert record.state is TaskState.COMPLETED
+        assert cloud.cancel(record, "too_late") is False
+        assert record.state is TaskState.COMPLETED
+        assert cloud.stats.failure_reasons == {}
+        assert cloud.stats.completed == 1
+        self._assert_conserved(cloud)
+
+    def test_cancel_running_releases_worker(self, world):
+        """Cancelling an executing task frees the reservation for new work."""
+        _m, _v, cloud = static_cloud(world, members=2, mips=100.0)
+        record = cloud.submit(Task(work_mi=5000))  # 50 s on the lone worker
+        world.run_for(1.0)
+        worker = record.worker_id
+        assert cloud.cancel(record, "superseded") is True
+        self._assert_conserved(cloud)
+        follow_up = cloud.submit(Task(work_mi=100))
+        world.run_for(10.0)
+        assert follow_up.state is TaskState.COMPLETED
+        assert follow_up.worker_id == worker
+        self._assert_conserved(cloud)
