@@ -436,8 +436,12 @@ class ServingConservation:
     instant ``offered = admitted + rejected`` and
     ``admitted = completed + failed + shed + queued + in-flight``.  A
     mismatch means a request was double-counted or dropped silently —
-    exactly the bug class load shedding and hedging can introduce (a
-    shed victim also dispatched, a hedge loser finalized twice).
+    exactly the bug class load shedding, hedging and small-task
+    batching can introduce (a shed victim also dispatched, a hedge
+    loser finalized twice, a batch member finalized with the wrong
+    multiplicity).  In-flight counts *requests*, not cloud dispatches:
+    a coalesced batch holds one cloud task but each member stays an
+    admitted request until the batch reaches a terminal state.
     """
 
     name = "serving-conservation"

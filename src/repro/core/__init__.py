@@ -19,6 +19,7 @@ from .aggregation import (
     dissemination_cost,
 )
 from .architectures import DynamicVCloud, InfrastructureVCloud, StationaryVCloud
+from .capacity import BacklogEstimator, LoadSignal
 from .directory import ResourceDirectory, ResourceQuery
 from .election import BrokerCandidate, BrokerElection, ElectionResult
 from .handover import (
@@ -82,6 +83,8 @@ __all__ = [
     "AggregationJob",
     "AllocationChoice",
     "Allocator",
+    "BacklogEstimator",
+    "LoadSignal",
     "BrokerCandidate",
     "BrokerElection",
     "CheckpointHandoverPolicy",

@@ -962,6 +962,33 @@ class VehicularCloud:
         """Current member count."""
         return len(self.membership)
 
+    def busy_workers(self) -> List[str]:
+        """Workers currently holding a live execution (deduplicated).
+
+        Lease exclusivity keeps this at most one execution per worker,
+        so the result is bounded by the member count.
+        """
+        return sorted(
+            {
+                execution.record.worker_id
+                for execution in self._executions.values()
+                if execution.record.worker_id is not None
+            }
+        )
+
+    def inflight_remaining_s(self, now: float) -> float:
+        """Total residual busy time of live executions, in seconds.
+
+        A crash-frozen execution stopped making progress but still
+        occupies its worker until lease eviction, so it counts at its
+        full scheduled residual — pessimistic, which is the right bias
+        for a load signal feeding admission and redundancy decisions.
+        """
+        return sum(
+            max(0.0, execution.started_at + execution.runtime_s - now)
+            for execution in self._executions.values()
+        )
+
     def accounting(self) -> Dict[str, int]:
         """Task-stream conservation counters, surfaced for invariants.
 

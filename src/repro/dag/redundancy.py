@@ -1,23 +1,43 @@
-"""Reliability-aware stage replication (k-of-n).
+"""Reliability- and capacity-aware stage replication (k-of-n).
 
-The :class:`RedundancyPlanner` decides how many replicas a stage needs:
-given the survival probabilities of the best available workers, it grows
-the replica set until the predicted probability that at least ``k``
-replicas finish reaches the target — replicating exactly the stages most
-likely to be lost, and leaving reliable stages un-replicated so
-redundancy costs scale with risk, not with graph size.
+The :class:`RedundancyPlanner` decides how many replicas a stage needs.
+Given the survival probabilities of the available workers it grows the
+replica set best-first — replicating exactly the stages most likely to
+be lost, and leaving reliable stages un-replicated so redundancy costs
+scale with risk, not with graph size.
+
+The survival-only version of that rule has a failure mode E17 exposed:
+when churn shrinks the fleet, survival probabilities drop, so the
+planner adds *more* replicas exactly when the fleet has *less* spare
+capacity — replication amplifies queueing and deadline misses in a
+positive feedback loop.  The planner therefore optimizes the predicted
+**deadline-hit** probability, not the raw survival probability, when
+the caller supplies the deadline budget and a
+:class:`~repro.core.capacity.LoadSignal`: each marginal replica's
+survival gain is discounted by the queue delay it induces on the rest
+of the fleet, so under combined churn and load the plan *sheds*
+redundancy instead of piling it on.  ``max_replicas`` stays as a hard
+cap either way.  "Leveraging Cloud Computing to Make Autonomous
+Vehicles Safer" (PAPERS.md) is the source of the objective choice:
+deadline-hit probability, not success probability, is the quantity an
+autonomous-driving workload cares about.
 
 Success probability over a heterogeneous replica set is computed exactly
 with the standard Poisson-binomial dynamic program, so the plan is
-deterministic and auditable (``predicted_success`` is carried on the
-plan and into the stage's trace span).
+deterministic and auditable (``predicted_success`` and
+``predicted_deadline_hit`` are carried on the plan and into the stage's
+trace span), and ``chosen_indices`` maps every planned replica slot
+back to the caller's candidate list — on ties the caller's order is
+preserved, so the ledgered probabilities always describe the workers
+actually planned.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..core.capacity import LoadSignal
 from ..errors import ConfigurationError
 
 
@@ -25,8 +45,16 @@ def success_probability(survival_ps: Sequence[float], k: int) -> float:
     """P(at least ``k`` of the replicas survive), exactly.
 
     Poisson-binomial tail via the O(n·k) dynamic program over
-    ``P(j successes among first i replicas)``.
+    ``P(j successes among first i replicas)``.  Inputs are validated
+    before any computation: a NaN or out-of-range probability raises
+    :class:`~repro.errors.ConfigurationError` without mutating any
+    state, so a caller holding partial results never sees a
+    half-updated distribution.
     """
+    for p in survival_ps:
+        # NaN fails both comparisons, so it is rejected here too.
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError("survival probabilities must be in [0, 1]")
     if k <= 0:
         return 1.0
     if k > len(survival_ps):
@@ -35,8 +63,6 @@ def success_probability(survival_ps: Sequence[float], k: int) -> float:
     # P(at least k) — once the threshold is reached it can't be lost.
     dist: List[float] = [1.0] + [0.0] * k
     for p in survival_ps:
-        if not 0.0 <= p <= 1.0:
-            raise ConfigurationError("survival probabilities must be in [0, 1]")
         dist[k] += dist[k - 1] * p
         for j in range(k - 1, 0, -1):
             dist[j] = dist[j] * (1.0 - p) + dist[j - 1] * p
@@ -53,6 +79,16 @@ class RedundancyPlan:
     predicted_success: float
     #: Survival probabilities of the chosen replica slots, best first.
     survival_ps: Tuple[float, ...]
+    #: Index into the caller's candidate sequence for each chosen slot,
+    #: aligned with ``survival_ps`` — ties keep the caller's order, so
+    #: slot ``i`` always describes candidate ``chosen_indices[i]``.
+    chosen_indices: Tuple[int, ...] = ()
+    #: Predicted P(stage completes within its deadline budget), None
+    #: when the plan was made without a load signal or budget.
+    predicted_deadline_hit: Optional[float] = None
+    #: Replicas the survival-only rule would have added but the
+    #: queue-delay discount withheld (the anti-amplification path).
+    load_shed: int = 0
 
     @property
     def redundant(self) -> bool:
@@ -61,7 +97,7 @@ class RedundancyPlan:
 
 
 class RedundancyPlanner:
-    """Grows a stage's replica set until completion probability suffices.
+    """Sizes a stage's replica set for completion probability — and load.
 
     ``k`` is how many replicas must finish for the stage to count (1 =
     first-result-wins); ``target_success`` is the per-stage completion
@@ -69,6 +105,13 @@ class RedundancyPlanner:
     single stage may burn — when even the cap cannot reach the target
     the planner returns the capped plan rather than refusing, because a
     best-effort attempt still beats failing the graph outright.
+
+    Without a load signal :meth:`plan` reproduces the survival-only
+    growth rule (the static baseline E18 contrasts against).  With
+    ``budget_s``/``runtime_s``/``load`` supplied it sheds replicas
+    whose induced queue delay outweighs their survival gain under the
+    predicted deadline-hit objective — see
+    :meth:`deadline_hit_probability`.
     """
 
     def __init__(
@@ -87,26 +130,123 @@ class RedundancyPlanner:
         self.max_replicas = max_replicas
         self.k = k
 
-    def plan(self, survival_ps: Sequence[float]) -> RedundancyPlan:
-        """Choose a replica count given candidate survival probabilities.
+    # -- the objective -------------------------------------------------------
 
-        ``survival_ps`` should be sorted best-first (the scheduler hands
-        in the live candidates ranked by predicted survival); the
-        planner commits the strongest candidates first and adds weaker
-        ones only while the target is unmet.
+    def deadline_hit_probability(
+        self,
+        survival_ps: Sequence[float],
+        budget_s: float,
+        runtime_s: float,
+        load: LoadSignal,
+    ) -> float:
+        """Predicted P(stage finishes in time) for one candidate plan.
+
+        Survival (Poisson-binomial ``>= k`` tail) times an on-time
+        factor.  The on-time factor decays linearly as the queue delay
+        the *extra* replicas (beyond ``k``) induce eats the slack a
+        lone dispatch would have had
+        (``budget - runtime - standing queue delay``).  The induced
+        delay is scaled by contention pressure — the standing queue
+        delay relative to the remaining slack — because a replica's
+        work only queues anything when work is already waiting: an idle
+        fleet absorbs replicas for free (on a heterogeneous fleet they
+        even *shorten* the stage, first-result-wins racing the fastest
+        worker), so with an empty queue the objective degenerates to
+        pure survival and the plan matches the static rule exactly.
+        With no slack left, extra replicas cannot help the deadline at
+        all — the regime where the planner must shed.
         """
-        ranked = sorted(survival_ps, reverse=True)
+        survival = success_probability(survival_ps, self.k)
+        slack_s = budget_s - runtime_s - load.queue_delay_s
+        if slack_s <= 0.0:
+            # Already out of time before any induced delay: redundancy
+            # only subtracts capacity, it cannot buy the deadline back.
+            return 0.0
+        pressure = (
+            min(1.0, load.queue_delay_s / slack_s)
+            if load.queue_delay_s > 0.0
+            else 0.0
+        )
+        extras = max(0, len(survival_ps) - self.k)
+        if extras == 0 or pressure <= 0.0:
+            return survival
+        induced_s = extras * load.marginal_delay_s * pressure
+        on_time = max(0.0, 1.0 - induced_s / slack_s)
+        return survival * on_time
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(
+        self,
+        survival_ps: Sequence[float],
+        budget_s: Optional[float] = None,
+        runtime_s: Optional[float] = None,
+        load: Optional[LoadSignal] = None,
+    ) -> RedundancyPlan:
+        """Choose replica slots given candidate survival probabilities.
+
+        ``survival_ps`` is in the caller's candidate order; the planner
+        ranks it best-first internally (stable — ties keep the caller's
+        order) and returns ``chosen_indices`` into the caller's
+        sequence, so the recorded probabilities always describe the
+        candidates actually planned.
+
+        Without ``budget_s``/``runtime_s``/``load``, growth is
+        survival-only: add replicas best-first while the predicted
+        success probability is below ``target_success``.  With them,
+        the planner starts from that same survival-only count and then
+        *sheds* extras while dropping one does not lower the predicted
+        deadline-hit probability (ties favor fewer replicas — under
+        heavy load the whole surplus sheds down to ``k``).  Shedding
+        from the static count, rather than re-growing against the hit
+        objective, guarantees the load-aware plan never carries more
+        replicas than the static rule and coincides with it exactly
+        whenever the fleet is uncontended.
+        """
+        order = sorted(range(len(survival_ps)), key=lambda i: (-survival_ps[i], i))
+        ranked = [survival_ps[i] for i in order]
         cap = min(self.max_replicas, len(ranked))
-        count = min(self.k, cap) if cap else 0
-        if count == 0:
+        base = min(self.k, cap) if cap else 0
+        if base == 0:
             return RedundancyPlan(0, self.k, 0.0, ())
-        predicted = success_probability(ranked[:count], self.k)
-        while predicted < self.target_success and count < cap:
-            count += 1
-            predicted = success_probability(ranked[:count], self.k)
+
+        # Survival-only growth — the static rule, also the reference
+        # count the load-aware path reports shedding against.
+        static_count = base
+        while (
+            success_probability(ranked[:static_count], self.k) < self.target_success
+            and static_count < cap
+        ):
+            static_count += 1
+
+        load_aware = budget_s is not None and runtime_s is not None and load is not None
+        if not load_aware:
+            count = static_count
+            predicted_hit: Optional[float] = None
+        else:
+            assert budget_s is not None and runtime_s is not None and load is not None
+            count = static_count
+            predicted_hit = self.deadline_hit_probability(
+                ranked[:count], budget_s, runtime_s, load
+            )
+            # Shed extras while a smaller set predicts at least as well
+            # — strictly-better survival keeps its replica, so an
+            # uncontended plan is byte-identical to the static one.
+            while count > base:
+                hit = self.deadline_hit_probability(
+                    ranked[: count - 1], budget_s, runtime_s, load
+                )
+                if hit < predicted_hit:
+                    break
+                count -= 1
+                predicted_hit = hit
+
         return RedundancyPlan(
             replicas=count,
             k=self.k,
-            predicted_success=predicted,
+            predicted_success=success_probability(ranked[:count], self.k),
             survival_ps=tuple(ranked[:count]),
+            chosen_indices=tuple(order[:count]),
+            predicted_deadline_hit=predicted_hit,
+            load_shed=max(0, static_count - count) if load_aware else 0,
         )

@@ -15,8 +15,12 @@ coordinator can actually observe:
 
 The estimator is strictly read-only over cloud state (no RNG draws, no
 engine events, no metrics writes), so attaching it never perturbs a
-seeded run — the same determinism contract the observability layer
-follows.
+seeded run — the same determinism contract the observability layer and
+the :class:`~repro.core.capacity.BacklogEstimator` follow.  Survival is
+the *reliability* half of the redundancy decision; the backlog
+estimator supplies the *capacity* half, and the
+:class:`~repro.dag.redundancy.RedundancyPlanner` joins them into a
+deadline-hit objective.
 """
 
 from __future__ import annotations

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+from ..core.capacity import BacklogEstimator
 from ..core.scheduler import GatedAllocator, WorkerCandidate, candidates_from_pool
 from ..core.tasks import Task, TaskRecord, TaskState
 from ..core.vcloud import VehicularCloud
@@ -129,6 +130,8 @@ class DagStats:
     replicas_completed: int = 0
     replicas_failed: int = 0
     replicas_cancelled: int = 0
+    #: Replicas the survival-only rule wanted but load pressure withheld.
+    replicas_load_shed: int = 0
     redundant_dispatches: int = 0
     checkpoint_writes: int = 0
     checkpoint_degraded: int = 0
@@ -178,6 +181,7 @@ class DagScheduler:
         sequential: bool = False,
         max_stage_attempts: int = 3,
         checkpoint_replicas: int = 3,
+        backlog: Optional[BacklogEstimator] = None,
     ) -> None:
         if max_stage_attempts < 1:
             raise ConfigurationError("max_stage_attempts must be >= 1")
@@ -194,6 +198,11 @@ class DagScheduler:
         self.sequential = sequential
         self.max_stage_attempts = max_stage_attempts
         self.checkpoint_replicas = checkpoint_replicas
+        self.backlog = backlog
+        if backlog is not None:
+            # Replicas the cloud has accepted but not yet placed on a
+            # worker are queued work only this scheduler knows about.
+            backlog.add_backlog_source(self._pending_replica_work_mi)
         self.stats = DagStats()
         self.records: List[GraphRecord] = []
         #: replica task_id -> (graph record, stage name)
@@ -340,11 +349,32 @@ class DagScheduler:
             if self.sequential:
                 return
 
+    def _pending_replica_work_mi(self) -> float:
+        """Work of live replicas the cloud has not placed on a worker yet.
+
+        Backlog source for the shared :class:`BacklogEstimator`: these
+        replicas sit in the cloud's retry loop waiting for a free
+        worker, so they are queued load the serving gateway would
+        otherwise never see.
+        """
+        return sum(
+            replica.task.work_mi
+            for record in self.records
+            if record.state is GraphState.RUNNING
+            for run in record.stages.values()
+            for replica in run.replicas.values()
+            if replica.worker_id is None
+        )
+
     def _replica_plan(self, record: GraphRecord, stage: _StageRun, task: Task) -> int:
         if self.redundancy is None or self.reliability is None:
             return 1
         candidates = candidates_from_pool(self.cloud.pool, task, self.cloud.dwell_lookup)
         if self.cloud.head_id is not None and len(candidates) > 1:
+            # Head-fallback: the head never competes for stages while any
+            # other candidate exists, but when it is the ONLY candidate it
+            # keeps the stage rather than stalling the graph — a cloud
+            # reduced to its head still makes progress.
             candidates = [c for c in candidates if c.vehicle_id != self.cloud.head_id]
         eligible = [c for c in candidates if c.free_mips > 0 and c.has_required_sensors]
         now = self.world.now
@@ -357,8 +387,24 @@ class DagScheduler:
             )
             for c in eligible
         ]
-        plan = self.redundancy.plan(survival)
+        if self.backlog is not None and eligible:
+            # Load-aware objective: survival gain per extra replica is
+            # discounted by the queue delay it induces, so under combined
+            # churn and load the plan sheds redundancy (E18).
+            budget_s = self._remaining_budget_s(record)
+            runtime_s = min(task.runtime_on(c.free_mips) for c in eligible)
+            plan = self.redundancy.plan(
+                survival,
+                budget_s=budget_s if budget_s is not None else float("inf"),
+                runtime_s=runtime_s,
+                load=self.backlog.signal(now, task.work_mi),
+            )
+        else:
+            plan = self.redundancy.plan(survival)
         stage.last_plan = plan
+        if plan.load_shed > 0:
+            self.stats.replicas_load_shed += plan.load_shed
+            self._metric("replicas_load_shed")
         if plan.replicas == 0:
             # No eligible worker right now: dispatch a single replica and
             # let the cloud's retry loop wait out the drought.
@@ -397,6 +443,12 @@ class DagScheduler:
             stage.span.attrs["predicted_success"] = round(
                 stage.last_plan.predicted_success, 6
             )
+            if stage.last_plan.predicted_deadline_hit is not None:
+                stage.span.attrs["predicted_deadline_hit"] = round(
+                    stage.last_plan.predicted_deadline_hit, 6
+                )
+            if stage.last_plan.load_shed:
+                stage.span.attrs["load_shed"] = stage.last_plan.load_shed
         # The positive-budget guard above means the cloud cannot fail a
         # replica synchronously inside submit (its failure paths are all
         # scheduled), so registering after submit is race-free.

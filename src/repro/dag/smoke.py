@@ -11,7 +11,11 @@ and asserts:
 * the :class:`~repro.chaos.invariants.DagConservation` and
   :class:`~repro.chaos.invariants.TaskConservation` invariants held at
   every periodic check (zero violations);
-* the graph and replica streams balance at the end of the run.
+* the graph and replica streams balance at the end of the run;
+* the capacity-aware planner path engaged: the scheduler runs with a
+  :class:`~repro.core.capacity.BacklogEstimator` (E18's adaptive
+  configuration), so stage plans must ledger ``predicted_deadline_hit``
+  — only candidate-drought fallbacks may use the static rule.
 """
 
 from __future__ import annotations
@@ -19,7 +23,13 @@ from __future__ import annotations
 import sys
 
 from ..chaos.invariants import DagConservation, InvariantSuite, TaskConservation
-from ..core import BackoffPolicy, CheckpointHandoverPolicy, ResourceOffer, VehicularCloud
+from ..core import (
+    BackoffPolicy,
+    BacklogEstimator,
+    CheckpointHandoverPolicy,
+    ResourceOffer,
+    VehicularCloud,
+)
 from ..faults import FaultInjector, FaultPlan
 from ..geometry import Vec2
 from ..mobility import StationaryModel
@@ -71,6 +81,7 @@ def main() -> int:
         reliability=ReliabilityEstimator(cloud),
         redundancy=RedundancyPlanner(target_success=0.99, max_replicas=3),
         checkpointing=True,
+        backlog=BacklogEstimator(cloud),
     )
 
     templates = [
@@ -108,7 +119,8 @@ def main() -> int:
         f"reexecuted={stats.stages_reexecuted} "
         f"checkpoints={stats.checkpoint_writes} "
         f"redundant={stats.redundant_dispatches} "
-        f"cancelled={stats.replicas_cancelled}"
+        f"cancelled={stats.replicas_cancelled} "
+        f"load_shed={stats.replicas_load_shed}"
     )
     print(f"invariant checks: {suite.checks_run}, violations: {len(suite.violations)}")
 
@@ -132,6 +144,21 @@ def main() -> int:
     if cloud.stats.worker_crashes == 0:
         failures += 1
         print("!! fault plan never fired (smoke exercised nothing)")
+    # Plans made during a candidate drought legitimately fall back to
+    # the static rule, so require the adaptive ledger on the rest.
+    ledgered = sum(
+        1
+        for record in scheduler.records
+        for run in record.stages.values()
+        if run.last_plan is not None
+        and run.last_plan.predicted_deadline_hit is not None
+    )
+    if ledgered == 0:
+        failures += 1
+        print(
+            "!! no stage plan ledgered a predicted_deadline_hit — the "
+            "capacity-aware planner path never engaged"
+        )
 
     if failures:
         print(f"DAG SMOKE FAILED ({failures} problem(s))")

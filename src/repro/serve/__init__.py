@@ -19,10 +19,20 @@ package adds the serving-path defences between open-loop clients and a
 * :mod:`.hedging` — deadline-aware hedged offload: a lagging primary
   gets a replica on a different worker, first result wins, the loser
   is cancelled through the typed failure ledger;
+* :mod:`.batching` — small-task coalescing: compatible small
+  same-tenant queued requests share one cloud dispatch (one worker
+  slot) while keeping per-member latency/SLO/failure accounting;
 * :mod:`.gateway` — the :class:`ServiceGateway` tying it together,
   with conservation-checked accounting
   (``offered == admitted + rejected``;
-  ``admitted == completed + failed + shed + queued + in-flight``).
+  ``admitted == completed + failed + shed + queued + in-flight``,
+  in-flight counted per batch member).
+
+A gateway can also share a :class:`~repro.core.capacity.BacklogEstimator`
+with a DAG scheduler on the same cloud (``backlog=``): the gateway
+registers its queued work so the capacity-aware redundancy planner sees
+serving load, breaking the replication-amplifies-queueing loop E17
+exposed.
 
 A gateway can also front DAG jobs: construct it with ``dag=`` (a
 :class:`~repro.dag.scheduler.DagScheduler` on the same cloud) and
@@ -46,6 +56,7 @@ from .admission import (
     SheddingPolicy,
     TenantFairShareAdmission,
 )
+from .batching import BatchingPolicy
 from .breaker import BreakerState, CircuitBreaker, CircuitBreakerBoard
 from .gateway import ServeStats, ServiceGateway
 from .hedging import HedgePolicy, LatencyQuantileTracker
@@ -65,6 +76,7 @@ __all__ = [
     "AdmissionPolicy",
     "AdmitAll",
     "ArrivalProcess",
+    "BatchingPolicy",
     "BoundedPriorityQueue",
     "BreakerState",
     "BurstyArrivals",

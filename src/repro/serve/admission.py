@@ -131,6 +131,10 @@ class TenantFairShareAdmission:
 
     def review(self, request: ServiceRequest, gateway: "ServiceGateway") -> Optional[str]:
         total_slots = gateway.total_slots()
+        if total_slots is None:
+            # Unbounded queue: there is no finite denominator to share,
+            # so fair-share backpressure cannot bind — admit.
+            return None
         allowance = max(int(self.share * total_slots), self.min_slots)
         if gateway.tenant_outstanding(request.tenant) >= allowance:
             return "tenant_backpressure"

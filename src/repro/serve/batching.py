@@ -1,0 +1,74 @@
+"""Small-task batching for the serving gateway.
+
+Tiny requests are where the serving path's fixed costs dominate: each
+one occupies a whole dispatch slot (the cloud reserves a full worker
+per task), so a burst of small same-tenant requests can exhaust the
+fleet's slots while leaving most of its compute idle — and under the
+E17/E18 churn+load regime those wasted slots are exactly the capacity
+the redundancy planner needs.  A :class:`BatchingPolicy` lets the
+gateway coalesce *compatible* small queued requests into one cloud
+dispatch: one slot, one allocation, the summed work — while every
+member keeps its own completion, latency, SLO and failure accounting,
+so the serving conservation law
+(``admitted == completed + failed + shed + queued + inflight``, with
+in-flight counted per member) still holds exactly.
+
+Compatibility is deliberately strict — same tenant, same priority,
+identical sensor requirements, each member small — because a batch
+fails or completes as a unit: mixing tenants would let one tenant's
+failure bleed into another's accounting, and mixing priorities would
+let a low-priority request ride a high-priority dispatch past the
+admission ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .request import ServiceRequest
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Decides which queued requests may share one cloud dispatch.
+
+    ``max_batch_size`` bounds members per dispatch;
+    ``max_member_work_mi`` is the "small task" threshold — anything
+    larger always dispatches alone; ``max_batch_work_mi`` caps the
+    summed work so a batch never becomes the slow outlier that holds
+    every member's latency hostage.
+    """
+
+    max_batch_size: int = 4
+    max_member_work_mi: float = 50.0
+    max_batch_work_mi: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 2:
+            raise ConfigurationError("max_batch_size must be >= 2")
+        if self.max_member_work_mi <= 0:
+            raise ConfigurationError("max_member_work_mi must be positive")
+        if self.max_batch_work_mi < self.max_member_work_mi:
+            raise ConfigurationError(
+                "max_batch_work_mi must be >= max_member_work_mi"
+            )
+
+    def eligible(self, request: ServiceRequest) -> bool:
+        """Whether a request is small enough to batch at all."""
+        return request.task.work_mi <= self.max_member_work_mi
+
+    def compatible(self, anchor: ServiceRequest, candidate: ServiceRequest) -> bool:
+        """Whether ``candidate`` may join a batch anchored by ``anchor``.
+
+        Same tenant (failure/accounting isolation), same priority
+        (no queue-order laundering), identical sensor requirements
+        (the combined task must be placeable wherever any member was),
+        and the candidate itself small.
+        """
+        return (
+            self.eligible(candidate)
+            and candidate.tenant == anchor.tenant
+            and candidate.priority == anchor.priority
+            and candidate.task.required_sensors == anchor.task.required_sensors
+        )

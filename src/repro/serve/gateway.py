@@ -33,6 +33,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..core.capacity import BacklogEstimator
 from ..core.scheduler import GatedAllocator, WorkerCandidate
 from ..core.tasks import Task, TaskRecord, TaskState
 from ..core.vcloud import VehicularCloud
@@ -43,6 +44,7 @@ from ..sim.engine import EventHandle, PeriodicTask
 from ..sim.metrics import percentile
 from ..sim.world import World
 from .admission import AdmissionPolicy, AdmitAll, SheddingPolicy
+from .batching import BatchingPolicy
 from .breaker import CircuitBreakerBoard
 from .hedging import HedgePolicy, LatencyQuantileTracker
 from .queueing import BoundedPriorityQueue
@@ -70,6 +72,9 @@ class ServeStats:
     hedges_launched: int = 0
     hedges_won: int = 0
     hedges_cancelled: int = 0
+    #: Coalesced dispatches (>= 2 members) and the requests they carried.
+    batches_dispatched: int = 0
+    batched_requests: int = 0
     #: DAG jobs offered through the gateway's attached DagScheduler;
     #: conservation over graphs lives in DagConservation, not here.
     graphs_offered: int = 0
@@ -106,15 +111,26 @@ class ServeStats:
 
 @dataclass
 class _Dispatch:
-    """One in-flight request: primary cloud task plus optional hedge."""
+    """One in-flight dispatch: primary cloud task plus optional hedge.
+
+    Usually carries exactly one request; a coalesced small-task batch
+    carries several (``members``), all completing or failing with the
+    one cloud task while keeping per-member latency/SLO accounting.
+    ``request`` is the anchor (first member) either way.
+    """
 
     request: ServiceRequest
     record: TaskRecord
     dispatched_at: float
+    members: List[ServiceRequest] = field(default_factory=list)
     hedge_check: Optional[EventHandle] = None
     hedge_record: Optional[TaskRecord] = None
     primary_failed: bool = False
     finalized: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            self.members = [self.request]
 
 
 class ServiceGateway:
@@ -135,9 +151,15 @@ class ServiceGateway:
         tick_interval_s: float = 0.25,
         propagate_deadline: bool = True,
         dag: Optional[DagScheduler] = None,
+        batching: Optional[BatchingPolicy] = None,
+        backlog: Optional[BacklogEstimator] = None,
     ) -> None:
         if tick_interval_s <= 0:
             raise ConfigurationError("tick_interval_s must be positive")
+        if backlog is not None and backlog.cloud is not cloud:
+            raise ConfigurationError(
+                "the backlog estimator must observe the gateway's cloud"
+            )
         self.world = world
         self.cloud = cloud
         self.name = name
@@ -150,6 +172,13 @@ class ServiceGateway:
         self.max_dispatch_concurrency = max_dispatch_concurrency
         self.tick_interval_s = tick_interval_s
         self.propagate_deadline = propagate_deadline
+        self.batching = batching
+        self.backlog = backlog
+        if backlog is not None:
+            # The admission queue is backlog only this gateway knows
+            # about; registering it lets the DAG redundancy planner see
+            # the load the serving path is creating (and vice versa).
+            backlog.add_backlog_source(lambda: self.queue.queued_work_mi)
         self.stats = ServeStats()
         self.latency_tracker = LatencyQuantileTracker()
         self._inflight: Dict[str, _Dispatch] = {}  # primary task_id -> dispatch
@@ -205,10 +234,18 @@ class ServiceGateway:
             return self.max_dispatch_concurrency
         return max(1, len(self.worker_ids()))
 
-    def total_slots(self) -> int:
-        """Queue capacity plus dispatch slots (fair-share denominator)."""
-        capacity = self.queue.capacity if self.queue.capacity is not None else 0
-        return capacity + self.dispatch_slots()
+    def total_slots(self) -> Optional[int]:
+        """Queue capacity plus dispatch slots (fair-share denominator).
+
+        ``None`` when the queue is unbounded: total capacity is then
+        effectively infinite, and the old behavior of counting the
+        queue as 0 slots understated capacity for every consumer
+        (fair-share admission would throttle tenants against a
+        denominator missing the entire queue).
+        """
+        if self.queue.capacity is None:
+            return None
+        return self.queue.capacity + self.dispatch_slots()
 
     def aggregate_capacity_mips(self) -> float:
         """Offered compute across eligible workers."""
@@ -373,30 +410,111 @@ class ServiceGateway:
                 if remaining <= 0:
                     self._account_shed(request, "deadline_lapsed")
                     continue
-            self._dispatch(request)
+            members = self._collect_batch(request)
+            self._dispatch(request, members=members)
 
-    def _dispatch(self, request: ServiceRequest) -> None:
-        task = request.task
-        deadline = request.deadline_s
-        if not self.propagate_deadline:
-            if deadline is not None:
-                task = dataclasses.replace(task, deadline_s=None)
-        elif deadline is not None:
-            # The cloud enforces deadlines from *its* submission time;
-            # hand it the remaining budget so queue wait still counts.
-            remaining = max(request.arrived_at + deadline - self.world.now, 1e-6)
-            task = dataclasses.replace(task, deadline_s=remaining)
+    def _collect_batch(self, anchor: ServiceRequest) -> List[ServiceRequest]:
+        """Pull compatible small queued requests into the anchor's dispatch.
+
+        Members come out of the queue in urgency order; requests whose
+        deadline already lapsed are skipped (the pump's shed path owns
+        them).  Returns the full member list, anchor first.
+        """
+        members = [anchor]
+        if self.batching is None or not self.batching.eligible(anchor):
+            return members
+        policy = self.batching
+        budget_mi = policy.max_batch_work_mi - anchor.task.work_mi
+        joiners: List[ServiceRequest] = []
+        for queued in self.queue.items():
+            if len(members) + len(joiners) >= policy.max_batch_size:
+                break
+            if not policy.compatible(anchor, queued):
+                continue
+            if queued.task.work_mi > budget_mi:
+                continue
+            deadline = queued.deadline_s
+            if deadline is not None and (
+                queued.arrived_at + deadline - self.world.now <= 0
+            ):
+                continue
+            joiners.append(queued)
+            budget_mi -= queued.task.work_mi
+        for joiner in joiners:
+            if self.queue.remove(joiner):
+                members.append(joiner)
+        return members
+
+    def _batch_task(self, members: List[ServiceRequest]) -> Task:
+        """Combine batch members into one cloud task.
+
+        Work and bytes sum; the deadline is the *tightest remaining*
+        member budget (a batch must finish before its most urgent
+        member lapses); sensors/submitter come from the anchor, which
+        compatibility made identical across members.
+        """
+        anchor = members[0]
+        remaining: Optional[float] = None
+        if self.propagate_deadline:
+            budgets = [
+                m.arrived_at + m.deadline_s - self.world.now
+                for m in members
+                if m.deadline_s is not None
+            ]
+            if budgets:
+                remaining = max(min(budgets), 1e-6)
+        return Task(
+            work_mi=sum(m.task.work_mi for m in members),
+            input_bytes=sum(m.task.input_bytes for m in members),
+            output_bytes=sum(m.task.output_bytes for m in members),
+            deadline_s=remaining,
+            required_sensors=anchor.task.required_sensors,
+            submitter=anchor.tenant,
+        )
+
+    def _dispatch(
+        self, request: ServiceRequest, members: Optional[List[ServiceRequest]] = None
+    ) -> None:
+        members = members if members else [request]
+        if len(members) > 1:
+            task = self._batch_task(members)
+            self.stats.batches_dispatched += 1
+            self.stats.batched_requests += len(members)
+            self.world.metrics.increment(f"serve/{self.name}/batches_dispatched")
+            events = self.world.events
+            if events is not None:
+                events.emit(
+                    "serve", "batch_dispatched", severity="info",
+                    gateway=self.name, tenant=request.tenant,
+                    members=len(members), work_mi=task.work_mi,
+                )
+        else:
+            task = request.task
+            deadline = request.deadline_s
+            if not self.propagate_deadline:
+                if deadline is not None:
+                    task = dataclasses.replace(task, deadline_s=None)
+            elif deadline is not None:
+                # The cloud enforces deadlines from *its* submission time;
+                # hand it the remaining budget so queue wait still counts.
+                remaining = max(request.arrived_at + deadline - self.world.now, 1e-6)
+                task = dataclasses.replace(task, deadline_s=remaining)
         record = self.cloud.submit(task)
         dispatch = _Dispatch(
-            request=request, record=record, dispatched_at=self.world.now
+            request=request, record=record, dispatched_at=self.world.now,
+            members=members,
         )
         self._inflight[task.task_id] = dispatch
-        self._tenant_inflight[request.tenant] = (
-            self._tenant_inflight.get(request.tenant, 0) + 1
-        )
+        for member in members:
+            self._tenant_inflight[member.tenant] = (
+                self._tenant_inflight.get(member.tenant, 0) + 1
+            )
         if self.breakers is not None and record.worker_id is not None:
             self.breakers.note_dispatch(record.worker_id)
-        if self.hedging is not None:
+        if self.hedging is not None and len(members) == 1:
+            # Batches are never hedged: a hedge doubles the batch's full
+            # work, exactly the load amplification batching exists to
+            # avoid, and per-member accounting would double-count.
             delay = self.hedging.trigger_delay_s(
                 self.latency_tracker, self.estimated_runtime_s(task.work_mi)
             )
@@ -524,23 +642,25 @@ class ServiceGateway:
         self, dispatch: _Dispatch, winner: TaskRecord, hedge_won: bool
     ) -> None:
         dispatch.finalized = True
-        request = dispatch.request
-        latency = self.world.now - request.arrived_at
-        self.stats.completed += 1
-        self.stats.latencies_s.append(latency)
-        self.stats.tenant_latencies_s.setdefault(request.tenant, []).append(latency)
-        self.latency_tracker.observe(latency)
-        self.world.metrics.increment(f"serve/{self.name}/completed")
-        self.world.metrics.observe(f"serve/{self.name}/latency_s", latency)
-        self.world.metrics.observe(
-            f"serve/{self.name}/latency_s/{request.tenant}", latency
-        )
-        deadline = request.deadline_s
-        if deadline is None or latency <= deadline:
-            self.stats.slo_hits += 1
-        else:
-            self.stats.slo_misses += 1
-            self.world.metrics.increment(f"serve/{self.name}/slo_miss")
+        # Every batch member completes with the shared cloud task, but
+        # latency and SLO are judged per member against its own arrival.
+        for member in dispatch.members:
+            latency = self.world.now - member.arrived_at
+            self.stats.completed += 1
+            self.stats.latencies_s.append(latency)
+            self.stats.tenant_latencies_s.setdefault(member.tenant, []).append(latency)
+            self.latency_tracker.observe(latency)
+            self.world.metrics.increment(f"serve/{self.name}/completed")
+            self.world.metrics.observe(f"serve/{self.name}/latency_s", latency)
+            self.world.metrics.observe(
+                f"serve/{self.name}/latency_s/{member.tenant}", latency
+            )
+            deadline = member.deadline_s
+            if deadline is None or latency <= deadline:
+                self.stats.slo_hits += 1
+            else:
+                self.stats.slo_misses += 1
+                self.world.metrics.increment(f"serve/{self.name}/slo_miss")
         if hedge_won:
             self.stats.hedges_won += 1
             self.world.metrics.increment(f"serve/{self.name}/hedges_won")
@@ -554,27 +674,30 @@ class ServiceGateway:
 
     def _finalize_failure(self, dispatch: _Dispatch, reason: str) -> None:
         dispatch.finalized = True
-        self.stats.failed += 1
-        self.world.metrics.increment(f"serve/{self.name}/failed/{reason}")
         events = self.world.events
-        if events is not None:
-            events.emit(
-                "serve", "request_failed", severity="warning",
-                gateway=self.name, request=dispatch.request.request_id,
-                tenant=dispatch.request.tenant, reason=reason,
-            )
+        # A batch fails as a unit, but every member gets its own typed
+        # failure so the conservation ledger never loses a request.
+        for member in dispatch.members:
+            self.stats.failed += 1
+            self.world.metrics.increment(f"serve/{self.name}/failed/{reason}")
+            if events is not None:
+                events.emit(
+                    "serve", "request_failed", severity="warning",
+                    gateway=self.name, request=member.request_id,
+                    tenant=member.tenant, reason=reason,
+                )
         self._cleanup(dispatch)
 
     def _cleanup(self, dispatch: _Dispatch) -> None:
         task_id = dispatch.record.task.task_id
         self._inflight.pop(task_id, None)
         self._anti_affinity.pop(task_id, None)
-        tenant = dispatch.request.tenant
-        left = self._tenant_inflight.get(tenant, 0) - 1
-        if left <= 0:
-            self._tenant_inflight.pop(tenant, None)
-        else:
-            self._tenant_inflight[tenant] = left
+        for member in dispatch.members:
+            left = self._tenant_inflight.get(member.tenant, 0) - 1
+            if left <= 0:
+                self._tenant_inflight.pop(member.tenant, None)
+            else:
+                self._tenant_inflight[member.tenant] = left
         if dispatch.hedge_check is not None:
             dispatch.hedge_check.cancel()
         if self.paced:
@@ -609,7 +732,9 @@ class ServiceGateway:
         At any sim instant ``offered == admitted + rejected`` and
         ``admitted == completed + failed + shed + queued + inflight``
         must hold; a mismatch means a request leaked out of the serving
-        path without a typed outcome.
+        path without a typed outcome.  ``inflight`` counts *requests*,
+        not dispatches — a coalesced batch holds one cloud task but
+        every member is still an admitted request awaiting its outcome.
         """
         return {
             "offered": self.stats.offered,
@@ -619,5 +744,5 @@ class ServiceGateway:
             "failed": self.stats.failed,
             "shed": self.stats.shed,
             "queued": len(self.queue),
-            "inflight": len(self._inflight),
+            "inflight": sum(len(d.members) for d in self._inflight.values()),
         }

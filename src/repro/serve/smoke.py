@@ -6,6 +6,10 @@ a pinned seed, and asserts the overload machinery actually engaged:
 
 * the load shedder fired (shed counter > 0) and every shed/rejected
   request carries a typed reason;
+* small-task batching engaged: the gateway runs with a
+  :class:`~repro.serve.batching.BatchingPolicy` and a small-request
+  tenant, so compatible queued smalls must coalesce
+  (``batches_dispatched > 0``) with per-member accounting intact;
 * the :class:`~repro.chaos.invariants.ServingConservation` invariant
   held at every periodic check (zero violations);
 * the request stream balances at the end of the run.
@@ -21,6 +25,7 @@ from ..geometry import Vec2
 from ..mobility import StationaryModel
 from ..sim import ScenarioConfig, World
 from . import (
+    BatchingPolicy,
     CircuitBreakerBoard,
     CompositeAdmission,
     DeadlineFeasibilityAdmission,
@@ -65,8 +70,13 @@ def main() -> int:
         shedders=[DeadlineLapseShedder(), QueueDelayShedder(max_delay_s=4.0)],
         breakers=CircuitBreakerBoard(world, "smoke"),
         hedging=HedgePolicy(),
+        batching=BatchingPolicy(
+            max_batch_size=4, max_member_work_mi=50.0, max_batch_work_mi=160.0
+        ),
     )
-    # ~2x capacity: 7 workers x 100 MIPS vs ~200 MI tasks = 3.5 tasks/s.
+    # ~2x capacity: 7 workers x 100 MIPS vs ~200 MI tasks = 3.5 tasks/s,
+    # plus a stream of batchable telemetry smalls that must coalesce
+    # whenever the overloaded queue holds several of them.
     tenants = [
         TenantSpec(
             name="bulk", arrivals=PoissonArrivals(4.9),
@@ -75,6 +85,10 @@ def main() -> int:
         TenantSpec(
             name="interactive", arrivals=PoissonArrivals(2.1),
             work_mi_range=(100.0, 200.0), deadline_s=6.0, priority=1,
+        ),
+        TenantSpec(
+            name="telemetry", arrivals=PoissonArrivals(10.0),
+            work_mi_range=(20.0, 40.0), deadline_s=6.0, priority=1,
         ),
     ]
     WorkloadGenerator(world, gateway, tenants, horizon_s=HORIZON_S).start()
@@ -92,11 +106,18 @@ def main() -> int:
         f"slo: hits={stats.slo_hits} misses={stats.slo_misses} "
         f"p99={stats.p99_latency_s():.2f}s"
     )
+    print(
+        f"batching: batches={stats.batches_dispatched} "
+        f"members={stats.batched_requests}"
+    )
     print(f"invariant checks: {suite.checks_run}, violations: {len(suite.violations)}")
 
     if stats.shed == 0:
         failures += 1
         print("!! load shedder never fired under 2x overload")
+    if stats.batches_dispatched == 0:
+        failures += 1
+        print("!! small-task batching never coalesced a dispatch under overload")
     if sum(stats.shed_reasons.values()) != stats.shed:
         failures += 1
         print("!! shed counter disagrees with typed shed reasons")

@@ -1,0 +1,333 @@
+"""Tests for capacity-aware redundancy: the shared backlog estimator,
+the deadline-hit planner objective, and the ordering/capacity fixes
+that ride along (chosen indices, total_slots sentinel, head-fallback).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    BacklogEstimator,
+    CheckpointHandoverPolicy,
+    LoadSignal,
+    ResourceOffer,
+    Task,
+    VehicularCloud,
+)
+from repro.dag import (
+    DagScheduler,
+    GraphState,
+    RedundancyPlanner,
+    ReliabilityEstimator,
+    StageSpec,
+    TaskGraph,
+    success_probability,
+)
+from repro.errors import ConfigurationError
+from repro.geometry import Vec2
+from repro.mobility import StationaryModel
+from repro.serve import ServiceGateway, ServiceRequest, TenantFairShareAdmission
+from repro.sim import ScenarioConfig, World
+
+
+def build_cloud(world, members=5, mips=100.0):
+    model = StationaryModel(
+        world, positions=[Vec2(i * 40.0, 0.0) for i in range(members)]
+    )
+    vehicles = model.populate(members)
+    cloud = VehicularCloud(
+        world, "cap-vc", handover_policy=CheckpointHandoverPolicy()
+    )
+    for vehicle in vehicles:
+        cloud.admit(
+            vehicle, offer=ResourceOffer(vehicle.vehicle_id, mips, 10**9, 1e6)
+        )
+    return vehicles, cloud
+
+
+class TestSuccessProbabilityEdges:
+    def test_k_zero_is_certain(self):
+        assert success_probability([], 0) == 1.0
+        assert success_probability([0.1, 0.2], 0) == 1.0
+
+    def test_k_beyond_n_is_impossible(self):
+        assert success_probability([], 1) == 0.0
+        assert success_probability([0.9, 0.9], 3) == 0.0
+
+    def test_degenerate_probabilities_are_exact(self):
+        assert success_probability([1.0, 0.0], 1) == 1.0
+        assert success_probability([0.0, 0.0], 1) == 0.0
+        assert success_probability([1.0, 1.0], 2) == 1.0
+        assert success_probability([1.0, 0.0], 2) == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            success_probability([float("nan")], 1)
+
+    def test_out_of_range_rejected_even_after_valid_prefix(self):
+        # Validation is a pre-pass: the invalid tail entry raises before
+        # any DP state is built from the valid prefix.
+        for bad in (-0.1, 1.5, float("inf")):
+            with pytest.raises(ConfigurationError):
+                success_probability([0.5, 0.5, bad], 1)
+
+
+class TestChosenIndices:
+    def test_indices_map_back_to_caller_order(self):
+        planner = RedundancyPlanner(target_success=0.999, max_replicas=3)
+        plan = planner.plan([0.5, 0.9, 0.5])
+        assert plan.chosen_indices == (1, 0, 2)
+        assert plan.survival_ps == (0.9, 0.5, 0.5)
+
+    def test_ties_preserve_caller_order(self):
+        # The regression: a plain descending sort of equal probabilities
+        # gives no way to tell which candidate each slot describes; the
+        # stable index sort pins slot i to candidate chosen_indices[i].
+        planner = RedundancyPlanner(target_success=0.95, max_replicas=4)
+        plan = planner.plan([0.7, 0.7, 0.7, 0.7])
+        assert plan.replicas == 3
+        assert plan.chosen_indices == (0, 1, 2)
+
+    def test_indices_align_with_survival_ps(self):
+        survival = [0.3, 0.8, 0.55, 0.8]
+        plan = RedundancyPlanner(target_success=0.999, max_replicas=4).plan(survival)
+        assert len(plan.chosen_indices) == plan.replicas == len(plan.survival_ps)
+        for slot, index in enumerate(plan.chosen_indices):
+            assert plan.survival_ps[slot] == pytest.approx(survival[index])
+
+
+class TestCapBoundary:
+    def test_capped_plan_returned_when_target_unreachable(self):
+        plan = RedundancyPlanner(target_success=0.999, max_replicas=2).plan(
+            [0.5, 0.5, 0.5]
+        )
+        assert plan.replicas == 2
+        assert plan.predicted_success < 0.999
+
+    def test_capped_under_load_when_unloaded(self):
+        # Zero load: the hit objective degenerates to survival, so the
+        # unreachable-target path still returns the capped best effort.
+        plan = RedundancyPlanner(target_success=0.999, max_replicas=2).plan(
+            [0.5, 0.5, 0.5],
+            budget_s=100.0, runtime_s=1.0, load=LoadSignal(),
+        )
+        assert plan.replicas == 2
+        assert plan.predicted_deadline_hit == pytest.approx(plan.predicted_success)
+        assert plan.load_shed == 0
+
+    def test_cap_smaller_than_candidates_with_load(self):
+        plan = RedundancyPlanner(target_success=0.95, max_replicas=3).plan(
+            [0.7] * 6, budget_s=100.0, runtime_s=1.0, load=LoadSignal()
+        )
+        assert plan.replicas == 3
+
+
+class TestLoadAwarePlanner:
+    def test_matches_static_at_zero_load(self):
+        survival = [0.7, 0.7, 0.7, 0.7]
+        planner = RedundancyPlanner(target_success=0.95, max_replicas=4)
+        static = planner.plan(survival)
+        adaptive = planner.plan(
+            survival, budget_s=100.0, runtime_s=1.0, load=LoadSignal()
+        )
+        assert adaptive.replicas == static.replicas == 3
+        assert adaptive.load_shed == 0
+
+    def test_sheds_under_heavy_load(self):
+        survival = [0.7, 0.7, 0.7, 0.7]
+        planner = RedundancyPlanner(target_success=0.95, max_replicas=4)
+        # slack = 10 - 5 - 2 = 3s; each extra replica induces 2s, so one
+        # extra already costs 2/3 of the on-time factor: hit(1) = 0.7
+        # beats hit(2) = 0.91 * (1/3) and the planner sheds to 1.
+        plan = planner.plan(
+            survival,
+            budget_s=10.0,
+            runtime_s=5.0,
+            load=LoadSignal(queue_delay_s=2.0, marginal_delay_s=2.0, utilization=0.5),
+        )
+        assert plan.replicas == 1
+        assert plan.load_shed == 2
+        assert plan.predicted_deadline_hit == pytest.approx(0.7)
+
+    def test_no_slack_collapses_to_k(self):
+        plan = RedundancyPlanner(target_success=0.95, max_replicas=4).plan(
+            [0.7, 0.7, 0.7],
+            budget_s=5.0,
+            runtime_s=5.0,
+            load=LoadSignal(queue_delay_s=1.0, marginal_delay_s=1.0),
+        )
+        assert plan.replicas == 1
+        assert plan.predicted_deadline_hit == 0.0
+
+    def test_legacy_call_keeps_static_semantics(self):
+        plan = RedundancyPlanner(target_success=0.95, max_replicas=4).plan(
+            [0.7, 0.7, 0.7, 0.7]
+        )
+        assert plan.replicas == 3
+        assert plan.predicted_deadline_hit is None
+        assert plan.load_shed == 0
+
+
+class TestBacklogEstimator:
+    def test_backlog_sources_sum(self, world):
+        _v, cloud = build_cloud(world, members=4)
+        estimator = BacklogEstimator(cloud)
+        assert estimator.queued_work_mi() == 0.0
+        estimator.add_backlog_source(lambda: 120.0)
+        estimator.add_backlog_source(lambda: 30.0)
+        assert estimator.queued_work_mi() == pytest.approx(150.0)
+
+    def test_worker_ids_exclude_head(self, world):
+        _v, cloud = build_cloud(world, members=4)
+        estimator = BacklogEstimator(cloud)
+        workers = estimator.worker_ids()
+        assert cloud.head_id not in workers
+        assert len(workers) == 3
+
+    def test_delay_arithmetic(self, world):
+        _v, cloud = build_cloud(world, members=4, mips=100.0)
+        estimator = BacklogEstimator(cloud)
+        estimator.add_backlog_source(lambda: 150.0)
+        # 3 eligible workers x 100 MIPS; 150 MI queued -> 0.5s standing.
+        assert estimator.aggregate_capacity_mips() == pytest.approx(300.0)
+        assert estimator.queue_delay_s(0.0) == pytest.approx(0.5)
+        assert estimator.marginal_delay_s(600.0) == pytest.approx(2.0)
+
+    def test_zero_capacity_is_infinite_delay(self, world):
+        model = StationaryModel(world, positions=[Vec2(0.0, 0.0)])
+        vehicles = model.populate(1)
+        cloud = VehicularCloud(world, "solo-vc")
+        cloud.admit(
+            vehicles[0], offer=ResourceOffer(vehicles[0].vehicle_id, 0.0, 10**9, 1e6)
+        )
+        estimator = BacklogEstimator(cloud)
+        estimator.add_backlog_source(lambda: 10.0)
+        assert math.isinf(estimator.queue_delay_s(0.0))
+        assert math.isinf(estimator.marginal_delay_s(10.0))
+        assert estimator.marginal_delay_s(0.0) == 0.0
+
+    def test_inflight_work_raises_utilization_and_delay(self, world):
+        _v, cloud = build_cloud(world, members=4, mips=100.0)
+        estimator = BacklogEstimator(cloud)
+        assert estimator.utilization() == 0.0
+        cloud.submit(Task(work_mi=400.0, input_bytes=10, output_bytes=10))
+        world.run_until(1.0)  # past the input transfer; execution live
+        assert estimator.utilization() == pytest.approx(1.0 / 3.0)
+        assert estimator.inflight_delay_s(world.now) > 0.0
+        signal = estimator.signal(world.now, work_mi=100.0)
+        assert signal.loaded
+        assert signal.workers == 3
+
+    def test_empty_fleet_reports_saturated(self, world):
+        cloud = VehicularCloud(world, "empty-vc")
+        estimator = BacklogEstimator(cloud)
+        assert estimator.utilization() == 1.0
+        assert estimator.worker_ids() == []
+
+
+class TestTotalSlotsSentinel:
+    def test_bounded_queue_counts_capacity(self, world):
+        _v, cloud = build_cloud(world, members=4)
+        gateway = ServiceGateway(world, cloud, queue_capacity=16)
+        assert gateway.total_slots() == 16 + gateway.dispatch_slots()
+
+    def test_unbounded_queue_returns_none(self, world):
+        _v, cloud = build_cloud(world, members=4)
+        gateway = ServiceGateway(world, cloud, queue_capacity=None)
+        assert gateway.total_slots() is None
+
+    def test_fair_share_admits_on_unbounded_queue(self, world):
+        _v, cloud = build_cloud(world, members=4)
+        gateway = ServiceGateway(
+            world, cloud, queue_capacity=None,
+            admission=TenantFairShareAdmission(share=0.5, min_slots=1),
+        )
+        # Before the fix an unbounded queue counted as 0 slots, so the
+        # fair-share allowance collapsed to min_slots and throttled a
+        # tenant against a denominator missing the entire queue.
+        for _ in range(8):
+            assert gateway.submit(
+                ServiceRequest.build(work_mi=50.0, tenant="hot", deadline_s=60.0)
+            )
+        assert gateway.stats.rejected == 0
+
+
+class TestSchedulerLoadAdaptivity:
+    def _run(self, with_backlog, background_work_mi=0.0):
+        world = World(ScenarioConfig(seed=4321))
+        _v, cloud = build_cloud(world, members=5, mips=100.0)
+        cloud.enable_replicated_storage(capacity_bytes=10**8)
+        backlog = BacklogEstimator(cloud) if with_backlog else None
+        if backlog is not None and background_work_mi:
+            backlog.add_backlog_source(lambda: background_work_mi)
+        scheduler = DagScheduler(
+            world, cloud,
+            # A target this tight makes the survival-only rule want the
+            # full replica cap, so load shedding has room to show up.
+            reliability=ReliabilityEstimator(cloud),
+            redundancy=RedundancyPlanner(target_success=0.99999, max_replicas=3),
+            checkpointing=True,
+            backlog=backlog,
+        )
+        graph = TaskGraph(
+            stages=(StageSpec(name="only", work_mi=200.0),), deadline_s=30.0
+        )
+        record = scheduler.submit(graph)
+        world.run_until(60.0)
+        return scheduler, record
+
+    def test_adaptive_plan_is_ledgered(self):
+        scheduler, record = self._run(with_backlog=True)
+        assert record.state is GraphState.COMPLETED
+        plan = record.stages["only"].last_plan
+        assert plan is not None
+        assert plan.predicted_deadline_hit is not None
+
+    def test_static_plan_has_no_hit_prediction(self):
+        scheduler, record = self._run(with_backlog=False)
+        assert record.state is GraphState.COMPLETED
+        plan = record.stages["only"].last_plan
+        assert plan is not None
+        assert plan.predicted_deadline_hit is None
+
+    def test_standing_backlog_sheds_replicas(self):
+        unloaded, _ = self._run(with_backlog=True, background_work_mi=0.0)
+        loaded, record = self._run(with_backlog=True, background_work_mi=50_000.0)
+        assert record.state is GraphState.COMPLETED
+        assert unloaded.stats.replicas_load_shed == 0
+        assert loaded.stats.replicas_load_shed > 0
+        assert (
+            loaded.stats.replicas_submitted < unloaded.stats.replicas_submitted
+            or loaded.stats.replicas_submitted == 1
+        )
+
+
+class TestHeadFallback:
+    def test_single_candidate_head_still_gets_the_stage(self, world):
+        # Pinning the documented fallback in DagScheduler._replica_plan
+        # and VehicularCloud allocation: with exactly one member, that
+        # member IS the head, and it must still run the stage rather
+        # than stalling the graph.
+        model = StationaryModel(world, positions=[Vec2(0.0, 0.0)])
+        vehicles = model.populate(1)
+        cloud = VehicularCloud(world, "head-vc")
+        cloud.admit(
+            vehicles[0],
+            offer=ResourceOffer(vehicles[0].vehicle_id, 100.0, 10**9, 1e6),
+        )
+        assert cloud.head_id == vehicles[0].vehicle_id
+        scheduler = DagScheduler(
+            world, cloud,
+            reliability=ReliabilityEstimator(cloud),
+            redundancy=RedundancyPlanner(target_success=0.95, max_replicas=3),
+        )
+        record = scheduler.submit(
+            TaskGraph(stages=(StageSpec(name="solo", work_mi=100.0),))
+        )
+        world.run_until(30.0)
+        assert record.state is GraphState.COMPLETED
+        plan = record.stages["solo"].last_plan
+        assert plan is not None and plan.replicas == 1
