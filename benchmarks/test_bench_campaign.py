@@ -1,0 +1,168 @@
+"""Experiment E19 — campaign orchestration: parallel determinism + gating.
+
+The campaign layer is the measurement instrument every other experiment
+now reports through, so E19 validates the instrument itself:
+
+* **E19a** — the CI smoke campaign (12 runs: 2 architectures x 2 fault
+  profiles x 3 seeds under a capacity-normalized serving workload)
+  executed on 1 worker and on 4 ``spawn`` workers.  Every deterministic
+  artifact in every run bundle — obs ``report.json``, trace/event
+  JSONL, invariant verdicts, metric vector — must be **byte-identical**
+  across worker counts, and the campaign-level ``report.json`` must
+  match too once the wall-clock ``timing`` section is stripped.
+* **E19b** — regression gating: compared against the blessed baseline
+  in ``campaigns/baselines/smoke.json`` the clean run passes; against a
+  perturbed copy (goodput inflated 1.5x in one cell) the same run is
+  flagged as a regression and the report exits red.
+
+Expected shape: zero byte mismatches, zero invariant violations, one
+regression finding against the perturbed baseline naming exactly the
+perturbed cell and metric.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import render_table
+from repro.campaign import (
+    DETERMINISTIC_ARTIFACTS,
+    CampaignOrchestrator,
+    CampaignSpec,
+    Reporter,
+    load_baseline_file,
+    strip_volatile,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SPEC_PATH = REPO_ROOT / "campaigns" / "smoke.json"
+BASELINE_PATH = REPO_ROOT / "campaigns" / "baselines" / "smoke.json"
+
+
+@pytest.fixture(scope="module")
+def smoke_spec():
+    return CampaignSpec.load(str(SPEC_PATH))
+
+
+@pytest.fixture(scope="module")
+def campaign_pair(smoke_spec, tmp_path_factory):
+    """The smoke campaign executed serially and on 4 spawn workers."""
+    serial_dir = str(tmp_path_factory.mktemp("serial"))
+    parallel_dir = str(tmp_path_factory.mktemp("parallel"))
+    serial = CampaignOrchestrator(smoke_spec, serial_dir, workers=1).execute()
+    parallel = CampaignOrchestrator(smoke_spec, parallel_dir, workers=4).execute()
+    return serial, parallel
+
+
+def test_bench_e19_matrix_shape(smoke_spec, campaign_pair, benchmark):
+    """The acceptance matrix: >= 12 runs over >= 2 archs x >= 2 profiles."""
+    serial, _parallel = campaign_pair
+    assert len(serial.outcomes) >= 12
+    assert len({o.cell.split(",")[0] for o in serial.outcomes}) >= 2
+    assert len({o.cell.split(",")[2] for o in serial.outcomes}) >= 2
+    assert not serial.violations
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_e19_parallel_artifacts_byte_identical(
+    campaign_pair, record_table, record_run_json, benchmark
+):
+    serial, parallel = campaign_pair
+    assert [o.key for o in serial.outcomes] == [o.key for o in parallel.outcomes]
+    rows = []
+    mismatches = 0
+    for ours, theirs in zip(serial.outcomes, parallel.outcomes):
+        assert ours.digest == theirs.digest
+        assert ours.vector == theirs.vector
+        identical = all(
+            filecmp.cmp(
+                str(pathlib.Path(ours.artifact_dir) / name),
+                str(pathlib.Path(theirs.artifact_dir) / name),
+                shallow=False,
+            )
+            for name in DETERMINISTIC_ARTIFACTS
+        )
+        mismatches += 0 if identical else 1
+        rows.append(
+            [
+                ours.key,
+                ours.vector["faults/injected"],
+                ours.vector["invariants/violations"],
+                f"{ours.vector['serve/deadline_hit_rate']:.3f}",
+                "identical" if identical else "MISMATCH",
+            ]
+        )
+        record_run_json(
+            "E19_campaign",
+            ours.key,
+            ours.vector,
+            seed=ours.spec["seed"],
+            config={"cell": ours.cell, "workers": "1 vs 4"},
+        )
+    table = render_table(
+        ["run", "faults", "violations", "deadline hits", "1 vs 4 workers"],
+        rows,
+        title="E19a — smoke campaign artifact bundles, serial vs 4 spawn workers",
+    )
+    record_table("E19_campaign", table)
+    assert mismatches == 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_e19_report_identical_modulo_wall_clock(
+    smoke_spec, campaign_pair, benchmark
+):
+    serial, parallel = campaign_pair
+    baseline = load_baseline_file(str(BASELINE_PATH))
+    reporter = Reporter.for_spec(smoke_spec)
+    reports = [
+        strip_volatile(reporter.compare(run, baseline).to_dict())
+        for run in campaign_pair
+    ]
+    assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+        reports[1], sort_keys=True
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_e19_clean_run_passes_blessed_baseline(
+    smoke_spec, campaign_pair, benchmark
+):
+    serial, _parallel = campaign_pair
+    baseline = load_baseline_file(str(BASELINE_PATH))
+    report = Reporter.for_spec(smoke_spec).compare(serial, baseline)
+    assert report.ok, [f.describe() for f in report.regressions]
+    assert not report.regressions
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_e19_perturbed_baseline_flags_regression(
+    smoke_spec, campaign_pair, record_table, benchmark
+):
+    serial, _parallel = campaign_pair
+    perturbed = load_baseline_file(str(BASELINE_PATH))
+    cell = "arch=dynamic,wl=serving,fault=light,mob=highway"
+    perturbed["cells"][cell]["serve/goodput_per_s"] *= 1.5
+    report = Reporter.for_spec(smoke_spec).compare(serial, perturbed)
+    assert not report.ok
+    flagged = [(f.cell, f.metric) for f in report.regressions]
+    assert flagged == [(cell, "serve/goodput_per_s")]
+    table = render_table(
+        ["verdict", "cell", "metric", "relative drift"],
+        [
+            [
+                finding.status,
+                finding.cell,
+                finding.metric,
+                f"{finding.relative:+.1%}" if finding.relative is not None else "n/a",
+            ]
+            for finding in report.regressions
+        ],
+        title="E19b — injected 1.5x goodput perturbation is flagged; clean rerun passes",
+    )
+    record_table("E19_campaign", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

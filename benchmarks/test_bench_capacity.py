@@ -255,11 +255,26 @@ def capacity_sweep():
     return sweep
 
 
-def test_bench_capacity_sweep_table(capacity_sweep, record_table, benchmark):
+def test_bench_capacity_sweep_table(
+    capacity_sweep, record_table, record_run_json, benchmark
+):
     rows = []
     for (intensity, load), configs in capacity_sweep.items():
         for config in CONFIGS:
             row = configs[config]
+            record_run_json(
+                "E18_capacity_redundancy",
+                f"sweep/{intensity:.0%}/{load:.2f}x/{config}",
+                {
+                    "deadline_hit_rate": row["deadline_hit_rate"],
+                    "completion_rate": row["completion_rate"],
+                    "replicas_submitted": row["replicas_submitted"],
+                    "replicas_load_shed": row["replicas_load_shed"],
+                    "serve_completed": row["serve_completed"],
+                    "serve_refused": row["serve_shed"] + row["serve_rejected"],
+                },
+                config={"intensity": intensity, "load": load, "planner": config},
+            )
             rows.append(
                 [
                     f"{intensity:.0%}",
@@ -429,10 +444,24 @@ def batching_pair():
     }
 
 
-def test_bench_batching_table(batching_pair, record_table, benchmark):
+def test_bench_batching_table(batching_pair, record_table, record_run_json, benchmark):
     rows = []
     for name in ("batched", "plain"):
         row = batching_pair[name]
+        record_run_json(
+            "E18_capacity_redundancy",
+            f"batching/{name}",
+            {
+                "offered": row["offered"],
+                "completed": row["completed"],
+                "slo_hits": row["slo_hits"],
+                "refused": row["shed"] + row["rejected"],
+                "cloud_dispatches": row["cloud_dispatches"],
+                "batches_dispatched": row["batches_dispatched"],
+                "p99_latency_s": row["p99_latency_s"],
+            },
+            config={"batching": name == "batched"},
+        )
         rows.append(
             [
                 name,

@@ -64,12 +64,27 @@ def hardened_campaigns():
     return campaigns
 
 
-def test_bench_hardened_campaign_table(hardened_campaigns, record_table, benchmark):
+def test_bench_hardened_campaign_table(
+    hardened_campaigns, record_table, record_run_json, benchmark
+):
     rows = []
     for label, campaign in hardened_campaigns.items():
         checks = sum(r.checks_run for r in campaign.results)
         completed = sum(r.completed for r in campaign.results)
         submitted = sum(r.submitted for r in campaign.results)
+        record_run_json(
+            "E15_chaos",
+            f"hardened/{label}",
+            {
+                "runs": campaign.runs,
+                "clean_runs": campaign.clean_runs,
+                "faults_injected": campaign.total_injected,
+                "invariant_checks": checks,
+                "violations": campaign.total_violations,
+                "task_completion": completed / max(1, submitted),
+            },
+            config={"architecture": label, "run_length_s": RUN_LENGTH_S},
+        )
         rows.append(
             [
                 label,

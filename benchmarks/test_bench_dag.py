@@ -220,11 +220,25 @@ def dag_sweep():
     return sweep
 
 
-def test_bench_dag_sweep_table(dag_sweep, record_table, benchmark):
+def test_bench_dag_sweep_table(dag_sweep, record_table, record_run_json, benchmark):
     rows = []
     for intensity in INTENSITIES:
         for config in CONFIGS:
             row = dag_sweep[intensity][config]
+            record_run_json(
+                "E17_dag_dependability",
+                f"sweep/{intensity:.0%}/{config}",
+                {
+                    "deadline_hit_rate": row["deadline_hit_rate"],
+                    "completion_rate": row["completion_rate"],
+                    "mean_latency_s": row["mean_latency_s"],
+                    "stages_reexecuted": row["stages_reexecuted"],
+                    "redundant_dispatches": row["redundant_dispatches"],
+                    "replicas_cancelled": row["replicas_cancelled"],
+                    "violations": row["violations"],
+                },
+                config={"intensity": intensity, "config": config},
+            )
             rows.append(
                 [
                     f"{intensity:.0%}",
@@ -377,7 +391,21 @@ def mobile_result():
     return _run_mobile_dag(1702)
 
 
-def test_bench_mobile_dag_table(mobile_result, record_table, benchmark):
+def test_bench_mobile_dag_table(mobile_result, record_table, record_run_json, benchmark):
+    record_run_json(
+        "E17_dag_dependability",
+        "mobile/dynamic",
+        {
+            "deadline_hit_rate": mobile_result["deadline_hit_rate"],
+            "completion_rate": mobile_result["completion_rate"],
+            "stages_reexecuted": mobile_result["stages_reexecuted"],
+            "redundant_dispatches": mobile_result["redundant_dispatches"],
+            "membership_leaves": mobile_result["membership_leaves"],
+            "violations": mobile_result["violations"],
+        },
+        seed=1702,
+        config={"architecture": "dynamic", "churn": "natural mobility"},
+    )
     table = render_table(
         [
             "architecture",

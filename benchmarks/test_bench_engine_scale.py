@@ -152,7 +152,9 @@ def e13_sweep():
     return sweep
 
 
-def test_bench_e13_seeded_metrics_identical(e13_sweep, record_table, benchmark):
+def test_bench_e13_seeded_metrics_identical(
+    e13_sweep, record_table, record_run_json, benchmark
+):
     """Indexed and brute-force runs must be byte-identical, not merely close."""
     rows = []
     for vehicle_count in E13_FLEETS:
@@ -164,6 +166,20 @@ def test_bench_e13_seeded_metrics_identical(e13_sweep, record_table, benchmark):
         assert indexed["clusters"] == brute["clusters"]
         assert indexed["topology"] == brute["topology"]
         latency = indexed["latency"]
+        record_run_json(
+            "E13_spatial_index",
+            f"fleet/{vehicle_count}",
+            {
+                "delivered": indexed["delivered"],
+                "lost": indexed["lost"],
+                "latency_samples": len(latency),
+                "mean_latency_s": sum(latency) / len(latency) if latency else 0.0,
+                "clusters_formed": sum(len(s) for s in indexed["clusters"]),
+                "radio_edges": indexed["topology"].edges,
+            },
+            seed=E13_SEED,
+            config={"vehicles": vehicle_count},
+        )
         rows.append(
             [
                 vehicle_count,

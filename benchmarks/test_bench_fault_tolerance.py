@@ -125,11 +125,18 @@ def fault_sweep():
     return sweep
 
 
-def test_bench_fault_sweep_table(fault_sweep, record_table, benchmark):
+def test_bench_fault_sweep_table(fault_sweep, record_table, record_run_json, benchmark):
     rows = []
     for intensity in INTENSITIES:
         for config in ("recovery", "no-recovery"):
             row = fault_sweep[intensity][config]
+            record_run_json(
+                "E11_fault_tolerance",
+                f"sweep/{intensity:.0%}/{config}",
+                row,
+                seed=1101,
+                config={"intensity": intensity, "recovery": config == "recovery"},
+            )
             rows.append(
                 [
                     f"{intensity:.0%}",
@@ -232,11 +239,20 @@ def availability_sweep():
     return sweep
 
 
-def test_bench_availability_table(availability_sweep, record_table, benchmark):
+def test_bench_availability_table(
+    availability_sweep, record_table, record_run_json, benchmark
+):
     rows = []
     for intensity in INTENSITIES:
         for config in ("repair", "no-repair"):
             row = availability_sweep[intensity][config]
+            record_run_json(
+                "E11_fault_tolerance",
+                f"availability/{intensity:.0%}/{config}",
+                row,
+                seed=1102,
+                config={"intensity": intensity, "repair": config == "repair"},
+            )
             rows.append(
                 [
                     f"{intensity:.0%}",
@@ -357,10 +373,18 @@ def arch_results():
     }
 
 
-def test_bench_architecture_faults_table(arch_results, record_table, benchmark):
+def test_bench_architecture_faults_table(
+    arch_results, record_table, record_run_json, benchmark
+):
     rows = []
     for label in ("stationary", "infrastructure", "dynamic"):
         regime, row = arch_results[label]
+        record_run_json(
+            "E11_fault_tolerance",
+            f"arch/{label}",
+            row,
+            config={"architecture": label, "regime": regime},
+        )
         rows.append(
             [
                 label,

@@ -104,7 +104,9 @@ def e14_sweep():
     return sweep
 
 
-def test_bench_e14_seeded_metrics_identical(e14_sweep, record_table, benchmark):
+def test_bench_e14_seeded_metrics_identical(
+    e14_sweep, record_table, record_run_json, benchmark
+):
     """Every observability mode must leave the sim metrics byte-identical."""
     baseline = e14_sweep["off"]["snapshot"]
     assert baseline["counter/channel/frames_sent"] > 0
@@ -113,6 +115,13 @@ def test_bench_e14_seeded_metrics_identical(e14_sweep, record_table, benchmark):
     for mode in E14_MODES:
         run = e14_sweep[mode]
         assert run["snapshot"] == baseline, f"mode {mode} perturbed the sim"
+        record_run_json(
+            "E14_obs_overhead",
+            f"mode/{mode}",
+            run["stats"],
+            seed=E14_SEED,
+            config={"mode": mode, "vehicles": E14_VEHICLES},
+        )
         rows.append(
             [
                 mode,

@@ -188,10 +188,27 @@ def stationary_sweep():
     }
 
 
-def test_bench_stationary_sweep_table(stationary_sweep, record_table, benchmark):
+def test_bench_stationary_sweep_table(
+    stationary_sweep, record_table, record_run_json, benchmark
+):
     rows = []
     for mode, runs in stationary_sweep.items():
         for load, run in zip(LOADS, runs):
+            record_run_json(
+                "E16_overload",
+                f"stationary/{mode}/{load:.1f}x",
+                {
+                    "offered": run["offered"],
+                    "goodput": run["goodput"],
+                    "p99_s": run["p99_s"],
+                    "slo_miss_rate": run["slo_miss_rate"],
+                    "rejected": run["rejected"],
+                    "shed": run["shed"],
+                    "hedges": run["hedges"],
+                },
+                seed=SEED,
+                config={"mode": mode, "load": load},
+            )
             rows.append(
                 [
                     mode,
@@ -280,11 +297,24 @@ def mobile_duel():
     }
 
 
-def test_bench_mobile_duel_table(mobile_duel, record_table, benchmark):
+def test_bench_mobile_duel_table(mobile_duel, record_table, record_run_json, benchmark):
     rows = []
     for label, duel in mobile_duel.items():
         for mode in ("protected", "unprotected"):
             run = duel[mode]
+            record_run_json(
+                "E16_overload",
+                f"mobile/{label}/{mode}",
+                {
+                    "offered": run["offered"],
+                    "goodput": run["goodput"],
+                    "p99_s": run["p99_s"],
+                    "slo_miss_rate": run["slo_miss_rate"],
+                    "rejected_plus_shed": run["rejected"] + run["shed"],
+                },
+                seed=SEED,
+                config={"architecture": label, "mode": mode, "load": 2.0},
+            )
             rows.append(
                 [
                     label,

@@ -160,10 +160,17 @@ def quorum_sweep():
     return {name: _run_consistency(quorum) for name, quorum in QUORUMS}
 
 
-def test_bench_quorum_sweep_table(quorum_sweep, record_table, benchmark):
+def test_bench_quorum_sweep_table(quorum_sweep, record_table, record_run_json, benchmark):
     rows = []
     for name, quorum in QUORUMS:
         row = quorum_sweep[name]
+        record_run_json(
+            "E12_storage_consistency",
+            f"quorum/{name}",
+            {k: v for k, v in row.items() if k != "report"},
+            seed=RUN_SEED,
+            config={"write_quorum": quorum.write_quorum, "read_quorum": quorum.read_quorum},
+        )
         rows.append(
             [
                 name,
@@ -256,10 +263,19 @@ def anti_entropy_sweep():
     }
 
 
-def test_bench_anti_entropy_table(anti_entropy_sweep, record_table, benchmark):
+def test_bench_anti_entropy_table(
+    anti_entropy_sweep, record_table, record_run_json, benchmark
+):
     rows = []
     for period in AE_PERIODS:
         row = anti_entropy_sweep[period]
+        record_run_json(
+            "E12_storage_consistency",
+            f"anti_entropy/{'off' if period is None else f'{period:.0f}s'}",
+            {k: v for k, v in row.items() if k != "report"},
+            seed=RUN_SEED,
+            config={"anti_entropy_period_s": period},
+        )
         rows.append(
             [
                 "off" if period is None else f"{period:.0f}s",
@@ -412,7 +428,14 @@ def arch_storage():
     ]
 
 
-def test_bench_arch_storage_table(arch_storage, record_table, benchmark):
+def test_bench_arch_storage_table(arch_storage, record_table, record_run_json, benchmark):
+    for row in arch_storage:
+        record_run_json(
+            "E12_storage_consistency",
+            f"arch/{row['label']}",
+            {k: v for k, v in row.items() if k not in ("label", "regime")},
+            config={"architecture": row["label"], "regime": row["regime"]},
+        )
     rows = [
         [
             row["label"],

@@ -1,0 +1,94 @@
+"""Scenario campaign orchestration, artifact collection and reporting.
+
+The measurement harness every scale/dependability claim runs through:
+
+* :mod:`.spec` — declarative :class:`CampaignSpec` /
+  :class:`ScenarioMatrix` (architecture x workload x fault profile x
+  mobility x seeds, with per-cell overrides) expanding into seeded
+  :class:`RunSpec` cells;
+* :mod:`.scenarios` — maps each cell onto a live world reusing the
+  chaos/serve/dag substrates, with the invariant suite attached;
+* :mod:`.orchestrator` — :class:`CampaignOrchestrator` executing cells
+  on parallel worker processes, each emitting a content-addressed
+  artifact bundle (obs ``report.json``, trace/event JSONL, invariant
+  verdicts, metric vector);
+* :mod:`.baseline` — :class:`BaselineStore` of blessed metric vectors,
+  including ingestion of the historical E-series benchmark results;
+* :mod:`.report` — :class:`Reporter` comparing campaigns to baselines
+  with per-metric tolerance bands and direction-aware regression
+  flagging, rendering ``report.json`` + ``report.md``.
+
+CLI: ``python -m repro.campaign run|baseline|report|ingest ...``;
+CI gate: ``python -m repro.campaign.smoke``.
+
+Determinism contract: per-run artifacts (everything except wall-clock
+envelopes) are byte-identical across worker counts and reruns, because
+each run derives every random choice from its spec alone.
+"""
+
+from __future__ import annotations
+
+from .baseline import BaselineStore, load_baseline_file
+from .orchestrator import (
+    DETERMINISTIC_ARTIFACTS,
+    CampaignOrchestrator,
+    CampaignRun,
+    RunOutcome,
+    execute_run,
+    load_manifest,
+)
+from .report import (
+    CampaignReport,
+    Finding,
+    Reporter,
+    classify,
+    direction_for,
+    strip_volatile,
+)
+from .scenarios import (
+    FAULT_PROFILE_TABLE,
+    CampaignScenario,
+    build_scenario,
+    fault_profile_for,
+)
+from .spec import (
+    ARCHITECTURES,
+    COMPATIBLE_MOBILITY,
+    FAULT_PROFILES,
+    MOBILITY_MODELS,
+    WORKLOADS,
+    CampaignSpec,
+    CellOverride,
+    RunSpec,
+    ScenarioMatrix,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "COMPATIBLE_MOBILITY",
+    "DETERMINISTIC_ARTIFACTS",
+    "FAULT_PROFILES",
+    "FAULT_PROFILE_TABLE",
+    "MOBILITY_MODELS",
+    "WORKLOADS",
+    "BaselineStore",
+    "CampaignOrchestrator",
+    "CampaignReport",
+    "CampaignRun",
+    "CampaignScenario",
+    "CampaignSpec",
+    "CellOverride",
+    "Finding",
+    "Reporter",
+    "RunOutcome",
+    "RunSpec",
+    "ScenarioMatrix",
+    "build_scenario",
+    "classify",
+    "direction_for",
+    "execute_run",
+    "fault_profile_for",
+    "load_baseline_file",
+    "load_manifest",
+    "strip_volatile",
+]

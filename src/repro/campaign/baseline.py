@@ -1,0 +1,157 @@
+"""Persistent baselines campaigns are judged against.
+
+A :class:`BaselineStore` is a directory of one JSON document per
+campaign (``<dir>/<campaign>.json``), each holding the per-cell and
+per-run metric vectors of a blessed reference execution::
+
+    {
+      "campaign": "smoke",
+      "cells": {"arch=...,wl=...,fault=...,mob=...": {"metric": value}},
+      "runs":  {"<cell>/seed=N": {"metric": value}},
+      "source": {...}          # provenance: where the numbers came from
+    }
+
+The store can also ingest the historical E-series benchmark results
+(``benchmarks/results/E*.json``, written by the ``record_run_json``
+fixture) so pre-campaign experiments participate in regression tracking
+under the synthetic campaign name ``eseries``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, Mapping, Sequence
+
+from ..errors import CampaignError
+from .orchestrator import CampaignRun
+
+
+def _load_json(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"cannot load {path!r}: {exc}") from exc
+
+
+class BaselineStore:
+    """Directory-backed store of campaign metric baselines."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def path_for(self, campaign: str) -> str:
+        if not campaign or any(sep in campaign for sep in ("/", os.sep)):
+            raise CampaignError(f"invalid campaign name: {campaign!r}")
+        return os.path.join(self.directory, f"{campaign}.json")
+
+    def exists(self, campaign: str) -> bool:
+        return os.path.exists(self.path_for(campaign))
+
+    def load(self, campaign: str) -> Dict[str, Any]:
+        """The stored baseline document for one campaign."""
+        path = self.path_for(campaign)
+        if not os.path.exists(path):
+            raise CampaignError(
+                f"no baseline for campaign {campaign!r} under {self.directory!r}"
+            )
+        baseline = _load_json(path)
+        for section in ("cells", "runs"):
+            baseline.setdefault(section, {})
+        return baseline
+
+    def save(self, campaign: str, baseline: Mapping[str, Any]) -> str:
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(campaign)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    # -- recording -----------------------------------------------------------
+
+    def record(
+        self, campaign_run: CampaignRun, note: str = ""
+    ) -> str:
+        """Bless one executed campaign as the new baseline."""
+        document = {
+            "campaign": campaign_run.spec.name,
+            "cells": campaign_run.cell_vectors(),
+            "runs": campaign_run.run_vectors(),
+            "source": {
+                "kind": "campaign_run",
+                "runs": len(campaign_run.outcomes),
+                "workers": campaign_run.workers,
+                "note": note,
+            },
+        }
+        return self.save(campaign_run.spec.name, document)
+
+    def ingest_results_dir(
+        self, results_dir: str, campaign: str = "eseries"
+    ) -> str:
+        """Fold ``benchmarks/results/E*.json`` files into one baseline.
+
+        Each file (written by the benchmark suite's ``record_run_json``
+        fixture) contributes its metric vector under its experiment id;
+        multiple vectors per experiment are keyed ``<id>/<row>``.
+        """
+        paths = sorted(glob.glob(os.path.join(results_dir, "E*.json")))
+        if not paths:
+            raise CampaignError(f"no E*.json results under {results_dir!r}")
+        cells: Dict[str, Dict[str, float]] = {}
+        runs: Dict[str, Dict[str, float]] = {}
+        for path in paths:
+            document = _load_json(path)
+            experiment = document.get(
+                "experiment", os.path.splitext(os.path.basename(path))[0]
+            )
+            for index, entry in enumerate(document.get("entries", ())):
+                vector = {
+                    name: float(value)
+                    for name, value in dict(entry.get("vector", {})).items()
+                }
+                label = entry.get("label") or f"row{index}"
+                runs[f"{experiment}/{label}"] = vector
+                merged = cells.setdefault(experiment, {})
+                for name, value in vector.items():
+                    merged[f"{label}/{name}"] = value
+        document = {
+            "campaign": campaign,
+            "cells": cells,
+            "runs": runs,
+            "source": {"kind": "eseries", "files": len(paths)},
+        }
+        return self.save(campaign, document)
+
+    def cell_vectors(self, campaign: str) -> Dict[str, Dict[str, float]]:
+        """The per-cell baseline vectors (the reporter's reference)."""
+        baseline = self.load(campaign)
+        return {
+            cell: {name: float(value) for name, value in vector.items()}
+            for cell, vector in dict(baseline.get("cells", {})).items()
+        }
+
+    def run_vectors(self, campaign: str) -> Dict[str, Dict[str, float]]:
+        """The per-run baseline vectors (for exact-replay audits)."""
+        baseline = self.load(campaign)
+        return {
+            key: {name: float(value) for name, value in vector.items()}
+            for key, vector in dict(baseline.get("runs", {})).items()
+        }
+
+
+def load_baseline_file(path: str) -> Dict[str, Any]:
+    """Load a single baseline document directly from ``path``."""
+    baseline = _load_json(path)
+    for section in ("cells", "runs"):
+        baseline.setdefault(section, {})
+    return baseline
+
+
+__all__: Sequence[str] = (
+    "BaselineStore",
+    "load_baseline_file",
+)

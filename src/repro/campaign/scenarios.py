@@ -1,0 +1,415 @@
+"""Turn a :class:`~repro.campaign.spec.RunSpec` into a live scenario.
+
+One builder per matrix axis value, composed: the *architecture x
+mobility* pair picks the world/cloud construction (parked fleet,
+elected-captain highway or Manhattan fleet, RSU-anchored highway — the
+three Fig. 4 architectures), the *workload* attaches traffic (batch
+tasks + storage churn, the protected serving gateway under open-loop
+load, or the dependable DAG scheduler), and the *fault profile* maps to
+a seeded :class:`~repro.chaos.generator.ChaosProfile` weight table.
+
+Everything reuses the hardened chaos scenario substrate
+(:mod:`repro.chaos.scenarios`) so campaign cells measure the same
+configurations the chaos and overload suites defend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..chaos.generator import ChaosProfile, ChaosTargets
+from ..chaos.invariants import (
+    ChannelConservation,
+    DagConservation,
+    Invariant,
+    LeaseExclusivity,
+    MembershipAgreement,
+    QuorumSafety,
+    ServingConservation,
+    SingleHead,
+    StrandedTasks,
+    TaskConservation,
+)
+from ..chaos.scenarios import (
+    attach_stack,
+    finish_storage,
+    standard_invariants,
+    storage_workload,
+    task_stream,
+)
+from ..faults import ConsistencyChecker
+from ..core import (
+    BacklogEstimator,
+    CheckpointHandoverPolicy,
+    DynamicVCloud,
+    InfrastructureVCloud,
+    ResourceOffer,
+    VehicularCloud,
+)
+from ..dag import (
+    DagScheduler,
+    RedundancyPlanner,
+    ReliabilityEstimator,
+    map_reduce_template,
+    pipeline_template,
+)
+from ..errors import CampaignError
+from ..geometry import Vec2
+from ..infra import deploy_rsus_on_highway
+from ..mobility import Highway, HighwayModel, ManhattanGrid, ManhattanModel, StationaryModel
+from ..serve import (
+    CircuitBreakerBoard,
+    CompositeAdmission,
+    DeadlineFeasibilityAdmission,
+    DeadlineLapseShedder,
+    HedgePolicy,
+    PoissonArrivals,
+    QueueDelayShedder,
+    ServiceGateway,
+    TenantFairShareAdmission,
+    TenantSpec,
+    WorkloadGenerator,
+)
+from ..sim import ScenarioConfig, World
+from .spec import RunSpec
+
+#: Blended mean task size of the serving tenant mix (70% bulk @200 MI +
+#: 30% interactive @150 MI) — sizes the open-loop rate off capacity.
+MEAN_WORK_MI = 185.0
+
+#: Sim-seconds the mobile architectures get to form membership before
+#: the serving workload sizes its open-loop rate off actual capacity.
+SERVING_SETTLE_S = 3.0
+
+#: Fault-profile names -> seeded chaos grammars.  ``None`` means no
+#: injector is armed at all; "light"/"heavy" differ in fault density.
+FAULT_PROFILE_TABLE: Dict[str, Optional[ChaosProfile]] = {
+    "none": None,
+    "light": ChaosProfile(mean_interval_s=12.0, max_faults=24),
+    "heavy": ChaosProfile(mean_interval_s=5.0, max_faults=48),
+}
+
+
+@dataclass
+class CampaignScenario:
+    """Everything one campaign run needs from its builders."""
+
+    world: World
+    cloud: VehicularCloud
+    invariants: List[Invariant]
+    channel: Any = None
+    infrastructure: Sequence = ()
+    node_lookup: Optional[Callable[[str], Optional[object]]] = None
+    gateway: Optional[ServiceGateway] = None
+    dag_scheduler: Optional[DagScheduler] = None
+    #: Extra metric extractors appended by the workload builder.
+    vector_sources: List[Callable[[], Dict[str, float]]] = field(default_factory=list)
+
+    def targets(self) -> ChaosTargets:
+        """The fault-target inventory for plan generation."""
+        return ChaosTargets(
+            members=self.cloud.member_count(),
+            has_channel=self.channel is not None,
+            infrastructure=len(self.infrastructure),
+        )
+
+
+# -- architecture x mobility ------------------------------------------------
+
+
+def _mobile_invariants(
+    cloud: VehicularCloud,
+    world: World,
+    checker: ConsistencyChecker,
+    external_heads: Sequence[str] = (),
+) -> List[Invariant]:
+    """The chaos suite's invariant set with mobile convergence windows."""
+    return [
+        TaskConservation(cloud),
+        LeaseExclusivity(cloud),
+        SingleHead(cloud, external_heads=tuple(external_heads)),
+        MembershipAgreement(cloud, convergence_s=2.0),
+        QuorumSafety(checker),
+        ChannelConservation(world),
+        StrandedTasks(cloud, grace_s=12.0),
+    ]
+
+
+def _build_stationary(spec: RunSpec) -> CampaignScenario:
+    world = World(ScenarioConfig(seed=spec.world_seed))
+    model = StationaryModel(
+        world, positions=[Vec2(i * 40.0, 0.0) for i in range(spec.members)]
+    )
+    vehicles = model.populate(spec.members)
+    channel, lookup = attach_stack(world, vehicles)
+    cloud = VehicularCloud(
+        world, "campaign-vc", handover_policy=CheckpointHandoverPolicy()
+    )
+    for vehicle in vehicles:
+        cloud.admit(
+            vehicle, offer=ResourceOffer(vehicle.vehicle_id, 100.0, 10**9, 1e6)
+        )
+    checker = finish_storage(cloud, hardened=True)
+    return CampaignScenario(
+        world=world,
+        cloud=cloud,
+        invariants=standard_invariants(cloud, world, checker),
+        channel=channel,
+        node_lookup=lookup,
+    )
+
+
+def _build_dynamic(spec: RunSpec) -> CampaignScenario:
+    world = World(ScenarioConfig(seed=spec.world_seed, vehicle_count=spec.members))
+    if spec.mobility == "grid":
+        grid = ManhattanGrid(blocks_x=4, blocks_y=4, block_size_m=400.0)
+        model: Any = ManhattanModel(world, grid)
+    else:
+        model = HighwayModel(world, Highway(length_m=3000.0))
+    model.populate(spec.members)
+    model.start()
+    channel, lookup = attach_stack(world, model.vehicles)
+    arch = DynamicVCloud(world, model)
+    arch.start()
+    cloud = arch.cloud
+    checker = finish_storage(cloud, hardened=True)
+    # Membership-derived tables lag one refresh under churn; mirror the
+    # chaos suite's convergence windows.
+    return CampaignScenario(
+        world=world,
+        cloud=cloud,
+        invariants=_mobile_invariants(cloud, world, checker),
+        channel=channel,
+        node_lookup=lookup,
+    )
+
+
+def _build_infrastructure(spec: RunSpec) -> CampaignScenario:
+    world = World(ScenarioConfig(seed=spec.world_seed, vehicle_count=spec.members))
+    highway = Highway(length_m=3000.0)
+    model = HighwayModel(world, highway)
+    model.populate(spec.members)
+    model.start()
+    from ..net import BeaconService, VehicleNode, WirelessChannel
+
+    channel = WirelessChannel(world)
+    rsus = deploy_rsus_on_highway(world, channel, highway, spacing_m=1500.0)
+    nodes: Dict[str, VehicleNode] = {}
+    for vehicle in model.vehicles:
+        node = VehicleNode(world, channel, vehicle)
+        BeaconService(world, node).start()
+        nodes[vehicle.vehicle_id] = node
+    arch = InfrastructureVCloud(world, rsus[0], model)
+    arch.start()
+    cloud = arch.cloud
+    checker = finish_storage(cloud, hardened=True)
+    invariants = _mobile_invariants(
+        cloud, world, checker, external_heads=(rsus[0].node_id,)
+    )
+    return CampaignScenario(
+        world=world,
+        cloud=cloud,
+        invariants=invariants,
+        channel=channel,
+        infrastructure=rsus,
+        node_lookup=lambda node_id: nodes.get(node_id),
+    )
+
+
+_ARCHITECTURE_BUILDERS: Dict[str, Callable[[RunSpec], CampaignScenario]] = {
+    "stationary": _build_stationary,
+    "dynamic": _build_dynamic,
+    "infrastructure": _build_infrastructure,
+}
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def _attach_tasks(spec: RunSpec, scenario: CampaignScenario) -> None:
+    """Batch task stream + storage read/write churn (the chaos workload)."""
+    count = max(4, int(spec.run_length_s // 3))
+    records = task_stream(
+        scenario.world, scenario.cloud, count=count, work_mi=2000.0
+    )
+
+    def vector() -> Dict[str, float]:
+        stats = scenario.cloud.stats
+        submitted = float(stats.submitted)
+        return {
+            "tasks/submitted": submitted,
+            "tasks/completed": float(stats.completed),
+            "tasks/failed": float(stats.failed),
+            "tasks/completion_rate": (
+                stats.completed / submitted if submitted else 0.0
+            ),
+            "tasks/records": float(len(records)),
+            "storage/degraded": float(stats.storage_degraded),
+        }
+
+    storage_workload(scenario.world, scenario.cloud)
+    scenario.vector_sources.append(vector)
+
+
+def _attach_serving(spec: RunSpec, scenario: CampaignScenario) -> None:
+    """Protected gateway under an open-loop tenant mix at ``load_factor``."""
+    world = scenario.world
+    gateway = ServiceGateway(
+        world,
+        scenario.cloud,
+        name="campaign",
+        queue_capacity=32,
+        admission=CompositeAdmission([
+            DeadlineFeasibilityAdmission(),
+            TenantFairShareAdmission(share=0.7),
+        ]),
+        shedders=[DeadlineLapseShedder(), QueueDelayShedder(max_delay_s=4.0)],
+        breakers=CircuitBreakerBoard(world, "campaign"),
+        hedging=HedgePolicy(),
+        backlog=BacklogEstimator(scenario.cloud),
+    )
+    horizon_s = max(1.0, spec.run_length_s - SERVING_SETTLE_S)
+
+    def start_traffic() -> None:
+        # Rate sized off the *actual* admitted capacity so the same
+        # load factor means the same pressure on every architecture.
+        capacity_tasks_s = max(
+            0.5, gateway.aggregate_capacity_mips() / MEAN_WORK_MI
+        )
+        rate = spec.load_factor * capacity_tasks_s
+        tenants = [
+            TenantSpec(
+                name="bulk",
+                arrivals=PoissonArrivals(rate * 0.7),
+                work_mi_range=(150.0, 250.0),
+                deadline_s=8.0,
+                priority=2,
+            ),
+            TenantSpec(
+                name="interactive",
+                arrivals=PoissonArrivals(rate * 0.3),
+                work_mi_range=(100.0, 200.0),
+                deadline_s=6.0,
+                priority=1,
+            ),
+        ]
+        WorkloadGenerator(world, gateway, tenants, horizon_s=horizon_s).start()
+
+    world.engine.schedule_at(
+        SERVING_SETTLE_S, start_traffic, label="campaign-serving-start"
+    )
+
+    def vector() -> Dict[str, float]:
+        stats = gateway.stats
+        terminal = stats.completed + stats.failed + stats.shed
+        latencies = sorted(stats.latencies_s)
+        from ..sim.metrics import percentile
+
+        return {
+            "serve/offered": float(stats.offered),
+            "serve/admitted": float(stats.admitted),
+            "serve/rejected": float(stats.rejected),
+            "serve/shed": float(stats.shed),
+            "serve/completed": float(stats.completed),
+            "serve/failed": float(stats.failed),
+            "serve/goodput_per_s": stats.slo_hits / horizon_s,
+            "serve/deadline_hit_rate": (
+                stats.slo_hits / terminal if terminal else 0.0
+            ),
+            "serve/p50_latency_s": percentile(latencies, 0.50) if latencies else 0.0,
+            "serve/p99_latency_s": percentile(latencies, 0.99) if latencies else 0.0,
+            "serve/hedges_launched": float(stats.hedges_launched),
+        }
+
+    scenario.gateway = gateway
+    scenario.invariants.append(ServingConservation(gateway))
+    scenario.vector_sources.append(vector)
+
+
+def _attach_dag(spec: RunSpec, scenario: CampaignScenario) -> None:
+    """Dependable DAG stream: redundancy, checkpointing, backlog-aware."""
+    world = scenario.world
+    scheduler = DagScheduler(
+        world,
+        scenario.cloud,
+        name="campaign",
+        reliability=ReliabilityEstimator(scenario.cloud),
+        redundancy=RedundancyPlanner(target_success=0.99, max_replicas=3),
+        checkpointing=True,
+        backlog=BacklogEstimator(scenario.cloud),
+    )
+    deadline_s = max(20.0, spec.run_length_s * 0.75)
+    templates = [
+        pipeline_template([(300.0, 600.0)] * 3, deadline_s=deadline_s),
+        map_reduce_template(3, (200.0, 450.0), (300.0, 500.0), deadline_s=deadline_s),
+    ]
+    rng = world.rng.fork("campaign/dag")
+    gap_s = max(2.0, spec.run_length_s / max(1, spec.graph_count) * 0.5)
+    for index in range(spec.graph_count):
+        template = templates[index % len(templates)]
+        world.engine.schedule_at(
+            1.0 + index * gap_s,
+            lambda t=template: scheduler.submit(
+                t.instantiate(rng, submitter="campaign")
+            ),
+            label="campaign-graph-submit",
+        )
+
+    def vector() -> Dict[str, float]:
+        stats = scheduler.stats
+        judged = stats.deadline_hits + stats.deadline_misses
+        return {
+            "dag/graphs_submitted": float(stats.graphs_submitted),
+            "dag/graphs_completed": float(stats.graphs_completed),
+            "dag/graphs_failed": float(stats.graphs_failed),
+            "dag/deadline_hit_rate": (
+                stats.deadline_hits / judged if judged else 0.0
+            ),
+            "dag/stages_completed": float(stats.stages_completed),
+            "dag/stages_reexecuted": float(stats.stages_reexecuted),
+            "dag/replicas_cancelled": float(stats.replicas_cancelled),
+            "dag/replicas_load_shed": float(stats.replicas_load_shed),
+            "dag/checkpoint_writes": float(stats.checkpoint_writes),
+        }
+
+    scenario.dag_scheduler = scheduler
+    scenario.invariants.append(DagConservation(scheduler))
+    scenario.vector_sources.append(vector)
+
+
+_WORKLOAD_BUILDERS: Dict[str, Callable[[RunSpec, CampaignScenario], None]] = {
+    "tasks": _attach_tasks,
+    "serving": _attach_serving,
+    "dag": _attach_dag,
+}
+
+
+def fault_profile_for(name: str) -> Optional[ChaosProfile]:
+    """The chaos grammar for a fault-profile name (None = no faults)."""
+    try:
+        return FAULT_PROFILE_TABLE[name]
+    except KeyError:
+        raise CampaignError(f"unknown fault profile: {name!r}") from None
+
+
+def build_scenario(spec: RunSpec) -> CampaignScenario:
+    """Compose the architecture and workload builders for one cell."""
+    try:
+        build_arch = _ARCHITECTURE_BUILDERS[spec.architecture]
+        attach_workload = _WORKLOAD_BUILDERS[spec.workload]
+    except KeyError as exc:
+        raise CampaignError(f"no builder for {exc}") from None
+    scenario = build_arch(spec)
+    attach_workload(spec, scenario)
+    return scenario
+
+
+__all__: Sequence[str] = (
+    "FAULT_PROFILE_TABLE",
+    "MEAN_WORK_MI",
+    "SERVING_SETTLE_S",
+    "CampaignScenario",
+    "build_scenario",
+    "fault_profile_for",
+)

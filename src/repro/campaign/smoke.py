@@ -1,0 +1,90 @@
+"""CI campaign smoke: the smoke matrix vs its blessed baseline.
+
+Run as ``python -m repro.campaign.smoke`` from the repository root (or
+pass explicit paths).  Executes ``campaigns/smoke.json`` on 2 workers
+into a temp directory, compares the per-cell metric vectors against
+``campaigns/baselines/smoke.json`` with the spec's tolerance bands, and
+fails loud on:
+
+* any flagged regression (drift outside tolerance in the bad
+  direction, a metric that disappeared, or a NaN);
+* any invariant violation in any run;
+* a per-run metric vector that drifted from the blessed per-run vector
+  (seeded runs must replay byte-identically, so even *within-tolerance*
+  per-run drift means determinism broke).
+
+Exit status is the CI contract: 0 green, 1 regression/violation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from typing import List, Optional
+
+from .baseline import load_baseline_file
+from .orchestrator import CampaignOrchestrator
+from .report import Reporter
+from .spec import CampaignSpec
+
+DEFAULT_SPEC = "campaigns/smoke.json"
+DEFAULT_BASELINE = "campaigns/baselines/smoke.json"
+WORKERS = 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    spec_path = args[0] if len(args) > 0 else DEFAULT_SPEC
+    baseline_path = args[1] if len(args) > 1 else DEFAULT_BASELINE
+
+    spec = CampaignSpec.load(spec_path)
+    baseline = load_baseline_file(baseline_path)
+    out_dir = tempfile.mkdtemp(prefix="campaign-smoke-")
+
+    campaign_run = CampaignOrchestrator(spec, out_dir, workers=WORKERS).execute()
+    report = Reporter.for_spec(spec).compare(campaign_run, baseline)
+    report.write(out_dir)
+
+    failures = 0
+    print(
+        f"campaign {spec.name}: {len(campaign_run.outcomes)} runs, "
+        f"{len(campaign_run.violations)} violation(s), "
+        f"{campaign_run.wall_clock_s:.1f}s on {WORKERS} workers"
+    )
+    for finding in report.regressions:
+        failures += 1
+        print(f"!! {finding.describe()}")
+    for violation in campaign_run.violations[:10]:
+        failures += 1
+        print(f"!! invariant violation: {violation}")
+    for finding in report.improvements:
+        print(f"   {finding.describe()}")
+
+    # Byte-level replay audit: per-run vectors must match the blessed
+    # run vectors exactly — tolerance bands are for cell aggregates, a
+    # seeded run that drifted at all means determinism broke.
+    blessed_runs = baseline.get("runs", {})
+    for key, vector in sorted(campaign_run.run_vectors().items()):
+        blessed = blessed_runs.get(key)
+        if blessed is None:
+            print(f"   new run (no blessed vector): {key}")
+            continue
+        if {k: float(v) for k, v in blessed.items()} != vector:
+            failures += 1
+            drifted = sorted(
+                name
+                for name in set(blessed) | set(vector)
+                if float(blessed.get(name, float("nan")))
+                != vector.get(name, float("nan"))
+            )
+            print(f"!! run vector drifted from blessed replay: {key} {drifted}")
+
+    if failures:
+        print(f"CAMPAIGN SMOKE FAILED ({failures} problem(s)); report in {out_dir}")
+        return 1
+    print(f"campaign smoke passed; report in {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

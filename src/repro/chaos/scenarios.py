@@ -49,6 +49,13 @@ from .invariants import (
 )
 
 __all__ = [
+    "attach_stack",
+    "finish_storage",
+    "harden_cloud",
+    "standard_invariants",
+    "storage_workload",
+    "task_stream",
+    "weaken_cloud",
     "stationary_scenario",
     "dynamic_scenario",
     "infrastructure_scenario",
@@ -63,7 +70,7 @@ CHAOS_BACKOFF = BackoffPolicy(
 _FILE_IDS = ("chaos-file-a", "chaos-file-b", "chaos-file-c")
 
 
-def _harden(cloud: VehicularCloud) -> None:
+def harden_cloud(cloud: VehicularCloud) -> None:
     """Enable the full recovery stack."""
     cloud.retry_backoff = CHAOS_BACKOFF
     cloud.enable_worker_leases(lease_duration_s=4.0, sweep_interval_s=1.0)
@@ -75,7 +82,7 @@ def _harden(cloud: VehicularCloud) -> None:
     )
 
 
-def _weaken(cloud: VehicularCloud) -> None:
+def weaken_cloud(cloud: VehicularCloud) -> None:
     """Strip recovery: no leases, no retries, best-effort quorum."""
     cloud.retry_backoff = None
     cloud.enable_replicated_storage(
@@ -85,7 +92,7 @@ def _weaken(cloud: VehicularCloud) -> None:
     )
 
 
-def _storage_workload(
+def storage_workload(
     world: World, cloud: VehicularCloud, period_s: float = 2.0
 ) -> None:
     """Seed shared files, then read/write them periodically.
@@ -118,7 +125,7 @@ def _storage_workload(
     world.engine.call_every(period_s, churn, label="chaos-storage-workload")
 
 
-def _task_stream(
+def task_stream(
     world: World, cloud: VehicularCloud, count: int = 10, work_mi: float = 2500.0
 ) -> List:
     """Submit ``count`` long tasks early so faults interrupt them."""
@@ -132,7 +139,7 @@ def _task_stream(
     return records
 
 
-def _standard_invariants(
+def standard_invariants(
     cloud: VehicularCloud,
     world: World,
     checker: ConsistencyChecker,
@@ -150,7 +157,7 @@ def _standard_invariants(
     ]
 
 
-def _attach_stack(world: World, vehicles):
+def attach_stack(world: World, vehicles):
     """Channel + node + beacon per vehicle; returns (channel, lookup)."""
     channel = WirelessChannel(world)
     nodes: Dict[str, VehicleNode] = {}
@@ -165,11 +172,11 @@ def _attach_stack(world: World, vehicles):
     return channel, lookup
 
 
-def _finish(cloud: VehicularCloud, hardened: bool) -> ConsistencyChecker:
+def finish_storage(cloud: VehicularCloud, hardened: bool) -> ConsistencyChecker:
     if hardened:
-        _harden(cloud)
+        harden_cloud(cloud)
     else:
-        _weaken(cloud)
+        weaken_cloud(cloud)
     checker = ConsistencyChecker(metrics=cloud.world.metrics)
     assert cloud.storage is not None
     checker.attach(cloud.storage)
@@ -185,7 +192,7 @@ def stationary_scenario(seed: int, hardened: bool = True, members: int = 8):
         world, positions=[Vec2(i * 40.0, 0.0) for i in range(members)]
     )
     vehicles = model.populate(members)
-    channel, lookup = _attach_stack(world, vehicles)
+    channel, lookup = attach_stack(world, vehicles)
     cloud = VehicularCloud(
         world, "chaos-stationary-vc", handover_policy=CheckpointHandoverPolicy()
     )
@@ -193,12 +200,12 @@ def stationary_scenario(seed: int, hardened: bool = True, members: int = 8):
         cloud.admit(
             vehicle, offer=ResourceOffer(vehicle.vehicle_id, 100.0, 10**9, 1e6)
         )
-    checker = _finish(cloud, hardened)
-    _task_stream(world, cloud)
-    _storage_workload(world, cloud)
+    checker = finish_storage(cloud, hardened)
+    task_stream(world, cloud)
+    storage_workload(world, cloud)
     return ChaosScenario(
         world=world,
-        invariants=_standard_invariants(cloud, world, checker),
+        invariants=standard_invariants(cloud, world, checker),
         cloud=cloud,
         channel=channel,
         node_lookup=lookup,
@@ -215,13 +222,13 @@ def dynamic_scenario(seed: int, hardened: bool = True, vehicles: int = 12):
     model = HighwayModel(world, highway)
     model.populate(vehicles)
     model.start()
-    channel, lookup = _attach_stack(world, model.vehicles)
+    channel, lookup = attach_stack(world, model.vehicles)
     arch = DynamicVCloud(world, model)
     arch.start()
     cloud = arch.cloud
-    checker = _finish(cloud, hardened)
-    _task_stream(world, cloud)
-    _storage_workload(world, cloud)
+    checker = finish_storage(cloud, hardened)
+    task_stream(world, cloud)
+    storage_workload(world, cloud)
     # A dynamic cloud re-elects its captain and churns members as
     # vehicles move, so membership-derived tables may lag one refresh
     # interval; give agreement a convergence window and stranded tasks
@@ -268,9 +275,9 @@ def infrastructure_scenario(seed: int, hardened: bool = True, vehicles: int = 14
     arch = InfrastructureVCloud(world, rsus[0], model)
     arch.start()
     cloud = arch.cloud
-    checker = _finish(cloud, hardened)
-    _task_stream(world, cloud)
-    _storage_workload(world, cloud)
+    checker = finish_storage(cloud, hardened)
+    task_stream(world, cloud)
+    storage_workload(world, cloud)
     invariants: List[Invariant] = [
         TaskConservation(cloud),
         LeaseExclusivity(cloud),
@@ -323,7 +330,7 @@ def overload_scenario(seed: int, hardened: bool = True, members: int = 8):
         world, positions=[Vec2(i * 40.0, 0.0) for i in range(members)]
     )
     vehicles = model.populate(members)
-    channel, lookup = _attach_stack(world, vehicles)
+    channel, lookup = attach_stack(world, vehicles)
     cloud = VehicularCloud(
         world, "chaos-overload-vc", handover_policy=CheckpointHandoverPolicy()
     )
@@ -331,7 +338,7 @@ def overload_scenario(seed: int, hardened: bool = True, members: int = 8):
         cloud.admit(
             vehicle, offer=ResourceOffer(vehicle.vehicle_id, 100.0, 10**9, 1e6)
         )
-    checker = _finish(cloud, hardened)
+    checker = finish_storage(cloud, hardened)
     gateway = ServiceGateway(
         world,
         cloud,
@@ -365,8 +372,8 @@ def overload_scenario(seed: int, hardened: bool = True, members: int = 8):
         ),
     ]
     WorkloadGenerator(world, gateway, tenants, horizon_s=600.0).start()
-    _storage_workload(world, cloud)
-    invariants = _standard_invariants(cloud, world, checker)
+    storage_workload(world, cloud)
+    invariants = standard_invariants(cloud, world, checker)
     invariants.append(ServingConservation(gateway))
     return ChaosScenario(
         world=world,

@@ -79,3 +79,7 @@ class MembershipError(VCloudError):
 
 class ChaosError(VCloudError):
     """A chaos campaign, reproducer capture, or replay failed."""
+
+
+class CampaignError(VCloudError):
+    """A scenario campaign spec, run, or report could not be produced."""

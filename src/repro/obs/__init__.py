@@ -35,9 +35,11 @@ from typing import Optional
 
 from .events import SEVERITIES, EventLog, EventRecord
 from .exporters import (
+    dag_ledger,
     json_report,
     prometheus_text,
     sanitize_metric_name,
+    serving_ledger,
     write_json_report,
 )
 from .profiler import LabelProfile, Profiler
@@ -72,9 +74,11 @@ __all__ = [
     "SpanEvent",
     "TraceContext",
     "Tracer",
+    "dag_ledger",
     "json_report",
     "prometheus_text",
     "sanitize_metric_name",
+    "serving_ledger",
     "trace_context_of",
     "write_json_report",
 ]

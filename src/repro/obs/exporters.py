@@ -75,14 +75,91 @@ def prometheus_text(metrics: Any, namespace: str = "repro") -> str:
     return "\n".join(lines) + "\n"
 
 
+def _as_sequence(value: Any) -> Sequence[Any]:
+    if value is None:
+        return ()
+    if isinstance(value, (list, tuple)):
+        return value
+    return (value,)
+
+
+def serving_ledger(gateway: Any) -> Dict[str, Any]:
+    """One gateway's conservation accounting plus typed-reason ledgers.
+
+    Everything a reporter needs to audit the serving path without
+    holding the live gateway: the conservation counters from
+    :meth:`~repro.serve.gateway.ServiceGateway.accounting`, the typed
+    shed/rejection reasons, SLO and latency aggregates, and the
+    hedging/batching counters.
+    """
+    stats = gateway.stats
+    return {
+        "name": gateway.name,
+        "accounting": dict(gateway.accounting()),
+        "shed_reasons": {k: stats.shed_reasons[k] for k in sorted(stats.shed_reasons)},
+        "rejection_reasons": {
+            k: stats.rejection_reasons[k] for k in sorted(stats.rejection_reasons)
+        },
+        "slo": {
+            "hits": stats.slo_hits,
+            "misses": stats.slo_misses,
+            "miss_rate": stats.slo_miss_rate,
+        },
+        "latency_s": {
+            "count": len(stats.latencies_s),
+            "p99": stats.p99_latency_s(),
+        },
+        "hedges": {
+            "launched": stats.hedges_launched,
+            "won": stats.hedges_won,
+            "cancelled": stats.hedges_cancelled,
+        },
+        "batching": {
+            "batches_dispatched": stats.batches_dispatched,
+            "batched_requests": stats.batched_requests,
+        },
+    }
+
+
+def dag_ledger(scheduler: Any) -> Dict[str, Any]:
+    """One DAG scheduler's conservation accounting plus failure ledger."""
+    stats = scheduler.stats
+    return {
+        "name": scheduler.name,
+        "accounting": dict(scheduler.accounting()),
+        "failure_reasons": {
+            k: stats.failure_reasons[k] for k in sorted(stats.failure_reasons)
+        },
+        "stages_completed": stats.stages_completed,
+        "stages_reexecuted": stats.stages_reexecuted,
+        "graph_restarts": stats.graph_restarts,
+        "replicas_cancelled": stats.replicas_cancelled,
+        "replicas_load_shed": stats.replicas_load_shed,
+        "checkpoint_writes": stats.checkpoint_writes,
+        "checkpoint_degraded": stats.checkpoint_degraded,
+        "deadline_hits": stats.deadline_hits,
+        "deadline_misses": stats.deadline_misses,
+    }
+
+
 def json_report(
     metrics: Optional[Any] = None,
     tracer: Optional[Any] = None,
     events: Optional[Any] = None,
     profiler: Optional[Any] = None,
     meta: Optional[Mapping[str, Any]] = None,
+    serving: Optional[Any] = None,
+    dag: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Build one structured report from whatever telemetry exists."""
+    """Build one structured report from whatever telemetry exists.
+
+    ``serving`` takes a :class:`~repro.serve.gateway.ServiceGateway`
+    (or a sequence of them) and ``dag`` a
+    :class:`~repro.dag.scheduler.DagScheduler` (or a sequence); their
+    conservation accounting and typed-reason ledgers are embedded so a
+    run bundle carries the full serving/DAG audit trail without callers
+    stitching the ledgers in by hand.
+    """
     report: Dict[str, Any] = {"meta": dict(meta) if meta else {}}
     if metrics is not None:
         report["metrics"] = {
@@ -115,6 +192,12 @@ def json_report(
         }
     if profiler is not None:
         report["profile"] = profiler.as_dict()
+    gateways = _as_sequence(serving)
+    if gateways:
+        report["serving"] = [serving_ledger(gateway) for gateway in gateways]
+    schedulers = _as_sequence(dag)
+    if schedulers:
+        report["dag"] = [dag_ledger(scheduler) for scheduler in schedulers]
     return report
 
 
@@ -125,10 +208,18 @@ def write_json_report(
     events: Optional[Any] = None,
     profiler: Optional[Any] = None,
     meta: Optional[Mapping[str, Any]] = None,
+    serving: Optional[Any] = None,
+    dag: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Write :func:`json_report` to ``path``; returns the report dict."""
     report = json_report(
-        metrics=metrics, tracer=tracer, events=events, profiler=profiler, meta=meta
+        metrics=metrics,
+        tracer=tracer,
+        events=events,
+        profiler=profiler,
+        meta=meta,
+        serving=serving,
+        dag=dag,
     )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -138,8 +229,10 @@ def write_json_report(
 
 __all__: Sequence[str] = (
     "SUMMARY_QUANTILES",
+    "dag_ledger",
     "json_report",
     "prometheus_text",
     "sanitize_metric_name",
+    "serving_ledger",
     "write_json_report",
 )

@@ -8,7 +8,15 @@ from .config import (
     SecurityConfig,
 )
 from .engine import ERROR_POLICIES, CallbackFailure, Engine, EventHandle, PeriodicTask
-from .metrics import MetricsRegistry, SeriesSummary, percentile, summarize
+from .metrics import (
+    MetricDelta,
+    MetricsRegistry,
+    SeriesSummary,
+    ToleranceBand,
+    diff_metrics,
+    percentile,
+    summarize,
+)
 from .rng import SeededRng, derive_seed
 from .spatial import SpatialGrid, grid_from_positions
 from .world import World
@@ -20,6 +28,7 @@ __all__ = [
     "ERROR_POLICIES",
     "Engine",
     "EventHandle",
+    "MetricDelta",
     "MetricsRegistry",
     "MobilityConfig",
     "PeriodicTask",
@@ -28,8 +37,10 @@ __all__ = [
     "SeededRng",
     "SeriesSummary",
     "SpatialGrid",
+    "ToleranceBand",
     "World",
     "derive_seed",
+    "diff_metrics",
     "grid_from_positions",
     "percentile",
     "summarize",

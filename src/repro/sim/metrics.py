@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 
 @dataclass
@@ -80,6 +80,118 @@ def summarize(values: List[float]) -> SeriesSummary:
         p95=percentile(ordered, 0.95),
         p99=percentile(ordered, 0.99),
     )
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """How far a metric may drift from its baseline and still be "within".
+
+    ``rel_tol`` is a fraction of the baseline magnitude, ``abs_tol`` an
+    absolute floor — a delta is within tolerance when
+    ``|delta| <= max(rel_tol * |baseline|, abs_tol)``, mirroring
+    :func:`math.isclose`.  Against a *zero* baseline the relative term
+    vanishes, so only ``abs_tol`` can admit a drift — callers comparing
+    rates that may legitimately be 0 should set it explicitly.
+    """
+
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rel_tol < 0 or self.abs_tol < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    def admits(self, baseline: float, delta: float) -> bool:
+        """True when ``delta`` off ``baseline`` stays inside the band."""
+        return abs(delta) <= max(self.rel_tol * abs(baseline), self.abs_tol)
+
+
+#: Tolerance specs accept plain numbers (treated as ``rel_tol``) too.
+ToleranceSpec = Union[float, ToleranceBand]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's drift from a baseline, classified against a band.
+
+    ``classification`` is one of ``"within"``, ``"outside"``,
+    ``"missing_baseline"``, ``"missing_current"`` or ``"nan"`` — only
+    ``"within"`` counts as clean; every other class is something a
+    reporter must surface.
+    """
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    delta: Optional[float]
+    #: ``delta / |baseline|``; None for missing values or zero baseline.
+    relative: Optional[float]
+    classification: str
+
+    @property
+    def within(self) -> bool:
+        return self.classification == "within"
+
+    def describe(self) -> str:
+        """Canonical one-line rendering for reports."""
+        if self.classification == "missing_baseline":
+            return f"{self.name}: {self.current} (no baseline)"
+        if self.classification == "missing_current":
+            return f"{self.name}: missing (baseline {self.baseline})"
+        rel = f" ({self.relative:+.2%})" if self.relative is not None else ""
+        return (
+            f"{self.name}: {self.baseline} -> {self.current} "
+            f"[{self.classification}]{rel}"
+        )
+
+
+def _as_band(spec: Optional[ToleranceSpec]) -> ToleranceBand:
+    if spec is None:
+        return ToleranceBand()
+    if isinstance(spec, ToleranceBand):
+        return spec
+    return ToleranceBand(rel_tol=float(spec))
+
+
+def diff_metrics(
+    current: Mapping[str, float],
+    baseline: Mapping[str, float],
+    tolerances: Optional[Mapping[str, ToleranceSpec]] = None,
+    default: Optional[ToleranceSpec] = None,
+) -> Dict[str, MetricDelta]:
+    """Classify every metric in either mapping against tolerance bands.
+
+    The comparison primitive behind campaign reporting: the union of
+    keys is covered, so a metric that *disappeared* is as loud as one
+    that drifted.  NaN on either side is classified ``"nan"`` — NaN
+    compares unequal to itself, so it can never silently pass a
+    tolerance check.  Deltas are ``current - baseline``.
+    """
+    bands = dict(tolerances) if tolerances else {}
+    default_band = _as_band(default)
+    deltas: Dict[str, MetricDelta] = {}
+    for name in sorted(set(current) | set(baseline)):
+        base = baseline.get(name)
+        curr = current.get(name)
+        if base is None:
+            deltas[name] = MetricDelta(name, None, float(curr), None, None,
+                                       "missing_baseline")
+            continue
+        if curr is None:
+            deltas[name] = MetricDelta(name, float(base), None, None, None,
+                                       "missing_current")
+            continue
+        base = float(base)
+        curr = float(curr)
+        if math.isnan(base) or math.isnan(curr):
+            deltas[name] = MetricDelta(name, base, curr, None, None, "nan")
+            continue
+        delta = curr - base
+        relative = delta / abs(base) if base != 0 else None
+        band = _as_band(bands.get(name, default_band))
+        verdict = "within" if band.admits(base, delta) else "outside"
+        deltas[name] = MetricDelta(name, base, curr, delta, relative, verdict)
+    return deltas
 
 
 @dataclass
@@ -205,6 +317,45 @@ class MetricsRegistry:
             for name, count in source.truncations.items():
                 result.truncations[name] = result.truncations.get(name, 0) + count
         return result
+
+    def scalars(self) -> Dict[str, float]:
+        """Flatten the registry into scalar metrics for comparison.
+
+        Counters and gauges pass through under ``counter/`` and
+        ``gauge/`` prefixes; every non-empty series contributes its
+        summary statistics under ``series/<name>/<stat>``.  Timelines
+        are excluded — point lists are not comparable as scalars.
+        """
+        flat: Dict[str, float] = {}
+        for name, value in self.counters.items():
+            flat[f"counter/{name}"] = value
+        for name, value in self.gauges.items():
+            flat[f"gauge/{name}"] = value
+        for name in self.series:
+            summary = self.summary(name)
+            if summary is not None:
+                for stat, value in summary.as_dict().items():
+                    flat[f"series/{name}/{stat}"] = value
+        for name, count in self.truncations.items():
+            flat[f"truncated/{name}"] = float(count)
+        return flat
+
+    def diff(
+        self,
+        other: "MetricsRegistry",
+        tolerances: Optional[Mapping[str, ToleranceSpec]] = None,
+        default: Optional[ToleranceSpec] = None,
+    ) -> Dict[str, MetricDelta]:
+        """Per-metric deltas of this registry against baseline ``other``.
+
+        ``self`` is the *current* run, ``other`` the baseline; both are
+        flattened with :meth:`scalars` and classified per metric by
+        :func:`diff_metrics` (missing keys and NaN get their own
+        classes, zero baselines only admit drift through ``abs_tol``).
+        """
+        return diff_metrics(
+            self.scalars(), other.scalars(), tolerances=tolerances, default=default
+        )
 
     def snapshot(self) -> Mapping[str, object]:
         """Return a read-only flat snapshot usable in reports.

@@ -43,9 +43,11 @@ from repro.obs import (
     EventLog,
     Profiler,
     Tracer,
+    dag_ledger,
     json_report,
     prometheus_text,
     sanitize_metric_name,
+    serving_ledger,
     trace_context_of,
     write_json_report,
 )
@@ -719,3 +721,107 @@ class TestExporters:
         for line in lines:
             record = json.loads(line)
             assert required <= set(record)
+
+
+class TestExporterEdgeCases:
+    def test_empty_registry_prometheus_text(self):
+        text = prometheus_text(MetricsRegistry())
+        assert text == "\n"
+
+    def test_empty_registry_json_report(self):
+        report = json_report(metrics=MetricsRegistry())
+        assert report["metrics"] == {
+            "counters": {},
+            "gauges": {},
+            "series": {},
+            "timelines": {},
+            "truncations": {},
+        }
+
+    def test_sanitization_collisions_keep_both_rows(self):
+        # "a/b" and "a_b" flatten to the same Prometheus name; both rows
+        # must still be rendered (the registry, not the exporter, owns
+        # name uniqueness).
+        metrics = MetricsRegistry()
+        metrics.increment("a/b", 1)
+        metrics.increment("a_b", 2)
+        text = prometheus_text(metrics, namespace="repro")
+        assert text.count("# TYPE repro_a_b counter") == 2
+        assert "repro_a_b 1" in text
+        assert "repro_a_b 2" in text
+
+    def test_truncated_series_dropped_spans_and_suppressed(self):
+        metrics = MetricsRegistry(max_samples_per_series=2)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            metrics.observe("lat", value)
+        tracer = make_tracer(max_spans=1)
+        tracer.end_span(tracer.start_span("kept"))
+        tracer.end_span(tracer.start_span("dropped"))
+        events = EventLog(clock=lambda: 0.0, min_severity="warning")
+        events.emit("vcloud", "quiet", severity="debug")
+        events.emit("vcloud", "loud", severity="error")
+        report = json_report(metrics=metrics, tracer=tracer, events=events)
+        assert report["metrics"]["truncations"] == {"lat": 2}
+        # The summary covers the retained window; truncations carry the rest.
+        assert report["metrics"]["series"]["lat"]["count"] == 2
+        assert report["traces"]["spans"] == 1
+        assert report["traces"]["dropped_spans"] == 1
+        assert report["events"]["records"] == 1
+        assert report["events"]["suppressed"] == 1
+
+
+class TestLedgers:
+    def _serving_world(self):
+        from repro.serve import ServiceGateway
+
+        world = World(ScenarioConfig(seed=23))
+        _vehicles, cloud = make_storage_cloud(world, members=3)
+        gateway = ServiceGateway(world, cloud, name="ledger", queue_capacity=8)
+        return world, gateway
+
+    def test_serving_ledger_shape_and_conservation(self):
+        from repro.serve import ServiceRequest
+
+        world, gateway = self._serving_world()
+        for _index in range(4):
+            gateway.submit(ServiceRequest(task=Task(work_mi=100.0, deadline_s=10.0)))
+        world.run_for(20.0)
+        ledger = serving_ledger(gateway)
+        assert ledger["name"] == "ledger"
+        accounting = ledger["accounting"]
+        assert accounting["offered"] == accounting["admitted"] + accounting["rejected"]
+        assert accounting["admitted"] == (
+            accounting["completed"]
+            + accounting["failed"]
+            + accounting["shed"]
+            + accounting["queued"]
+            + accounting["inflight"]
+        )
+        assert ledger["slo"]["hits"] + ledger["slo"]["misses"] == accounting["completed"]
+        assert ledger["latency_s"]["count"] == accounting["completed"]
+
+    def test_dag_ledger_shape_and_conservation(self):
+        from repro.dag import DagScheduler, pipeline_template
+
+        world = World(ScenarioConfig(seed=29))
+        _vehicles, cloud = make_storage_cloud(world, members=3)
+        scheduler = DagScheduler(world, cloud, name="ledger-dag")
+        template = pipeline_template([(100.0, 200.0)] * 2, deadline_s=30.0)
+        scheduler.submit(template.instantiate(world.rng.fork("dag")))
+        world.run_for(30.0)
+        ledger = dag_ledger(scheduler)
+        assert ledger["name"] == "ledger-dag"
+        accounting = ledger["accounting"]
+        assert accounting["graphs_submitted"] == 1
+        assert accounting["replicas_live"] == 0
+        assert ledger["deadline_hits"] + ledger["deadline_misses"] == (
+            accounting["graphs_completed"] + accounting["graphs_failed"]
+        )
+        assert sum(ledger["failure_reasons"].values()) == accounting["graphs_failed"]
+
+    def test_json_report_embeds_ledger_lists(self):
+        world, gateway = self._serving_world()
+        world.run_for(1.0)
+        report = json_report(serving=gateway, dag=())
+        assert [entry["name"] for entry in report["serving"]] == ["ledger"]
+        assert "dag" not in report

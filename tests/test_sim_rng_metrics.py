@@ -6,7 +6,15 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim import MetricsRegistry, SeededRng, derive_seed, percentile, summarize
+from repro.sim import (
+    MetricsRegistry,
+    SeededRng,
+    ToleranceBand,
+    derive_seed,
+    diff_metrics,
+    percentile,
+    summarize,
+)
 
 
 class TestSeededRng:
@@ -316,3 +324,119 @@ class TestMetricsSampleCap:
         metrics.observe("s", 1.0)
         metrics.observe("s", 2.0)
         assert metrics.snapshot()["truncated/s"] == 1
+
+
+class TestToleranceBand:
+    def test_admits_mirrors_isclose_semantics(self):
+        band = ToleranceBand(rel_tol=0.1, abs_tol=0.5)
+        assert band.admits(100.0, 10.0)  # rel term: 10% of 100
+        assert not band.admits(100.0, 10.001)
+        assert band.admits(1.0, 0.5)  # abs floor dominates small baselines
+        assert not band.admits(1.0, 0.51)
+        assert band.admits(-100.0, -10.0)  # magnitudes, not signs
+
+    def test_zero_baseline_only_admits_via_abs_tol(self):
+        assert not ToleranceBand(rel_tol=0.5).admits(0.0, 0.001)
+        assert ToleranceBand(abs_tol=0.01).admits(0.0, 0.001)
+
+    def test_negative_tolerances_rejected(self):
+        with pytest.raises(ValueError):
+            ToleranceBand(rel_tol=-0.1)
+        with pytest.raises(ValueError):
+            ToleranceBand(abs_tol=-1.0)
+
+
+class TestDiffMetrics:
+    def test_within_and_outside(self):
+        deltas = diff_metrics(
+            {"a": 104.0, "b": 120.0},
+            {"a": 100.0, "b": 100.0},
+            default=ToleranceBand(rel_tol=0.05),
+        )
+        assert deltas["a"].within and deltas["a"].classification == "within"
+        assert deltas["b"].classification == "outside"
+        assert deltas["b"].delta == 20.0
+        assert deltas["b"].relative == pytest.approx(0.2)
+
+    def test_plain_float_tolerance_means_rel_tol(self):
+        deltas = diff_metrics({"a": 104.0}, {"a": 100.0}, tolerances={"a": 0.05})
+        assert deltas["a"].within
+
+    def test_missing_keys_are_loud_on_both_sides(self):
+        deltas = diff_metrics({"new": 1.0}, {"gone": 2.0})
+        assert deltas["new"].classification == "missing_baseline"
+        assert deltas["new"].baseline is None and deltas["new"].current == 1.0
+        assert deltas["gone"].classification == "missing_current"
+        assert deltas["gone"].current is None and deltas["gone"].baseline == 2.0
+        assert not deltas["new"].within and not deltas["gone"].within
+        assert "no baseline" in deltas["new"].describe()
+        assert "missing" in deltas["gone"].describe()
+
+    def test_nan_never_passes(self):
+        nan = float("nan")
+        deltas = diff_metrics(
+            {"a": nan, "b": 1.0, "c": nan},
+            {"a": 1.0, "b": nan, "c": nan},
+            default=ToleranceBand(rel_tol=1e9),  # a huge band must not save NaN
+        )
+        for name in ("a", "b", "c"):
+            assert deltas[name].classification == "nan"
+            assert not deltas[name].within
+            assert deltas[name].delta is None
+
+    def test_zero_baseline_relative_is_none(self):
+        deltas = diff_metrics(
+            {"rate": 0.001, "flat": 0.0},
+            {"rate": 0.0, "flat": 0.0},
+            default=ToleranceBand(rel_tol=0.99),
+        )
+        # rel_tol alone cannot admit drift off a zero baseline ...
+        assert deltas["rate"].classification == "outside"
+        assert deltas["rate"].relative is None
+        # ... but an exactly-unchanged zero metric is within (|0| <= 0).
+        assert deltas["flat"].within
+
+    def test_zero_baseline_abs_tol_admits(self):
+        deltas = diff_metrics(
+            {"rate": 0.001},
+            {"rate": 0.0},
+            tolerances={"rate": ToleranceBand(abs_tol=0.01)},
+        )
+        assert deltas["rate"].within
+
+
+class TestRegistryDiff:
+    def _registry(self, count: float) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        metrics.increment("tasks", count)
+        metrics.set_gauge("members", 5.0)
+        metrics.observe("lat", 1.0)
+        metrics.observe("lat", 3.0)
+        return metrics
+
+    def test_scalars_flatten_all_sections(self):
+        flat = self._registry(3.0).scalars()
+        assert flat["counter/tasks"] == 3.0
+        assert flat["gauge/members"] == 5.0
+        assert flat["series/lat/count"] == 2
+        assert flat["series/lat/mean"] == pytest.approx(2.0)
+
+    def test_scalars_include_truncations(self):
+        metrics = MetricsRegistry(max_samples_per_series=1)
+        metrics.observe("s", 1.0)
+        metrics.observe("s", 2.0)
+        assert metrics.scalars()["truncated/s"] == 1.0
+
+    def test_diff_current_vs_baseline_orientation(self):
+        current, baseline = self._registry(6.0), self._registry(3.0)
+        deltas = current.diff(baseline, default=ToleranceBand(rel_tol=0.5))
+        assert deltas["counter/tasks"].delta == 3.0  # current - baseline
+        assert deltas["counter/tasks"].classification == "outside"
+        assert deltas["gauge/members"].within
+
+    def test_diff_flags_missing_series(self):
+        current = MetricsRegistry()
+        current.increment("tasks")
+        deltas = current.diff(self._registry(1.0))
+        assert deltas["series/lat/count"].classification == "missing_current"
+        assert deltas["counter/tasks"].within
