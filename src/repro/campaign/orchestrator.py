@@ -40,11 +40,12 @@ from ..chaos.invariants import InvariantSuite
 from ..core.tasks import reset_task_ids
 from ..dag.graph import reset_graph_ids
 from ..errors import CampaignError
+from ..faults.backhaul import BackhaulFaultDriver
 from ..faults.injector import FaultInjector
 from ..mobility.vehicle import reset_vehicle_ids
 from ..net.messages import reset_message_ids
 from ..obs.exporters import write_json_report
-from .scenarios import build_scenario, fault_profile_for
+from .scenarios import backhaul_fault_plan, build_scenario, fault_profile_for
 from .spec import CampaignSpec, RunSpec
 
 #: Bundle files whose bytes must not depend on worker count or host.
@@ -153,6 +154,20 @@ def execute_run(spec: RunSpec, out_dir: str) -> RunOutcome:
     else:
         injector = None
 
+    backhaul_driver = None
+    if spec.fault_profile == "backhaul":
+        if scenario.backhaul_link is None:
+            raise CampaignError(
+                f"fault profile 'backhaul' needs a backhaul link "
+                f"(architecture {spec.architecture!r} has none)"
+            )
+        backhaul_driver = BackhaulFaultDriver(
+            world.engine,
+            scenario.backhaul_link,
+            backhaul_fault_plan(spec.world_seed, spec.run_length_s),
+        )
+        backhaul_driver.arm()
+
     suite = InvariantSuite(scenario.invariants, metrics=world.metrics)
     suite.attach(world, spec.check_interval_s)
     world.run_for(spec.run_length_s + spec.drain_s)
@@ -160,6 +175,9 @@ def execute_run(spec: RunSpec, out_dir: str) -> RunOutcome:
     if injector is not None:
         injected = len(injector.ledger)
         skipped = injector.skipped
+    if backhaul_driver is not None:
+        injected += len(backhaul_driver.ledger)
+        skipped += len(backhaul_driver.skipped)
 
     vector: Dict[str, float] = {
         "faults/injected": float(injected),

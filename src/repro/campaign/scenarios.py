@@ -30,6 +30,7 @@ from ..chaos.invariants import (
     SingleHead,
     StrandedTasks,
     TaskConservation,
+    TierConservation,
 )
 from ..chaos.scenarios import (
     attach_stack,
@@ -39,6 +40,15 @@ from ..chaos.scenarios import (
     task_stream,
 )
 from ..faults import ConsistencyChecker
+from ..faults.plan import FaultPlan
+from ..infra.central_cloud import CentralCloud
+from ..tier import (
+    BackhaulLink,
+    CentralCloudTier,
+    TieredOffloader,
+    TierTopology,
+    VCloudTier,
+)
 from ..core import (
     BacklogEstimator,
     CheckpointHandoverPolicy,
@@ -83,12 +93,33 @@ MEAN_WORK_MI = 185.0
 SERVING_SETTLE_S = 3.0
 
 #: Fault-profile names -> seeded chaos grammars.  ``None`` means no
-#: injector is armed at all; "light"/"heavy" differ in fault density.
+#: member-level injector is armed; "light"/"heavy" differ in fault
+#: density.  "backhaul" also maps to ``None`` here — its faults target
+#: the WAN link through :func:`backhaul_fault_plan` and a
+#: :class:`~repro.faults.backhaul.BackhaulFaultDriver`, not the fleet.
 FAULT_PROFILE_TABLE: Dict[str, Optional[ChaosProfile]] = {
     "none": None,
     "light": ChaosProfile(mean_interval_s=12.0, max_faults=24),
     "heavy": ChaosProfile(mean_interval_s=5.0, max_faults=48),
+    "backhaul": None,
 }
+
+
+def backhaul_fault_plan(seed: int, run_length_s: float) -> FaultPlan:
+    """The WAN fault schedule for the "backhaul" campaign profile.
+
+    One loss burst, one hard outage and one jitter spike, spread over
+    the run proportionally so short smoke cells and long nightly cells
+    stress the same phases of the workload.
+    """
+    plan = FaultPlan(seed)
+    window = run_length_s * 0.15
+    plan.loss_burst(run_length_s * 0.20, duration_s=window, drop_probability=0.3)
+    plan.partition(run_length_s * 0.45, duration_s=window)
+    plan.jitter_spike(
+        run_length_s * 0.70, duration_s=window, max_extra_delay_s=0.5
+    )
+    return plan
 
 
 @dataclass
@@ -103,6 +134,9 @@ class CampaignScenario:
     node_lookup: Optional[Callable[[str], Optional[object]]] = None
     gateway: Optional[ServiceGateway] = None
     dag_scheduler: Optional[DagScheduler] = None
+    #: Tiered-architecture wiring (None for single-tier architectures).
+    offloader: Optional[TieredOffloader] = None
+    backhaul_link: Optional[BackhaulLink] = None
     #: Extra metric extractors appended by the workload builder.
     vector_sources: List[Callable[[], Dict[str, float]]] = field(default_factory=list)
 
@@ -217,10 +251,47 @@ def _build_infrastructure(spec: RunSpec) -> CampaignScenario:
     )
 
 
+def _build_tiered(spec: RunSpec) -> CampaignScenario:
+    """Stationary local v-cloud + datacenter tier behind a WAN backhaul."""
+    base = _build_stationary(spec)
+    world = base.world
+    central = CentralCloud(world, compute_mips=50_000.0, wan_delay_s=0.0)
+    link = BackhaulLink(
+        world, "campaign-wan", base_latency_s=0.05, loss_probability=0.02
+    )
+    topology = TierTopology()
+    topology.register(VCloudTier(world, "local", "local", base.cloud))
+    topology.register(CentralCloudTier(world, "central", central, link))
+    offloader = TieredOffloader(world, topology, name="campaign")
+    base.offloader = offloader
+    base.backhaul_link = link
+    base.invariants.append(TierConservation(offloader))
+
+    def vector() -> Dict[str, float]:
+        stats = offloader.stats
+        wan = link.accounting()
+        return {
+            "tier/submitted": float(stats.submitted),
+            "tier/completed": float(stats.completed),
+            "tier/failed": float(stats.failed),
+            "tier/deadline_hit_rate": stats.deadline_hit_rate(),
+            "tier/speculated": float(stats.speculated),
+            "tier/degraded": float(sum(stats.degraded.values())),
+            "tier/wins_local": float(stats.wins_by_tier.get("local", 0)),
+            "tier/wins_remote": float(stats.wins_by_tier.get("central", 0)),
+            "tier/backhaul_sent": float(wan["sent"]),
+            "tier/backhaul_lost": float(wan["lost"]),
+        }
+
+    base.vector_sources.append(vector)
+    return base
+
+
 _ARCHITECTURE_BUILDERS: Dict[str, Callable[[RunSpec], CampaignScenario]] = {
     "stationary": _build_stationary,
     "dynamic": _build_dynamic,
     "infrastructure": _build_infrastructure,
+    "tiered": _build_tiered,
 }
 
 
@@ -228,32 +299,73 @@ _ARCHITECTURE_BUILDERS: Dict[str, Callable[[RunSpec], CampaignScenario]] = {
 
 
 def _attach_tasks(spec: RunSpec, scenario: CampaignScenario) -> None:
-    """Batch task stream + storage read/write churn (the chaos workload)."""
-    count = max(4, int(spec.run_length_s // 3))
-    records = task_stream(
-        scenario.world, scenario.cloud, count=count, work_mi=2000.0
-    )
+    """Batch task stream + storage read/write churn (the chaos workload).
 
-    def vector() -> Dict[str, float]:
-        stats = scenario.cloud.stats
-        submitted = float(stats.submitted)
-        return {
-            "tasks/submitted": submitted,
-            "tasks/completed": float(stats.completed),
-            "tasks/failed": float(stats.failed),
-            "tasks/completion_rate": (
-                stats.completed / submitted if submitted else 0.0
-            ),
-            "tasks/records": float(len(records)),
-            "storage/degraded": float(stats.storage_degraded),
-        }
+    On the tiered architecture the stream routes through the
+    :class:`~repro.tier.TieredOffloader` as deadline-bearing speculative
+    tasks, so campaign cells exercise the same submit path E20 measures;
+    everywhere else it submits straight to the cloud.
+    """
+    count = max(4, int(spec.run_length_s // 3))
+    offloader = scenario.offloader
+    if offloader is None:
+        records = task_stream(
+            scenario.world, scenario.cloud, count=count, work_mi=2000.0
+        )
+
+        def vector() -> Dict[str, float]:
+            stats = scenario.cloud.stats
+            submitted = float(stats.submitted)
+            return {
+                "tasks/submitted": submitted,
+                "tasks/completed": float(stats.completed),
+                "tasks/failed": float(stats.failed),
+                "tasks/completion_rate": (
+                    stats.completed / submitted if submitted else 0.0
+                ),
+                "tasks/records": float(len(records)),
+                "storage/degraded": float(stats.storage_degraded),
+            }
+
+    else:
+        from ..core import Task
+
+        deadline_s = spec.run_length_s * 0.75
+        for index in range(count):
+            scenario.world.engine.schedule_at(
+                1.0 + index * 2.0,
+                lambda: offloader.submit(
+                    Task(work_mi=2000.0, deadline_s=deadline_s, submitter="campaign"),
+                    policy="speculate",
+                ),
+                label="campaign-tier-task",
+            )
+
+        def vector() -> Dict[str, float]:
+            stats = offloader.stats
+            submitted = float(stats.submitted)
+            return {
+                "tasks/submitted": submitted,
+                "tasks/completed": float(stats.completed),
+                "tasks/failed": float(stats.failed),
+                "tasks/completion_rate": (
+                    stats.completed / submitted if submitted else 0.0
+                ),
+                "tasks/records": submitted,
+                "storage/degraded": float(scenario.cloud.stats.storage_degraded),
+            }
 
     storage_workload(scenario.world, scenario.cloud)
     scenario.vector_sources.append(vector)
 
 
 def _attach_serving(spec: RunSpec, scenario: CampaignScenario) -> None:
-    """Protected gateway under an open-loop tenant mix at ``load_factor``."""
+    """Protected gateway under an open-loop tenant mix at ``load_factor``.
+
+    On the tiered architecture the gateway routes through ``tiering=``
+    (cross-tier speculation) instead of same-tier hedging — the two are
+    mutually exclusive by construction.
+    """
     world = scenario.world
     gateway = ServiceGateway(
         world,
@@ -266,7 +378,8 @@ def _attach_serving(spec: RunSpec, scenario: CampaignScenario) -> None:
         ]),
         shedders=[DeadlineLapseShedder(), QueueDelayShedder(max_delay_s=4.0)],
         breakers=CircuitBreakerBoard(world, "campaign"),
-        hedging=HedgePolicy(),
+        hedging=None if scenario.offloader is not None else HedgePolicy(),
+        tiering=scenario.offloader,
         backlog=BacklogEstimator(scenario.cloud),
     )
     horizon_s = max(1.0, spec.run_length_s - SERVING_SETTLE_S)
@@ -410,6 +523,7 @@ __all__: Sequence[str] = (
     "MEAN_WORK_MI",
     "SERVING_SETTLE_S",
     "CampaignScenario",
+    "backhaul_fault_plan",
     "build_scenario",
     "fault_profile_for",
 )

@@ -27,18 +27,32 @@ from ..errors import CampaignError
 from ..sim.metrics import ToleranceBand
 from ..sim.rng import derive_seed
 
-ARCHITECTURES = ("stationary", "dynamic", "infrastructure")
+ARCHITECTURES = ("stationary", "dynamic", "infrastructure", "tiered")
 WORKLOADS = ("tasks", "serving", "dag")
-FAULT_PROFILES = ("none", "light", "heavy")
+FAULT_PROFILES = ("none", "light", "heavy", "backhaul")
 MOBILITY_MODELS = ("stationary", "highway", "grid")
 
 #: Which mobility models can host each architecture.  A stationary
 #: (parking-lot) cloud is defined by its parked fleet; the RSU-anchored
-#: architecture deploys RSUs along a highway.
+#: architecture deploys RSUs along a highway; the tiered federation
+#: anchors its local v-cloud on a parked fleet and adds a datacenter
+#: tier behind a WAN backhaul.
 COMPATIBLE_MOBILITY: Mapping[str, Tuple[str, ...]] = {
     "stationary": ("stationary",),
     "dynamic": ("highway", "grid"),
     "infrastructure": ("highway",),
+    "tiered": ("stationary",),
+}
+
+#: Which fault profiles each architecture can absorb.  The "backhaul"
+#: profile drives WAN-level faults (outage windows, loss bursts, jitter
+#: spikes) through a :class:`~repro.faults.backhaul.BackhaulFaultDriver`
+#: — only the tiered architecture has a backhaul to break.
+COMPATIBLE_FAULTS: Mapping[str, Tuple[str, ...]] = {
+    "stationary": ("none", "light", "heavy"),
+    "dynamic": ("none", "light", "heavy"),
+    "infrastructure": ("none", "light", "heavy"),
+    "tiered": ("none", "light", "heavy", "backhaul"),
 }
 
 
@@ -77,6 +91,11 @@ class RunSpec:
             raise CampaignError(
                 f"mobility {self.mobility!r} cannot host architecture "
                 f"{self.architecture!r}"
+            )
+        if self.fault_profile not in COMPATIBLE_FAULTS[self.architecture]:
+            raise CampaignError(
+                f"fault profile {self.fault_profile!r} does not apply to "
+                f"architecture {self.architecture!r}"
             )
         if self.run_length_s <= 0 or self.drain_s < 0:
             raise CampaignError("run_length_s must be > 0 and drain_s >= 0")
@@ -241,6 +260,9 @@ class CampaignSpec:
         for arch in m.architectures:
             for workload in m.workloads:
                 for fault in m.fault_profiles:
+                    if fault not in COMPATIBLE_FAULTS[arch]:
+                        skipped += len(m.seeds) * len(m.mobility_models)
+                        continue
                     for mobility in m.mobility_models:
                         if mobility not in COMPATIBLE_MOBILITY[arch]:
                             skipped += len(m.seeds)
@@ -345,6 +367,7 @@ class CampaignSpec:
 
 __all__: Sequence[str] = (
     "ARCHITECTURES",
+    "COMPATIBLE_FAULTS",
     "COMPATIBLE_MOBILITY",
     "FAULT_PROFILES",
     "MOBILITY_MODELS",

@@ -51,6 +51,7 @@ from .invariants import (
     SingleHead,
     StrandedTasks,
     TaskConservation,
+    TierConservation,
     Violation,
 )
 from .minimize import ddmin
@@ -92,6 +93,7 @@ __all__ = [
     "SingleHead",
     "StrandedTasks",
     "TaskConservation",
+    "TierConservation",
     "Violation",
     "campaign_size",
     "ddmin",

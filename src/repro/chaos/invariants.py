@@ -38,7 +38,12 @@ section (§V.A) asks of a vehicular cloud:
   streams balance (every submitted graph is completed, failed or
   running; every stage replica ever submitted is completed, failed or
   live on the cloud), extending task conservation to subtasks so
-  replication and first-result-wins cancellation never leak work.
+  replication and first-result-wins cancellation never leak work;
+* :class:`TierConservation` — the tiered offloader's task and attempt
+  streams balance across tiers: every speculated task resolves to
+  exactly one winner with all losing replicas cancelled, failed, or
+  flagged late, so cross-tier speculation over a lossy backhaul never
+  double-completes or silently drops a task.
 """
 
 from __future__ import annotations
@@ -537,4 +542,76 @@ class DagConservation:
                 f"live replicas on stages {acc['replicas_live']} != replica "
                 f"index entries {acc['replica_index']}",
             ))
+        return out
+
+class TierConservation:
+    """No task or speculative replica leaks out of the tiered offloader.
+
+    The cross-tier extension of :class:`TaskConservation`: at any
+    instant ``submitted = completed + failed + live`` at the task level,
+    ``attempts = won + cancelled + failed + late + live`` at the replica
+    level, ``completed == attempts won`` (exactly one winner per
+    resolved task), and per task no resolved speculation holds more than
+    one uncancelled completion or any loser left neither terminal nor
+    cancelled.  A mismatch means first-result-wins across a lossy
+    backhaul double-counted a result or dropped a replica silently.
+    """
+
+    name = "tier-conservation"
+
+    def __init__(self, offloader) -> None:
+        self.offloader = offloader
+
+    def check(self, now: float) -> List[Violation]:
+        acc = self.offloader.accounting()
+        out: List[Violation] = []
+        if acc["submitted"] != acc["completed"] + acc["failed"] + acc["live"]:
+            out.append(_violation(
+                self.name, now,
+                f"tasks submitted {acc['submitted']} != completed "
+                f"{acc['completed']} + failed {acc['failed']} + live {acc['live']}",
+            ))
+        if acc["live"] < 0 or acc["attempts_live"] < 0:
+            out.append(_violation(
+                self.name, now,
+                f"negative live counts (tasks {acc['live']}, "
+                f"attempts {acc['attempts_live']})",
+            ))
+        attempt_balance = (
+            acc["attempts_won"] + acc["attempts_cancelled"]
+            + acc["attempts_failed"] + acc["attempts_late"] + acc["attempts_live"]
+        )
+        if acc["attempts_submitted"] != attempt_balance:
+            out.append(_violation(
+                self.name, now,
+                f"attempts submitted {acc['attempts_submitted']} != won "
+                f"{acc['attempts_won']} + cancelled {acc['attempts_cancelled']} "
+                f"+ failed {acc['attempts_failed']} + late {acc['attempts_late']} "
+                f"+ live {acc['attempts_live']}",
+            ))
+        if acc["completed"] != acc["attempts_won"]:
+            out.append(_violation(
+                self.name, now,
+                f"completed tasks {acc['completed']} != winning attempts "
+                f"{acc['attempts_won']} (a task must have exactly one winner)",
+            ))
+        for entry in self.offloader.speculation_view():
+            if entry["winners"] > 1:
+                out.append(_violation(
+                    self.name, now,
+                    f"task {entry['task_id']} has {entry['winners']} uncancelled "
+                    f"winners",
+                ))
+            if entry["resolved"] and entry["outcome"] == "completed" and entry["winners"] == 0:
+                out.append(_violation(
+                    self.name, now,
+                    f"task {entry['task_id']} resolved completed without a winner",
+                ))
+            if entry["unreconciled"]:
+                out.append(_violation(
+                    self.name, now,
+                    f"task {entry['task_id']} resolved with "
+                    f"{entry['unreconciled']} losers neither terminal nor "
+                    f"cancelled",
+                ))
         return out

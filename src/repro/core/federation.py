@@ -8,8 +8,12 @@ of the groups."  The federation watches a set of dynamic v-clouds and:
 * **splits** a cloud when its member spread exceeds the coordination
   diameter — the far half forms a new cloud around its own best captain.
 
-Merges and splits are counted, so experiments can measure group-
-management churn against mobility parameters.
+Merges and splits are counted and, on an observability-enabled world,
+emitted as structured events (``federation`` subsystem: ``cloud_merged``
+/ ``cloud_split``) with metrics under the stable ``federation/`` prefix
+(``federation/merges``, ``federation/splits``, plus ``clouds`` and
+``members`` gauges), so tier churn shows up in campaign vectors instead
+of hiding in bare counters.
 """
 
 from __future__ import annotations
@@ -129,6 +133,7 @@ class CloudFederation:
 
     def _merge(self, survivor: VehicularCloud, absorbed: VehicularCloud) -> None:
         # Move members (and their offers) into the survivor.
+        moved = 0
         for member_id in absorbed.membership.member_ids():
             offer = absorbed.pool.offer_of(member_id)
             absorbed.member_leave(member_id)
@@ -138,8 +143,16 @@ class CloudFederation:
                     continue
                 survivor.membership.join(member_id, self.world.now, vehicle.position)
                 survivor.pool.add_offer(offer)
+                moved += 1
         self.clouds.remove(absorbed)
         self.merges += 1
+        self.world.metrics.increment("federation/merges")
+        self._note_churn(
+            "cloud_merged",
+            survivor=survivor.cloud_id,
+            absorbed=absorbed.cloud_id,
+            moved_members=moved,
+        )
 
     def _try_splits(self) -> None:
         for cloud in list(self.clouds):
@@ -193,6 +206,22 @@ class CloudFederation:
         new_cloud.head_id = self.election.elect(candidates).winner_id
         self.clouds.append(new_cloud)
         self.splits += 1
+        self.world.metrics.increment("federation/splits")
+        self._note_churn(
+            "cloud_split",
+            parent=cloud.cloud_id,
+            new_cloud=new_cloud.cloud_id,
+            seceded_members=len(candidates),
+            new_head=new_cloud.head_id,
+        )
+
+    def _note_churn(self, event: str, **attrs: object) -> None:
+        """Ledger one merge/split under the stable ``federation/`` prefix."""
+        self.world.metrics.set_gauge("federation/clouds", float(self.cloud_count()))
+        self.world.metrics.set_gauge("federation/members", float(self.total_members()))
+        events = self.world.events
+        if events is not None:
+            events.emit("federation", event, severity="info", **attrs)
 
     # -- introspection ------------------------------------------------------------
 

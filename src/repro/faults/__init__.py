@@ -24,8 +24,14 @@ lost updates and replica divergence — and
 :class:`~repro.faults.storage.StorageFaultDriver`, which replays a
 plan's process/partition faults directly onto a
 :class:`~repro.core.replication.ReplicationManager`.
+
+Tiered federation (experiment E20) adds
+:class:`~repro.faults.backhaul.BackhaulFaultDriver`, which replays a
+plan's network faults onto a :class:`~repro.tier.backhaul.BackhaulLink`
+as WAN outages, loss bursts and jitter spikes.
 """
 
+from .backhaul import BackhaulFaultDriver
 from .consistency import ConsistencyChecker, ConsistencyReport, ReadEvent, WriteEvent
 from .injector import FaultInjector
 from .network import FrameDuplicator, JitterSpike, LossBurst, Partition
@@ -34,6 +40,7 @@ from .recovery import BackoffPolicy, WorkerLeases
 from .storage import StorageFaultDriver
 
 __all__ = [
+    "BackhaulFaultDriver",
     "BackoffPolicy",
     "ConsistencyChecker",
     "ConsistencyReport",

@@ -1,0 +1,84 @@
+"""Maps a :class:`~repro.faults.plan.FaultPlan` onto a WAN backhaul.
+
+:class:`~repro.faults.injector.FaultInjector` batters the V2V radio
+stack; the tiered federation (``repro.tier``) also needs its *wide-area*
+hop battered so speculative offload can be shown to survive a dying
+backhaul.  :class:`BackhaulFaultDriver` translates the network specs of
+a plan directly onto a :class:`~repro.tier.backhaul.BackhaulLink`:
+
+* ``partition``    → full link outage for the spec's ``duration_s``
+  (new transmissions refused; frames in flight still deliver);
+* ``loss_burst``   → elevated Bernoulli loss at ``drop_probability``
+  for ``duration_s``;
+* ``jitter_spike`` → up to ``max_extra_delay_s`` of extra seeded
+  jitter for ``duration_s``.
+
+Process, infrastructure and ``duplication`` kinds have no WAN analogue
+here and are skipped, same as :class:`StorageFaultDriver` does for
+kinds outside its reach — callers can assert on ``skipped`` to catch
+plans that silently do nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from ..sim.engine import Engine
+from .plan import FaultPlan, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tier imports faults)
+    from ..tier.backhaul import BackhaulLink
+
+#: Plan kinds this driver can express on a link.
+APPLICABLE_KINDS = ("partition", "loss_burst", "jitter_spike")
+
+
+class BackhaulFaultDriver:
+    """Schedules a plan's network faults onto one backhaul link."""
+
+    def __init__(self, engine: Engine, link: "BackhaulLink", plan: FaultPlan) -> None:
+        self.engine = engine
+        self.link = link
+        self.plan = plan
+        self.ledger: List[Tuple[float, str, str]] = []
+        self.skipped: List[FaultSpec] = []
+        self._armed = False
+
+    def arm(self) -> int:
+        """Schedule every applicable spec; returns the number armed."""
+        if self._armed:
+            return 0
+        self._armed = True
+        armed = 0
+        for spec in self.plan.schedule():
+            if spec.kind in APPLICABLE_KINDS:
+                self.engine.schedule_at(
+                    spec.at,
+                    lambda s=spec: self._fire(s),
+                    label=f"backhaul-fault/{spec.kind}",
+                )
+                armed += 1
+            else:
+                self.skipped.append(spec)
+        return armed
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.ledger.append((self.engine.now, kind, detail))
+
+    def _fire(self, spec: FaultSpec) -> None:
+        duration = float(spec.param("duration_s", 10.0))  # type: ignore[arg-type]
+        if spec.kind == "partition":
+            self.link.start_outage(duration)
+            self._record("partition", f"{self.link.name} dark {duration:.1f}s")
+        elif spec.kind == "loss_burst":
+            probability = float(spec.param("drop_probability", 0.5))  # type: ignore[arg-type]
+            self.link.add_loss_window(duration, probability)
+            self._record(
+                "loss_burst", f"{self.link.name} p={probability:.2f} for {duration:.1f}s"
+            )
+        else:  # jitter_spike
+            extra = float(spec.param("max_extra_delay_s", 0.1))  # type: ignore[arg-type]
+            self.link.add_jitter_window(duration, extra)
+            self._record(
+                "jitter_spike", f"{self.link.name} +{extra:.3f}s for {duration:.1f}s"
+            )

@@ -126,6 +126,17 @@ class CircuitBreaker:
         if failures / len(self._outcomes) >= self.failure_threshold:
             self.trip("failure_rate")
 
+    def release_probe(self) -> None:
+        """Discard an in-flight HALF_OPEN probe whose outcome was inconclusive.
+
+        A probe that was cancelled (e.g. it lost a speculation race)
+        proves nothing about the worker either way; without releasing it
+        the breaker would wait forever for a verdict that will never
+        come, silently blocking every future dispatch.
+        """
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+
     def trip(self, reason: str) -> None:
         """Force the breaker OPEN (e.g. the worker's lease expired)."""
         cooldown = self.backoff.delay_for(

@@ -14,7 +14,13 @@ protection lives:
   cloud's allocator through a :class:`~repro.core.scheduler.GatedAllocator`;
 * laggard primaries get a deadline-aware hedge replica on a different
   worker — first result wins, the loser is cancelled through the
-  cloud's typed-failure ledger (``hedge_cancelled``).
+  cloud's typed-failure ledger (``hedge_cancelled``);
+* with ``tiering=`` set, admitted requests route through a
+  :class:`~repro.tier.offloader.TieredOffloader` instead of straight
+  into the cloud: deadline-carrying requests speculate across the local
+  v-cloud and the remote tier (first acceptable result wins), the rest
+  prefer local with remote failover.  Tiering owns cross-tier replicas,
+  so it is mutually exclusive with hedging and batching.
 
 The *unprotected* configuration (:meth:`ServiceGateway.unprotected`)
 admits everything and dispatches immediately — the congestion-collapse
@@ -31,7 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..core.capacity import BacklogEstimator
 from ..core.scheduler import GatedAllocator, WorkerCandidate
@@ -49,6 +55,9 @@ from .breaker import CircuitBreakerBoard
 from .hedging import HedgePolicy, LatencyQuantileTracker
 from .queueing import BoundedPriorityQueue
 from .request import ServiceRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tier imports serve)
+    from ..tier.offloader import SpeculativeTask, TieredOffloader
 
 
 @dataclass
@@ -116,12 +125,15 @@ class _Dispatch:
     Usually carries exactly one request; a coalesced small-task batch
     carries several (``members``), all completing or failing with the
     one cloud task while keeping per-member latency/SLO accounting.
-    ``request`` is the anchor (first member) either way.
+    ``request`` is the anchor (first member) either way.  A tiered
+    dispatch has no direct cloud record (``record`` is None) — the
+    offloader owns the cross-tier replicas and reports back once.
     """
 
     request: ServiceRequest
-    record: TaskRecord
+    record: Optional[TaskRecord]
     dispatched_at: float
+    task_id: str = ""
     members: List[ServiceRequest] = field(default_factory=list)
     hedge_check: Optional[EventHandle] = None
     hedge_record: Optional[TaskRecord] = None
@@ -131,6 +143,8 @@ class _Dispatch:
     def __post_init__(self) -> None:
         if not self.members:
             self.members = [self.request]
+        if not self.task_id and self.record is not None:
+            self.task_id = self.record.task.task_id
 
 
 class ServiceGateway:
@@ -153,6 +167,7 @@ class ServiceGateway:
         dag: Optional[DagScheduler] = None,
         batching: Optional[BatchingPolicy] = None,
         backlog: Optional[BacklogEstimator] = None,
+        tiering: Optional["TieredOffloader"] = None,
     ) -> None:
         if tick_interval_s <= 0:
             raise ConfigurationError("tick_interval_s must be positive")
@@ -160,6 +175,27 @@ class ServiceGateway:
             raise ConfigurationError(
                 "the backlog estimator must observe the gateway's cloud"
             )
+        if tiering is not None:
+            if hedging is not None:
+                raise ConfigurationError(
+                    "tiering and hedging are mutually exclusive: cross-tier "
+                    "speculation already races replicas"
+                )
+            if batching is not None:
+                raise ConfigurationError(
+                    "tiering and batching are mutually exclusive: the "
+                    "offloader dispatches tasks individually"
+                )
+            locals_ = [
+                tier
+                for tier in tiering.topology.local_tiers()
+                if getattr(tier, "cloud", None) is cloud
+            ]
+            if not locals_:
+                raise ConfigurationError(
+                    "the tiered offloader's local tier must execute on the "
+                    "gateway's cloud"
+                )
         self.world = world
         self.cloud = cloud
         self.name = name
@@ -174,6 +210,9 @@ class ServiceGateway:
         self.propagate_deadline = propagate_deadline
         self.batching = batching
         self.backlog = backlog
+        self.tiering = tiering
+        if tiering is not None:
+            tiering.on_task_resolved(self._on_tier_resolved)
         if backlog is not None:
             # The admission queue is backlog only this gateway knows
             # about; registering it lets the DAG redundancy planner see
@@ -499,6 +538,9 @@ class ServiceGateway:
                 # hand it the remaining budget so queue wait still counts.
                 remaining = max(request.arrived_at + deadline - self.world.now, 1e-6)
                 task = dataclasses.replace(task, deadline_s=remaining)
+        if self.tiering is not None:
+            self._dispatch_tiered(request, task, members)
+            return
         record = self.cloud.submit(task)
         dispatch = _Dispatch(
             request=request, record=record, dispatched_at=self.world.now,
@@ -524,6 +566,42 @@ class ServiceGateway:
                 label="serve-hedge-check",
             )
         self._update_gauges()
+
+    def _dispatch_tiered(
+        self, request: ServiceRequest, task: Task, members: List[ServiceRequest]
+    ) -> None:
+        """Route one admitted request through the tiered offloader.
+
+        Deadline-carrying requests speculate (local + remote replicas,
+        first acceptable result wins); the rest prefer local execution
+        with failover.  The dispatch is registered *before* submission:
+        the offloader may resolve synchronously (e.g. no tier at all),
+        and the resolution callback must find the dispatch in flight.
+        """
+        dispatch = _Dispatch(
+            request=request, record=None, dispatched_at=self.world.now,
+            task_id=task.task_id, members=members,
+        )
+        self._inflight[task.task_id] = dispatch
+        for member in members:
+            self._tenant_inflight[member.tenant] = (
+                self._tenant_inflight.get(member.tenant, 0) + 1
+            )
+        policy = "speculate" if task.deadline_s is not None else "prefer_local"
+        self.world.metrics.increment(f"serve/{self.name}/tiered/{policy}")
+        assert self.tiering is not None
+        self.tiering.submit(task, policy=policy)
+        self._update_gauges()
+
+    def _on_tier_resolved(self, spec: "SpeculativeTask", reason: str) -> None:
+        dispatch = self._inflight.get(spec.task.task_id)
+        if dispatch is None or dispatch.finalized:
+            return  # not a gateway submission (direct offloader use)
+        if reason == "completed":
+            winner = spec.winner.record if spec.winner is not None else None
+            self._finalize_success(dispatch, winner, hedge_won=False)
+        else:
+            self._finalize_failure(dispatch, reason)
 
     # -- hedging -------------------------------------------------------------
 
@@ -639,7 +717,7 @@ class ServiceGateway:
             dispatch.hedge_record = None  # primary is still live
 
     def _finalize_success(
-        self, dispatch: _Dispatch, winner: TaskRecord, hedge_won: bool
+        self, dispatch: _Dispatch, winner: Optional[TaskRecord], hedge_won: bool
     ) -> None:
         dispatch.finalized = True
         # Every batch member completes with the shared cloud task, but
@@ -664,7 +742,11 @@ class ServiceGateway:
         if hedge_won:
             self.stats.hedges_won += 1
             self.world.metrics.increment(f"serve/{self.name}/hedges_won")
-        if self.breakers is not None and winner.worker_id is not None:
+        if (
+            self.breakers is not None
+            and winner is not None
+            and winner.worker_id is not None
+        ):
             self.breakers.record_outcome(winner.worker_id, ok=True)
         # Retire the loser through the typed ledger before cleanup.
         loser = dispatch.record if hedge_won else dispatch.hedge_record
@@ -689,7 +771,7 @@ class ServiceGateway:
         self._cleanup(dispatch)
 
     def _cleanup(self, dispatch: _Dispatch) -> None:
-        task_id = dispatch.record.task.task_id
+        task_id = dispatch.task_id
         self._inflight.pop(task_id, None)
         self._anti_affinity.pop(task_id, None)
         for member in dispatch.members:

@@ -1,0 +1,148 @@
+"""Per-tier health: demote unreachable or failing tiers before dispatch.
+
+The offloader must never stall a deadline-critical task behind a dead
+backhaul.  :class:`TierHealthTracker` keeps one serve-layer
+:class:`~repro.serve.breaker.CircuitBreaker` per registered tier — the
+same sliding-window failure-rate machinery that guards individual
+workers, reused one level up — and combines three signals into a single
+:meth:`healthy` gate:
+
+* **reachability** — the tier's own view (backhaul outage, zero
+  workers);
+* **breaker state** — recent dispatch outcomes (``backhaul_lost``,
+  ``deadline``, ``retries_exhausted`` count against the tier;
+  cancellations of losing replicas do not);
+* **backlog** — the tier's queue-delay estimate (the
+  :class:`~repro.core.capacity.BacklogEstimator` signal for v-cloud
+  tiers, :meth:`CentralCloud.queue_delay_estimate` for the datacenter),
+  demoted above ``max_queue_delay_s`` when configured.
+
+The default breaker tuning is deliberately more tolerant than the
+per-worker serve-layer defaults (``failure_threshold=0.9`` over a
+12-sample window vs ``0.5``/8): a tier aggregates many workers behind a
+lossy WAN, and sporadic frame loss is precisely the failure mode
+speculation exists to absorb — the racing local replica pays for it,
+the task does not.  Tier demotion is therefore reserved for *sustained*
+failure (a silently dead endpoint); hard unreachability (a backhaul
+outage) already demotes instantly through ``reachable()`` without
+touching the breaker, and recovers the moment the outage ends.
+
+Breaker cooldowns draw jitter from per-tier RNG substreams
+(``tier/health/<tier>``), so adding a tier never perturbs another
+tier's probe schedule.  State transitions are countered under
+``tier/health/<tier>/...`` and emitted on the event log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..faults.recovery import BackoffPolicy
+from ..errors import ConfigurationError
+from ..serve.breaker import CircuitBreaker
+from ..sim.world import World
+from .topology import ExecutionTier, SPECULATION_CANCELLED
+
+
+class TierHealthTracker:
+    """Reachability + breaker + backlog gate for every registered tier."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str = "tiers",
+        window: int = 12,
+        failure_threshold: float = 0.9,
+        min_samples: int = 6,
+        cooldown_s: float = 3.0,
+        max_queue_delay_s: Optional[float] = None,
+    ) -> None:
+        if cooldown_s <= 0:
+            raise ConfigurationError("cooldown_s must be positive")
+        if max_queue_delay_s is not None and max_queue_delay_s <= 0:
+            raise ConfigurationError("max_queue_delay_s must be positive when given")
+        self.world = world
+        self.name = name
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_samples = min_samples
+        self.cooldown_s = cooldown_s
+        self.max_queue_delay_s = max_queue_delay_s
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.demotions = 0
+
+    def _breaker_for(self, tier: ExecutionTier) -> CircuitBreaker:
+        breaker = self._breakers.get(tier.name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name=tier.name,
+                clock=lambda: self.world.now,
+                rng=self.world.rng.fork(f"tier/health/{tier.name}"),
+                window=self.window,
+                failure_threshold=self.failure_threshold,
+                min_samples=self.min_samples,
+                backoff=BackoffPolicy(
+                    base_delay_s=self.cooldown_s,
+                    max_delay_s=self.cooldown_s * 8,
+                ),
+            )
+            self._breakers[tier.name] = breaker
+        return breaker
+
+    # -- the gate ------------------------------------------------------------
+
+    def healthy(self, tier: ExecutionTier) -> bool:
+        """Whether the tier should receive new dispatches right now."""
+        if not tier.reachable():
+            return False
+        if not self._breaker_for(tier).allows():
+            return False
+        if self.max_queue_delay_s is not None:
+            if tier.queue_delay_estimate(self.world.now) > self.max_queue_delay_s:
+                return False
+        return True
+
+    # -- outcome feedback ----------------------------------------------------
+
+    def note_dispatch(self, tier: ExecutionTier) -> None:
+        """Report an attempt actually launched on the tier."""
+        self._breaker_for(tier).note_dispatch()
+
+    def record_outcome(self, tier: ExecutionTier, reason: str) -> None:
+        """Feed one attempt's terminal reason into the tier's breaker.
+
+        ``completed`` is a success; cancelled losing replicas are
+        neutral (the tier did nothing wrong — it merely lost the race);
+        every other typed failure counts against the tier.
+        """
+        breaker = self._breaker_for(tier)
+        if reason == "completed":
+            breaker.record_success()
+            return
+        if reason == SPECULATION_CANCELLED or reason.endswith("_cancelled"):
+            # Inconclusive: the replica lost a race, the tier did not
+            # fail.  Release a HALF_OPEN probe slot so the next dispatch
+            # can still test the tier.
+            breaker.release_probe()
+            return
+        before = breaker.state
+        breaker.record_failure()
+        if breaker.state is not before:
+            self.demotions += 1
+            self.world.metrics.increment(
+                f"tier/health/{tier.name}/demotions"
+            )
+            events = self.world.events
+            if events is not None:
+                events.emit(
+                    "tier",
+                    "tier_demoted",
+                    severity="warning",
+                    tier=tier.name,
+                    reason=reason,
+                    cooldown_s=round(breaker.cooldown_remaining_s, 6),
+                )
+
+    def breaker_state(self, tier: ExecutionTier) -> str:
+        """The tier's breaker state name (for reports and tests)."""
+        return self._breaker_for(tier).state.name

@@ -1,0 +1,463 @@
+"""Tiered offload with speculative execution and graceful failover.
+
+One submit API over the whole hierarchy.  The offloader classifies each
+task by its remaining slack and the caller's policy:
+
+* ``local_only``   — the local v-cloud, nothing else;
+* ``prefer_local`` — local when healthy, else fail over to the best
+  healthy remote tier (a ``failover`` is ledgered);
+* ``speculate``    — for deadline-critical tasks: launch replicas on
+  the local tier **and** the best feasible remote tier simultaneously,
+  first acceptable result wins, the loser is cancelled through the
+  existing typed-cancel path (``speculation_cancelled``).
+
+Speculation degrades instead of stalling.  When every remote tier is
+demoted (backhaul outage, tripped breaker, no workers) the task
+collapses to local execution and ``backhaul_degraded`` is ledgered;
+when a remote exists but its end-to-end estimate (uplink + queue +
+run + downlink, all read-only signals) cannot beat the deadline, the
+task collapses without dispatching remotely and ``no_remote_slack`` is
+ledgered.  Either way the local replica always runs, so a dying WAN
+costs latency, never deadline safety — the local/remote speculation
+argument of "Leveraging Cloud Computing to Make Autonomous Vehicles
+Safer" (PAPERS.md).
+
+Every task roots a ``tier.lifecycle`` span with one ``tier.attempt``
+child per replica; the winner's span is causally linked from the
+lifecycle so traces answer "which tier actually saved this deadline".
+Accounting is conservation-grade: each speculated task resolves to
+exactly one winner with every loser cancelled, failed, or flagged late
+— the ``TierConservation`` chaos invariant audits exactly this via
+:meth:`TieredOffloader.accounting` / :meth:`speculation_view`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.tasks import Task
+from ..errors import ConfigurationError
+from ..sim.world import World
+from .health import TierHealthTracker
+from .topology import (
+    SPECULATION_CANCELLED,
+    ExecutionTier,
+    TierAttempt,
+    TierTopology,
+)
+
+#: Submission policies, in escalating aggressiveness.
+POLICIES = ("local_only", "prefer_local", "speculate")
+
+#: Degradation reasons ledgered when ``speculate`` collapses to local.
+BACKHAUL_DEGRADED = "backhaul_degraded"
+NO_REMOTE_SLACK = "no_remote_slack"
+
+#: Terminal reason when no tier at all could take the task.
+NO_TIER_AVAILABLE = "no_tier_available"
+
+#: Listener fired once per task with ``(spec, reason)``.
+ResolveListener = Callable[["SpeculativeTask", str], None]
+
+
+@dataclass
+class SpeculativeTask:
+    """One submitted task and the speculative attempts racing for it."""
+
+    task: Task
+    policy: str
+    submitted_at: float
+    deadline_at: Optional[float]
+    attempts: List[TierAttempt] = field(default_factory=list)
+    resolved: bool = False
+    #: ``"completed"`` or a typed failure reason, once resolved.
+    outcome: Optional[str] = None
+    winner: Optional[TierAttempt] = None
+    resolved_at: Optional[float] = None
+    #: Degradation ledgered at submit (``backhaul_degraded`` / ``no_remote_slack``).
+    degraded: Optional[str] = None
+    span: Optional[object] = None
+    _launching: bool = field(default=True, repr=False)
+
+
+@dataclass
+class TierStats:
+    """Offloader counters, task-level and attempt-level."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    failure_reasons: Dict[str, int] = field(default_factory=dict)
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+    speculated: int = 0
+    failovers: int = 0
+    degraded: Dict[str, int] = field(default_factory=dict)
+    wins_by_tier: Dict[str, int] = field(default_factory=dict)
+    attempts_submitted: int = 0
+    attempts_won: int = 0
+    attempts_cancelled: int = 0
+    attempts_failed: int = 0
+    attempts_late: int = 0
+    latency_sum_s: float = 0.0
+
+    def mean_latency_s(self) -> float:
+        return self.latency_sum_s / self.completed if self.completed else 0.0
+
+    def deadline_hit_rate(self) -> float:
+        judged = self.deadline_hits + self.deadline_misses
+        return self.deadline_hits / judged if judged else 1.0
+
+
+class TieredOffloader:
+    """Submit tasks across the tier hierarchy, first acceptable result wins."""
+
+    def __init__(
+        self,
+        world: World,
+        topology: TierTopology,
+        health: Optional[TierHealthTracker] = None,
+        name: str = "tiered",
+    ) -> None:
+        if not topology.tiers():
+            raise ConfigurationError("topology has no registered tiers")
+        self.world = world
+        self.topology = topology
+        self.health = health if health is not None else TierHealthTracker(world)
+        self.name = name
+        self.stats = TierStats()
+        self._specs: Dict[str, SpeculativeTask] = {}
+        self._resolve_listeners: List[ResolveListener] = []
+
+    # -- listener wiring -----------------------------------------------------
+
+    def on_task_resolved(self, listener: ResolveListener) -> None:
+        """Register a listener fired once per task at resolution.
+
+        ``reason`` is ``"completed"`` when some attempt won, else the
+        typed failure reason of the last replica standing.  The serving
+        gateway uses this to settle its dispatch bookkeeping.
+        """
+        self._resolve_listeners.append(listener)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, task: Task, policy: str = "prefer_local") -> SpeculativeTask:
+        """Submit one task under ``policy``; returns its live spec."""
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}, expected one of {POLICIES}"
+            )
+        now = self.world.now
+        deadline_at = (
+            now + task.deadline_s if task.deadline_s is not None else None
+        )
+        spec = SpeculativeTask(
+            task=task, policy=policy, submitted_at=now, deadline_at=deadline_at
+        )
+        self._specs[task.task_id] = spec
+        self.stats.submitted += 1
+        self.world.metrics.increment(f"tier/{self.name}/submitted")
+        tracer = self.world.tracer
+        if tracer is not None:
+            spec.span = tracer.start_span(
+                "tier.lifecycle",
+                subsystem="tier",
+                attrs={
+                    "task_id": task.task_id,
+                    "policy": policy,
+                    "deadline_s": task.deadline_s,
+                },
+            )
+        try:
+            for tier in self._plan(spec):
+                self._launch(spec, tier)
+        finally:
+            spec._launching = False
+        if not spec.resolved and (
+            not spec.attempts or all(a.terminal for a in spec.attempts)
+        ):
+            self._fail(spec)
+        return spec
+
+    # -- tier selection ------------------------------------------------------
+
+    def _best_local(self) -> Optional[ExecutionTier]:
+        locals_ = self.topology.local_tiers()
+        if not locals_:
+            return None
+        healthy = [tier for tier in locals_ if self.health.healthy(tier)]
+        pool = healthy if healthy else locals_
+        return min(pool, key=lambda t: t.queue_delay_estimate(self.world.now))
+
+    def _best_remote(self, task: Task) -> Optional[ExecutionTier]:
+        healthy = [
+            tier
+            for tier in self.topology.remote_tiers()
+            if self.health.healthy(tier)
+        ]
+        if not healthy:
+            return None
+        return min(
+            healthy, key=lambda t: t.estimated_completion_s(task, self.world.now)
+        )
+
+    def _plan(self, spec: SpeculativeTask) -> List[ExecutionTier]:
+        local = self._best_local()
+        if spec.policy == "local_only":
+            return [local] if local is not None else []
+        remote = self._best_remote(spec.task)
+        if spec.policy == "prefer_local" or spec.deadline_at is None:
+            # Speculation without a deadline has no slack to protect;
+            # degrade to prefer_local semantics.
+            if local is not None and self.health.healthy(local):
+                return [local]
+            if remote is not None:
+                self.stats.failovers += 1
+                self.world.metrics.increment(f"tier/{self.name}/failovers")
+                self._emit(
+                    "tier_failover", severity="warning",
+                    task_id=spec.task.task_id, to_tier=remote.name,
+                )
+                return [remote]
+            return [local] if local is not None else []
+        # speculate, with a deadline
+        if local is None:
+            return [remote] if remote is not None else []
+        if remote is None:
+            self._degrade(spec, BACKHAUL_DEGRADED)
+            return [local]
+        estimate = remote.estimated_completion_s(spec.task, self.world.now)
+        if self.world.now + estimate > spec.deadline_at:
+            self._degrade(spec, NO_REMOTE_SLACK)
+            return [local]
+        self.stats.speculated += 1
+        self.world.metrics.increment(f"tier/{self.name}/speculated")
+        return [local, remote]
+
+    def _degrade(self, spec: SpeculativeTask, reason: str) -> None:
+        """Ledger a speculate collapse to local-only execution."""
+        spec.degraded = reason
+        self.stats.degraded[reason] = self.stats.degraded.get(reason, 0) + 1
+        self.world.metrics.increment(f"tier/{self.name}/degraded/{reason}")
+        self._emit(
+            "speculation_degraded",
+            severity="warning",
+            task_id=spec.task.task_id,
+            reason=reason,
+        )
+        tracer = self.world.tracer
+        if tracer is not None and spec.span is not None:
+            tracer.add_event(spec.span, "degraded", reason=reason)
+
+    # -- attempt lifecycle ---------------------------------------------------
+
+    def _launch(self, spec: SpeculativeTask, tier: ExecutionTier) -> None:
+        span = None
+        tracer = self.world.tracer
+        if tracer is not None:
+            span = tracer.start_span(
+                "tier.attempt",
+                subsystem="tier",
+                parent=spec.span,
+                attrs={"tier": tier.name, "level": tier.level},
+            )
+        self.health.note_dispatch(tier)
+        self.stats.attempts_submitted += 1
+        self.world.metrics.increment(f"tier/{self.name}/attempts/{tier.name}")
+        attempt = tier.dispatch(
+            spec.task,
+            spec.deadline_at,
+            lambda a, reason: self._on_attempt_finish(spec, a, reason),
+            span=span,
+        )
+        if attempt not in spec.attempts:
+            spec.attempts.append(attempt)
+
+    def _on_attempt_finish(
+        self, spec: SpeculativeTask, attempt: TierAttempt, reason: str
+    ) -> None:
+        if attempt not in spec.attempts:
+            spec.attempts.append(attempt)  # terminated inside dispatch
+        tier = self.topology.tier(attempt.tier_name)
+        self.health.record_outcome(tier, reason)
+        if reason == "completed":
+            if attempt.cancelled or spec.resolved:
+                self.stats.attempts_late += 1
+                self.world.metrics.increment(f"tier/{self.name}/attempts_late")
+                self._end_attempt_span(attempt, "ok", late=True)
+            else:
+                self.stats.attempts_won += 1
+                self._end_attempt_span(attempt, "ok", winner=True)
+                self._resolve(spec, attempt)
+                return
+        elif attempt.cancelled:
+            self.stats.attempts_cancelled += 1
+            self.world.metrics.increment(f"tier/{self.name}/attempts_cancelled")
+            self._end_attempt_span(attempt, "cancelled", reason=reason)
+        else:
+            self.stats.attempts_failed += 1
+            self.world.metrics.increment(
+                f"tier/{self.name}/attempt_failures/{reason}"
+            )
+            self._end_attempt_span(attempt, "error", reason=reason)
+        if (
+            not spec.resolved
+            and not spec._launching
+            and spec.attempts
+            and all(a.terminal for a in spec.attempts)
+        ):
+            self._fail(spec)
+
+    def _resolve(self, spec: SpeculativeTask, winner: TierAttempt) -> None:
+        now = self.world.now
+        spec.resolved = True
+        spec.outcome = "completed"
+        spec.winner = winner
+        spec.resolved_at = now
+        self.stats.completed += 1
+        self.stats.latency_sum_s += now - spec.submitted_at
+        self.stats.wins_by_tier[winner.tier_name] = (
+            self.stats.wins_by_tier.get(winner.tier_name, 0) + 1
+        )
+        self.world.metrics.increment(f"tier/{self.name}/completed")
+        self.world.metrics.increment(f"tier/{self.name}/wins/{winner.tier_name}")
+        if spec.deadline_at is not None:
+            if now <= spec.deadline_at + 1e-9:
+                self.stats.deadline_hits += 1
+                self.world.metrics.increment(f"tier/{self.name}/deadline_hits")
+            else:
+                self.stats.deadline_misses += 1
+                self.world.metrics.increment(f"tier/{self.name}/deadline_misses")
+        # First acceptable result is in; cancel every loser still running.
+        for other in list(spec.attempts):
+            if other is winner or other.terminal:
+                continue
+            self.topology.tier(other.tier_name).cancel(other, SPECULATION_CANCELLED)
+        tracer = self.world.tracer
+        if tracer is not None and spec.span is not None:
+            if winner.span is not None:
+                tracer.link(spec.span, winner.span)
+            tracer.end_span(
+                spec.span,
+                status="ok",
+                attrs={"winner": winner.tier_name, "latency_s": now - spec.submitted_at},
+            )
+        self._emit(
+            "task_resolved",
+            task_id=spec.task.task_id,
+            winner=winner.tier_name,
+            latency_s=round(now - spec.submitted_at, 6),
+        )
+        for listener in self._resolve_listeners:
+            listener(spec, "completed")
+
+    def _fail(self, spec: SpeculativeTask) -> None:
+        # The task's outcome is the reason of the *last replica standing*
+        # (latest terminal time), skipping cancelled losers.
+        failed = sorted(
+            (
+                a
+                for a in spec.attempts
+                if a.terminal_reason not in (None, SPECULATION_CANCELLED)
+            ),
+            key=lambda a: a.finished_at if a.finished_at is not None else 0.0,
+        )
+        reason = failed[-1].terminal_reason if failed else NO_TIER_AVAILABLE
+        assert reason is not None
+        spec.resolved = True
+        spec.outcome = reason
+        spec.resolved_at = self.world.now
+        self.stats.failed += 1
+        self.stats.failure_reasons[reason] = (
+            self.stats.failure_reasons.get(reason, 0) + 1
+        )
+        self.world.metrics.increment(f"tier/{self.name}/task_failures/{reason}")
+        if spec.deadline_at is not None:
+            self.stats.deadline_misses += 1
+            self.world.metrics.increment(f"tier/{self.name}/deadline_misses")
+        tracer = self.world.tracer
+        if tracer is not None and spec.span is not None:
+            tracer.end_span(spec.span, status="error", attrs={"reason": reason})
+        self._emit(
+            "task_failed", severity="warning",
+            task_id=spec.task.task_id, reason=reason,
+        )
+        for listener in self._resolve_listeners:
+            listener(spec, reason)
+
+    def _end_attempt_span(
+        self, attempt: TierAttempt, status: str, **attrs: object
+    ) -> None:
+        tracer = self.world.tracer
+        if tracer is not None and attempt.span is not None:
+            tracer.end_span(attempt.span, status=status, attrs=attrs)
+
+    def _emit(self, event: str, severity: str = "info", **attrs: object) -> None:
+        events = self.world.events
+        if events is not None:
+            events.emit("tier", event, severity=severity, offloader=self.name, **attrs)
+
+    # -- conservation surface ------------------------------------------------
+
+    def accounting(self) -> Dict[str, int]:
+        """Task- and attempt-stream conservation counters.
+
+        At any sim instant ``submitted == completed + failed + live``
+        and ``attempts_submitted == won + cancelled + failed + late +
+        live`` must hold, and ``completed == attempts_won`` (exactly one
+        winner per resolved task).  ``TierConservation`` checks these.
+        """
+        s = self.stats
+        live = s.submitted - s.completed - s.failed
+        attempts_live = (
+            s.attempts_submitted
+            - s.attempts_won
+            - s.attempts_cancelled
+            - s.attempts_failed
+            - s.attempts_late
+        )
+        return {
+            "submitted": s.submitted,
+            "completed": s.completed,
+            "failed": s.failed,
+            "live": live,
+            "attempts_submitted": s.attempts_submitted,
+            "attempts_won": s.attempts_won,
+            "attempts_cancelled": s.attempts_cancelled,
+            "attempts_failed": s.attempts_failed,
+            "attempts_late": s.attempts_late,
+            "attempts_live": attempts_live,
+        }
+
+    def speculation_view(self) -> List[Dict[str, object]]:
+        """Per-task winner/loser reconciliation for the invariant."""
+        view: List[Dict[str, object]] = []
+        for spec in self._specs.values():
+            winners = sum(
+                1
+                for a in spec.attempts
+                if a.terminal_reason == "completed" and not a.cancelled
+            )
+            unreconciled = (
+                sum(1 for a in spec.attempts if not a.terminal and not a.cancelled)
+                if spec.resolved
+                else 0
+            )
+            view.append(
+                {
+                    "task_id": spec.task.task_id,
+                    "policy": spec.policy,
+                    "resolved": spec.resolved,
+                    "outcome": spec.outcome,
+                    "attempts": len(spec.attempts),
+                    "winners": winners,
+                    "unreconciled": unreconciled,
+                }
+            )
+        return view
+
+    def specs(self) -> List[SpeculativeTask]:
+        """Every submitted task's spec, in submission order."""
+        return list(self._specs.values())

@@ -225,6 +225,29 @@ class TestExecuteRun:
                 sum(v[name] for v in vectors) / len(vectors)
             ), name
 
+    def test_tiered_backhaul_cell_executes(self, tmp_path):
+        spec = RunSpec(
+            **{
+                **self.SPEC,
+                "architecture": "tiered",
+                "fault_profile": "backhaul",
+                "run_length_s": 20.0,
+                "drain_s": 8.0,
+            }
+        )
+        outcome = execute_run(spec, str(tmp_path))
+        assert not outcome.violations
+        # The WAN schedule fired (loss burst + partition + jitter spike)
+        # and the tiered submit path produced tier metrics.
+        assert outcome.faults_injected == 3
+        assert outcome.vector["tier/submitted"] > 0
+        assert outcome.vector["tier/speculated"] > 0
+        assert outcome.vector["tier/backhaul_sent"] > 0
+
+    def test_backhaul_profile_needs_a_backhaul(self):
+        with pytest.raises(CampaignError):
+            RunSpec(**{**self.SPEC, "fault_profile": "backhaul"})
+
 
 class TestBaselineStore:
     def test_record_and_load_roundtrip(self, tmp_path):
